@@ -1,0 +1,69 @@
+//! Criterion benchmark: abstract-state costs in the single-pass compiler.
+//!
+//! The paper's Section III calls out managing the abstract state at control
+//! flow as the main algorithmic risk ("JIT bombs"). This benchmark compiles
+//! functions with a growing number of locals and control-flow merges to
+//! confirm compile time stays linear in practice (the ablation bench called
+//! out in DESIGN.md).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spc::{CompilerOptions, ProbeSites, SinglePassCompiler};
+use wasm::builder::{CodeBuilder, ModuleBuilder};
+use wasm::opcode::Opcode;
+use wasm::types::{BlockType, FuncType, ValueType};
+use wasm::validate::validate;
+
+/// Builds a function with `locals` i32 locals and `blocks` nested blocks,
+/// each containing a conditional branch — a worst case for snapshot/merge
+/// handling.
+fn control_heavy(locals: u32, blocks: u32) -> wasm::Module {
+    let mut b = ModuleBuilder::new();
+    let mut c = CodeBuilder::new();
+    for i in 0..locals {
+        c.i32_const(i as i32).local_set(i + 1);
+    }
+    for _ in 0..blocks {
+        c.block(BlockType::Empty);
+        c.local_get(0).br_if(0);
+        c.local_get(1).i32_const(1).op(Opcode::I32Add).local_set(1);
+    }
+    for _ in 0..blocks {
+        c.end();
+    }
+    c.local_get(1);
+    let f = b.add_func(
+        FuncType::new(vec![ValueType::I32], vec![ValueType::I32]),
+        vec![ValueType::I32; locals as usize],
+        c.finish(),
+    );
+    b.export_func("f", f);
+    b.finish()
+}
+
+fn abstract_state(c: &mut Criterion) {
+    let mut group = c.benchmark_group("abstract_state_scaling");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(800));
+    for (locals, blocks) in [(8u32, 16u32), (32, 64), (128, 256)] {
+        let module = control_heavy(locals, blocks);
+        let info = validate(&module).expect("valid");
+        let compiler = SinglePassCompiler::new(CompilerOptions::allopt());
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{locals}locals_{blocks}blocks")),
+            &module,
+            |b, module| {
+                b.iter(|| {
+                    let compiled = compiler
+                        .compile(module, 0, &info.funcs[0], &ProbeSites::none())
+                        .expect("compiles");
+                    criterion::black_box(compiled);
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, abstract_state);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion benchmark: baseline compilation throughput per design profile.
+//!
+//! Measures real wall-clock compilation of one representative module from
+//! each suite under each of the six baseline-compiler profiles (the basis of
+//! the paper's Fig. 8).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spc::{ProbeSites, SinglePassCompiler};
+use suites::Scale;
+use wasm::validate::validate;
+
+fn compile_speed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compile_speed");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(800));
+    let items = [
+        suites::polybench::suite(Scale::Test).items.remove(0),
+        suites::libsodium::suite(Scale::Test).items.remove(16),
+        suites::ostrich::suite(Scale::Test).items.remove(0),
+    ];
+    for profile in spc::all_profiles() {
+        for item in &items {
+            let info = validate(&item.module).expect("valid");
+            let compiler = SinglePassCompiler::new(profile.options.clone());
+            group.bench_with_input(
+                BenchmarkId::new(profile.name, format!("{}/{}", item.suite, item.name)),
+                &item.module,
+                |b, module| {
+                    b.iter(|| {
+                        for defined in 0..module.funcs.len() as u32 {
+                            let func_index = module.defined_to_func_index(defined);
+                            let compiled = compiler
+                                .compile(
+                                    module,
+                                    func_index,
+                                    &info.funcs[defined as usize],
+                                    &ProbeSites::none(),
+                                )
+                                .expect("compiles");
+                            criterion::black_box(compiled);
+                        }
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, compile_speed);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion benchmark: end-to-end execution of one line item under each
+//! execution tier (interpreter, baseline, optimizing).
+//!
+//! Wall-clock here measures the reproduction's own runtime (interpreter loop
+//! and CPU simulator); the figure harnesses use simulated cycles instead, but
+//! this benchmark is useful for tracking the engine's own performance.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use engine::{Engine, EngineConfig, Imports, Instrumentation};
+use spc::CompilerOptions;
+use suites::{BenchmarkItem, Scale};
+
+fn execution_tiers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("execution_tiers");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(800));
+    let suite = suites::libsodium::suite(Scale::Test);
+    let item = suite
+        .items
+        .iter()
+        .find(|i| i.name == "chacha20")
+        .expect("chacha20 exists");
+
+    let configs = vec![
+        EngineConfig::interpreter("wizeng-int"),
+        EngineConfig::baseline("wizeng-spc", CompilerOptions::allopt()),
+        EngineConfig::optimizing("optimizing"),
+    ];
+    for config in configs {
+        let engine = Engine::new(config.clone());
+        group.bench_function(config.name.clone(), |b| {
+            b.iter(|| {
+                let mut instance = engine
+                    .instantiate(&item.module, Imports::new(), Instrumentation::none())
+                    .expect("instantiates");
+                let out = engine
+                    .call_export(&mut instance, BenchmarkItem::ENTRY, &[])
+                    .expect("runs");
+                criterion::black_box(out);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, execution_tiers);
+criterion_main!(benches);

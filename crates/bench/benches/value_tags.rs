@@ -1,0 +1,45 @@
+//! Criterion benchmark: compile-time and code-size impact of the value-tag
+//! strategies (complements the Fig. 5 execution-time harness).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spc::{CompilerOptions, ProbeSites, SinglePassCompiler};
+use suites::Scale;
+use wasm::validate::validate;
+
+fn value_tags(c: &mut Criterion) {
+    let mut group = c.benchmark_group("value_tag_compile");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(800));
+    let suite = suites::polybench::suite(Scale::Test);
+    let item = &suite.items[0];
+    let info = validate(&item.module).expect("valid");
+
+    for options in CompilerOptions::figure5_configs() {
+        let compiler = SinglePassCompiler::new(options.clone());
+        group.bench_with_input(
+            BenchmarkId::from_parameter(options.name.clone()),
+            &item.module,
+            |b, module| {
+                b.iter(|| {
+                    for defined in 0..module.funcs.len() as u32 {
+                        let func_index = module.defined_to_func_index(defined);
+                        let compiled = compiler
+                            .compile(
+                                module,
+                                func_index,
+                                &info.funcs[defined as usize],
+                                &ProbeSites::none(),
+                            )
+                            .expect("compiles");
+                        criterion::black_box(compiled.stats.tag_stores);
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, value_tags);
+criterion_main!(benches);

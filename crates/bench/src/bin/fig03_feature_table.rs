@@ -1,0 +1,31 @@
+//! Fig. 3 — the feature table of the six baseline compilers studied.
+//!
+//! Prints the same rows as the paper's Fig. 3 from the reproduction's design
+//! profiles: name, implementation language, year, feature letters, and
+//! description.
+
+fn main() {
+    bench::print_header(
+        "Figure 3",
+        "WebAssembly baseline compilers used in this study",
+    );
+    println!(
+        "{:<14} {:<8} {:<6} {:<22} {}",
+        "Name", "Language", "Year", "Features", "Description"
+    );
+    println!("{:-<90}", "");
+    for profile in spc::all_profiles() {
+        println!(
+            "{:<14} {:<8} {:<6} {:<22} {}",
+            profile.name,
+            profile.language,
+            profile.year,
+            profile.feature_string(),
+            profile.description
+        );
+    }
+    println!();
+    println!("MR = multiple register allocation, R = register allocation, K = constant tracking,");
+    println!("KF = constant folding, ISEL = instruction selection, TAG = value tags,");
+    println!("MAP = stackmaps, MV = multi-value.");
+}

@@ -1,0 +1,55 @@
+//! Fig. 8 — compilation time per byte of Wasm code, relative to Wizard-SPC
+//! (1.0 = same speed, lower is better).
+//!
+//! Compile time is real wall-clock time spent by this reproduction's
+//! compiler under each design profile, normalized per input byte, exactly as
+//! the paper computes it.
+
+use bench::{measure_all, print_suite_table, summarize, Instrument};
+use engine::EngineConfig;
+
+fn compile_time_per_byte(m: &bench::ItemMeasurement) -> f64 {
+    m.compile_wall.as_secs_f64() / m.compiled_wasm_bytes.max(1) as f64
+}
+
+fn main() {
+    let scale = bench::scale_from_args();
+    bench::print_header(
+        "Figure 8",
+        "Relative compilation time per byte over Wizard-SPC (lower is better)",
+    );
+
+    let profiles = spc::all_profiles();
+    let wizard = measure_all(
+        &EngineConfig::baseline("wizeng-spc", profiles[0].options.clone()),
+        scale,
+        Instrument::None,
+    );
+
+    let mut config_names = Vec::new();
+    let mut per_suite: Vec<(&'static str, Vec<bench::SuiteSummary>)> =
+        vec![("polybench", vec![]), ("libsodium", vec![]), ("ostrich", vec![])];
+    for profile in profiles.iter().skip(1) {
+        let run = measure_all(
+            &EngineConfig::baseline(profile.name, profile.options.clone()),
+            scale,
+            Instrument::None,
+        );
+        for (suite_row, suite_name) in per_suite
+            .iter_mut()
+            .zip(["polybench", "libsodium", "ostrich"])
+        {
+            let ratios: Vec<f64> = bench::paired(&wizard, &run)
+                .filter(|(a, _)| a.suite == suite_name)
+                .map(|(a, b)| compile_time_per_byte(b) / compile_time_per_byte(a).max(1e-12))
+                .collect();
+            suite_row.1.push(summarize(&ratios));
+        }
+        config_names.push(profile.name.to_string());
+    }
+    print_suite_table(&config_names, &per_suite);
+    println!();
+    println!("Expected shape (paper): wazero is ~3x-4x slower to compile (it lowers through");
+    println!("an internal representation first); engines without debug metadata or stackmap");
+    println!("bookkeeping compile faster than those with it.");
+}

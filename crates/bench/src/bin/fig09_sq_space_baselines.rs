@@ -1,0 +1,62 @@
+//! Fig. 9 — the SQ-space (compile speed vs. code quality) scatter for the six
+//! baseline compilers.
+//!
+//! One point per benchmark line item per compiler: the x axis is compile
+//! speed in MB of Wasm code per second of compile time, the y axis is the
+//! speedup of the generated code over the in-place interpreter. Up and right
+//! are better. The output is CSV-like so it can be plotted directly.
+
+use bench::{measure_all, Instrument};
+use engine::EngineConfig;
+
+fn main() {
+    let scale = bench::scale_from_args();
+    bench::print_header(
+        "Figure 9",
+        "SQ-space for baseline compilers (compile MB/s vs speedup over Wizard-INT)",
+    );
+
+    let interp = measure_all(
+        &EngineConfig::interpreter("wizeng-int"),
+        scale,
+        Instrument::None,
+    );
+
+    println!("compiler,suite,item,compile_mb_per_s,speedup_over_interpreter");
+    let mut per_compiler: Vec<(String, f64, f64)> = Vec::new();
+    for profile in spc::all_profiles() {
+        let run = measure_all(
+            &EngineConfig::baseline(profile.name, profile.options.clone()),
+            scale,
+            Instrument::None,
+        );
+        let mut sum_speed = 0.0;
+        let mut sum_quality = 0.0;
+        for (base, m) in bench::paired(&interp, &run) {
+            let mbs = (m.compiled_wasm_bytes as f64 / 1e6)
+                / m.compile_wall.as_secs_f64().max(1e-9);
+            let speedup = base.exec_cycles as f64 / m.exec_cycles.max(1) as f64;
+            println!(
+                "{},{},{},{:.3},{:.3}",
+                profile.name, m.suite, m.name, mbs, speedup
+            );
+            sum_speed += mbs;
+            sum_quality += speedup;
+        }
+        per_compiler.push((
+            profile.name.to_string(),
+            sum_speed / run.len() as f64,
+            sum_quality / run.len() as f64,
+        ));
+    }
+
+    println!();
+    println!("Per-compiler centroids (mean compile MB/s, mean speedup):");
+    for (name, speed, quality) in per_compiler {
+        println!("  {name:<14} {speed:>10.2} MB/s   {quality:>6.2}x");
+    }
+    println!();
+    println!("Expected shape (paper): all baseline compilers achieve similar speedups");
+    println!("(they cluster vertically) while varying by roughly an order of magnitude in");
+    println!("compile speed.");
+}

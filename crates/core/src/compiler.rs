@@ -1,0 +1,1799 @@
+//! The single-pass ("baseline") compiler.
+//!
+//! The compiler makes exactly one forward pass over the bytecode, mirroring
+//! the validation algorithm: an abstract value stack tracks, for every local
+//! and operand slot, whether its value is in memory, in a register, or a
+//! compile-time constant (see [`crate::abstract_state`]). Code is emitted
+//! instruction by instruction; there is no intermediate representation.
+//!
+//! Within straight-line code the compiler performs the optimizations the
+//! paper attributes to abstract interpretation: forward register allocation
+//! (with optional multi-register sharing), constant tracking and folding,
+//! branch folding, immediate-mode instruction selection, redundant-spill
+//! avoidance, and value-tag elision. At control-flow boundaries the abstract
+//! state is flushed to the canonical "everything in its home slot" state —
+//! the "spill the rest" snapshot strategy described in Section III — which
+//! keeps merges O(1) and immune to JIT bombs.
+//!
+//! Calls, traps, and probes are *observable points*: live values (and,
+//! depending on the [`TagStrategy`], their tags) are written to the value
+//! stack there, which is what makes the paper's on-demand tagging nearly
+//! free in straight-line code.
+
+use crate::abstract_state::{AbstractState, Loc, SCRATCH_GPR};
+use crate::instrument::{ProbeKind, ProbeSites};
+use crate::options::{CompilerOptions, ProbeMode, TagStrategy};
+use crate::stackmap::{Stackmap, StackmapTable};
+use machine::asm::{Assembler, CodeBuffer};
+use machine::inst::{Label, MachInst, TrapCode, Width};
+use machine::lower::{classify, OpClass};
+use machine::reg::AnyReg;
+use machine::values::{ValueTag, NULL_REF_BITS};
+use wasm::module::Module;
+use wasm::opcode::{OpSignature, Opcode};
+use wasm::reader::BytecodeReader;
+use wasm::types::{BlockType, ValueType};
+use wasm::validate::FuncInfo;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Information the engine needs about one call site in compiled code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CallSiteInfo {
+    /// Frame-relative slot index where the callee's frame begins (its first
+    /// argument slot).
+    pub callee_slot_base: u32,
+}
+
+/// Information the engine needs about one probe site in compiled code: the
+/// original bytecode offset and the operand stack height there, so a frame
+/// accessor (or a tier-down to the interpreter) can reconstruct the frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JitProbeSite {
+    /// Bytecode offset of the probed instruction.
+    pub offset: u32,
+    /// Operand stack height at the probe.
+    pub operand_height: u32,
+}
+
+/// Statistics about one compilation, used by the benchmark harnesses.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompileStats {
+    /// Bytes of Wasm bytecode compiled.
+    pub wasm_bytes: u32,
+    /// Number of machine instructions emitted.
+    pub machine_insts: u32,
+    /// Estimated machine-code size in bytes.
+    pub code_size_bytes: u32,
+    /// Value-tag stores emitted.
+    pub tag_stores: u32,
+    /// Operations evaluated at compile time.
+    pub constants_folded: u32,
+    /// Conditional branches folded away.
+    pub branches_folded: u32,
+    /// Immediate-mode instructions selected.
+    pub immediate_selections: u32,
+    /// Register spills emitted.
+    pub spills: u32,
+}
+
+/// The output of compiling one function.
+#[derive(Debug, Clone)]
+pub struct CompiledFunction {
+    /// The function's index in the function index space.
+    pub func_index: u32,
+    /// The emitted code.
+    pub code: CodeBuffer,
+    /// Per-call-site stackmaps (only when [`TagStrategy::Stackmaps`]).
+    pub stackmaps: StackmapTable,
+    /// Metadata for every call instruction, keyed by instruction index.
+    pub call_sites: HashMap<usize, CallSiteInfo>,
+    /// Metadata for every probe instruction, keyed by instruction index.
+    pub probe_sites: HashMap<usize, JitProbeSite>,
+    /// Number of results.
+    pub num_results: u32,
+    /// Number of local slots (params + declared locals).
+    pub num_locals: u32,
+    /// Total frame size in slots (locals + maximum operand height).
+    pub frame_slots: u32,
+    /// Compilation statistics.
+    pub stats: CompileStats,
+}
+
+/// An error produced during compilation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError {
+    /// Bytecode offset of the problem.
+    pub offset: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "compile error at +{}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// The single-pass compiler. Cheap to construct; holds only options.
+#[derive(Debug, Clone, Default)]
+pub struct SinglePassCompiler {
+    options: CompilerOptions,
+}
+
+impl SinglePassCompiler {
+    /// Creates a compiler with the given options.
+    pub fn new(options: CompilerOptions) -> SinglePassCompiler {
+        SinglePassCompiler { options }
+    }
+
+    /// The compiler's options.
+    pub fn options(&self) -> &CompilerOptions {
+        &self.options
+    }
+
+    /// Compiles one defined function.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for malformed bodies or unsupported features (e.g.
+    /// multi-value signatures when the `MV` feature is disabled).
+    pub fn compile(
+        &self,
+        module: &Module,
+        func_index: u32,
+        info: &FuncInfo,
+        probes: &ProbeSites,
+    ) -> Result<CompiledFunction, CompileError> {
+        let decl = module.func_decl(func_index).ok_or(CompileError {
+            offset: 0,
+            message: format!("function {func_index} has no body"),
+        })?;
+        let sig = module.func_type(func_index).ok_or(CompileError {
+            offset: 0,
+            message: format!("function {func_index} has no signature"),
+        })?;
+        if !self.options.multi_value && sig.results.len() > 1 {
+            return Err(CompileError {
+                offset: 0,
+                message: "multi-value results are not supported by this configuration".to_string(),
+            });
+        }
+        // Engines that lower through an internal form first (wazero) pay for
+        // extra passes over the code before emitting anything.
+        if self.options.extra_lowering_pass {
+            for _ in 0..2 {
+                let mut lowered = Vec::with_capacity(decl.code.len());
+                let mut r = BytecodeReader::new(&decl.code);
+                while !r.is_at_end() {
+                    let pc = r.pc();
+                    let op = r.read_opcode().map_err(|e| CompileError {
+                        offset: pc,
+                        message: e.to_string(),
+                    })?;
+                    r.skip_immediates(op).map_err(|e| CompileError {
+                        offset: pc,
+                        message: e.to_string(),
+                    })?;
+                    lowered.push((op, pc as u32));
+                }
+                std::hint::black_box(&lowered);
+            }
+        }
+
+        let local_types = module
+            .func_local_types(func_index)
+            .expect("checked above: function has a body");
+        let mut fc = FuncCompiler {
+            module,
+            options: &self.options,
+            probes,
+            num_locals: local_types.len(),
+            num_results: sig.results.len() as u32,
+            results: sig.results.clone(),
+            asm: Assembler::new(),
+            state: AbstractState::new(&local_types, self.options.multi_register),
+            ctrl: Vec::new(),
+            stackmaps: StackmapTable::default(),
+            call_sites: HashMap::new(),
+            probe_sites: HashMap::new(),
+            stats: CompileStats {
+                wasm_bytes: decl.code.len() as u32,
+                ..CompileStats::default()
+            },
+        };
+        fc.compile_body(&decl.code)?;
+        let code = fc.asm.finish();
+        let stats = CompileStats {
+            machine_insts: code.len() as u32,
+            code_size_bytes: code.code_size() as u32,
+            ..fc.stats
+        };
+        Ok(CompiledFunction {
+            func_index,
+            code,
+            stackmaps: fc.stackmaps,
+            call_sites: fc.call_sites,
+            probe_sites: fc.probe_sites,
+            num_results: sig.results.len() as u32,
+            num_locals: local_types.len() as u32,
+            frame_slots: local_types.len() as u32 + info.max_stack,
+            stats,
+        })
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CtrlKind {
+    Func,
+    Block,
+    Loop,
+    If,
+    Else,
+}
+
+#[derive(Debug, Clone)]
+struct CtrlFrame {
+    kind: CtrlKind,
+    end_label: Label,
+    else_label: Option<Label>,
+    start_label: Option<Label>,
+    label_base: usize,
+    params: Vec<ValueType>,
+    results: Vec<ValueType>,
+    unreachable: bool,
+}
+
+struct FuncCompiler<'a> {
+    module: &'a Module,
+    options: &'a CompilerOptions,
+    probes: &'a ProbeSites,
+    num_locals: usize,
+    num_results: u32,
+    results: Vec<ValueType>,
+    asm: Assembler,
+    state: AbstractState,
+    ctrl: Vec<CtrlFrame>,
+    stackmaps: StackmapTable,
+    call_sites: HashMap<usize, CallSiteInfo>,
+    probe_sites: HashMap<usize, JitProbeSite>,
+    stats: CompileStats,
+}
+
+impl<'a> FuncCompiler<'a> {
+    fn error(&self, offset: usize, message: impl Into<String>) -> CompileError {
+        CompileError {
+            offset,
+            message: message.into(),
+        }
+    }
+
+    fn unreachable_now(&self) -> bool {
+        self.ctrl.last().map(|f| f.unreachable).unwrap_or(false)
+    }
+
+    fn compile_body(&mut self, code: &[u8]) -> Result<(), CompileError> {
+        let func_end = self.asm.new_label();
+        self.ctrl.push(CtrlFrame {
+            kind: CtrlKind::Func,
+            end_label: func_end,
+            else_label: None,
+            start_label: None,
+            label_base: 0,
+            params: Vec::new(),
+            results: self.results.clone(),
+            unreachable: false,
+        });
+
+        let mut reader = BytecodeReader::new(code);
+        while !self.ctrl.is_empty() {
+            if reader.is_at_end() {
+                return Err(self.error(code.len(), "body ended with open control constructs"));
+            }
+            let offset = reader.pc();
+            let op = reader
+                .read_opcode()
+                .map_err(|e| self.error(offset, e.to_string()))?;
+            if self.options.debug_metadata {
+                self.asm.mark_source(offset as u32);
+            }
+            if !self.unreachable_now() {
+                if let Some(site) = self.probes.get(offset as u32) {
+                    self.emit_probe(*site, offset as u32);
+                }
+            }
+            self.compile_instruction(op, offset, &mut reader)?;
+        }
+        if !reader.is_at_end() {
+            return Err(self.error(reader.pc(), "trailing bytes after final end"));
+        }
+        Ok(())
+    }
+
+    // ---- Code-generation helpers -------------------------------------------
+
+    fn tag_of(&self, ty: ValueType) -> ValueTag {
+        ValueTag::for_type(ty)
+    }
+
+    fn emit_tag(&mut self, slot: usize) {
+        let tag = self.tag_of(self.state.slot(slot).ty);
+        self.asm.emit(MachInst::StoreTag {
+            slot: slot as u32,
+            tag,
+        });
+        self.state.set_tag_in_memory(slot, true);
+        self.stats.tag_stores += 1;
+    }
+
+    fn eager_tag_on_write(&mut self, slot: usize) {
+        let is_local = slot < self.num_locals;
+        let emit = match self.options.tagging {
+            TagStrategy::Eager => true,
+            TagStrategy::EagerOperandsOnly => !is_local,
+            TagStrategy::EagerLocalsOnly => is_local,
+            _ => false,
+        };
+        if emit {
+            self.emit_tag(slot);
+        }
+    }
+
+    /// Emits a store of `slot`'s current value into its home memory slot if
+    /// it is not already there, leaving its location unchanged.
+    fn materialize_to_memory(&mut self, slot: usize) {
+        let s = *self.state.slot(slot);
+        if s.in_memory {
+            return;
+        }
+        match s.loc {
+            Loc::Const(c) => {
+                self.asm.emit(MachInst::StoreSlotImm {
+                    slot: slot as u32,
+                    imm: c as i64,
+                });
+            }
+            Loc::Reg(r) => {
+                self.asm.emit(MachInst::StoreSlot {
+                    slot: slot as u32,
+                    src: r,
+                });
+            }
+            Loc::Memory => {}
+        }
+        self.state.mark_in_memory(slot);
+    }
+
+    fn flush_values(&mut self) {
+        for slot in 0..self.state.len() {
+            self.materialize_to_memory(slot);
+        }
+    }
+
+    /// Flush at a control-flow boundary: values go to memory and the state
+    /// becomes the canonical memory state. Tags are not needed here (no GC
+    /// can observe a branch), so their stored-ness is preserved.
+    fn flush_for_control(&mut self) {
+        self.flush_values();
+        self.state.reset_to_memory(true);
+    }
+
+    /// Flush at an observable point (call, probe): values go to memory and,
+    /// depending on the tagging strategy, tags are written. Returns the
+    /// reference slots for a stackmap when that strategy is in use.
+    fn flush_for_observation(&mut self) -> Option<Vec<u32>> {
+        self.flush_values();
+        match self.options.tagging {
+            TagStrategy::None => None,
+            TagStrategy::Stackmaps => {
+                let refs = self
+                    .state
+                    .iter()
+                    .filter(|(_, s)| s.ty.is_reference())
+                    .map(|(i, _)| i as u32)
+                    .collect();
+                Some(refs)
+            }
+            TagStrategy::Lazy => {
+                for slot in self.num_locals..self.state.len() {
+                    if !self.state.slot(slot).tag_in_memory {
+                        self.emit_tag(slot);
+                    }
+                }
+                None
+            }
+            _ => {
+                for slot in 0..self.state.len() {
+                    if !self.state.slot(slot).tag_in_memory {
+                        self.emit_tag(slot);
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    fn spill_reg(&mut self, reg: AnyReg) {
+        let slots = self.state.slots_in_reg(reg).to_vec();
+        for slot in slots {
+            if !self.state.slot(slot as usize).in_memory {
+                self.asm.emit(MachInst::StoreSlot { slot, src: reg });
+                self.state.mark_in_memory(slot as usize);
+                self.stats.spills += 1;
+            }
+        }
+        self.state.clear_reg(reg);
+    }
+
+    fn alloc_reg(&mut self, float: bool, pinned: &[AnyReg]) -> AnyReg {
+        if let Some(r) = self.state.free_reg(float) {
+            return r;
+        }
+        loop {
+            let victim = self.state.evict_candidate(float);
+            if pinned.contains(&victim) {
+                continue;
+            }
+            self.spill_reg(victim);
+            return victim;
+        }
+    }
+
+    /// Ensures the value of `slot` is in a register and returns it.
+    fn ensure_in_reg(&mut self, slot: usize, pinned: &[AnyReg]) -> AnyReg {
+        let s = *self.state.slot(slot);
+        match s.loc {
+            Loc::Reg(r) => r,
+            Loc::Const(c) => {
+                let float = s.ty.is_float();
+                let r = self.alloc_reg(float, pinned);
+                match r {
+                    AnyReg::Gpr(g) => {
+                        self.asm.emit(MachInst::MovImm { dst: g, imm: c as i64 });
+                    }
+                    AnyReg::Fpr(f) => {
+                        self.asm.emit(MachInst::FMovImm { dst: f, bits: c });
+                    }
+                }
+                self.state
+                    .set_slot(slot, Loc::Reg(r), s.in_memory, s.tag_in_memory);
+                r
+            }
+            Loc::Memory => {
+                let float = s.ty.is_float();
+                let r = self.alloc_reg(float, pinned);
+                self.asm.emit(MachInst::LoadSlot {
+                    dst: r,
+                    slot: slot as u32,
+                });
+                self.state.set_slot(slot, Loc::Reg(r), true, s.tag_in_memory);
+                r
+            }
+        }
+    }
+
+    fn push_result(&mut self, ty: ValueType, loc: Loc) {
+        let slot = self.state.push(ty, loc);
+        self.eager_tag_on_write(slot);
+    }
+
+    // ---- Control flow -------------------------------------------------------
+
+    fn block_signature(
+        &self,
+        offset: usize,
+        bt: BlockType,
+    ) -> Result<(Vec<ValueType>, Vec<ValueType>), CompileError> {
+        let (params, results) = bt
+            .resolve(&self.module.types)
+            .ok_or_else(|| self.error(offset, "bad block type"))?;
+        if !self.options.multi_value && (results.len() > 1 || !params.is_empty()) {
+            return Err(self.error(
+                offset,
+                "multi-value block types are not supported by this configuration",
+            ));
+        }
+        Ok((params, results))
+    }
+
+    fn branch_target(&self, depth: u32) -> Option<(Label, usize, usize)> {
+        let len = self.ctrl.len();
+        if depth as usize >= len {
+            return None;
+        }
+        let frame = &self.ctrl[len - 1 - depth as usize];
+        if frame.kind == CtrlKind::Loop {
+            Some((
+                frame.start_label.expect("loop has a start label"),
+                frame.label_base,
+                frame.params.len(),
+            ))
+        } else {
+            Some((frame.end_label, frame.label_base, frame.results.len()))
+        }
+    }
+
+    fn dirty_locals(&self) -> Vec<usize> {
+        (0..self.num_locals)
+            .filter(|&i| !self.state.slot(i).in_memory)
+            .collect()
+    }
+
+    /// True if jumping directly to a label with the current state would be
+    /// wrong (values not in their expected home slots).
+    fn needs_branch_adaptation(&self, label_base: usize, arity: usize) -> bool {
+        if !self.dirty_locals().is_empty() {
+            return true;
+        }
+        let height = self.state.height();
+        for i in 0..arity {
+            let src = self.num_locals + height - arity + i;
+            let dst = self.num_locals + label_base + i;
+            let slot = self.state.slot(src);
+            if src != dst || !slot.in_memory {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Emits the stores needed so that the state at the branch target (the
+    /// canonical memory state with `arity` values at `label_base`) holds.
+    /// Does not modify the abstract state, so it is safe to emit on a
+    /// conditional side path.
+    fn emit_branch_adaptation(&mut self, label_base: usize, arity: usize) {
+        for local in self.dirty_locals() {
+            let s = *self.state.slot(local);
+            match s.loc {
+                Loc::Const(c) => {
+                    self.asm.emit(MachInst::StoreSlotImm {
+                        slot: local as u32,
+                        imm: c as i64,
+                    });
+                }
+                Loc::Reg(r) => {
+                    self.asm.emit(MachInst::StoreSlot {
+                        slot: local as u32,
+                        src: r,
+                    });
+                }
+                Loc::Memory => {}
+            }
+        }
+        let height = self.state.height();
+        for i in 0..arity {
+            let src = self.num_locals + height - arity + i;
+            let dst = (self.num_locals + label_base + i) as u32;
+            let s = *self.state.slot(src);
+            match s.loc {
+                Loc::Const(c) => {
+                    self.asm.emit(MachInst::StoreSlotImm { slot: dst, imm: c as i64 });
+                }
+                Loc::Reg(r) => {
+                    self.asm.emit(MachInst::StoreSlot { slot: dst, src: r });
+                }
+                Loc::Memory => {
+                    if src as u32 != dst {
+                        self.asm.emit(MachInst::LoadSlot {
+                            dst: AnyReg::Gpr(SCRATCH_GPR),
+                            slot: src as u32,
+                        });
+                        self.asm.emit(MachInst::StoreSlot {
+                            slot: dst,
+                            src: AnyReg::Gpr(SCRATCH_GPR),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    fn mark_unreachable(&mut self) {
+        let label_base = self.ctrl.last().map(|f| f.label_base).unwrap_or(0);
+        self.state.truncate_operands(label_base);
+        if let Some(frame) = self.ctrl.last_mut() {
+            frame.unreachable = true;
+        }
+    }
+
+    fn emit_return(&mut self) {
+        let arity = self.num_results as usize;
+        let height = self.state.height();
+        for i in 0..arity {
+            let src = self.num_locals + height - arity + i;
+            let dst = i as u32;
+            let s = *self.state.slot(src);
+            match s.loc {
+                Loc::Const(c) => {
+                    self.asm.emit(MachInst::StoreSlotImm { slot: dst, imm: c as i64 });
+                }
+                Loc::Reg(r) => {
+                    self.asm.emit(MachInst::StoreSlot { slot: dst, src: r });
+                }
+                Loc::Memory => {
+                    self.asm.emit(MachInst::LoadSlot {
+                        dst: AnyReg::Gpr(SCRATCH_GPR),
+                        slot: src as u32,
+                    });
+                    self.asm.emit(MachInst::StoreSlot {
+                        slot: dst,
+                        src: AnyReg::Gpr(SCRATCH_GPR),
+                    });
+                }
+            }
+            if self.options.tagging.uses_tags() {
+                let tag = self.tag_of(self.results[i]);
+                self.asm.emit(MachInst::StoreTag { slot: dst, tag });
+                self.stats.tag_stores += 1;
+            }
+        }
+        self.asm.emit(MachInst::Return);
+    }
+
+    fn emit_probe(&mut self, site: crate::instrument::ProbeSite, offset: u32) {
+        let meta = JitProbeSite {
+            offset,
+            operand_height: self.state.height() as u32,
+        };
+        let inst_index = match (self.options.probe_mode, site.kind) {
+            (ProbeMode::Optimized, ProbeKind::Counter { counter_id }) => {
+                self.asm.emit(MachInst::ProbeCounter { counter_id })
+            }
+            (ProbeMode::Optimized, ProbeKind::TopOfStack) => {
+                let src = if self.state.height() > 0 {
+                    let top = self.state.operand_index(0);
+                    self.ensure_in_reg(top, &[])
+                } else {
+                    AnyReg::Gpr(SCRATCH_GPR)
+                };
+                self.asm.emit(MachInst::ProbeTosValue {
+                    probe_id: site.probe_id,
+                    src,
+                })
+            }
+            (ProbeMode::Optimized, ProbeKind::Generic) => {
+                self.flush_for_observation();
+                self.asm.emit(MachInst::ProbeDirect {
+                    probe_id: site.probe_id,
+                })
+            }
+            (ProbeMode::Runtime, _) => {
+                self.flush_for_observation();
+                self.asm.emit(MachInst::ProbeRuntime {
+                    probe_id: site.probe_id,
+                })
+            }
+        };
+        self.probe_sites.insert(inst_index, meta);
+    }
+
+    // ---- Instruction compilation --------------------------------------------
+
+    fn compile_instruction(
+        &mut self,
+        op: Opcode,
+        offset: usize,
+        reader: &mut BytecodeReader<'_>,
+    ) -> Result<(), CompileError> {
+        // In unreachable code only track control nesting.
+        if self.unreachable_now()
+            && !matches!(op, Opcode::Block | Opcode::Loop | Opcode::If | Opcode::Else | Opcode::End)
+        {
+            reader
+                .skip_immediates(op)
+                .map_err(|e| self.error(offset, e.to_string()))?;
+            return Ok(());
+        }
+
+        match op {
+            Opcode::Nop => {}
+            Opcode::Unreachable => {
+                self.asm.emit(MachInst::Trap {
+                    code: TrapCode::Unreachable,
+                });
+                self.mark_unreachable();
+            }
+            Opcode::Block | Opcode::Loop | Opcode::If => {
+                let bt = reader
+                    .read_block_type()
+                    .map_err(|e| self.error(offset, e.to_string()))?;
+                let (params, results) = self.block_signature(offset, bt)?;
+                let dead = self.unreachable_now();
+
+                let mut cond_reg = None;
+                if op == Opcode::If && !dead {
+                    let cond = self.state.operand_index(0);
+                    cond_reg = Some(self.ensure_in_reg(cond, &[]));
+                    self.state.pop();
+                }
+                if !dead {
+                    self.flush_for_control();
+                }
+                let label_base = if dead {
+                    self.ctrl.last().map(|f| f.label_base).unwrap_or(0)
+                } else {
+                    self.state.height() - params.len()
+                };
+                let end_label = self.asm.new_label();
+                let (start_label, else_label) = match op {
+                    Opcode::Loop => (Some(self.asm.new_bound_label()), None),
+                    Opcode::If => {
+                        let else_label = self.asm.new_label();
+                        if let Some(rc) = cond_reg {
+                            self.asm.emit(MachInst::BrIf {
+                                cond: rc.as_gpr().expect("condition is an integer"),
+                                target: else_label,
+                                negate: true,
+                            });
+                        }
+                        (None, Some(else_label))
+                    }
+                    _ => (None, None),
+                };
+                self.ctrl.push(CtrlFrame {
+                    kind: match op {
+                        Opcode::Block => CtrlKind::Block,
+                        Opcode::Loop => CtrlKind::Loop,
+                        _ => CtrlKind::If,
+                    },
+                    end_label,
+                    else_label,
+                    start_label,
+                    label_base,
+                    params,
+                    results,
+                    unreachable: dead,
+                });
+            }
+            Opcode::Else => {
+                let was_reachable = !self.unreachable_now();
+                if was_reachable {
+                    self.flush_for_control();
+                }
+                let frame = self.ctrl.last_mut().expect("else inside an if");
+                if was_reachable {
+                    let end = frame.end_label;
+                    self.asm.emit(MachInst::Jump { target: end });
+                }
+                let frame = self.ctrl.last_mut().expect("else inside an if");
+                if let Some(else_label) = frame.else_label.take() {
+                    self.asm.bind(else_label);
+                }
+                frame.kind = CtrlKind::Else;
+                // The else branch starts from the state captured at the `if`:
+                // canonical memory with the params on the operand stack.
+                let (label_base, params, parent_dead) = {
+                    let len = self.ctrl.len();
+                    let frame = &self.ctrl[len - 1];
+                    let parent_dead = len >= 2 && self.ctrl[len - 2].unreachable;
+                    (frame.label_base, frame.params.clone(), parent_dead)
+                };
+                if !parent_dead {
+                    self.state.truncate_operands(label_base);
+                    for ty in params {
+                        self.state.push(ty, Loc::Memory);
+                    }
+                    self.ctrl.last_mut().expect("else").unreachable = false;
+                } else {
+                    self.ctrl.last_mut().expect("else").unreachable = true;
+                }
+            }
+            Opcode::End => {
+                let was_reachable = !self.unreachable_now();
+                if was_reachable {
+                    self.flush_for_control();
+                }
+                let frame = self.ctrl.pop().expect("end matches a construct");
+                if let Some(else_label) = frame.else_label {
+                    self.asm.bind(else_label);
+                }
+                self.asm.bind(frame.end_label);
+                let parent_dead = self.ctrl.last().map(|f| f.unreachable).unwrap_or(false);
+                if !parent_dead {
+                    self.state.truncate_operands(frame.label_base);
+                    for &ty in &frame.results {
+                        self.state.push(ty, Loc::Memory);
+                    }
+                }
+                if self.ctrl.is_empty() {
+                    // Function epilogue.
+                    if was_reachable || !parent_dead {
+                        self.emit_return();
+                    }
+                }
+            }
+            Opcode::Br => {
+                let depth = reader
+                    .read_index()
+                    .map_err(|e| self.error(offset, e.to_string()))?;
+                let (label, base, arity) = self
+                    .branch_target(depth)
+                    .ok_or_else(|| self.error(offset, "bad branch depth"))?;
+                self.emit_branch_adaptation(base, arity);
+                self.asm.emit(MachInst::Jump { target: label });
+                self.mark_unreachable();
+            }
+            Opcode::BrIf => {
+                let depth = reader
+                    .read_index()
+                    .map_err(|e| self.error(offset, e.to_string()))?;
+                let cond = self.state.operand_index(0);
+                let cond_state = *self.state.slot(cond);
+                if self.options.constant_folding {
+                    if let Some(c) = cond_state.constant() {
+                        self.state.pop();
+                        self.stats.branches_folded += 1;
+                        if c != 0 {
+                            let (label, base, arity) = self
+                                .branch_target(depth)
+                                .ok_or_else(|| self.error(offset, "bad branch depth"))?;
+                            self.emit_branch_adaptation(base, arity);
+                            self.asm.emit(MachInst::Jump { target: label });
+                            self.mark_unreachable();
+                        }
+                        return Ok(());
+                    }
+                }
+                let rc = self.ensure_in_reg(cond, &[]);
+                self.state.pop();
+                let (label, base, arity) = self
+                    .branch_target(depth)
+                    .ok_or_else(|| self.error(offset, "bad branch depth"))?;
+                let rc = rc.as_gpr().expect("condition is an integer");
+                if self.needs_branch_adaptation(base, arity) {
+                    let skip = self.asm.new_label();
+                    self.asm.emit(MachInst::BrIf {
+                        cond: rc,
+                        target: skip,
+                        negate: true,
+                    });
+                    self.emit_branch_adaptation(base, arity);
+                    self.asm.emit(MachInst::Jump { target: label });
+                    self.asm.bind(skip);
+                } else {
+                    self.asm.emit(MachInst::BrIf {
+                        cond: rc,
+                        target: label,
+                        negate: false,
+                    });
+                }
+            }
+            Opcode::BrTable => {
+                let (targets, default) = reader
+                    .read_branch_table()
+                    .map_err(|e| self.error(offset, e.to_string()))?;
+                let index = self.state.operand_index(0);
+                let ri = self.ensure_in_reg(index, &[]);
+                self.state.pop();
+                // Everything must be in memory on every outgoing edge.
+                self.flush_values();
+                let mut stubs = Vec::with_capacity(targets.len());
+                let mut resolved = Vec::with_capacity(targets.len() + 1);
+                for &depth in targets.iter().chain(std::iter::once(&default)) {
+                    let target = self
+                        .branch_target(depth)
+                        .ok_or_else(|| self.error(offset, "bad branch depth"))?;
+                    let stub = self.asm.new_label();
+                    resolved.push((stub, target));
+                    if resolved.len() <= targets.len() {
+                        stubs.push(stub);
+                    }
+                }
+                let default_stub = resolved.last().expect("at least the default").0;
+                self.asm.emit(MachInst::BrTable {
+                    index: ri.as_gpr().expect("index is an integer"),
+                    targets: stubs,
+                    default: default_stub,
+                });
+                for (stub, (label, base, arity)) in resolved {
+                    self.asm.bind(stub);
+                    self.emit_branch_adaptation(base, arity);
+                    self.asm.emit(MachInst::Jump { target: label });
+                }
+                self.mark_unreachable();
+            }
+            Opcode::Return => {
+                self.emit_return();
+                self.mark_unreachable();
+            }
+            Opcode::Call => {
+                let callee = reader
+                    .read_index()
+                    .map_err(|e| self.error(offset, e.to_string()))?;
+                let sig = self
+                    .module
+                    .func_type(callee)
+                    .cloned()
+                    .ok_or_else(|| self.error(offset, format!("unknown callee {callee}")))?;
+                if !self.options.multi_value && sig.results.len() > 1 {
+                    return Err(self.error(offset, "multi-value call not supported"));
+                }
+                if !self.options.debug_metadata {
+                    // Calls always need a source-map anchor for stack traces.
+                    self.asm.mark_source(offset as u32);
+                }
+                let refs = self.flush_for_observation();
+                let callee_slot_base =
+                    (self.num_locals + self.state.height() - sig.params.len()) as u32;
+                let inst_index = self.asm.emit(MachInst::Call { func_index: callee });
+                self.call_sites
+                    .insert(inst_index, CallSiteInfo { callee_slot_base });
+                if let Some(ref_slots) = refs {
+                    self.stackmaps.push(Stackmap {
+                        inst_index,
+                        ref_slots,
+                    });
+                }
+                for _ in 0..sig.params.len() {
+                    self.state.pop();
+                }
+                for &ty in &sig.results {
+                    let slot = self.state.push(ty, Loc::Memory);
+                    self.state.set_tag_in_memory(slot, true);
+                }
+            }
+            Opcode::CallIndirect => {
+                let (type_index, table_index) = reader
+                    .read_call_indirect()
+                    .map_err(|e| self.error(offset, e.to_string()))?;
+                let sig = self
+                    .module
+                    .types
+                    .get(type_index as usize)
+                    .cloned()
+                    .ok_or_else(|| self.error(offset, format!("unknown type {type_index}")))?;
+                if !self.options.multi_value && sig.results.len() > 1 {
+                    return Err(self.error(offset, "multi-value call not supported"));
+                }
+                if !self.options.debug_metadata {
+                    self.asm.mark_source(offset as u32);
+                }
+                let index = self.state.operand_index(0);
+                let ri = self.ensure_in_reg(index, &[]);
+                self.state.pop();
+                let refs = self.flush_for_observation();
+                let callee_slot_base =
+                    (self.num_locals + self.state.height() - sig.params.len()) as u32;
+                let inst_index = self.asm.emit(MachInst::CallIndirect {
+                    type_index,
+                    table_index,
+                    index: ri.as_gpr().expect("table index is an integer"),
+                });
+                self.call_sites
+                    .insert(inst_index, CallSiteInfo { callee_slot_base });
+                if let Some(ref_slots) = refs {
+                    self.stackmaps.push(Stackmap {
+                        inst_index,
+                        ref_slots,
+                    });
+                }
+                for _ in 0..sig.params.len() {
+                    self.state.pop();
+                }
+                for &ty in &sig.results {
+                    let slot = self.state.push(ty, Loc::Memory);
+                    self.state.set_tag_in_memory(slot, true);
+                }
+            }
+            Opcode::Drop => {
+                self.state.pop();
+            }
+            Opcode::Select | Opcode::SelectT => {
+                if op == Opcode::SelectT {
+                    reader
+                        .read_select_types()
+                        .map_err(|e| self.error(offset, e.to_string()))?;
+                }
+                self.compile_select();
+            }
+            Opcode::LocalGet => {
+                let index = reader
+                    .read_index()
+                    .map_err(|e| self.error(offset, e.to_string()))? as usize;
+                self.compile_local_get(index);
+            }
+            Opcode::LocalSet | Opcode::LocalTee => {
+                let index = reader
+                    .read_index()
+                    .map_err(|e| self.error(offset, e.to_string()))? as usize;
+                self.compile_local_set(index, op == Opcode::LocalTee);
+            }
+            Opcode::GlobalGet => {
+                let index = reader
+                    .read_index()
+                    .map_err(|e| self.error(offset, e.to_string()))?;
+                let ty = self
+                    .module
+                    .global_type(index)
+                    .ok_or_else(|| self.error(offset, format!("unknown global {index}")))?
+                    .value_type;
+                let dst = self.alloc_reg(ty.is_float(), &[]);
+                self.asm.emit(MachInst::GlobalGet { dst, index });
+                self.push_result(ty, Loc::Reg(dst));
+            }
+            Opcode::GlobalSet => {
+                let index = reader
+                    .read_index()
+                    .map_err(|e| self.error(offset, e.to_string()))?;
+                let top = self.state.operand_index(0);
+                let src = self.ensure_in_reg(top, &[]);
+                self.state.pop();
+                self.asm.emit(MachInst::GlobalSet { index, src });
+            }
+            Opcode::I32Const => {
+                let v = reader
+                    .read_i32()
+                    .map_err(|e| self.error(offset, e.to_string()))?;
+                self.compile_const(ValueType::I32, v as u32 as u64);
+            }
+            Opcode::I64Const => {
+                let v = reader
+                    .read_i64()
+                    .map_err(|e| self.error(offset, e.to_string()))?;
+                self.compile_const(ValueType::I64, v as u64);
+            }
+            Opcode::F32Const => {
+                let v = reader
+                    .read_f32()
+                    .map_err(|e| self.error(offset, e.to_string()))?;
+                self.compile_const(ValueType::F32, v.to_bits() as u64);
+            }
+            Opcode::F64Const => {
+                let v = reader
+                    .read_f64()
+                    .map_err(|e| self.error(offset, e.to_string()))?;
+                self.compile_const(ValueType::F64, v.to_bits());
+            }
+            Opcode::RefNull => {
+                let ty = reader
+                    .read_ref_type()
+                    .map_err(|e| self.error(offset, e.to_string()))?;
+                self.compile_const(ty, NULL_REF_BITS);
+            }
+            Opcode::RefFunc => {
+                let index = reader
+                    .read_index()
+                    .map_err(|e| self.error(offset, e.to_string()))?;
+                self.compile_const(ValueType::FuncRef, index as u64);
+            }
+            Opcode::RefIsNull => {
+                let top = self.state.operand_index(0);
+                let r = self.ensure_in_reg(top, &[]);
+                self.state.pop();
+                let dst = self.alloc_reg(false, &[r]);
+                self.asm.emit(MachInst::CmpImm {
+                    op: machine::inst::CmpOp::Eq,
+                    width: Width::W64,
+                    dst: dst.as_gpr().expect("gpr"),
+                    a: r.as_gpr().expect("references live in GPRs"),
+                    imm: -1,
+                });
+                self.push_result(ValueType::I32, Loc::Reg(dst));
+            }
+            Opcode::MemorySize => {
+                reader
+                    .read_memory_index()
+                    .map_err(|e| self.error(offset, e.to_string()))?;
+                let dst = self.alloc_reg(false, &[]);
+                self.asm.emit(MachInst::MemorySize {
+                    dst: dst.as_gpr().expect("gpr"),
+                });
+                self.push_result(ValueType::I32, Loc::Reg(dst));
+            }
+            Opcode::MemoryGrow => {
+                reader
+                    .read_memory_index()
+                    .map_err(|e| self.error(offset, e.to_string()))?;
+                let top = self.state.operand_index(0);
+                let delta = self.ensure_in_reg(top, &[]);
+                self.state.pop();
+                let dst = self.alloc_reg(false, &[delta]);
+                self.asm.emit(MachInst::MemoryGrow {
+                    dst: dst.as_gpr().expect("gpr"),
+                    delta: delta.as_gpr().expect("gpr"),
+                });
+                self.push_result(ValueType::I32, Loc::Reg(dst));
+            }
+            _ if op.is_memory_access() => {
+                let memarg = reader
+                    .read_memarg()
+                    .map_err(|e| self.error(offset, e.to_string()))?;
+                self.compile_memory_access(op, memarg.offset);
+            }
+            _ => {
+                let class = classify(op)
+                    .ok_or_else(|| self.error(offset, format!("unhandled opcode {op}")))?;
+                self.compile_classified(op, class);
+            }
+        }
+        Ok(())
+    }
+
+    fn compile_const(&mut self, ty: ValueType, bits: u64) {
+        if self.options.track_constants {
+            self.push_result(ty, Loc::Const(bits));
+        } else {
+            let dst = self.alloc_reg(ty.is_float(), &[]);
+            match dst {
+                AnyReg::Gpr(g) => {
+                    self.asm.emit(MachInst::MovImm { dst: g, imm: bits as i64 });
+                }
+                AnyReg::Fpr(f) => {
+                    self.asm.emit(MachInst::FMovImm { dst: f, bits });
+                }
+            }
+            self.push_result(ty, Loc::Reg(dst));
+        }
+    }
+
+    fn compile_local_get(&mut self, index: usize) {
+        let s = *self.state.slot(index);
+        match s.loc {
+            Loc::Const(c) if self.options.track_constants => {
+                self.push_result(s.ty, Loc::Const(c));
+            }
+            Loc::Reg(r) if self.state.can_share(r) => {
+                self.push_result(s.ty, Loc::Reg(r));
+            }
+            Loc::Reg(r) => {
+                let dst = self.alloc_reg(s.ty.is_float(), &[r]);
+                match (dst, r) {
+                    (AnyReg::Gpr(d), AnyReg::Gpr(src)) => {
+                        self.asm.emit(MachInst::Mov { dst: d, src });
+                    }
+                    (AnyReg::Fpr(d), AnyReg::Fpr(src)) => {
+                        self.asm.emit(MachInst::FMov { dst: d, src });
+                    }
+                    _ => unreachable!("register banks match the type"),
+                }
+                self.push_result(s.ty, Loc::Reg(dst));
+            }
+            Loc::Const(_) | Loc::Memory => {
+                let dst = self.alloc_reg(s.ty.is_float(), &[]);
+                self.asm.emit(MachInst::LoadSlot {
+                    dst,
+                    slot: index as u32,
+                });
+                if self.options.multi_register {
+                    // The register now caches the local as well.
+                    self.state.share(dst, index);
+                }
+                self.push_result(s.ty, Loc::Reg(dst));
+            }
+        }
+    }
+
+    fn compile_local_set(&mut self, index: usize, is_tee: bool) {
+        let top = self.state.operand_index(0);
+        let s = *self.state.slot(top);
+        match s.loc {
+            Loc::Const(c) if self.options.track_constants => {
+                self.state.set_slot(index, Loc::Const(c), false, false);
+            }
+            Loc::Reg(r) => {
+                if is_tee && !self.options.multi_register {
+                    let dst = self.alloc_reg(s.ty.is_float(), &[r]);
+                    match (dst, r) {
+                        (AnyReg::Gpr(d), AnyReg::Gpr(src)) => {
+                            self.asm.emit(MachInst::Mov { dst: d, src });
+                        }
+                        (AnyReg::Fpr(d), AnyReg::Fpr(src)) => {
+                            self.asm.emit(MachInst::FMov { dst: d, src });
+                        }
+                        _ => unreachable!("register banks match the type"),
+                    }
+                    self.state.set_slot(index, Loc::Reg(dst), false, false);
+                } else {
+                    self.state.set_slot(index, Loc::Reg(r), false, false);
+                }
+            }
+            Loc::Const(_) | Loc::Memory => {
+                let r = self.ensure_in_reg(top, &[]);
+                self.state.set_slot(index, Loc::Reg(r), false, false);
+            }
+        }
+        if !is_tee {
+            self.state.pop();
+        }
+        self.eager_tag_on_write(index);
+    }
+
+    fn compile_select(&mut self) {
+        let cond = self.state.operand_index(0);
+        let b = self.state.operand_index(1);
+        let a = self.state.operand_index(2);
+        let ty = self.state.slot(a).ty;
+        let rc = self.ensure_in_reg(cond, &[]);
+        let rb = self.ensure_in_reg(b, &[rc]);
+        let ra = self.ensure_in_reg(a, &[rc, rb]);
+        self.state.pop();
+        self.state.pop();
+        self.state.pop();
+        let dst = self.alloc_reg(ty.is_float(), &[ra, rb, rc]);
+        let cond_gpr = rc.as_gpr().expect("condition is an integer");
+        match (dst, ra, rb) {
+            (AnyReg::Gpr(d), AnyReg::Gpr(a), AnyReg::Gpr(b)) => {
+                self.asm.emit(MachInst::Select {
+                    dst: d,
+                    cond: cond_gpr,
+                    if_true: a,
+                    if_false: b,
+                });
+            }
+            (AnyReg::Fpr(d), AnyReg::Fpr(a), AnyReg::Fpr(b)) => {
+                self.asm.emit(MachInst::FSelect {
+                    dst: d,
+                    cond: cond_gpr,
+                    if_true: a,
+                    if_false: b,
+                });
+            }
+            _ => unreachable!("select operands share one register bank"),
+        }
+        self.push_result(ty, Loc::Reg(dst));
+    }
+
+    fn compile_memory_access(&mut self, op: Opcode, mem_offset: u32) {
+        let width = op.access_width().expect("memory access has a width");
+        match op.signature() {
+            OpSignature::Load(result) => {
+                let addr = self.state.operand_index(0);
+                let ra = self.ensure_in_reg(addr, &[]);
+                self.state.pop();
+                let dst = self.alloc_reg(result.is_float(), &[ra]);
+                let signed = matches!(
+                    op,
+                    Opcode::I32Load8S
+                        | Opcode::I32Load16S
+                        | Opcode::I64Load8S
+                        | Opcode::I64Load16S
+                        | Opcode::I64Load32S
+                );
+                let dst_width = if result == ValueType::I32 || result == ValueType::F32 {
+                    Width::W32
+                } else {
+                    Width::W64
+                };
+                self.asm.emit(MachInst::MemLoad {
+                    dst,
+                    addr: ra.as_gpr().expect("address is an integer"),
+                    offset: mem_offset,
+                    width,
+                    signed,
+                    dst_width,
+                });
+                self.push_result(result, Loc::Reg(dst));
+            }
+            OpSignature::Store(_) => {
+                let value = self.state.operand_index(0);
+                let addr = self.state.operand_index(1);
+                let rv = self.ensure_in_reg(value, &[]);
+                let ra = self.ensure_in_reg(addr, &[rv]);
+                self.state.pop();
+                self.state.pop();
+                self.asm.emit(MachInst::MemStore {
+                    src: rv,
+                    addr: ra.as_gpr().expect("address is an integer"),
+                    offset: mem_offset,
+                    width,
+                });
+            }
+            _ => unreachable!("memory access opcodes have load/store signatures"),
+        }
+    }
+
+    fn compile_classified(&mut self, _op: Opcode, class: OpClass) {
+        let arity = class.arity();
+        let result_ty = class.result_type();
+
+        // Constant folding: evaluate side-effect-free operations at compile
+        // time when every operand is a known constant.
+        if self.options.constant_folding && self.options.track_constants {
+            let all_const = (0..arity)
+                .all(|d| self.state.slot(self.state.operand_index(d)).constant().is_some());
+            if all_const {
+                let mut operands = [0u64; 2];
+                for d in 0..arity {
+                    // operand_index(0) is the top (last operand).
+                    operands[arity - 1 - d] =
+                        self.state.slot(self.state.operand_index(d)).constant().unwrap();
+                }
+                if let Ok(bits) = class.evaluate(&operands[..arity]) {
+                    for _ in 0..arity {
+                        self.state.pop();
+                    }
+                    self.stats.constants_folded += 1;
+                    self.push_result(result_ty, Loc::Const(bits));
+                    return;
+                }
+                // Evaluation would trap at runtime: fall through and emit the
+                // real instruction so the trap happens during execution.
+            }
+        }
+
+        // Immediate-mode instruction selection for integer ops whose right
+        // operand is a known constant.
+        if self.options.instruction_selection && arity == 2 {
+            if let OpClass::Alu(_, width) | OpClass::Cmp(_, width) = class {
+                let rhs = self.state.operand_index(0);
+                let lhs = self.state.operand_index(1);
+                if let Some(c) = self.state.slot(rhs).constant() {
+                    let imm = c as i64;
+                    let fits = match width {
+                        Width::W32 => true,
+                        Width::W64 => imm >= i32::MIN as i64 && imm <= i32::MAX as i64,
+                    };
+                    if fits && self.state.slot(lhs).constant().is_none() {
+                        let ra = self.ensure_in_reg(lhs, &[]);
+                        self.state.pop();
+                        self.state.pop();
+                        let dst = self.alloc_reg(false, &[ra]);
+                        let a = ra.as_gpr().expect("integer operand");
+                        let d = dst.as_gpr().expect("integer result");
+                        match class {
+                            OpClass::Alu(alu_op, w) => {
+                                self.asm.emit(MachInst::AluImm {
+                                    op: alu_op,
+                                    width: w,
+                                    dst: d,
+                                    a,
+                                    imm,
+                                });
+                            }
+                            OpClass::Cmp(cmp_op, w) => {
+                                self.asm.emit(MachInst::CmpImm {
+                                    op: cmp_op,
+                                    width: w,
+                                    dst: d,
+                                    a,
+                                    imm,
+                                });
+                            }
+                            _ => unreachable!("matched above"),
+                        }
+                        self.stats.immediate_selections += 1;
+                        self.push_result(result_ty, Loc::Reg(dst));
+                        return;
+                    }
+                }
+            }
+        }
+
+        // General path: operands in registers, emit a three-address op.
+        let mut operand_regs = [AnyReg::Gpr(SCRATCH_GPR); 2];
+        for d in (0..arity).rev() {
+            // Ensure deeper operands first so pinning covers already-ensured ones.
+            let idx = self.state.operand_index(d);
+            let pinned: Vec<AnyReg> = operand_regs[..(arity - 1 - d)].to_vec();
+            operand_regs[arity - 1 - d] = self.ensure_in_reg(idx, &pinned);
+        }
+        // operand_regs[0] = first (deepest) operand, [1] = second.
+        for _ in 0..arity {
+            self.state.pop();
+        }
+        let dst = self.alloc_reg(result_ty.is_float(), &operand_regs[..arity]);
+        match class {
+            OpClass::Alu(op, width) => {
+                self.asm.emit(MachInst::Alu {
+                    op,
+                    width,
+                    dst: dst.as_gpr().expect("gpr"),
+                    a: operand_regs[0].as_gpr().expect("gpr"),
+                    b: operand_regs[1].as_gpr().expect("gpr"),
+                });
+            }
+            OpClass::Cmp(op, width) => {
+                self.asm.emit(MachInst::Cmp {
+                    op,
+                    width,
+                    dst: dst.as_gpr().expect("gpr"),
+                    a: operand_regs[0].as_gpr().expect("gpr"),
+                    b: operand_regs[1].as_gpr().expect("gpr"),
+                });
+            }
+            OpClass::Unop(op, width) => {
+                self.asm.emit(MachInst::Unop {
+                    op,
+                    width,
+                    dst: dst.as_gpr().expect("gpr"),
+                    src: operand_regs[0].as_gpr().expect("gpr"),
+                });
+            }
+            OpClass::FAlu(op, width) => {
+                self.asm.emit(MachInst::FAlu {
+                    op,
+                    width,
+                    dst: dst.as_fpr().expect("fpr"),
+                    a: operand_regs[0].as_fpr().expect("fpr"),
+                    b: operand_regs[1].as_fpr().expect("fpr"),
+                });
+            }
+            OpClass::FUnop(op, width) => {
+                self.asm.emit(MachInst::FUnop {
+                    op,
+                    width,
+                    dst: dst.as_fpr().expect("fpr"),
+                    src: operand_regs[0].as_fpr().expect("fpr"),
+                });
+            }
+            OpClass::FCmp(op, width) => {
+                self.asm.emit(MachInst::FCmp {
+                    op,
+                    width,
+                    dst: dst.as_gpr().expect("gpr"),
+                    a: operand_regs[0].as_fpr().expect("fpr"),
+                    b: operand_regs[1].as_fpr().expect("fpr"),
+                });
+            }
+            OpClass::Convert(op) => {
+                self.asm.emit(MachInst::Convert {
+                    op,
+                    dst,
+                    src: operand_regs[0],
+                });
+            }
+        }
+        self.push_result(result_ty, Loc::Reg(dst));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wasm::builder::{CodeBuilder, ModuleBuilder};
+    use wasm::types::{FuncType, Limits};
+    use wasm::validate::validate;
+
+    fn compile_with(
+        options: CompilerOptions,
+        params: Vec<ValueType>,
+        results: Vec<ValueType>,
+        locals: Vec<ValueType>,
+        code: CodeBuilder,
+    ) -> CompiledFunction {
+        let mut b = ModuleBuilder::new();
+        b.add_memory(Limits::at_least(1));
+        let f = b.add_func(FuncType::new(params, results), locals, code.finish());
+        b.export_func("f", f);
+        let module = b.finish();
+        let info = validate(&module).expect("valid");
+        SinglePassCompiler::new(options)
+            .compile(&module, f, &info.funcs[0], &ProbeSites::none())
+            .expect("compiles")
+    }
+
+    fn count_insts(cf: &CompiledFunction, pred: impl Fn(&MachInst) -> bool) -> usize {
+        cf.code.insts().iter().filter(|i| pred(i)).count()
+    }
+
+    #[test]
+    fn straight_line_add_compiles_small() {
+        let mut c = CodeBuilder::new();
+        c.local_get(0).local_get(1).op(Opcode::I32Add);
+        let cf = compile_with(
+            CompilerOptions::allopt(),
+            vec![ValueType::I32, ValueType::I32],
+            vec![ValueType::I32],
+            vec![],
+            c,
+        );
+        assert!(cf.code.len() < 12, "compact code:\n{}", cf.code.disassemble());
+        assert_eq!(cf.num_results, 1);
+        assert_eq!(cf.num_locals, 2);
+        assert!(count_insts(&cf, |i| matches!(i, MachInst::Return)) >= 1);
+    }
+
+    #[test]
+    fn constants_fold_under_allopt_but_not_nokfold() {
+        let mut c = CodeBuilder::new();
+        c.i32_const(6).i32_const(7).op(Opcode::I32Mul);
+        let folded = compile_with(
+            CompilerOptions::allopt(),
+            vec![],
+            vec![ValueType::I32],
+            vec![],
+            c.clone(),
+        );
+        assert_eq!(folded.stats.constants_folded, 1);
+        assert_eq!(
+            count_insts(&folded, |i| matches!(i, MachInst::Alu { .. } | MachInst::AluImm { .. })),
+            0,
+            "multiply folded away:\n{}",
+            folded.code.disassemble()
+        );
+        // The folded constant is stored directly by the epilogue.
+        assert!(count_insts(&folded, |i| matches!(i, MachInst::StoreSlotImm { .. })) >= 1);
+
+        let unfolded = compile_with(
+            CompilerOptions::nokfold(),
+            vec![],
+            vec![ValueType::I32],
+            vec![],
+            c,
+        );
+        assert_eq!(unfolded.stats.constants_folded, 0);
+        assert!(unfolded.code.len() > folded.code.len());
+    }
+
+    #[test]
+    fn immediate_selection_uses_imm_forms() {
+        let mut c = CodeBuilder::new();
+        c.local_get(0).i32_const(5).op(Opcode::I32Add);
+        let isel = compile_with(
+            CompilerOptions::allopt(),
+            vec![ValueType::I32],
+            vec![ValueType::I32],
+            vec![],
+            c.clone(),
+        );
+        assert_eq!(isel.stats.immediate_selections, 1);
+        assert_eq!(count_insts(&isel, |i| matches!(i, MachInst::AluImm { .. })), 1);
+
+        let noisel = compile_with(
+            CompilerOptions::noisel(),
+            vec![ValueType::I32],
+            vec![ValueType::I32],
+            vec![],
+            c,
+        );
+        assert_eq!(noisel.stats.immediate_selections, 0);
+        assert!(count_insts(&noisel, |i| matches!(i, MachInst::Alu { .. })) >= 1);
+        assert!(noisel.code.len() > isel.code.len());
+    }
+
+    #[test]
+    fn multi_register_elides_moves() {
+        // local.get 0 twice: with MR the second get shares the register.
+        let mut c = CodeBuilder::new();
+        c.local_get(0).local_get(0).op(Opcode::I32Add);
+        let mr = compile_with(
+            CompilerOptions::allopt(),
+            vec![ValueType::I32],
+            vec![ValueType::I32],
+            vec![],
+            c.clone(),
+        );
+        let nomr = compile_with(
+            CompilerOptions::nomr(),
+            vec![ValueType::I32],
+            vec![ValueType::I32],
+            vec![],
+            c,
+        );
+        let mr_loads = count_insts(&mr, |i| {
+            matches!(i, MachInst::LoadSlot { .. } | MachInst::Mov { .. })
+        });
+        let nomr_loads = count_insts(&nomr, |i| {
+            matches!(i, MachInst::LoadSlot { .. } | MachInst::Mov { .. })
+        });
+        assert!(
+            mr_loads < nomr_loads,
+            "MR should elide a load/move: {mr_loads} vs {nomr_loads}"
+        );
+    }
+
+    #[test]
+    fn tag_strategies_control_tag_stores() {
+        let mut c = CodeBuilder::new();
+        c.local_get(0)
+            .i32_const(1)
+            .op(Opcode::I32Add)
+            .local_set(0)
+            .local_get(0);
+        let make = |strategy, name: &str| {
+            compile_with(
+                CompilerOptions::with_tagging(strategy, name),
+                vec![ValueType::I32],
+                vec![ValueType::I32],
+                vec![],
+                c.clone(),
+            )
+        };
+        let notags = make(TagStrategy::None, "notags");
+        let eager = make(TagStrategy::Eager, "eagertags");
+        let ondemand = make(TagStrategy::OnDemand, "on-demand");
+        let stackmaps = make(TagStrategy::Stackmaps, "maps");
+
+        let tag_count = |cf: &CompiledFunction| {
+            count_insts(cf, |i| matches!(i, MachInst::StoreTag { .. }))
+        };
+        assert_eq!(tag_count(&notags), 0);
+        assert_eq!(tag_count(&stackmaps), 0);
+        assert!(tag_count(&eager) > tag_count(&ondemand));
+        // No calls or probes: on-demand only tags the returned result.
+        assert!(tag_count(&ondemand) <= 1, "{}", ondemand.code.disassemble());
+    }
+
+    #[test]
+    fn stackmaps_recorded_at_call_sites() {
+        let mut b = ModuleBuilder::new();
+        let callee = b.add_func(
+            FuncType::new(vec![], vec![]),
+            vec![],
+            CodeBuilder::new().finish(),
+        );
+        let mut c = CodeBuilder::new();
+        c.local_get(0).call(callee).drop_();
+        let f = b.add_func(
+            FuncType::new(vec![ValueType::ExternRef], vec![]),
+            vec![],
+            c.finish(),
+        );
+        let module = b.finish();
+        let info = validate(&module).unwrap();
+
+        let cf = SinglePassCompiler::new(CompilerOptions {
+            tagging: TagStrategy::Stackmaps,
+            ..CompilerOptions::allopt()
+        })
+        .compile(&module, f, &info.funcs[1], &ProbeSites::none())
+        .unwrap();
+        assert_eq!(cf.stackmaps.len(), 1);
+        let map = cf.stackmaps.iter().next().unwrap();
+        assert!(map.is_ref(0), "the externref param is a root");
+        assert_eq!(cf.call_sites.len(), 1);
+        let site = cf.call_sites.values().next().unwrap();
+        // One local + one operand (the externref pushed for... actually the
+        // call has no args, so the callee base is locals + current height.
+        assert_eq!(site.callee_slot_base, 2);
+    }
+
+    #[test]
+    fn branch_folding_removes_constant_branches() {
+        let mut c = CodeBuilder::new();
+        c.block(BlockType::Empty)
+            .i32_const(0)
+            .br_if(0)
+            .i32_const(1)
+            .drop_()
+            .end();
+        let folded = compile_with(
+            CompilerOptions::allopt(),
+            vec![],
+            vec![],
+            vec![],
+            c.clone(),
+        );
+        assert_eq!(folded.stats.branches_folded, 1);
+        assert_eq!(count_insts(&folded, |i| matches!(i, MachInst::BrIf { .. })), 0);
+
+        let unfolded = compile_with(CompilerOptions::nokfold(), vec![], vec![], vec![], c);
+        assert_eq!(unfolded.stats.branches_folded, 0);
+        assert!(count_insts(&unfolded, |i| matches!(i, MachInst::BrIf { .. })) >= 1);
+    }
+
+    #[test]
+    fn loops_and_branches_compile_with_bound_labels() {
+        let mut c = CodeBuilder::new();
+        c.block(BlockType::Empty)
+            .loop_(BlockType::Empty)
+            .local_get(0)
+            .op(Opcode::I32Eqz)
+            .br_if(1)
+            .local_get(0)
+            .i32_const(1)
+            .op(Opcode::I32Sub)
+            .local_set(0)
+            .br(0)
+            .end()
+            .end()
+            .local_get(0);
+        let cf = compile_with(
+            CompilerOptions::allopt(),
+            vec![ValueType::I32],
+            vec![ValueType::I32],
+            vec![],
+            c,
+        );
+        // Has a backward jump (the loop) and a forward branch (the exit).
+        assert!(count_insts(&cf, |i| matches!(i, MachInst::Jump { .. })) >= 1);
+        assert!(count_insts(&cf, |i| matches!(i, MachInst::BrIf { .. })) >= 1);
+        assert!(cf.code.source_map().len() > 4, "debug metadata records source offsets");
+    }
+
+    #[test]
+    fn multi_value_rejected_without_mv_feature() {
+        let mut b = ModuleBuilder::new();
+        let mut c = CodeBuilder::new();
+        c.i32_const(1).i32_const(2);
+        let f = b.add_func(
+            FuncType::new(vec![], vec![ValueType::I32, ValueType::I32]),
+            vec![],
+            c.finish(),
+        );
+        let module = b.finish();
+        let info = validate(&module).unwrap();
+        let options = CompilerOptions {
+            multi_value: false,
+            ..CompilerOptions::allopt()
+        };
+        let err = SinglePassCompiler::new(options)
+            .compile(&module, f, &info.funcs[0], &ProbeSites::none())
+            .unwrap_err();
+        assert!(err.to_string().contains("multi-value"));
+    }
+
+    #[test]
+    fn probes_compile_to_requested_shapes() {
+        let mut c = CodeBuilder::new();
+        c.local_get(0).drop_().nop();
+        let build = |mode, kind| {
+            let mut b = ModuleBuilder::new();
+            let mut code = CodeBuilder::new();
+            code.local_get(0).drop_().nop();
+            let f = b.add_func(FuncType::new(vec![ValueType::I32], vec![]), vec![], code.finish());
+            let module = b.finish();
+            let info = validate(&module).unwrap();
+            let mut probes = ProbeSites::none();
+            // Attach at offset 2 (the drop instruction).
+            probes.insert(2, crate::instrument::ProbeSite { probe_id: 5, kind });
+            let options = CompilerOptions {
+                probe_mode: mode,
+                ..CompilerOptions::allopt()
+            };
+            SinglePassCompiler::new(options)
+                .compile(&module, f, &info.funcs[0], &probes)
+                .unwrap()
+        };
+        let _ = c;
+        let runtime = build(ProbeMode::Runtime, ProbeKind::TopOfStack);
+        assert_eq!(count_insts(&runtime, |i| matches!(i, MachInst::ProbeRuntime { .. })), 1);
+        let opt = build(ProbeMode::Optimized, ProbeKind::TopOfStack);
+        assert_eq!(count_insts(&opt, |i| matches!(i, MachInst::ProbeTosValue { .. })), 1);
+        let counter = build(ProbeMode::Optimized, ProbeKind::Counter { counter_id: 3 });
+        assert_eq!(count_insts(&counter, |i| matches!(i, MachInst::ProbeCounter { .. })), 1);
+        assert!(opt.code.len() < runtime.code.len(), "optimized probes avoid the flush");
+    }
+
+    #[test]
+    fn call_sites_record_callee_base() {
+        let mut b = ModuleBuilder::new();
+        let callee = b.add_func(
+            FuncType::new(vec![ValueType::I32], vec![ValueType::I32]),
+            vec![],
+            {
+                let mut c = CodeBuilder::new();
+                c.local_get(0);
+                c.finish()
+            },
+        );
+        let mut c = CodeBuilder::new();
+        c.i32_const(9).i32_const(1).call(callee).op(Opcode::I32Add);
+        let f = b.add_func(FuncType::new(vec![], vec![ValueType::I32]), vec![], c.finish());
+        let module = b.finish();
+        let info = validate(&module).unwrap();
+        let cf = SinglePassCompiler::default()
+            .compile(&module, f, &info.funcs[1], &ProbeSites::none())
+            .unwrap();
+        assert_eq!(cf.call_sites.len(), 1);
+        let site = cf.call_sites.values().next().unwrap();
+        // No locals; two operands pushed; the call consumes one arg, so the
+        // callee's frame starts at slot 1.
+        assert_eq!(site.callee_slot_base, 1);
+        assert_eq!(cf.frame_slots, 2);
+    }
+
+    #[test]
+    fn wazero_style_lowering_pass_still_compiles_correctly() {
+        let mut c = CodeBuilder::new();
+        c.local_get(0).i32_const(2).op(Opcode::I32Mul);
+        let options = CompilerOptions {
+            extra_lowering_pass: true,
+            track_constants: false,
+            instruction_selection: false,
+            constant_folding: false,
+            ..CompilerOptions::allopt()
+        };
+        let cf = compile_with(
+            options,
+            vec![ValueType::I32],
+            vec![ValueType::I32],
+            vec![],
+            c,
+        );
+        assert!(count_insts(&cf, |i| matches!(i, MachInst::Alu { .. })) >= 1);
+        assert!(count_insts(&cf, |i| matches!(i, MachInst::MovImm { .. })) >= 1);
+    }
+}

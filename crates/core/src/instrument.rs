@@ -1,0 +1,102 @@
+//! Compile-time description of instrumentation attached to a function.
+//!
+//! When a module is instrumented, the engine gives the compiler the set of
+//! probed bytecode offsets. The compiler statically determines what to emit
+//! at each site: an unoptimized runtime call, a direct call, or a fully
+//! intrinsified sequence (counter increment, top-of-stack pass) — the
+//! paper's Section IV-D optimizations evaluated in Fig. 6.
+
+use std::collections::HashMap;
+
+/// What kind of probe is attached at a site, which determines how far the
+/// compiler can intrinsify it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeKind {
+    /// An arbitrary callback that needs full frame access.
+    Generic,
+    /// A counter increment (e.g. instruction or branch counts).
+    Counter {
+        /// The counter cell to increment.
+        counter_id: u32,
+    },
+    /// A callback that only needs the top-of-stack value (e.g. the branch
+    /// monitor reading the branch condition).
+    TopOfStack,
+}
+
+/// A probe attached to one bytecode offset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProbeSite {
+    /// Identifier the engine uses to route the firing to monitors.
+    pub probe_id: u32,
+    /// What the probe needs, for intrinsification.
+    pub kind: ProbeKind,
+}
+
+/// The probes attached to one function, keyed by bytecode offset.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ProbeSites {
+    sites: HashMap<u32, ProbeSite>,
+}
+
+impl ProbeSites {
+    /// No instrumentation.
+    pub fn none() -> ProbeSites {
+        ProbeSites::default()
+    }
+
+    /// Attaches a probe at a bytecode offset (replacing any existing one).
+    pub fn insert(&mut self, offset: u32, site: ProbeSite) {
+        self.sites.insert(offset, site);
+    }
+
+    /// The probe at `offset`, if any.
+    pub fn get(&self, offset: u32) -> Option<&ProbeSite> {
+        self.sites.get(&offset)
+    }
+
+    /// The number of probed sites.
+    pub fn len(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// True if no probes are attached.
+    pub fn is_empty(&self) -> bool {
+        self.sites.is_empty()
+    }
+
+    /// Iterates over `(offset, site)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&u32, &ProbeSite)> {
+        self.sites.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut sites = ProbeSites::none();
+        assert!(sites.is_empty());
+        sites.insert(
+            10,
+            ProbeSite {
+                probe_id: 1,
+                kind: ProbeKind::TopOfStack,
+            },
+        );
+        sites.insert(
+            20,
+            ProbeSite {
+                probe_id: 2,
+                kind: ProbeKind::Counter { counter_id: 7 },
+            },
+        );
+        assert_eq!(sites.len(), 2);
+        assert_eq!(sites.get(10).unwrap().probe_id, 1);
+        assert_eq!(sites.get(20).unwrap().kind, ProbeKind::Counter { counter_id: 7 });
+        assert!(sites.get(15).is_none());
+        assert_eq!(sites.iter().count(), 2);
+    }
+}

@@ -1,0 +1,106 @@
+//! Stackmaps: static per-call-site metadata locating GC references.
+//!
+//! Engines without value tags (v8-liftoff and sm-base in the paper's Fig. 3)
+//! record, for every site where a garbage collection could occur, which frame
+//! slots contain references. The collector consults the stackmap of each
+//! frame's current call site instead of reading dynamic tags.
+
+/// The reference layout of one frame at one call site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Stackmap {
+    /// Index of the call (or probe) instruction this map describes.
+    pub inst_index: usize,
+    /// Frame-relative slot indices that hold references at this site.
+    pub ref_slots: Vec<u32>,
+}
+
+impl Stackmap {
+    /// True if the slot is recorded as holding a reference.
+    pub fn is_ref(&self, slot: u32) -> bool {
+        self.ref_slots.contains(&slot)
+    }
+}
+
+/// A collection of stackmaps for one compiled function, ordered by
+/// instruction index.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StackmapTable {
+    maps: Vec<Stackmap>,
+}
+
+impl StackmapTable {
+    /// Adds a stackmap. Maps must be added in increasing instruction order.
+    pub fn push(&mut self, map: Stackmap) {
+        debug_assert!(
+            self.maps.last().map_or(true, |m| m.inst_index < map.inst_index),
+            "stackmaps must be added in instruction order"
+        );
+        self.maps.push(map);
+    }
+
+    /// Looks up the stackmap for a call at `inst_index`.
+    pub fn lookup(&self, inst_index: usize) -> Option<&Stackmap> {
+        self.maps
+            .binary_search_by_key(&inst_index, |m| m.inst_index)
+            .ok()
+            .map(|i| &self.maps[i])
+    }
+
+    /// The number of stackmaps recorded.
+    pub fn len(&self) -> usize {
+        self.maps.len()
+    }
+
+    /// True if no stackmaps were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.maps.is_empty()
+    }
+
+    /// Total metadata size in bytes (for space-cost accounting).
+    pub fn size_bytes(&self) -> usize {
+        self.maps
+            .iter()
+            .map(|m| 8 + 4 * m.ref_slots.len())
+            .sum()
+    }
+
+    /// Iterates over all stackmaps.
+    pub fn iter(&self) -> impl Iterator<Item = &Stackmap> {
+        self.maps.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_by_instruction_index() {
+        let mut table = StackmapTable::default();
+        table.push(Stackmap {
+            inst_index: 4,
+            ref_slots: vec![0, 3],
+        });
+        table.push(Stackmap {
+            inst_index: 9,
+            ref_slots: vec![],
+        });
+        assert_eq!(table.len(), 2);
+        assert!(!table.is_empty());
+        assert!(table.lookup(4).unwrap().is_ref(3));
+        assert!(!table.lookup(4).unwrap().is_ref(1));
+        assert!(table.lookup(9).unwrap().ref_slots.is_empty());
+        assert!(table.lookup(5).is_none());
+    }
+
+    #[test]
+    fn size_accounts_for_entries() {
+        let mut table = StackmapTable::default();
+        assert_eq!(table.size_bytes(), 0);
+        table.push(Stackmap {
+            inst_index: 1,
+            ref_slots: vec![1, 2, 3],
+        });
+        assert_eq!(table.size_bytes(), 8 + 12);
+    }
+}

@@ -1,0 +1,176 @@
+//! Engine configurations: which execution tier(s) to use and how.
+//!
+//! A configuration corresponds to one "engine configuration E" of the paper's
+//! Section VI: a specific tier (or tier combination) with its own setup and
+//! execution characteristics. The Fig. 10 experiment instantiates many of
+//! these side by side.
+
+use machine::cost::CostModel;
+use spc::CompilerOptions;
+
+/// Which execution tier(s) a configuration uses.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TierPolicy {
+    /// Execute everything in the in-place interpreter.
+    InterpreterOnly,
+    /// Execute everything in baseline-compiled code with the given compiler
+    /// configuration.
+    BaselineOnly(CompilerOptions),
+    /// Execute everything in optimizing-compiled code.
+    OptimizingOnly,
+    /// Start in the interpreter and tier up a function to baseline code once
+    /// it has been called `threshold` times.
+    Tiered {
+        /// Number of calls before a function is compiled.
+        threshold: u32,
+        /// Baseline compiler configuration used for hot functions.
+        baseline: CompilerOptions,
+    },
+}
+
+/// A complete engine configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineConfig {
+    /// Configuration name (used in reports and figures).
+    pub name: String,
+    /// The tier policy.
+    pub tier: TierPolicy,
+    /// The cycle cost model shared by all tiers.
+    pub cost: CostModel,
+    /// Compile functions lazily at first call instead of eagerly at
+    /// instantiation (a confounding factor the paper calls out in Fig. 10).
+    pub lazy_compile: bool,
+    /// Validate the module during instantiation (wasm3 famously does not).
+    pub validate: bool,
+    /// When JIT code fires a probe, transfer the frame back to the
+    /// interpreter (tier-down / deopt) instead of continuing in JIT code.
+    pub deopt_on_probe: bool,
+    /// Maximum call depth before a stack-overflow trap.
+    pub max_call_depth: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig::baseline("wizeng-spc", CompilerOptions::allopt())
+    }
+}
+
+impl EngineConfig {
+    /// An interpreter-only configuration (the reproduction's Wizard-INT).
+    pub fn interpreter(name: &str) -> EngineConfig {
+        EngineConfig {
+            name: name.to_string(),
+            tier: TierPolicy::InterpreterOnly,
+            cost: CostModel::default(),
+            lazy_compile: false,
+            validate: true,
+            deopt_on_probe: false,
+            max_call_depth: 10_000,
+        }
+    }
+
+    /// A baseline-compiler-only configuration with the given options.
+    pub fn baseline(name: &str, options: CompilerOptions) -> EngineConfig {
+        EngineConfig {
+            name: name.to_string(),
+            tier: TierPolicy::BaselineOnly(options),
+            cost: CostModel::default(),
+            lazy_compile: false,
+            validate: true,
+            deopt_on_probe: false,
+            max_call_depth: 10_000,
+        }
+    }
+
+    /// An optimizing-compiler-only configuration.
+    pub fn optimizing(name: &str) -> EngineConfig {
+        EngineConfig {
+            name: name.to_string(),
+            tier: TierPolicy::OptimizingOnly,
+            cost: CostModel::default(),
+            lazy_compile: false,
+            validate: true,
+            deopt_on_probe: false,
+            max_call_depth: 10_000,
+        }
+    }
+
+    /// A two-tier configuration: interpreter first, baseline when hot.
+    pub fn tiered(name: &str, threshold: u32, baseline: CompilerOptions) -> EngineConfig {
+        EngineConfig {
+            name: name.to_string(),
+            tier: TierPolicy::Tiered {
+                threshold,
+                baseline,
+            },
+            cost: CostModel::default(),
+            lazy_compile: true,
+            validate: true,
+            deopt_on_probe: false,
+            max_call_depth: 10_000,
+        }
+    }
+
+    /// Marks this configuration as compiling lazily at first call.
+    pub fn with_lazy_compile(mut self, lazy: bool) -> EngineConfig {
+        self.lazy_compile = lazy;
+        self
+    }
+
+    /// Disables validation (the wasm3 design point).
+    pub fn without_validation(mut self) -> EngineConfig {
+        self.validate = false;
+        self
+    }
+
+    /// Enables tier-down to the interpreter when probes fire in JIT code.
+    pub fn with_deopt_on_probe(mut self) -> EngineConfig {
+        self.deopt_on_probe = true;
+        self
+    }
+
+    /// The baseline compiler options of this configuration, if any tier uses
+    /// the baseline compiler.
+    pub fn baseline_options(&self) -> Option<&CompilerOptions> {
+        match &self.tier {
+            TierPolicy::BaselineOnly(o) => Some(o),
+            TierPolicy::Tiered { baseline, .. } => Some(baseline),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_tiers() {
+        let i = EngineConfig::interpreter("wizeng-int");
+        assert_eq!(i.tier, TierPolicy::InterpreterOnly);
+        assert!(i.validate);
+        assert!(i.baseline_options().is_none());
+
+        let b = EngineConfig::baseline("spc", CompilerOptions::allopt());
+        assert!(matches!(b.tier, TierPolicy::BaselineOnly(_)));
+        assert_eq!(b.baseline_options().unwrap().name, "allopt");
+
+        let t = EngineConfig::tiered("tiered", 10, CompilerOptions::allopt());
+        assert!(t.lazy_compile);
+        assert!(t.baseline_options().is_some());
+
+        let o = EngineConfig::optimizing("opt");
+        assert!(matches!(o.tier, TierPolicy::OptimizingOnly));
+    }
+
+    #[test]
+    fn builder_modifiers() {
+        let c = EngineConfig::interpreter("wasm3-like")
+            .without_validation()
+            .with_lazy_compile(true);
+        assert!(!c.validate);
+        assert!(c.lazy_compile);
+        let d = EngineConfig::default().with_deopt_on_probe();
+        assert!(d.deopt_on_probe);
+    }
+}

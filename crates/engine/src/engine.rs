@@ -1,0 +1,1021 @@
+//! The multi-tier engine: instances, the frame executor, and metrics.
+//!
+//! The engine owns the pieces the paper's Wizard engine owns: module loading
+//! and validation, per-function preparation (sidetables), tier selection and
+//! compilation (baseline or optimizing), the shared tagged value stack,
+//! linear memory/globals/tables, the host GC heap, instrumentation, and the
+//! unified execution driver that lets interpreter frames and JIT frames call
+//! each other freely (tier-up happens at function entry once a function gets
+//! hot; tier-down to the interpreter can happen when a probe fires in JIT
+//! code).
+
+use crate::config::{EngineConfig, TierPolicy};
+use crate::gc::{scan_roots_via_stackmaps, scan_roots_via_tags, Heap, StackmapFrame};
+use crate::monitor::Instrumentation;
+use interp::interp::{prepare, InterpExit, Interpreter, PreparedFunction};
+use interp::probe::{FrameAccessor, ProbeSink};
+use machine::cost::CycleCounter;
+use machine::cpu::{Cpu, CpuExit, CpuState, ExecContext, ProbeExit};
+use machine::inst::TrapCode;
+use machine::memory::{LinearMemory, Table};
+use machine::values::{GlobalSlot, ValueStack, ValueTag, WasmValue};
+use spc::{CompiledFunction, ProbeSites, SinglePassCompiler};
+use std::collections::HashMap;
+use std::fmt;
+use std::time::{Duration, Instant};
+use wasm::module::{ConstExpr, ImportKind, Module};
+use wasm::validate::{validate, ModuleInfo};
+
+/// A host (imported) function.
+pub type HostFunc = Box<dyn FnMut(&mut Heap, &[WasmValue]) -> Result<Vec<WasmValue>, TrapCode>>;
+
+/// Host imports provided at instantiation, keyed by `(module, name)`.
+#[derive(Default)]
+pub struct Imports {
+    funcs: HashMap<(String, String), HostFunc>,
+}
+
+impl Imports {
+    /// No imports.
+    pub fn new() -> Imports {
+        Imports::default()
+    }
+
+    /// Provides a host function for `(module, name)`.
+    pub fn func(
+        mut self,
+        module: &str,
+        name: &str,
+        f: impl FnMut(&mut Heap, &[WasmValue]) -> Result<Vec<WasmValue>, TrapCode> + 'static,
+    ) -> Imports {
+        self.funcs
+            .insert((module.to_string(), name.to_string()), Box::new(f));
+        self
+    }
+}
+
+impl fmt::Debug for Imports {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Imports").field("funcs", &self.funcs.len()).finish()
+    }
+}
+
+/// Errors produced while building an instance.
+#[derive(Debug)]
+pub enum EngineError {
+    /// Validation failed.
+    Validate(wasm::validate::ValidateError),
+    /// Compilation failed.
+    Compile(spc::CompileError),
+    /// Instantiation failed (missing import, bad segment, ...).
+    Instantiate(String),
+    /// Execution of the start function trapped.
+    Start(TrapCode),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Validate(e) => write!(f, "{e}"),
+            EngineError::Compile(e) => write!(f, "{e}"),
+            EngineError::Instantiate(msg) => write!(f, "instantiation error: {msg}"),
+            EngineError::Start(code) => write!(f, "start function trapped: {code}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Timing and counting data for one instance, in the units the paper's
+/// figures use: wall-clock time for setup/compilation (real work done by this
+/// reproduction's compilers) and simulated cycles for execution.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunMetrics {
+    /// Wall-clock time spent in instantiation (validation, preparation,
+    /// eager compilation, segment initialization).
+    pub setup_wall: Duration,
+    /// Wall-clock time spent compiling (eager and lazy).
+    pub compile_wall: Duration,
+    /// Bytes of Wasm function bodies compiled.
+    pub compiled_wasm_bytes: u64,
+    /// Bytes of machine code produced.
+    pub compiled_machine_bytes: u64,
+    /// Functions compiled.
+    pub functions_compiled: u32,
+    /// Simulated cycles of execution ("main execution time").
+    pub exec_cycles: u64,
+    /// Number of Wasm calls executed.
+    pub calls_executed: u64,
+    /// Garbage collections performed.
+    pub gc_count: u64,
+    /// Value-tag store instructions emitted by the compiler.
+    pub tag_stores_emitted: u64,
+}
+
+/// One live, runnable instance of a module under a specific engine
+/// configuration.
+pub struct Instance {
+    module: Module,
+    info: ModuleInfo,
+    prepared: Vec<PreparedFunction>,
+    compiled: Vec<Option<CompiledFunction>>,
+    call_counts: Vec<u32>,
+    memory: Option<LinearMemory>,
+    globals: Vec<GlobalSlot>,
+    tables: Vec<Table>,
+    values: ValueStack,
+    /// The host garbage-collected heap.
+    pub heap: Heap,
+    /// Attached instrumentation (monitors and probe registry).
+    pub instrumentation: Instrumentation,
+    host_funcs: Vec<Option<HostFunc>>,
+    /// Accumulated metrics.
+    pub metrics: RunMetrics,
+}
+
+impl fmt::Debug for Instance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Instance")
+            .field("funcs", &self.module.num_funcs())
+            .field("compiled", &self.compiled.iter().filter(|c| c.is_some()).count())
+            .field("metrics", &self.metrics)
+            .finish()
+    }
+}
+
+impl Instance {
+    /// The instantiated module.
+    pub fn module(&self) -> &Module {
+        &self.module
+    }
+
+    /// The compiled code for a defined function, if it has been compiled.
+    pub fn compiled_code(&self, defined_index: u32) -> Option<&CompiledFunction> {
+        self.compiled.get(defined_index as usize)?.as_ref()
+    }
+
+    /// The number of times each defined function has been called.
+    pub fn call_count(&self, defined_index: u32) -> u32 {
+        self.call_counts.get(defined_index as usize).copied().unwrap_or(0)
+    }
+
+    /// Read a global's current value by index.
+    pub fn global_value(&self, index: u32) -> Option<WasmValue> {
+        self.globals.get(index as usize).map(|g| g.value())
+    }
+}
+
+enum FrameTier {
+    Interp { ip: usize },
+    Jit { pc: usize, cpu: CpuState },
+}
+
+struct Activation {
+    func_index: u32,
+    defined_index: u32,
+    frame_base: usize,
+    num_results: u32,
+    frame_slots: u32,
+    tier: FrameTier,
+}
+
+/// The engine: a configuration plus the machinery to instantiate and run
+/// modules under it.
+#[derive(Debug, Clone, Default)]
+pub struct Engine {
+    config: EngineConfig,
+}
+
+impl Engine {
+    /// Creates an engine with the given configuration.
+    pub fn new(config: EngineConfig) -> Engine {
+        Engine { config }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Instantiates a module: validates, prepares, optionally compiles
+    /// eagerly, initializes memory/globals/tables and segments, and runs the
+    /// start function.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if validation, compilation, import resolution, or
+    /// segment initialization fails, or if the start function traps.
+    pub fn instantiate(
+        &self,
+        module: &Module,
+        imports: Imports,
+        instrumentation: Instrumentation,
+    ) -> Result<Instance, EngineError> {
+        let setup_start = Instant::now();
+        let info = validate(module).map_err(EngineError::Validate)?;
+
+        // Prepare every defined function (sidetables, frame metadata).
+        let mut prepared = Vec::with_capacity(module.funcs.len());
+        for defined in 0..module.funcs.len() as u32 {
+            let func_index = module.defined_to_func_index(defined);
+            let p = prepare(module, func_index, &info.funcs[defined as usize]).map_err(|e| {
+                EngineError::Instantiate(format!("prepare failed: {e}"))
+            })?;
+            prepared.push(p);
+        }
+
+        // Resolve host imports.
+        let mut imports = imports;
+        let mut host_funcs = Vec::new();
+        for import in &module.imports {
+            if let ImportKind::Func(_) = import.kind {
+                let key = (import.module.clone(), import.name.clone());
+                match imports.funcs.remove(&key) {
+                    Some(f) => host_funcs.push(Some(f)),
+                    None => {
+                        return Err(EngineError::Instantiate(format!(
+                            "missing import {}.{}",
+                            import.module, import.name
+                        )))
+                    }
+                }
+            }
+        }
+
+        // Memories, globals, tables.
+        let memory = (0..module.num_memories())
+            .next()
+            .and_then(|i| module.memory_type(i))
+            .map(|m| LinearMemory::new(m.limits));
+        let globals: Vec<GlobalSlot> = {
+            let mut out = Vec::new();
+            for i in 0..module.num_globals() {
+                let ty = module
+                    .global_type(i)
+                    .ok_or_else(|| EngineError::Instantiate("unknown global".to_string()))?;
+                let defined = i.checked_sub(module.num_imported_globals());
+                let value = match defined.and_then(|d| module.globals.get(d as usize)) {
+                    Some(g) => eval_const(&g.init, &out),
+                    None => WasmValue::default_for(ty.value_type),
+                };
+                out.push(GlobalSlot::from_value(value));
+            }
+            out
+        };
+        let mut tables: Vec<Table> = (0..module.num_tables())
+            .filter_map(|i| module.table_type(i))
+            .map(|t| Table::new(t.limits))
+            .collect();
+
+        let mut memory = memory;
+        // Data segments.
+        for (i, d) in module.data.iter().enumerate() {
+            let offset = eval_const(&d.offset, &globals).unwrap_i32() as u32;
+            let mem = memory
+                .as_mut()
+                .ok_or_else(|| EngineError::Instantiate("data segment without memory".to_string()))?;
+            mem.init(offset, &d.bytes).map_err(|_| {
+                EngineError::Instantiate(format!("data segment {i} out of bounds"))
+            })?;
+        }
+        // Element segments.
+        for (i, e) in module.elems.iter().enumerate() {
+            let offset = eval_const(&e.offset, &globals).unwrap_i32() as u32;
+            let table = tables.get_mut(e.table_index as usize).ok_or_else(|| {
+                EngineError::Instantiate(format!("element segment {i} has no table"))
+            })?;
+            table.init(offset, &e.func_indices).map_err(|_| {
+                EngineError::Instantiate(format!("element segment {i} out of bounds"))
+            })?;
+        }
+
+        let mut instance = Instance {
+            module: module.clone(),
+            info,
+            prepared,
+            compiled: vec![None; module.funcs.len()],
+            call_counts: vec![0; module.funcs.len()],
+            memory,
+            globals,
+            tables,
+            values: ValueStack::default(),
+            heap: Heap::with_threshold(0),
+            instrumentation,
+            host_funcs,
+            metrics: RunMetrics::default(),
+        };
+
+        // Eager compilation.
+        let needs_eager = !self.config.lazy_compile
+            && !matches!(self.config.tier, TierPolicy::InterpreterOnly);
+        if needs_eager {
+            for defined in 0..module.funcs.len() as u32 {
+                self.ensure_compiled(&mut instance, defined)
+                    .map_err(EngineError::Compile)?;
+            }
+        }
+        instance.metrics.setup_wall = setup_start.elapsed();
+
+        // Start function.
+        if let Some(start) = module.start {
+            self.call(&mut instance, start, &[]).map_err(EngineError::Start)?;
+        }
+        Ok(instance)
+    }
+
+    /// Calls an exported function by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns the trap that terminated execution, or `HostError` if the
+    /// export does not exist.
+    pub fn call_export(
+        &self,
+        instance: &mut Instance,
+        name: &str,
+        args: &[WasmValue],
+    ) -> Result<Vec<WasmValue>, TrapCode> {
+        let func_index = instance
+            .module
+            .exported_func(name)
+            .ok_or(TrapCode::HostError)?;
+        self.call(instance, func_index, args)
+    }
+
+    /// Calls a function by index with the given arguments.
+    ///
+    /// # Errors
+    ///
+    /// Returns the trap that terminated execution.
+    pub fn call(
+        &self,
+        instance: &mut Instance,
+        func_index: u32,
+        args: &[WasmValue],
+    ) -> Result<Vec<WasmValue>, TrapCode> {
+        if instance.module.is_imported_func(func_index) {
+            return Err(TrapCode::HostError);
+        }
+        let num_results = instance
+            .module
+            .func_type(func_index)
+            .map(|t| t.results.clone())
+            .ok_or(TrapCode::HostError)?;
+
+        let frame_base = 0usize;
+        let mut cycles = CycleCounter::new();
+        let exec_result = self.run_call(instance, func_index, args, frame_base, &mut cycles);
+        instance.metrics.exec_cycles += cycles.total();
+        exec_result?;
+        // Read results from the frame base.
+        let out = num_results
+            .iter()
+            .enumerate()
+            .map(|(i, &ty)| {
+                WasmValue::from_bits(
+                    instance.values.read(frame_base + i),
+                    ValueTag::for_type(ty),
+                )
+            })
+            .collect();
+        Ok(out)
+    }
+
+    // ---- Internal machinery -------------------------------------------------
+
+    fn ensure_compiled(
+        &self,
+        instance: &mut Instance,
+        defined: u32,
+    ) -> Result<(), spc::CompileError> {
+        if instance.compiled[defined as usize].is_some() {
+            return Ok(());
+        }
+        let func_index = instance.module.defined_to_func_index(defined);
+        let probes = instance.instrumentation.sites_for(func_index);
+        let start = Instant::now();
+        let compiled = self.compile_one(instance, func_index, defined, &probes)?;
+        let elapsed = start.elapsed();
+        instance.metrics.compile_wall += elapsed;
+        instance.metrics.compiled_wasm_bytes += compiled.stats.wasm_bytes as u64;
+        instance.metrics.compiled_machine_bytes += compiled.stats.code_size_bytes as u64;
+        instance.metrics.tag_stores_emitted += compiled.stats.tag_stores as u64;
+        instance.metrics.functions_compiled += 1;
+        instance.compiled[defined as usize] = Some(compiled);
+        Ok(())
+    }
+
+    fn compile_one(
+        &self,
+        instance: &Instance,
+        func_index: u32,
+        defined: u32,
+        probes: &ProbeSites,
+    ) -> Result<CompiledFunction, spc::CompileError> {
+        let info = &instance.info.funcs[defined as usize];
+        match &self.config.tier {
+            TierPolicy::OptimizingOnly => {
+                optc::OptimizingCompiler::default().compile(&instance.module, func_index, info, probes)
+            }
+            TierPolicy::BaselineOnly(options) | TierPolicy::Tiered { baseline: options, .. } => {
+                SinglePassCompiler::new(options.clone()).compile(
+                    &instance.module,
+                    func_index,
+                    info,
+                    probes,
+                )
+            }
+            TierPolicy::InterpreterOnly => {
+                // Interpreter-only engines never compile; this is unreachable
+                // in practice but harmless.
+                SinglePassCompiler::default().compile(&instance.module, func_index, info, probes)
+            }
+        }
+    }
+
+    /// Decides the tier for a new activation of `defined`, compiling lazily
+    /// or on tier-up as needed.
+    fn choose_tier(&self, instance: &mut Instance, defined: u32) -> Result<bool, TrapCode> {
+        instance.call_counts[defined as usize] =
+            instance.call_counts[defined as usize].saturating_add(1);
+        let use_jit = match &self.config.tier {
+            TierPolicy::InterpreterOnly => false,
+            TierPolicy::BaselineOnly(_) | TierPolicy::OptimizingOnly => true,
+            TierPolicy::Tiered { threshold, .. } => {
+                instance.call_counts[defined as usize] > *threshold
+            }
+        };
+        if use_jit {
+            self.ensure_compiled(instance, defined)
+                .map_err(|_| TrapCode::HostError)?;
+        }
+        Ok(use_jit)
+    }
+
+    fn push_frame(
+        &self,
+        instance: &mut Instance,
+        func_index: u32,
+        frame_base: usize,
+        init_locals_from_args: Option<&[WasmValue]>,
+        depth: usize,
+    ) -> Result<Activation, TrapCode> {
+        let defined = func_index
+            .checked_sub(instance.module.num_imported_funcs())
+            .ok_or(TrapCode::HostError)?;
+        if depth >= self.config.max_call_depth {
+            return Err(TrapCode::StackOverflow);
+        }
+        let use_jit = self.choose_tier(instance, defined)?;
+        let prepared = &instance.prepared[defined as usize];
+        let num_params = prepared.num_params as usize;
+        let num_results = prepared.num_results;
+        let frame_slots = if use_jit {
+            instance.compiled[defined as usize]
+                .as_ref()
+                .map(|c| c.frame_slots)
+                .unwrap_or(prepared.frame_slots())
+        } else {
+            prepared.frame_slots()
+        };
+        if instance.values.capacity() < frame_base + frame_slots as usize {
+            return Err(TrapCode::StackOverflow);
+        }
+
+        // Arguments (when provided by the host; Wasm callers already wrote
+        // them into place), then default-initialized declared locals.
+        if let Some(args) = init_locals_from_args {
+            if args.len() != num_params {
+                return Err(TrapCode::HostError);
+            }
+            for (i, arg) in args.iter().enumerate() {
+                instance.values.write_value(frame_base + i, *arg);
+            }
+        } else {
+            // Ensure parameter tags are present even if the caller's tier
+            // does not store tags (e.g. a notags baseline configuration):
+            // the callee's locals have static types.
+            let local_types = prepared.local_types.clone();
+            for (i, ty) in local_types.iter().enumerate().take(num_params) {
+                instance
+                    .values
+                    .set_tag(frame_base + i, ValueTag::for_type(*ty));
+            }
+        }
+        let local_types = prepared.local_types.clone();
+        for (i, ty) in local_types.iter().enumerate().skip(num_params) {
+            instance
+                .values
+                .write_value(frame_base + i, WasmValue::default_for(*ty));
+        }
+
+        let tier = if use_jit {
+            FrameTier::Jit {
+                pc: 0,
+                cpu: CpuState::new(),
+            }
+        } else {
+            FrameTier::Interp { ip: 0 }
+        };
+        // The value-stack pointer covers the locals for interpreter frames
+        // (operands are pushed as it executes) and the whole frame for JIT
+        // frames (slots are addressed statically).
+        let sp = if use_jit {
+            frame_base + frame_slots as usize
+        } else {
+            frame_base + local_types.len()
+        };
+        instance.values.set_sp(sp);
+        instance.metrics.calls_executed += 1;
+        Ok(Activation {
+            func_index,
+            defined_index: defined,
+            frame_base,
+            num_results,
+            frame_slots,
+            tier,
+        })
+    }
+
+    fn run_call(
+        &self,
+        instance: &mut Instance,
+        func_index: u32,
+        args: &[WasmValue],
+        frame_base: usize,
+        cycles: &mut CycleCounter,
+    ) -> Result<(), TrapCode> {
+        let interp = Interpreter::new(self.config.cost.clone());
+        let cpu = Cpu::new(self.config.cost.clone());
+        let mut stack: Vec<Activation> = Vec::new();
+        let root = self.push_frame(instance, func_index, frame_base, Some(args), 0)?;
+        stack.push(root);
+
+        while let Some(act) = stack.last_mut() {
+            let defined = act.defined_index as usize;
+            // Run the top frame until it exits.
+            let exit = {
+                let Instance {
+                    module,
+                    prepared,
+                    compiled,
+                    memory,
+                    globals,
+                    tables,
+                    values,
+                    instrumentation,
+                    ..
+                } = instance;
+                let mut ctx = ExecContext {
+                    values,
+                    frame_base: act.frame_base,
+                    memory: memory.as_mut(),
+                    globals,
+                    tables,
+                };
+                match &mut act.tier {
+                    FrameTier::Interp { ip } => {
+                        let exit = interp.run(
+                            module,
+                            &prepared[defined],
+                            *ip,
+                            &mut ctx,
+                            instrumentation,
+                            cycles,
+                        );
+                        UnifiedExit::from_interp(exit)
+                    }
+                    FrameTier::Jit { pc, cpu: cpu_state } => {
+                        let code = compiled[defined]
+                            .as_ref()
+                            .expect("JIT frame has compiled code");
+                        let exit = cpu.run(cpu_state, &code.code, *pc, &mut ctx, cycles);
+                        UnifiedExit::from_cpu(exit)
+                    }
+                }
+            };
+
+            match exit {
+                UnifiedExit::Return => {
+                    let finished = stack.pop().expect("active frame");
+                    let result_end = finished.frame_base + finished.num_results as usize;
+                    let frame_end = finished.frame_base + finished.frame_slots as usize;
+                    instance.values.clear_range(result_end, frame_end.min(instance.values.capacity()));
+                    match stack.last_mut() {
+                        None => {
+                            instance.values.set_sp(result_end);
+                            return Ok(());
+                        }
+                        Some(parent) => {
+                            cycles.charge(self.config.cost.ret);
+                            match parent.tier {
+                                FrameTier::Interp { .. } => {
+                                    instance.values.set_sp(result_end);
+                                }
+                                FrameTier::Jit { .. } => {
+                                    instance
+                                        .values
+                                        .set_sp(parent.frame_base + parent.frame_slots as usize);
+                                }
+                            }
+                        }
+                    }
+                }
+                UnifiedExit::Call {
+                    callee,
+                    resume,
+                    jit_caller,
+                } => {
+                    // Record where to resume the caller.
+                    let (caller_base, caller_defined, nargs_from_sig) = {
+                        let sig = instance
+                            .module
+                            .func_type(callee)
+                            .ok_or(TrapCode::HostError)?;
+                        (act.frame_base, act.defined_index, sig.params.len())
+                    };
+                    match &mut act.tier {
+                        FrameTier::Interp { ip } => *ip = resume,
+                        FrameTier::Jit { pc, .. } => *pc = resume,
+                    }
+                    let callee_base = if jit_caller {
+                        let site = instance.compiled[caller_defined as usize]
+                            .as_ref()
+                            .and_then(|c| c.call_sites.get(&(resume - 1)))
+                            .copied()
+                            .ok_or(TrapCode::HostError)?;
+                        caller_base + site.callee_slot_base as usize
+                    } else {
+                        instance.values.sp() - nargs_from_sig
+                    };
+                    cycles.charge(self.config.cost.call);
+                    self.maybe_collect(instance, &stack);
+
+                    if instance.module.is_imported_func(callee) {
+                        self.call_host(instance, callee, callee_base, cycles)?;
+                        // Restore the caller's stack pointer.
+                        let parent = stack.last().expect("caller");
+                        let nresults = instance
+                            .module
+                            .func_type(callee)
+                            .map(|t| t.results.len())
+                            .unwrap_or(0);
+                        match parent.tier {
+                            FrameTier::Interp { .. } => {
+                                instance.values.set_sp(callee_base + nresults);
+                            }
+                            FrameTier::Jit { .. } => {
+                                instance
+                                    .values
+                                    .set_sp(parent.frame_base + parent.frame_slots as usize);
+                            }
+                        }
+                    } else {
+                        let depth = stack.len();
+                        let child =
+                            self.push_frame(instance, callee, callee_base, None, depth)?;
+                        stack.push(child);
+                    }
+                }
+                UnifiedExit::CallIndirect {
+                    type_index,
+                    table_index,
+                    entry_index,
+                    resume,
+                    jit_caller,
+                } => {
+                    match &mut act.tier {
+                        FrameTier::Interp { ip } => *ip = resume,
+                        FrameTier::Jit { pc, .. } => *pc = resume,
+                    }
+                    let caller_base = act.frame_base;
+                    let caller_defined = act.defined_index;
+                    let table = instance
+                        .tables
+                        .get(table_index as usize)
+                        .ok_or(TrapCode::TableOutOfBounds)?;
+                    let callee = table
+                        .get(entry_index)?
+                        .ok_or(TrapCode::NullTableEntry)?;
+                    let expected = instance
+                        .module
+                        .types
+                        .get(type_index as usize)
+                        .ok_or(TrapCode::IndirectCallTypeMismatch)?;
+                    let actual = instance
+                        .module
+                        .func_type(callee)
+                        .ok_or(TrapCode::IndirectCallTypeMismatch)?;
+                    if expected != actual {
+                        return Err(TrapCode::IndirectCallTypeMismatch);
+                    }
+                    let nargs = actual.params.len();
+                    let nresults = actual.results.len();
+                    let callee_base = if jit_caller {
+                        let site = instance.compiled[caller_defined as usize]
+                            .as_ref()
+                            .and_then(|c| c.call_sites.get(&(resume - 1)))
+                            .copied()
+                            .ok_or(TrapCode::HostError)?;
+                        caller_base + site.callee_slot_base as usize
+                    } else {
+                        instance.values.sp() - nargs
+                    };
+                    cycles.charge(self.config.cost.call_indirect);
+                    self.maybe_collect(instance, &stack);
+                    if instance.module.is_imported_func(callee) {
+                        self.call_host(instance, callee, callee_base, cycles)?;
+                        let parent = stack.last().expect("caller");
+                        match parent.tier {
+                            FrameTier::Interp { .. } => {
+                                instance.values.set_sp(callee_base + nresults);
+                            }
+                            FrameTier::Jit { .. } => {
+                                instance
+                                    .values
+                                    .set_sp(parent.frame_base + parent.frame_slots as usize);
+                            }
+                        }
+                    } else {
+                        let depth = stack.len();
+                        let child =
+                            self.push_frame(instance, callee, callee_base, None, depth)?;
+                        stack.push(child);
+                    }
+                }
+                UnifiedExit::Probe { exit, resume } => {
+                    self.handle_jit_probe(instance, act, exit, resume)?;
+                }
+                UnifiedExit::Trap(code) => return Err(code),
+            }
+        }
+        Ok(())
+    }
+
+    fn handle_jit_probe(
+        &self,
+        instance: &mut Instance,
+        act: &mut Activation,
+        exit: ProbeExit,
+        resume: usize,
+    ) -> Result<(), TrapCode> {
+        let defined = act.defined_index as usize;
+        let func_index = act.func_index;
+        let (offset, operand_height) = {
+            let compiled = instance.compiled[defined]
+                .as_ref()
+                .expect("probe fired in compiled code");
+            compiled
+                .probe_sites
+                .get(&(resume - 1))
+                .map(|m| (m.offset, m.operand_height))
+                .unwrap_or((0, 0))
+        };
+        match exit {
+            ProbeExit::Counter { counter_id } => {
+                instance.instrumentation.increment_counter(counter_id);
+            }
+            ProbeExit::TosValue { bits, .. } => {
+                // The value's type is whatever the top of stack was; the
+                // branch monitor only needs zero/non-zero, so i64 suffices.
+                instance.instrumentation.fire_with_value(
+                    func_index,
+                    offset,
+                    WasmValue::I64(bits as i64),
+                );
+            }
+            ProbeExit::Runtime { .. } | ProbeExit::Direct { .. } => {
+                if self.config.deopt_on_probe {
+                    // Tier-down: the frame state is flushed at runtime probes,
+                    // so the interpreter can take over in place. The probe is
+                    // NOT fired here — the interpreter will fire it when it
+                    // re-executes the probed instruction.
+                    let num_locals = instance.prepared[defined].num_locals() as usize;
+                    instance
+                        .values
+                        .set_sp(act.frame_base + num_locals + operand_height as usize);
+                    act.tier = FrameTier::Interp {
+                        ip: offset as usize,
+                    };
+                    return Ok(());
+                }
+                let num_locals = instance.prepared[defined].num_locals() as usize;
+                let sp_before = instance.values.sp();
+                instance
+                    .values
+                    .set_sp(act.frame_base + num_locals + operand_height as usize);
+                let Instance {
+                    values,
+                    instrumentation,
+                    ..
+                } = instance;
+                let mut accessor =
+                    FrameAccessor::new(values, act.frame_base, num_locals, func_index, offset);
+                instrumentation.fire(&mut accessor);
+                instance.values.set_sp(sp_before);
+            }
+        }
+        match &mut act.tier {
+            FrameTier::Jit { pc, .. } => *pc = resume,
+            FrameTier::Interp { .. } => {}
+        }
+        Ok(())
+    }
+
+    fn call_host(
+        &self,
+        instance: &mut Instance,
+        callee: u32,
+        callee_base: usize,
+        cycles: &mut CycleCounter,
+    ) -> Result<(), TrapCode> {
+        cycles.charge(self.config.cost.host_call);
+        let sig = instance
+            .module
+            .func_type(callee)
+            .cloned()
+            .ok_or(TrapCode::HostError)?;
+        let args: Vec<WasmValue> = sig
+            .params
+            .iter()
+            .enumerate()
+            .map(|(i, &ty)| {
+                WasmValue::from_bits(
+                    instance.values.read(callee_base + i),
+                    ValueTag::for_type(ty),
+                )
+            })
+            .collect();
+        let Instance {
+            host_funcs, heap, ..
+        } = instance;
+        let f = host_funcs
+            .get_mut(callee as usize)
+            .and_then(|f| f.as_mut())
+            .ok_or(TrapCode::HostError)?;
+        let results = f(heap, &args)?;
+        if results.len() != sig.results.len() {
+            return Err(TrapCode::HostError);
+        }
+        for (i, value) in results.iter().enumerate() {
+            instance.values.write_value(callee_base + i, *value);
+        }
+        Ok(())
+    }
+
+    fn maybe_collect(&self, instance: &mut Instance, stack: &[Activation]) {
+        if !instance.heap.should_collect() {
+            return;
+        }
+        let roots = self.collect_roots(instance, stack);
+        instance.heap.collect(&roots);
+        instance.metrics.gc_count += 1;
+    }
+
+    fn collect_roots(&self, instance: &Instance, stack: &[Activation]) -> Vec<u32> {
+        let uses_stackmaps = self
+            .config
+            .baseline_options()
+            .map(|o| o.tagging.uses_stackmaps())
+            .unwrap_or(false);
+        if uses_stackmaps {
+            let mut frames = Vec::new();
+            for act in stack {
+                if let FrameTier::Jit { pc, .. } = &act.tier {
+                    if let Some(compiled) = instance.compiled[act.defined_index as usize].as_ref() {
+                        // The frame is paused at the call instruction before
+                        // its resume point.
+                        if *pc > 0 {
+                            frames.push(StackmapFrame {
+                                compiled,
+                                frame_base: act.frame_base,
+                                call_inst_index: *pc - 1,
+                            });
+                        }
+                    }
+                }
+            }
+            let mut roots = scan_roots_via_stackmaps(&instance.values, &frames);
+            // Interpreter frames and globals still use tags.
+            roots.extend(scan_roots_via_tags(&instance.values));
+            roots.extend(global_roots(&instance.globals));
+            roots.sort_unstable();
+            roots.dedup();
+            roots
+        } else {
+            let mut roots = scan_roots_via_tags(&instance.values);
+            roots.extend(global_roots(&instance.globals));
+            roots.sort_unstable();
+            roots.dedup();
+            roots
+        }
+    }
+}
+
+fn global_roots(globals: &[GlobalSlot]) -> Vec<u32> {
+    globals
+        .iter()
+        .filter(|g| g.tag == ValueTag::Ref && g.bits != machine::values::NULL_REF_BITS)
+        .map(|g| g.bits as u32)
+        .collect()
+}
+
+fn eval_const(expr: &ConstExpr, globals: &[GlobalSlot]) -> WasmValue {
+    match *expr {
+        ConstExpr::I32(v) => WasmValue::I32(v),
+        ConstExpr::I64(v) => WasmValue::I64(v),
+        ConstExpr::F32(v) => WasmValue::F32(v),
+        ConstExpr::F64(v) => WasmValue::F64(v),
+        ConstExpr::RefNull(t) => WasmValue::default_for(t),
+        ConstExpr::RefFunc(f) => WasmValue::FuncRef(Some(f)),
+        ConstExpr::GlobalGet(i) => globals
+            .get(i as usize)
+            .map(|g| g.value())
+            .unwrap_or(WasmValue::I32(0)),
+    }
+}
+
+/// A tier-independent view of why a frame stopped executing.
+enum UnifiedExit {
+    Return,
+    Call {
+        callee: u32,
+        resume: usize,
+        /// True when the caller is a JIT frame, whose callee frame base is
+        /// found in the compiled call-site metadata; interpreter callers use
+        /// the dynamic stack pointer instead.
+        jit_caller: bool,
+    },
+    CallIndirect {
+        type_index: u32,
+        table_index: u32,
+        entry_index: u32,
+        resume: usize,
+        jit_caller: bool,
+    },
+    Probe {
+        exit: ProbeExit,
+        resume: usize,
+    },
+    Trap(TrapCode),
+}
+
+impl UnifiedExit {
+    fn from_interp(exit: InterpExit) -> UnifiedExit {
+        match exit {
+            InterpExit::Return => UnifiedExit::Return,
+            InterpExit::Call {
+                func_index,
+                resume_ip,
+            } => UnifiedExit::Call {
+                callee: func_index,
+                resume: resume_ip,
+                jit_caller: false,
+            },
+            InterpExit::CallIndirect {
+                type_index,
+                table_index,
+                entry_index,
+                resume_ip,
+            } => UnifiedExit::CallIndirect {
+                type_index,
+                table_index,
+                entry_index,
+                resume: resume_ip,
+                jit_caller: false,
+            },
+            InterpExit::Trap(code) => UnifiedExit::Trap(code),
+        }
+    }
+
+    fn from_cpu(exit: CpuExit) -> UnifiedExit {
+        match exit {
+            CpuExit::Return => UnifiedExit::Return,
+            CpuExit::Call {
+                func_index,
+                resume_pc,
+            } => UnifiedExit::Call {
+                callee: func_index,
+                resume: resume_pc,
+                jit_caller: true,
+            },
+            CpuExit::CallIndirect {
+                type_index,
+                table_index,
+                entry_index,
+                resume_pc,
+            } => UnifiedExit::CallIndirect {
+                type_index,
+                table_index,
+                entry_index,
+                resume: resume_pc,
+                jit_caller: true,
+            },
+            CpuExit::Probe { exit, resume_pc } => UnifiedExit::Probe {
+                exit,
+                resume: resume_pc,
+            },
+            CpuExit::Trap(code) => UnifiedExit::Trap(code),
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! The multi-tier WebAssembly engine tying the reproduction together.
+//!
+//! An [`Engine`] is created from an [`EngineConfig`] naming its execution
+//! tier(s): the in-place interpreter, the single-pass baseline compiler (in
+//! any of the paper's configurations or the six production design profiles),
+//! the optimizing tier, or a tiered combination with hotness-based tier-up.
+//! Instantiating a module produces an [`Instance`] holding the shared tagged
+//! value stack, linear memory, globals, tables, the host GC [`gc::Heap`],
+//! attached [`monitor::Instrumentation`], and [`RunMetrics`] recording setup
+//! time, compile time, and executed cycles — the raw measurements behind the
+//! paper's figures.
+//!
+//! # Examples
+//!
+//! ```
+//! use engine::{Engine, EngineConfig, Imports, Instrumentation};
+//! use machine::values::WasmValue;
+//! use wasm::builder::{CodeBuilder, ModuleBuilder};
+//! use wasm::opcode::Opcode;
+//! use wasm::types::{FuncType, ValueType};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = ModuleBuilder::new();
+//! let mut code = CodeBuilder::new();
+//! code.local_get(0).local_get(1).op(Opcode::I32Add);
+//! let add = b.add_func(
+//!     FuncType::new(vec![ValueType::I32, ValueType::I32], vec![ValueType::I32]),
+//!     vec![],
+//!     code.finish(),
+//! );
+//! b.export_func("add", add);
+//! let module = b.finish();
+//!
+//! let engine = Engine::new(EngineConfig::default());
+//! let mut instance = engine.instantiate(&module, Imports::new(), Instrumentation::none())?;
+//! let result = engine.call_export(&mut instance, "add", &[WasmValue::I32(2), WasmValue::I32(40)])?;
+//! assert_eq!(result, vec![WasmValue::I32(42)]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod engine;
+pub mod gc;
+pub mod monitor;
+
+pub use config::{EngineConfig, TierPolicy};
+pub use engine::{Engine, EngineError, HostFunc, Imports, Instance, RunMetrics};
+pub use gc::{Heap, HostObject};
+pub use monitor::{BranchMonitor, BranchProfile, Instrumentation};

@@ -1,0 +1,343 @@
+//! Monitors and the probe registry.
+//!
+//! A *monitor* is user code that instruments a module as it is loaded
+//! (Section IV-D of the paper). The engine exposes the same probe interface
+//! to both tiers: the interpreter consults the registry at every instruction,
+//! while the baseline compiler bakes the attached probes into generated code
+//! and routes firings back here.
+//!
+//! The built-in [`BranchMonitor`] reproduces the paper's Fig. 6 workload: it
+//! attaches a top-of-stack probe to every conditional branch and counts how
+//! often each branch is taken and not taken.
+
+use interp::probe::{FrameAccessor, ProbeSink};
+use machine::values::WasmValue;
+use spc::{ProbeKind, ProbeSite, ProbeSites};
+use std::collections::HashMap;
+use wasm::module::Module;
+use wasm::opcode::Opcode;
+use wasm::reader::BytecodeReader;
+
+/// Per-site taken / not-taken counts collected by the branch monitor.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BranchProfile {
+    /// Times the branch condition was false (not taken).
+    pub not_taken: u64,
+    /// Times the branch condition was true (taken).
+    pub taken: u64,
+}
+
+/// The branch monitor: profiles the outcome of every conditional branch.
+#[derive(Debug, Clone, Default)]
+pub struct BranchMonitor {
+    counts: HashMap<(u32, u32), BranchProfile>,
+}
+
+impl BranchMonitor {
+    /// Records one observation of the branch at `(func, offset)`.
+    pub fn record(&mut self, func: u32, offset: u32, condition: bool) {
+        let entry = self.counts.entry((func, offset)).or_default();
+        if condition {
+            entry.taken += 1;
+        } else {
+            entry.not_taken += 1;
+        }
+    }
+
+    /// The profile of one branch site.
+    pub fn profile(&self, func: u32, offset: u32) -> Option<&BranchProfile> {
+        self.counts.get(&(func, offset))
+    }
+
+    /// Total observations across all sites.
+    pub fn total_observations(&self) -> u64 {
+        self.counts.values().map(|p| p.taken + p.not_taken).sum()
+    }
+
+    /// The number of distinct branch sites observed.
+    pub fn site_count(&self) -> usize {
+        self.counts.len()
+    }
+}
+
+/// The kinds of instrumentation the engine supports out of the box.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MonitorKind {
+    /// No instrumentation.
+    None,
+    /// The branch monitor.
+    Branch,
+    /// A global instruction/site counter (fully intrinsifiable).
+    Counter,
+}
+
+/// The engine's probe registry: which sites are instrumented in which
+/// function, plus the monitors receiving the firings.
+///
+/// Implements [`ProbeSink`] so the interpreter (and the engine's handling of
+/// JIT probe exits) can fire probes without knowing which monitors exist.
+#[derive(Debug, Clone)]
+pub struct Instrumentation {
+    sites: HashMap<u32, ProbeSites>,
+    kind: MonitorKind,
+    branch: BranchMonitor,
+    counters: Vec<u64>,
+}
+
+impl Default for Instrumentation {
+    fn default() -> Instrumentation {
+        Instrumentation::none()
+    }
+}
+
+impl Instrumentation {
+    /// No instrumentation at all.
+    pub fn none() -> Instrumentation {
+        Instrumentation {
+            sites: HashMap::new(),
+            kind: MonitorKind::None,
+            branch: BranchMonitor::default(),
+            counters: Vec::new(),
+        }
+    }
+
+    /// Attaches the branch monitor to every conditional branch (`br_if`,
+    /// `if`, `br_table`) in every defined function of `module`.
+    pub fn branch_monitor(module: &Module) -> Instrumentation {
+        let mut sites: HashMap<u32, ProbeSites> = HashMap::new();
+        let mut next_probe = 0u32;
+        for defined in 0..module.funcs.len() as u32 {
+            let func_index = module.defined_to_func_index(defined);
+            let decl = module.func_decl(func_index).expect("defined function");
+            let mut func_sites = ProbeSites::none();
+            let mut reader = BytecodeReader::new(&decl.code);
+            while !reader.is_at_end() {
+                let offset = reader.pc() as u32;
+                let op = match reader.read_opcode() {
+                    Ok(op) => op,
+                    Err(_) => break,
+                };
+                if matches!(op, Opcode::BrIf | Opcode::If | Opcode::BrTable) {
+                    func_sites.insert(
+                        offset,
+                        ProbeSite {
+                            probe_id: next_probe,
+                            kind: ProbeKind::TopOfStack,
+                        },
+                    );
+                    next_probe += 1;
+                }
+                if reader.skip_immediates(op).is_err() {
+                    break;
+                }
+            }
+            if !func_sites.is_empty() {
+                sites.insert(func_index, func_sites);
+            }
+        }
+        Instrumentation {
+            sites,
+            kind: MonitorKind::Branch,
+            branch: BranchMonitor::default(),
+            counters: Vec::new(),
+        }
+    }
+
+    /// Attaches an intrinsifiable counter probe at the start of every
+    /// defined function (a simple call-count monitor).
+    pub fn function_counters(module: &Module) -> Instrumentation {
+        let mut sites: HashMap<u32, ProbeSites> = HashMap::new();
+        let count = module.funcs.len();
+        for defined in 0..count as u32 {
+            let func_index = module.defined_to_func_index(defined);
+            let mut func_sites = ProbeSites::none();
+            func_sites.insert(
+                0,
+                ProbeSite {
+                    probe_id: defined,
+                    kind: ProbeKind::Counter {
+                        counter_id: defined,
+                    },
+                },
+            );
+            sites.insert(func_index, func_sites);
+        }
+        Instrumentation {
+            sites,
+            kind: MonitorKind::Counter,
+            branch: BranchMonitor::default(),
+            counters: vec![0; count],
+        }
+    }
+
+    /// True if no probes are attached anywhere.
+    pub fn is_empty(&self) -> bool {
+        self.sites.is_empty()
+    }
+
+    /// The probe sites attached to `func_index` (for the compiler).
+    pub fn sites_for(&self, func_index: u32) -> ProbeSites {
+        self.sites.get(&func_index).cloned().unwrap_or_default()
+    }
+
+    /// The branch monitor's collected data.
+    pub fn branch_monitor_data(&self) -> &BranchMonitor {
+        &self.branch
+    }
+
+    /// The counter values of a counter monitor.
+    pub fn counters(&self) -> &[u64] {
+        &self.counters
+    }
+
+    /// Total probe firings observed (all monitors).
+    pub fn total_firings(&self) -> u64 {
+        self.branch.total_observations() + self.counters.iter().sum::<u64>()
+    }
+
+    /// Routes a value-carrying probe firing (used for JIT `ProbeTosValue`
+    /// exits and interpreter firings alike).
+    pub fn record_value(&mut self, func: u32, offset: u32, value: WasmValue) {
+        match self.kind {
+            MonitorKind::Branch => {
+                let condition = match value {
+                    WasmValue::I32(v) => v != 0,
+                    WasmValue::I64(v) => v != 0,
+                    _ => false,
+                };
+                self.branch.record(func, offset, condition);
+            }
+            MonitorKind::Counter => {
+                // Value-carrying firings still count as one observation.
+                if let Some(c) = self.counters.get_mut(0) {
+                    *c += 1;
+                }
+            }
+            MonitorKind::None => {}
+        }
+    }
+}
+
+impl ProbeSink for Instrumentation {
+    fn has_probe(&self, func_index: u32, offset: u32) -> bool {
+        self.sites
+            .get(&func_index)
+            .map(|s| s.get(offset).is_some())
+            .unwrap_or(false)
+    }
+
+    fn fire(&mut self, frame: &mut FrameAccessor<'_>) {
+        let func = frame.func_index();
+        let offset = frame.offset();
+        match self.kind {
+            MonitorKind::Branch => {
+                let condition = frame
+                    .top_of_stack()
+                    .map(|v| match v {
+                        WasmValue::I32(v) => v != 0,
+                        WasmValue::I64(v) => v != 0,
+                        _ => false,
+                    })
+                    .unwrap_or(false);
+                self.branch.record(func, offset, condition);
+            }
+            MonitorKind::Counter => {
+                let defined = func as usize;
+                if defined < self.counters.len() {
+                    self.counters[defined] += 1;
+                }
+            }
+            MonitorKind::None => {}
+        }
+    }
+
+    fn fire_with_value(&mut self, func_index: u32, offset: u32, value: WasmValue) {
+        self.record_value(func_index, offset, value);
+    }
+
+    fn increment_counter(&mut self, counter_id: u32) {
+        if let Some(c) = self.counters.get_mut(counter_id as usize) {
+            *c += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wasm::builder::{CodeBuilder, ModuleBuilder};
+    use wasm::types::{BlockType, FuncType, ValueType};
+
+    fn branchy_module() -> Module {
+        let mut b = ModuleBuilder::new();
+        let mut c = CodeBuilder::new();
+        c.block(BlockType::Empty)
+            .local_get(0)
+            .br_if(0)
+            .local_get(0)
+            .if_(BlockType::Empty)
+            .nop()
+            .end()
+            .end();
+        let f = b.add_func(FuncType::new(vec![ValueType::I32], vec![]), vec![], c.finish());
+        b.export_func("f", f);
+        b.finish()
+    }
+
+    #[test]
+    fn branch_monitor_attaches_to_conditional_branches() {
+        let module = branchy_module();
+        let instr = Instrumentation::branch_monitor(&module);
+        assert!(!instr.is_empty());
+        let sites = instr.sites_for(0);
+        assert_eq!(sites.len(), 2, "one br_if and one if");
+        assert!(instr.sites_for(99).is_empty());
+    }
+
+    #[test]
+    fn branch_monitor_records_outcomes() {
+        let mut m = BranchMonitor::default();
+        m.record(0, 4, true);
+        m.record(0, 4, true);
+        m.record(0, 4, false);
+        m.record(1, 8, false);
+        assert_eq!(m.profile(0, 4).unwrap().taken, 2);
+        assert_eq!(m.profile(0, 4).unwrap().not_taken, 1);
+        assert_eq!(m.total_observations(), 4);
+        assert_eq!(m.site_count(), 2);
+        assert!(m.profile(2, 0).is_none());
+    }
+
+    #[test]
+    fn instrumentation_routes_value_firings() {
+        let module = branchy_module();
+        let mut instr = Instrumentation::branch_monitor(&module);
+        instr.fire_with_value(0, 4, WasmValue::I32(1));
+        instr.fire_with_value(0, 4, WasmValue::I32(0));
+        instr.fire_with_value(0, 4, WasmValue::I64(5));
+        let data = instr.branch_monitor_data();
+        assert_eq!(data.profile(0, 4).unwrap().taken, 2);
+        assert_eq!(data.profile(0, 4).unwrap().not_taken, 1);
+        assert_eq!(instr.total_firings(), 3);
+    }
+
+    #[test]
+    fn counter_monitor_counts() {
+        let module = branchy_module();
+        let mut instr = Instrumentation::function_counters(&module);
+        assert!(instr.has_probe(0, 0));
+        assert!(!instr.has_probe(0, 3));
+        instr.increment_counter(0);
+        instr.increment_counter(0);
+        assert_eq!(instr.counters(), &[2]);
+        assert_eq!(instr.total_firings(), 2);
+    }
+
+    #[test]
+    fn empty_instrumentation_has_no_probes() {
+        let instr = Instrumentation::none();
+        assert!(instr.is_empty());
+        assert!(!instr.has_probe(0, 0));
+        assert_eq!(instr.total_firings(), 0);
+    }
+}

@@ -1,0 +1,1063 @@
+//! The in-place interpreter (the reproduction's Wizard-INT).
+//!
+//! The interpreter executes the original bytecode directly — no rewriting —
+//! using the explicit tagged value stack for locals and operands and the
+//! per-function [`Sidetable`](crate::sidetable::Sidetable) for control
+//! transfers. Every push writes both the value and its tag, every operand is
+//! read from memory, and every instruction pays a dispatch cost: exactly the
+//! per-instruction work the paper's baseline compilers eliminate, charged
+//! through the shared [`CostModel`].
+//!
+//! Like the CPU simulator, the interpreter is a *resumable frame executor*:
+//! it runs one frame until it returns, calls, or traps, and the engine
+//! performs the actual transfer (so calls can cross tiers and trigger
+//! tier-up).
+
+use crate::probe::{FrameAccessor, ProbeSink};
+use crate::sidetable::{build_sidetable, BranchEntry, Sidetable, SidetableError};
+use machine::cost::{CostModel, CycleCounter};
+use machine::cpu::ExecContext;
+use machine::inst::TrapCode;
+use machine::lower::classify;
+use machine::values::{ValueTag, WasmValue, NULL_REF_BITS};
+use wasm::module::Module;
+use wasm::opcode::Opcode;
+use wasm::reader::BytecodeReader;
+use wasm::types::ValueType;
+use wasm::validate::FuncInfo;
+
+/// Per-function metadata the interpreter (and the engine's frame management)
+/// needs, computed once per function at load time.
+#[derive(Debug, Clone)]
+pub struct PreparedFunction {
+    /// The function's index in the function index space.
+    pub func_index: u32,
+    /// Number of parameters.
+    pub num_params: u32,
+    /// Number of results.
+    pub num_results: u32,
+    /// Types of all local slots (parameters followed by declared locals).
+    pub local_types: Vec<ValueType>,
+    /// Maximum operand stack height (from validation).
+    pub max_stack: u32,
+    /// The control-transfer sidetable.
+    pub sidetable: Sidetable,
+    /// Length of the body in bytes.
+    pub body_len: u32,
+}
+
+impl PreparedFunction {
+    /// The number of local slots.
+    pub fn num_locals(&self) -> u32 {
+        self.local_types.len() as u32
+    }
+
+    /// Total frame size in value-stack slots (locals plus operand stack).
+    pub fn frame_slots(&self) -> u32 {
+        self.num_locals() + self.max_stack
+    }
+}
+
+/// Prepares a defined function for execution: builds its sidetable and
+/// collects the frame-layout metadata.
+///
+/// # Errors
+///
+/// Returns an error for malformed bodies (validation normally runs first).
+pub fn prepare(
+    module: &Module,
+    func_index: u32,
+    info: &FuncInfo,
+) -> Result<PreparedFunction, SidetableError> {
+    let sig = module.func_type(func_index).ok_or(SidetableError {
+        offset: 0,
+        message: format!("function {func_index} has no signature"),
+    })?;
+    let local_types = module.func_local_types(func_index).ok_or(SidetableError {
+        offset: 0,
+        message: format!("function {func_index} has no body"),
+    })?;
+    let sidetable = build_sidetable(module, func_index)?;
+    Ok(PreparedFunction {
+        func_index,
+        num_params: sig.params.len() as u32,
+        num_results: sig.results.len() as u32,
+        local_types,
+        max_stack: info.max_stack,
+        sidetable,
+        body_len: info.body_len,
+    })
+}
+
+/// Why the interpreter stopped executing a frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InterpExit {
+    /// The function returned; results are in the frame's first result slots.
+    Return,
+    /// A direct call. Arguments are the top operand-stack values.
+    Call {
+        /// The callee.
+        func_index: u32,
+        /// Bytecode offset to resume at after the call.
+        resume_ip: usize,
+    },
+    /// An indirect call. Arguments are on the operand stack; the table
+    /// element index has already been popped.
+    CallIndirect {
+        /// Expected signature.
+        type_index: u32,
+        /// Table index.
+        table_index: u32,
+        /// The dynamic element index.
+        entry_index: u32,
+        /// Bytecode offset to resume at after the call.
+        resume_ip: usize,
+    },
+    /// Execution trapped.
+    Trap(TrapCode),
+}
+
+/// The in-place interpreter.
+#[derive(Debug, Clone, Default)]
+pub struct Interpreter {
+    cost: CostModel,
+}
+
+impl Interpreter {
+    /// Creates an interpreter using the given cost model.
+    pub fn new(cost: CostModel) -> Interpreter {
+        Interpreter { cost }
+    }
+
+    /// The interpreter's cost model.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Runs one frame of `func` starting at bytecode offset `start_ip` until
+    /// it returns, calls out, or traps.
+    ///
+    /// The frame's locals must already be initialized at
+    /// `ctx.frame_base .. ctx.frame_base + num_locals`, and
+    /// `ctx.values.sp()` must point at the frame's current operand top.
+    pub fn run(
+        &self,
+        module: &Module,
+        func: &PreparedFunction,
+        start_ip: usize,
+        ctx: &mut ExecContext<'_>,
+        probes: &mut dyn ProbeSink,
+        cycles: &mut CycleCounter,
+    ) -> InterpExit {
+        let decl = match module.func_decl(func.func_index) {
+            Some(d) => d,
+            None => return InterpExit::Trap(TrapCode::HostError),
+        };
+        let code: &[u8] = &decl.code;
+        let frame_base = ctx.frame_base;
+        let operand_base = frame_base + func.local_types.len();
+        let cost = &self.cost;
+        let mut reader = BytecodeReader::new(code);
+        reader.set_pc(start_ip);
+
+        macro_rules! trap {
+            ($code:expr) => {
+                return InterpExit::Trap($code)
+            };
+        }
+
+        loop {
+            if reader.is_at_end() {
+                // Fell off the end of the body: function return.
+                self.finish_return(func, ctx, cycles);
+                return InterpExit::Return;
+            }
+            let ip = reader.pc();
+
+            if probes.has_probe(func.func_index, ip as u32) {
+                cycles.charge(cost.probe_runtime);
+                let mut accessor = FrameAccessor::new(
+                    ctx.values,
+                    frame_base,
+                    func.local_types.len(),
+                    func.func_index,
+                    ip as u32,
+                );
+                probes.fire(&mut accessor);
+            }
+
+            let op = match reader.read_opcode() {
+                Ok(op) => op,
+                Err(_) => trap!(TrapCode::HostError),
+            };
+            cycles.charge(cost.interp_dispatch);
+
+            // Fast path: simple value operations classified by the shared
+            // lowering table.
+            if let Some(class) = classify(op) {
+                let arity = class.arity();
+                let sp = ctx.values.sp();
+                let mut operands = [0u64; 2];
+                for i in 0..arity {
+                    operands[i] = ctx.values.read(sp - arity + i);
+                    cycles.charge(cost.slot_load);
+                }
+                cycles.charge(self.class_cost(op));
+                match class.evaluate(&operands[..arity]) {
+                    Ok(bits) => {
+                        let result_slot = sp - arity;
+                        ctx.values.write_tagged(
+                            result_slot,
+                            bits,
+                            ValueTag::for_type(class.result_type()),
+                        );
+                        ctx.values.set_sp(result_slot + 1);
+                        cycles.charge(cost.slot_store + cost.tag_store);
+                    }
+                    Err(code) => trap!(code),
+                }
+                continue;
+            }
+
+            match op {
+                Opcode::Nop => {}
+                Opcode::Unreachable => trap!(TrapCode::Unreachable),
+                Opcode::Block | Opcode::Loop => {
+                    let _ = reader.read_block_type();
+                    cycles.charge(cost.interp_control + cost.interp_imm);
+                }
+                Opcode::End => {
+                    cycles.charge(cost.interp_control);
+                }
+                Opcode::If => {
+                    let _ = reader.read_block_type();
+                    let sp = ctx.values.sp() - 1;
+                    let cond = ctx.values.read(sp);
+                    ctx.values.set_sp(sp);
+                    cycles.charge(cost.slot_load + cost.branch + cost.interp_imm);
+                    if cond == 0 {
+                        let entry = *match func.sidetable.branch(ip as u32) {
+                            Some(e) => e,
+                            None => trap!(TrapCode::HostError),
+                        };
+                        self.take_branch(&entry, operand_base, ctx, cycles, &mut reader);
+                    }
+                }
+                Opcode::Else => {
+                    cycles.charge(cost.interp_control + cost.jump);
+                    let entry = *match func.sidetable.branch(ip as u32) {
+                        Some(e) => e,
+                        None => trap!(TrapCode::HostError),
+                    };
+                    self.take_branch(&entry, operand_base, ctx, cycles, &mut reader);
+                }
+                Opcode::Br => {
+                    let _ = reader.read_index();
+                    cycles.charge(cost.jump + cost.interp_imm);
+                    let entry = *match func.sidetable.branch(ip as u32) {
+                        Some(e) => e,
+                        None => trap!(TrapCode::HostError),
+                    };
+                    self.take_branch(&entry, operand_base, ctx, cycles, &mut reader);
+                }
+                Opcode::BrIf => {
+                    let _ = reader.read_index();
+                    let sp = ctx.values.sp() - 1;
+                    let cond = ctx.values.read(sp);
+                    ctx.values.set_sp(sp);
+                    cycles.charge(cost.slot_load + cost.branch + cost.interp_imm);
+                    if cond != 0 {
+                        let entry = *match func.sidetable.branch(ip as u32) {
+                            Some(e) => e,
+                            None => trap!(TrapCode::HostError),
+                        };
+                        self.take_branch(&entry, operand_base, ctx, cycles, &mut reader);
+                    }
+                }
+                Opcode::BrTable => {
+                    let _ = reader.read_branch_table();
+                    let sp = ctx.values.sp() - 1;
+                    let index = ctx.values.read(sp) as usize;
+                    ctx.values.set_sp(sp);
+                    cycles.charge(cost.slot_load + cost.br_table);
+                    let entries = match func.sidetable.br_table(ip as u32) {
+                        Some(e) => e,
+                        None => trap!(TrapCode::HostError),
+                    };
+                    let entry = if index < entries.len() - 1 {
+                        entries[index]
+                    } else {
+                        *entries.last().expect("br_table has a default")
+                    };
+                    self.take_branch(&entry, operand_base, ctx, cycles, &mut reader);
+                }
+                Opcode::Return => {
+                    cycles.charge(cost.jump);
+                    self.finish_return(func, ctx, cycles);
+                    return InterpExit::Return;
+                }
+                Opcode::Call => {
+                    let callee = match reader.read_index() {
+                        Ok(i) => i,
+                        Err(_) => trap!(TrapCode::HostError),
+                    };
+                    cycles.charge(cost.interp_imm + cost.interp_call_setup);
+                    return InterpExit::Call {
+                        func_index: callee,
+                        resume_ip: reader.pc(),
+                    };
+                }
+                Opcode::CallIndirect => {
+                    let (type_index, table_index) = match reader.read_call_indirect() {
+                        Ok(v) => v,
+                        Err(_) => trap!(TrapCode::HostError),
+                    };
+                    let sp = ctx.values.sp() - 1;
+                    let entry_index = ctx.values.read(sp) as u32;
+                    ctx.values.set_sp(sp);
+                    cycles.charge(cost.interp_imm * 2 + cost.slot_load + cost.interp_call_setup);
+                    return InterpExit::CallIndirect {
+                        type_index,
+                        table_index,
+                        entry_index,
+                        resume_ip: reader.pc(),
+                    };
+                }
+                Opcode::Drop => {
+                    ctx.values.set_sp(ctx.values.sp() - 1);
+                }
+                Opcode::Select | Opcode::SelectT => {
+                    if op == Opcode::SelectT {
+                        let _ = reader.read_select_types();
+                        cycles.charge(cost.interp_imm);
+                    }
+                    let sp = ctx.values.sp();
+                    let cond = ctx.values.read(sp - 1);
+                    cycles.charge(cost.slot_load * 3 + cost.select + cost.slot_store);
+                    if cond != 0 {
+                        // Keep the first operand: already in place.
+                    } else {
+                        let bits = ctx.values.read(sp - 2);
+                        let tag = ctx.values.tag(sp - 2);
+                        ctx.values.write_tagged(sp - 3, bits, tag);
+                    }
+                    ctx.values.set_sp(sp - 2);
+                }
+                Opcode::LocalGet => {
+                    let index = match reader.read_index() {
+                        Ok(i) => i as usize,
+                        Err(_) => trap!(TrapCode::HostError),
+                    };
+                    let bits = ctx.values.read(frame_base + index);
+                    let tag = ValueTag::for_type(func.local_types[index]);
+                    let sp = ctx.values.sp();
+                    ctx.values.write_tagged(sp, bits, tag);
+                    ctx.values.set_sp(sp + 1);
+                    cycles.charge(
+                        cost.interp_imm + cost.slot_load + cost.slot_store + cost.tag_store,
+                    );
+                }
+                Opcode::LocalSet | Opcode::LocalTee => {
+                    let index = match reader.read_index() {
+                        Ok(i) => i as usize,
+                        Err(_) => trap!(TrapCode::HostError),
+                    };
+                    let sp = ctx.values.sp();
+                    let bits = ctx.values.read(sp - 1);
+                    let tag = ValueTag::for_type(func.local_types[index]);
+                    ctx.values.write_tagged(frame_base + index, bits, tag);
+                    if op == Opcode::LocalSet {
+                        ctx.values.set_sp(sp - 1);
+                    }
+                    cycles.charge(
+                        cost.interp_imm + cost.slot_load + cost.slot_store + cost.tag_store,
+                    );
+                }
+                Opcode::GlobalGet => {
+                    let index = match reader.read_index() {
+                        Ok(i) => i as usize,
+                        Err(_) => trap!(TrapCode::HostError),
+                    };
+                    let global = ctx.globals[index];
+                    let sp = ctx.values.sp();
+                    ctx.values.write_tagged(sp, global.bits, global.tag);
+                    ctx.values.set_sp(sp + 1);
+                    cycles.charge(
+                        cost.interp_imm + cost.global + cost.slot_store + cost.tag_store,
+                    );
+                }
+                Opcode::GlobalSet => {
+                    let index = match reader.read_index() {
+                        Ok(i) => i as usize,
+                        Err(_) => trap!(TrapCode::HostError),
+                    };
+                    let sp = ctx.values.sp() - 1;
+                    ctx.globals[index].bits = ctx.values.read(sp);
+                    ctx.values.set_sp(sp);
+                    cycles.charge(cost.interp_imm + cost.global + cost.slot_load);
+                }
+                Opcode::I32Const => {
+                    let v = match reader.read_i32() {
+                        Ok(v) => v,
+                        Err(_) => trap!(TrapCode::HostError),
+                    };
+                    self.push(ctx, WasmValue::I32(v), cycles);
+                }
+                Opcode::I64Const => {
+                    let v = match reader.read_i64() {
+                        Ok(v) => v,
+                        Err(_) => trap!(TrapCode::HostError),
+                    };
+                    self.push(ctx, WasmValue::I64(v), cycles);
+                }
+                Opcode::F32Const => {
+                    let v = match reader.read_f32() {
+                        Ok(v) => v,
+                        Err(_) => trap!(TrapCode::HostError),
+                    };
+                    self.push(ctx, WasmValue::F32(v), cycles);
+                }
+                Opcode::F64Const => {
+                    let v = match reader.read_f64() {
+                        Ok(v) => v,
+                        Err(_) => trap!(TrapCode::HostError),
+                    };
+                    self.push(ctx, WasmValue::F64(v), cycles);
+                }
+                Opcode::RefNull => {
+                    let ty = match reader.read_ref_type() {
+                        Ok(t) => t,
+                        Err(_) => trap!(TrapCode::HostError),
+                    };
+                    let sp = ctx.values.sp();
+                    ctx.values
+                        .write_tagged(sp, NULL_REF_BITS, ValueTag::for_type(ty));
+                    ctx.values.set_sp(sp + 1);
+                    cycles.charge(cost.interp_imm + cost.slot_store + cost.tag_store);
+                }
+                Opcode::RefIsNull => {
+                    let sp = ctx.values.sp() - 1;
+                    let bits = ctx.values.read(sp);
+                    ctx.values
+                        .write_tagged(sp, (bits == NULL_REF_BITS) as u64, ValueTag::I32);
+                    ctx.values.set_sp(sp + 1);
+                    cycles.charge(cost.slot_load + cost.alu + cost.slot_store + cost.tag_store);
+                }
+                Opcode::RefFunc => {
+                    let index = match reader.read_index() {
+                        Ok(i) => i,
+                        Err(_) => trap!(TrapCode::HostError),
+                    };
+                    self.push(ctx, WasmValue::FuncRef(Some(index)), cycles);
+                }
+                Opcode::MemorySize => {
+                    let _ = reader.read_memory_index();
+                    let pages = ctx.memory.as_deref().map(|m| m.size_pages()).unwrap_or(0);
+                    self.push(ctx, WasmValue::I32(pages as i32), cycles);
+                    cycles.charge(cost.memory_size);
+                }
+                Opcode::MemoryGrow => {
+                    let _ = reader.read_memory_index();
+                    let sp = ctx.values.sp() - 1;
+                    let delta = ctx.values.read(sp) as u32;
+                    let result = match ctx.memory.as_deref_mut() {
+                        Some(m) => m.grow(delta),
+                        None => -1,
+                    };
+                    ctx.values
+                        .write_tagged(sp, result as u32 as u64, ValueTag::I32);
+                    cycles.charge(cost.slot_load + cost.memory_grow + cost.slot_store + cost.tag_store);
+                }
+                _ if op.is_memory_access() => {
+                    let memarg = match reader.read_memarg() {
+                        Ok(m) => m,
+                        Err(_) => trap!(TrapCode::HostError),
+                    };
+                    cycles.charge(cost.interp_imm * 2);
+                    let width = op.access_width().expect("memory access has a width");
+                    match op.signature() {
+                        wasm::opcode::OpSignature::Load(result) => {
+                            let sp = ctx.values.sp() - 1;
+                            let addr = ctx.values.read(sp) as u32;
+                            let memory = match ctx.memory.as_deref() {
+                                Some(m) => m,
+                                None => trap!(TrapCode::MemoryOutOfBounds),
+                            };
+                            let raw = match memory.load(addr, memarg.offset, width) {
+                                Ok(v) => v,
+                                Err(code) => trap!(code),
+                            };
+                            let bits = extend_load(op, raw);
+                            ctx.values
+                                .write_tagged(sp, bits, ValueTag::for_type(result));
+                            cycles.charge(
+                                cost.slot_load + cost.mem_load + cost.slot_store + cost.tag_store,
+                            );
+                        }
+                        wasm::opcode::OpSignature::Store(_) => {
+                            let sp = ctx.values.sp();
+                            let value = ctx.values.read(sp - 1);
+                            let addr = ctx.values.read(sp - 2) as u32;
+                            ctx.values.set_sp(sp - 2);
+                            let memory = match ctx.memory.as_deref_mut() {
+                                Some(m) => m,
+                                None => trap!(TrapCode::MemoryOutOfBounds),
+                            };
+                            if let Err(code) = memory.store(addr, memarg.offset, width, value) {
+                                trap!(code);
+                            }
+                            cycles.charge(cost.slot_load * 2 + cost.mem_store);
+                        }
+                        _ => trap!(TrapCode::HostError),
+                    }
+                }
+                other => {
+                    debug_assert!(false, "unhandled opcode {other}");
+                    trap!(TrapCode::HostError);
+                }
+            }
+        }
+    }
+
+    fn push(&self, ctx: &mut ExecContext<'_>, value: WasmValue, cycles: &mut CycleCounter) {
+        let sp = ctx.values.sp();
+        ctx.values.write_value(sp, value);
+        ctx.values.set_sp(sp + 1);
+        cycles.charge(self.cost.interp_imm + self.cost.slot_store + self.cost.tag_store);
+    }
+
+    fn class_cost(&self, op: Opcode) -> u64 {
+        use machine::inst::{AluOp, FAluOp, FUnOp};
+        use machine::lower::OpClass;
+        match classify(op) {
+            Some(OpClass::Alu(AluOp::Mul, _)) => self.cost.mul,
+            Some(OpClass::Alu(alu, _)) if alu.is_division() => self.cost.div,
+            Some(OpClass::Alu(..)) | Some(OpClass::Unop(..)) | Some(OpClass::Cmp(..)) => {
+                self.cost.alu
+            }
+            Some(OpClass::FAlu(FAluOp::Div, _)) => self.cost.fdiv,
+            Some(OpClass::FUnop(FUnOp::Sqrt, _)) => self.cost.fsqrt,
+            Some(OpClass::FAlu(..)) | Some(OpClass::FUnop(..)) | Some(OpClass::FCmp(..)) => {
+                self.cost.falu
+            }
+            Some(OpClass::Convert(..)) => self.cost.convert,
+            None => self.cost.alu,
+        }
+    }
+
+    fn take_branch(
+        &self,
+        entry: &BranchEntry,
+        operand_base: usize,
+        ctx: &mut ExecContext<'_>,
+        cycles: &mut CycleCounter,
+        reader: &mut BytecodeReader<'_>,
+    ) {
+        let arity = entry.arity as usize;
+        let dest_base = operand_base + entry.label_base as usize;
+        let src_base = ctx.values.sp() - arity;
+        if src_base != dest_base {
+            for i in 0..arity {
+                let bits = ctx.values.read(src_base + i);
+                let tag = ctx.values.tag(src_base + i);
+                ctx.values.write_tagged(dest_base + i, bits, tag);
+                cycles.charge(self.cost.slot_load + self.cost.slot_store);
+            }
+        }
+        ctx.values.set_sp(dest_base + arity);
+        reader.set_pc(entry.target_ip as usize);
+    }
+
+    /// Copies the returning frame's results down to its base slots, matching
+    /// the calling convention JIT code follows.
+    fn finish_return(
+        &self,
+        func: &PreparedFunction,
+        ctx: &mut ExecContext<'_>,
+        cycles: &mut CycleCounter,
+    ) {
+        let results = func.num_results as usize;
+        let src_base = ctx.values.sp() - results;
+        let dest_base = ctx.frame_base;
+        for i in 0..results {
+            let bits = ctx.values.read(src_base + i);
+            let tag = ctx.values.tag(src_base + i);
+            ctx.values.write_tagged(dest_base + i, bits, tag);
+            cycles.charge(self.cost.slot_load + self.cost.slot_store + self.cost.tag_store);
+        }
+    }
+}
+
+fn extend_load(op: Opcode, raw: u64) -> u64 {
+    use Opcode::*;
+    match op {
+        I32Load8S => raw as u8 as i8 as i32 as u32 as u64,
+        I32Load16S => raw as u16 as i16 as i32 as u32 as u64,
+        I64Load8S => raw as u8 as i8 as i64 as u64,
+        I64Load16S => raw as u16 as i16 as i64 as u64,
+        I64Load32S => raw as u32 as i32 as i64 as u64,
+        _ => raw,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::probe::NoProbes;
+    use machine::memory::{LinearMemory, Table};
+    use machine::values::{GlobalSlot, ValueStack};
+    use wasm::builder::{CodeBuilder, ModuleBuilder};
+    use wasm::types::{BlockType, FuncType, Limits};
+    use wasm::validate::validate;
+
+    /// A minimal single-function harness that sets up a frame and runs the
+    /// interpreter to completion (no calls).
+    fn run_function(
+        params: Vec<ValueType>,
+        results: Vec<ValueType>,
+        locals: Vec<ValueType>,
+        code: CodeBuilder,
+        args: &[WasmValue],
+    ) -> Result<Vec<WasmValue>, TrapCode> {
+        let mut b = ModuleBuilder::new();
+        b.add_memory(Limits::at_least(1));
+        let f = b.add_func(FuncType::new(params, results.clone()), locals, code.finish());
+        b.export_func("f", f);
+        let module = b.finish();
+        run_exported(&module, f, args, &results)
+    }
+
+    fn run_exported(
+        module: &Module,
+        func_index: u32,
+        args: &[WasmValue],
+        results: &[ValueType],
+    ) -> Result<Vec<WasmValue>, TrapCode> {
+        let info = validate(module).expect("valid module");
+        let defined = (func_index - module.num_imported_funcs()) as usize;
+        let prepared = prepare(module, func_index, &info.funcs[defined]).expect("prepare");
+
+        let mut values = ValueStack::with_capacity(4096);
+        let mut memory = LinearMemory::new(Limits::at_least(1));
+        let mut globals: Vec<GlobalSlot> = module
+            .globals
+            .iter()
+            .map(|g| {
+                GlobalSlot::from_value(match g.init {
+                    wasm::module::ConstExpr::I32(v) => WasmValue::I32(v),
+                    wasm::module::ConstExpr::I64(v) => WasmValue::I64(v),
+                    wasm::module::ConstExpr::F32(v) => WasmValue::F32(v),
+                    wasm::module::ConstExpr::F64(v) => WasmValue::F64(v),
+                    _ => WasmValue::I32(0),
+                })
+            })
+            .collect();
+        let mut tables: Vec<Table> = vec![];
+
+        // Set up the frame: arguments then default-initialized locals.
+        for (i, arg) in args.iter().enumerate() {
+            values.write_value(i, *arg);
+        }
+        for (i, ty) in prepared.local_types.iter().enumerate().skip(args.len()) {
+            values.write_value(i, WasmValue::default_for(*ty));
+        }
+        values.set_sp(prepared.num_locals() as usize);
+
+        let interp = Interpreter::new(CostModel::default());
+        let mut cycles = CycleCounter::new();
+        let mut ctx = ExecContext {
+            values: &mut values,
+            frame_base: 0,
+            memory: Some(&mut memory),
+            globals: &mut globals,
+            tables: &mut tables,
+        };
+        let exit = interp.run(module, &prepared, 0, &mut ctx, &mut NoProbes, &mut cycles);
+        match exit {
+            InterpExit::Return => Ok(results
+                .iter()
+                .enumerate()
+                .map(|(i, ty)| {
+                    WasmValue::from_bits(values.read(i), ValueTag::for_type(*ty))
+                })
+                .collect()),
+            InterpExit::Trap(code) => Err(code),
+            other => panic!("unexpected exit {other:?}"),
+        }
+    }
+
+    #[test]
+    fn add_two_parameters() {
+        let mut c = CodeBuilder::new();
+        c.local_get(0).local_get(1).op(Opcode::I32Add);
+        let r = run_function(
+            vec![ValueType::I32, ValueType::I32],
+            vec![ValueType::I32],
+            vec![],
+            c,
+            &[WasmValue::I32(30), WasmValue::I32(12)],
+        )
+        .unwrap();
+        assert_eq!(r, vec![WasmValue::I32(42)]);
+    }
+
+    #[test]
+    fn constants_and_arithmetic_mix() {
+        let mut c = CodeBuilder::new();
+        c.i32_const(10)
+            .i32_const(4)
+            .op(Opcode::I32Sub)
+            .i32_const(7)
+            .op(Opcode::I32Mul);
+        let r = run_function(vec![], vec![ValueType::I32], vec![], c, &[]).unwrap();
+        assert_eq!(r, vec![WasmValue::I32(42)]);
+    }
+
+    #[test]
+    fn loop_computes_sum() {
+        // sum = 0; while (n != 0) { sum += n; n -= 1 } return sum
+        let mut c = CodeBuilder::new();
+        c.block(BlockType::Empty)
+            .loop_(BlockType::Empty)
+            .local_get(0)
+            .op(Opcode::I32Eqz)
+            .br_if(1)
+            .local_get(1)
+            .local_get(0)
+            .op(Opcode::I32Add)
+            .local_set(1)
+            .local_get(0)
+            .i32_const(1)
+            .op(Opcode::I32Sub)
+            .local_set(0)
+            .br(0)
+            .end()
+            .end()
+            .local_get(1);
+        let r = run_function(
+            vec![ValueType::I32],
+            vec![ValueType::I32],
+            vec![ValueType::I32],
+            c,
+            &[WasmValue::I32(100)],
+        )
+        .unwrap();
+        assert_eq!(r, vec![WasmValue::I32(5050)]);
+    }
+
+    #[test]
+    fn if_else_selects_branch() {
+        let mut c = CodeBuilder::new();
+        c.local_get(0)
+            .if_(BlockType::Value(ValueType::I32))
+            .i32_const(111)
+            .else_()
+            .i32_const(222)
+            .end();
+        let t = run_function(
+            vec![ValueType::I32],
+            vec![ValueType::I32],
+            vec![],
+            c.clone(),
+            &[WasmValue::I32(1)],
+        )
+        .unwrap();
+        assert_eq!(t, vec![WasmValue::I32(111)]);
+        let f = run_function(
+            vec![ValueType::I32],
+            vec![ValueType::I32],
+            vec![],
+            c,
+            &[WasmValue::I32(0)],
+        )
+        .unwrap();
+        assert_eq!(f, vec![WasmValue::I32(222)]);
+    }
+
+    #[test]
+    fn early_return_and_branch_to_function_label() {
+        let mut c = CodeBuilder::new();
+        c.local_get(0)
+            .if_(BlockType::Empty)
+            .i32_const(1)
+            .return_()
+            .end()
+            .i32_const(2)
+            .br(0);
+        for (arg, expected) in [(1, 1), (0, 2)] {
+            let r = run_function(
+                vec![ValueType::I32],
+                vec![ValueType::I32],
+                vec![],
+                c.clone(),
+                &[WasmValue::I32(arg)],
+            )
+            .unwrap();
+            assert_eq!(r, vec![WasmValue::I32(expected)]);
+        }
+    }
+
+    #[test]
+    fn br_table_dispatches() {
+        // switch (x): 0 -> 10, 1 -> 20, default -> 30
+        let mut c = CodeBuilder::new();
+        c.block(BlockType::Empty)
+            .block(BlockType::Empty)
+            .block(BlockType::Empty)
+            .local_get(0)
+            .br_table(&[0, 1], 2)
+            .end()
+            .i32_const(10)
+            .return_()
+            .end()
+            .i32_const(20)
+            .return_()
+            .end()
+            .i32_const(30);
+        for (arg, expected) in [(0, 10), (1, 20), (2, 30), (7, 30)] {
+            let r = run_function(
+                vec![ValueType::I32],
+                vec![ValueType::I32],
+                vec![],
+                c.clone(),
+                &[WasmValue::I32(arg)],
+            )
+            .unwrap();
+            assert_eq!(r, vec![WasmValue::I32(expected)], "arg {arg}");
+        }
+    }
+
+    #[test]
+    fn floats_and_conversions() {
+        let mut c = CodeBuilder::new();
+        c.local_get(0)
+            .op(Opcode::F64Sqrt)
+            .local_get(1)
+            .op(Opcode::F64ConvertI32S)
+            .op(Opcode::F64Add);
+        let r = run_function(
+            vec![ValueType::F64, ValueType::I32],
+            vec![ValueType::F64],
+            vec![],
+            c,
+            &[WasmValue::F64(16.0), WasmValue::I32(-2)],
+        )
+        .unwrap();
+        assert_eq!(r, vec![WasmValue::F64(2.0)]);
+    }
+
+    #[test]
+    fn memory_load_store_roundtrip() {
+        let mut c = CodeBuilder::new();
+        c.i32_const(100)
+            .local_get(0)
+            .mem(Opcode::I64Store, 3, 0)
+            .i32_const(96)
+            .mem(Opcode::I64Load, 3, 4);
+        let r = run_function(
+            vec![ValueType::I64],
+            vec![ValueType::I64],
+            vec![],
+            c,
+            &[WasmValue::I64(-123456789)],
+        )
+        .unwrap();
+        assert_eq!(r, vec![WasmValue::I64(-123456789)]);
+    }
+
+    #[test]
+    fn sign_extending_loads() {
+        let mut c = CodeBuilder::new();
+        c.i32_const(8)
+            .i32_const(-1)
+            .mem(Opcode::I32Store8, 0, 0)
+            .i32_const(8)
+            .mem(Opcode::I32Load8S, 0, 0)
+            .i32_const(8)
+            .mem(Opcode::I32Load8U, 0, 0)
+            .op(Opcode::I32Add);
+        let r = run_function(vec![], vec![ValueType::I32], vec![], c, &[]).unwrap();
+        assert_eq!(r, vec![WasmValue::I32(-1 + 255)]);
+    }
+
+    #[test]
+    fn traps_propagate() {
+        let mut c = CodeBuilder::new();
+        c.i32_const(1).i32_const(0).op(Opcode::I32DivU);
+        let e = run_function(vec![], vec![ValueType::I32], vec![], c, &[]).unwrap_err();
+        assert_eq!(e, TrapCode::DivisionByZero);
+
+        let mut c = CodeBuilder::new();
+        c.unreachable();
+        let e = run_function(vec![], vec![], vec![], c, &[]).unwrap_err();
+        assert_eq!(e, TrapCode::Unreachable);
+
+        let mut c = CodeBuilder::new();
+        c.i32_const(-4).mem(Opcode::I32Load, 2, 0).drop_();
+        let e = run_function(vec![], vec![], vec![], c, &[]).unwrap_err();
+        assert_eq!(e, TrapCode::MemoryOutOfBounds);
+    }
+
+    #[test]
+    fn select_and_drop() {
+        let mut c = CodeBuilder::new();
+        c.i32_const(5)
+            .drop_()
+            .i32_const(10)
+            .i32_const(20)
+            .local_get(0)
+            .select();
+        for (arg, expected) in [(1, 10), (0, 20)] {
+            let r = run_function(
+                vec![ValueType::I32],
+                vec![ValueType::I32],
+                vec![],
+                c.clone(),
+                &[WasmValue::I32(arg)],
+            )
+            .unwrap();
+            assert_eq!(r, vec![WasmValue::I32(expected)]);
+        }
+    }
+
+    #[test]
+    fn globals_read_and_write() {
+        let mut b = ModuleBuilder::new();
+        let g = b.add_global(
+            wasm::types::GlobalType::mutable(ValueType::I64),
+            wasm::module::ConstExpr::I64(5),
+        );
+        let mut c = CodeBuilder::new();
+        c.global_get(g)
+            .i64_const(10)
+            .op(Opcode::I64Add)
+            .global_set(g)
+            .global_get(g);
+        let f = b.add_func(FuncType::new(vec![], vec![ValueType::I64]), vec![], c.finish());
+        b.export_func("f", f);
+        let module = b.finish();
+        let r = run_exported(&module, f, &[], &[ValueType::I64]).unwrap();
+        assert_eq!(r, vec![WasmValue::I64(15)]);
+    }
+
+    #[test]
+    fn multi_value_block_results() {
+        let mut b = ModuleBuilder::new();
+        let pair = b.add_type(FuncType::new(vec![], vec![ValueType::I32, ValueType::I32]));
+        let mut c = CodeBuilder::new();
+        c.block(BlockType::Func(pair))
+            .i32_const(30)
+            .i32_const(12)
+            .end()
+            .op(Opcode::I32Add);
+        let f = b.add_func(FuncType::new(vec![], vec![ValueType::I32]), vec![], c.finish());
+        b.export_func("f", f);
+        let module = b.finish();
+        let r = run_exported(&module, f, &[], &[ValueType::I32]).unwrap();
+        assert_eq!(r, vec![WasmValue::I32(42)]);
+    }
+
+    #[test]
+    fn references_and_null_checks() {
+        let mut c = CodeBuilder::new();
+        c.ref_null(ValueType::ExternRef)
+            .op(Opcode::RefIsNull)
+            .local_get(0)
+            .op(Opcode::RefIsNull)
+            .op(Opcode::I32Add);
+        let r = run_function(
+            vec![ValueType::ExternRef],
+            vec![ValueType::I32],
+            vec![],
+            c,
+            &[WasmValue::ExternRef(Some(3))],
+        )
+        .unwrap();
+        assert_eq!(r, vec![WasmValue::I32(1)]);
+    }
+
+    #[test]
+    fn memory_size_and_grow() {
+        let mut c = CodeBuilder::new();
+        c.memory_size()
+            .i32_const(2)
+            .memory_grow()
+            .op(Opcode::I32Add)
+            .memory_size()
+            .op(Opcode::I32Add);
+        // size(1) + grow_result(1) + new_size(3) = 5
+        let r = run_function(vec![], vec![ValueType::I32], vec![], c, &[]).unwrap();
+        assert_eq!(r, vec![WasmValue::I32(5)]);
+    }
+
+    #[test]
+    fn call_exit_reports_callee_and_resume() {
+        let mut b = ModuleBuilder::new();
+        let callee = b.add_func(FuncType::new(vec![], vec![]), vec![], CodeBuilder::new().finish());
+        let mut c = CodeBuilder::new();
+        c.call(callee).i32_const(1);
+        let f = b.add_func(FuncType::new(vec![], vec![ValueType::I32]), vec![], c.finish());
+        let module = b.finish();
+        let info = validate(&module).unwrap();
+        let prepared = prepare(&module, f, &info.funcs[1]).unwrap();
+
+        let mut values = ValueStack::with_capacity(64);
+        values.set_sp(0);
+        let mut globals = vec![];
+        let mut tables = vec![];
+        let interp = Interpreter::default();
+        let mut cycles = CycleCounter::new();
+        let mut ctx = ExecContext {
+            values: &mut values,
+            frame_base: 0,
+            memory: None,
+            globals: &mut globals,
+            tables: &mut tables,
+        };
+        let exit = interp.run(&module, &prepared, 0, &mut ctx, &mut NoProbes, &mut cycles);
+        assert_eq!(
+            exit,
+            InterpExit::Call {
+                func_index: callee,
+                resume_ip: 2
+            }
+        );
+    }
+
+    #[test]
+    fn cycles_accumulate_and_scale_with_work() {
+        let mut short = CodeBuilder::new();
+        short.i32_const(1);
+        let mut long = CodeBuilder::new();
+        long.i32_const(0);
+        for _ in 0..50 {
+            long.i32_const(1).op(Opcode::I32Add);
+        }
+
+        let cycles_of = |code: CodeBuilder, results: Vec<ValueType>| {
+            let mut b = ModuleBuilder::new();
+            let f = b.add_func(FuncType::new(vec![], results), vec![], code.finish());
+            let module = b.finish();
+            let info = validate(&module).unwrap();
+            let prepared = prepare(&module, f, &info.funcs[0]).unwrap();
+            let mut values = ValueStack::with_capacity(256);
+            let mut globals = vec![];
+            let mut tables = vec![];
+            let interp = Interpreter::default();
+            let mut cycles = CycleCounter::new();
+            let mut ctx = ExecContext {
+                values: &mut values,
+                frame_base: 0,
+                memory: None,
+                globals: &mut globals,
+                tables: &mut tables,
+            };
+            interp.run(&module, &prepared, 0, &mut ctx, &mut NoProbes, &mut cycles);
+            cycles.total()
+        };
+        let short_cycles = cycles_of(short, vec![ValueType::I32]);
+        let long_cycles = cycles_of(long, vec![ValueType::I32]);
+        assert!(short_cycles > 0);
+        assert!(long_cycles > short_cycles * 20);
+    }
+}

@@ -1,0 +1,20 @@
+//! Interpreter tiers for the baseline-compiler study.
+//!
+//! * [`interp`] — the **in-place interpreter** (the reproduction's
+//!   Wizard-INT): executes original bytecode over the tagged value stack
+//!   using a per-function [`sidetable`] for control transfers.
+//! * [`probe`] — the instrumentation interface (probes, frame accessors)
+//!   shared by the interpreter and JIT-compiled code.
+//!
+//! The interpreter is a resumable frame executor: the engine drives calls
+//! and returns so execution can cross tiers at any call boundary.
+
+#![warn(missing_docs)]
+
+pub mod interp;
+pub mod probe;
+pub mod sidetable;
+
+pub use interp::{prepare, InterpExit, Interpreter, PreparedFunction};
+pub use probe::{FrameAccessor, NoProbes, ProbeSink};
+pub use sidetable::{BranchEntry, Sidetable};

@@ -1,0 +1,332 @@
+//! The assembler and finished code buffers.
+//!
+//! A single-pass compiler emits code strictly forward, so the assembler has
+//! to handle *forward references*: a branch to a label that has not yet been
+//! bound (e.g. the end of a block). Labels are patched when bound, exactly as
+//! real baseline compilers patch relative displacements.
+//!
+//! The assembler also records a *source map* from emitted instruction indices
+//! back to Wasm bytecode offsets. That map is what lets the engine recompute
+//! the bytecode-level program counter from a machine-code location for
+//! stack traces, instrumentation, and tier-down (deopt), per Section IV-B of
+//! the paper.
+
+use crate::inst::{Label, MachInst};
+use std::fmt;
+
+/// A finished, immutable sequence of machine instructions plus metadata.
+#[derive(Debug, Clone, Default)]
+pub struct CodeBuffer {
+    insts: Vec<MachInst>,
+    label_targets: Vec<usize>,
+    source_map: Vec<(usize, u32)>,
+    code_size: usize,
+}
+
+impl CodeBuffer {
+    /// Rebuilds a code buffer from raw parts. Used by post-passes (e.g. the
+    /// optimizing tier's slot promotion) that rewrite instruction sequences
+    /// and must remap label targets and source-map entries themselves.
+    pub fn from_raw_parts(
+        insts: Vec<MachInst>,
+        label_targets: Vec<usize>,
+        source_map: Vec<(usize, u32)>,
+    ) -> CodeBuffer {
+        let code_size = insts.iter().map(|i| i.encoded_size()).sum();
+        CodeBuffer {
+            insts,
+            label_targets,
+            source_map,
+            code_size,
+        }
+    }
+
+    /// The resolved label targets (instruction indices), indexed by label id.
+    pub fn label_targets(&self) -> &[usize] {
+        &self.label_targets
+    }
+
+    /// The instructions in emission order.
+    pub fn insts(&self) -> &[MachInst] {
+        &self.insts
+    }
+
+    /// The number of instructions.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// True if the buffer contains no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// The estimated encoded size of the code in bytes.
+    pub fn code_size(&self) -> usize {
+        self.code_size
+    }
+
+    /// Resolves a label to its instruction index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label was never bound (the assembler checks this at
+    /// `finish` time, so it cannot happen for buffers it produced).
+    pub fn target(&self, label: Label) -> usize {
+        self.label_targets[label.0 as usize]
+    }
+
+    /// The (instruction index, bytecode offset) source map, sorted by
+    /// instruction index.
+    pub fn source_map(&self) -> &[(usize, u32)] {
+        &self.source_map
+    }
+
+    /// Recomputes the Wasm bytecode offset for a machine instruction index,
+    /// i.e. the paper's "current program counter can be recomputed from the
+    /// machine code instruction pointer".
+    pub fn source_offset(&self, inst_index: usize) -> Option<u32> {
+        match self
+            .source_map
+            .binary_search_by_key(&inst_index, |&(i, _)| i)
+        {
+            Ok(i) => Some(self.source_map[i].1),
+            Err(0) => None,
+            Err(i) => Some(self.source_map[i - 1].1),
+        }
+    }
+
+    /// Renders the code as a human-readable listing with label markers.
+    pub fn disassemble(&self) -> String {
+        let mut out = String::new();
+        for (index, inst) in self.insts.iter().enumerate() {
+            for (label, &target) in self.label_targets.iter().enumerate() {
+                if target == index {
+                    out.push_str(&format!("{}:\n", Label(label as u32)));
+                }
+            }
+            out.push_str(&format!("  {index:4}  {inst}\n"));
+        }
+        out
+    }
+}
+
+impl fmt::Display for CodeBuffer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.disassemble())
+    }
+}
+
+/// An append-only assembler for the virtual target ISA.
+#[derive(Debug, Clone, Default)]
+pub struct Assembler {
+    insts: Vec<MachInst>,
+    labels: Vec<Option<usize>>,
+    source_map: Vec<(usize, u32)>,
+    code_size: usize,
+}
+
+impl Assembler {
+    /// Creates an empty assembler.
+    pub fn new() -> Assembler {
+        Assembler::default()
+    }
+
+    /// The index the next emitted instruction will have.
+    pub fn here(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// The number of instructions emitted so far.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// True if nothing has been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// The estimated encoded size so far, in bytes.
+    pub fn code_size(&self) -> usize {
+        self.code_size
+    }
+
+    /// Emits one instruction and returns its index.
+    pub fn emit(&mut self, inst: MachInst) -> usize {
+        self.code_size += inst.encoded_size();
+        let index = self.insts.len();
+        self.insts.push(inst);
+        index
+    }
+
+    /// Allocates a fresh, unbound label.
+    pub fn new_label(&mut self) -> Label {
+        let label = Label(self.labels.len() as u32);
+        self.labels.push(None);
+        label
+    }
+
+    /// Allocates a label already bound to the current position.
+    pub fn new_bound_label(&mut self) -> Label {
+        let label = self.new_label();
+        self.bind(label);
+        label
+    }
+
+    /// Binds a label to the current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label is already bound.
+    pub fn bind(&mut self, label: Label) {
+        let slot = &mut self.labels[label.0 as usize];
+        assert!(slot.is_none(), "label {label} bound twice");
+        *slot = Some(self.insts.len());
+    }
+
+    /// True if the label has been bound.
+    pub fn is_bound(&self, label: Label) -> bool {
+        self.labels[label.0 as usize].is_some()
+    }
+
+    /// Records that instructions emitted from here on originate from the Wasm
+    /// bytecode offset `offset`.
+    pub fn mark_source(&mut self, offset: u32) {
+        let at = self.insts.len();
+        if let Some(last) = self.source_map.last_mut() {
+            if last.0 == at {
+                last.1 = offset;
+                return;
+            }
+        }
+        self.source_map.push((at, offset));
+    }
+
+    /// Finishes assembly, resolving all labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any allocated label was never bound; a compiler bug.
+    pub fn finish(self) -> CodeBuffer {
+        let label_targets = self
+            .labels
+            .iter()
+            .enumerate()
+            .map(|(i, t)| t.unwrap_or_else(|| panic!("label L{i} was never bound")))
+            .collect();
+        CodeBuffer {
+            insts: self.insts,
+            label_targets,
+            source_map: self.source_map,
+            code_size: self.code_size,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::TrapCode;
+    use crate::reg::Reg;
+
+    #[test]
+    fn emit_and_finish() {
+        let mut asm = Assembler::new();
+        assert!(asm.is_empty());
+        asm.emit(MachInst::MovImm { dst: Reg(0), imm: 1 });
+        asm.emit(MachInst::Return);
+        assert_eq!(asm.len(), 2);
+        assert!(asm.code_size() > 0);
+        let code = asm.finish();
+        assert_eq!(code.len(), 2);
+        assert!(!code.is_empty());
+        assert_eq!(code.code_size(), code.insts().iter().map(|i| i.encoded_size()).sum());
+    }
+
+    #[test]
+    fn forward_label_resolution() {
+        let mut asm = Assembler::new();
+        let skip = asm.new_label();
+        assert!(!asm.is_bound(skip));
+        asm.emit(MachInst::BrIf { cond: Reg(0), target: skip, negate: false });
+        asm.emit(MachInst::Trap { code: TrapCode::Unreachable });
+        asm.bind(skip);
+        assert!(asm.is_bound(skip));
+        asm.emit(MachInst::Return);
+        let code = asm.finish();
+        assert_eq!(code.target(skip), 2);
+    }
+
+    #[test]
+    fn backward_label_resolution() {
+        let mut asm = Assembler::new();
+        let top = asm.new_bound_label();
+        asm.emit(MachInst::Nop);
+        asm.emit(MachInst::Jump { target: top });
+        let code = asm.finish();
+        assert_eq!(code.target(top), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "never bound")]
+    fn unbound_label_panics_at_finish() {
+        let mut asm = Assembler::new();
+        let l = asm.new_label();
+        asm.emit(MachInst::Jump { target: l });
+        let _ = asm.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "bound twice")]
+    fn double_bind_panics() {
+        let mut asm = Assembler::new();
+        let l = asm.new_label();
+        asm.bind(l);
+        asm.bind(l);
+    }
+
+    #[test]
+    fn source_map_lookup() {
+        let mut asm = Assembler::new();
+        asm.mark_source(0);
+        asm.emit(MachInst::Nop); // inst 0 <- offset 0
+        asm.mark_source(2);
+        asm.emit(MachInst::Nop); // inst 1 <- offset 2
+        asm.emit(MachInst::Nop); // inst 2 <- offset 2 (same bytecode)
+        asm.mark_source(5);
+        asm.emit(MachInst::Return); // inst 3 <- offset 5
+        let code = asm.finish();
+        assert_eq!(code.source_offset(0), Some(0));
+        assert_eq!(code.source_offset(1), Some(2));
+        assert_eq!(code.source_offset(2), Some(2));
+        assert_eq!(code.source_offset(3), Some(5));
+        assert_eq!(code.source_offset(99), Some(5));
+    }
+
+    #[test]
+    fn mark_source_collapses_empty_ranges() {
+        let mut asm = Assembler::new();
+        asm.mark_source(0);
+        asm.mark_source(3);
+        asm.emit(MachInst::Nop);
+        let code = asm.finish();
+        assert_eq!(code.source_map(), &[(0, 3)]);
+        assert_eq!(code.source_offset(0), Some(3));
+    }
+
+    #[test]
+    fn disassembly_contains_labels_and_instructions() {
+        let mut asm = Assembler::new();
+        let l = asm.new_label();
+        asm.emit(MachInst::Jump { target: l });
+        asm.bind(l);
+        asm.emit(MachInst::Return);
+        let code = asm.finish();
+        let text = code.disassemble();
+        assert!(text.contains("L0:"));
+        assert!(text.contains("jmp L0"));
+        assert!(text.contains("ret"));
+        assert_eq!(code.to_string(), text);
+    }
+}

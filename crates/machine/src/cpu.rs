@@ -1,0 +1,757 @@
+//! The CPU simulator that executes compiled code.
+//!
+//! Compiled functions run against exactly the same runtime objects as the
+//! interpreter: the tagged value stack, linear memory, globals, and tables.
+//! Execution is *resumable*: calls, probes, returns, and traps exit back to
+//! the engine, which performs the transfer (possibly into a different
+//! execution tier) and then resumes the code at `resume_pc`. Register
+//! contents live in a per-frame [`CpuState`], and the calling convention
+//! requires compilers to spill live values to the value stack before any
+//! exiting instruction, so nothing is lost across an exit.
+//!
+//! Every executed instruction is charged to a [`CycleCounter`] using the
+//! shared [`CostModel`]; those cycles are the "execution time" that the
+//! paper's figures compare.
+
+use crate::asm::CodeBuffer;
+use crate::cost::{CostModel, CycleCounter};
+use crate::inst::{MachInst, TrapCode, Width};
+use crate::memory::{LinearMemory, Table};
+use crate::ops;
+use crate::reg::{AnyReg, NUM_FPRS, NUM_GPRS};
+use crate::values::{GlobalSlot, ValueStack};
+
+/// The register file of one JIT frame activation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CpuState {
+    /// General-purpose registers.
+    pub gprs: [u64; NUM_GPRS],
+    /// Floating-point registers (raw bits).
+    pub fprs: [u64; NUM_FPRS],
+}
+
+impl Default for CpuState {
+    fn default() -> CpuState {
+        CpuState {
+            gprs: [0; NUM_GPRS],
+            fprs: [0; NUM_FPRS],
+        }
+    }
+}
+
+impl CpuState {
+    /// Creates a zeroed register file.
+    pub fn new() -> CpuState {
+        CpuState::default()
+    }
+
+    /// Reads a register of either bank.
+    pub fn read(&self, reg: AnyReg) -> u64 {
+        match reg {
+            AnyReg::Gpr(r) => self.gprs[r.index()],
+            AnyReg::Fpr(r) => self.fprs[r.index()],
+        }
+    }
+
+    /// Writes a register of either bank.
+    pub fn write(&mut self, reg: AnyReg, bits: u64) {
+        match reg {
+            AnyReg::Gpr(r) => self.gprs[r.index()] = bits,
+            AnyReg::Fpr(r) => self.fprs[r.index()] = bits,
+        }
+    }
+}
+
+/// The mutable runtime state a frame executes against.
+#[derive(Debug)]
+pub struct ExecContext<'a> {
+    /// The shared value stack.
+    pub values: &'a mut ValueStack,
+    /// The executing frame's base slot (VFP) within the value stack.
+    pub frame_base: usize,
+    /// The instance's linear memory, if it has one.
+    pub memory: Option<&'a mut LinearMemory>,
+    /// The instance's globals.
+    pub globals: &'a mut [GlobalSlot],
+    /// The instance's tables.
+    pub tables: &'a mut [Table],
+}
+
+impl<'a> ExecContext<'a> {
+    fn slot_index(&self, slot: u32) -> usize {
+        self.frame_base + slot as usize
+    }
+}
+
+/// Why a probe instruction exited to the engine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ProbeExit {
+    /// Unoptimized probe: the runtime must look up and fire probes.
+    Runtime {
+        /// Probe site id.
+        probe_id: u32,
+    },
+    /// Optimized direct probe call.
+    Direct {
+        /// Probe site id.
+        probe_id: u32,
+    },
+    /// Intrinsified counter increment.
+    Counter {
+        /// Counter id.
+        counter_id: u32,
+    },
+    /// Optimized probe passing the top-of-stack value.
+    TosValue {
+        /// Probe site id.
+        probe_id: u32,
+        /// The value passed to the probe.
+        bits: u64,
+    },
+}
+
+/// The reason compiled code stopped executing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CpuExit {
+    /// The function returned. Results are in the frame's first result slots.
+    Return,
+    /// A direct call; the engine must execute `func_index` and resume at
+    /// `resume_pc`.
+    Call {
+        /// Callee function index.
+        func_index: u32,
+        /// Program counter to resume this code at after the call.
+        resume_pc: usize,
+    },
+    /// An indirect call; the engine must check and execute the table entry.
+    CallIndirect {
+        /// Expected signature (type index).
+        type_index: u32,
+        /// Table index.
+        table_index: u32,
+        /// The dynamic element index.
+        entry_index: u32,
+        /// Program counter to resume at after the call.
+        resume_pc: usize,
+    },
+    /// A probe fired; the engine must notify the instrumentation and resume.
+    Probe {
+        /// What kind of probe and its payload.
+        exit: ProbeExit,
+        /// Program counter to resume at.
+        resume_pc: usize,
+    },
+    /// Execution trapped.
+    Trap(TrapCode),
+}
+
+/// Executes compiled code until it exits.
+#[derive(Debug, Clone, Default)]
+pub struct Cpu {
+    cost: CostModel,
+}
+
+impl Cpu {
+    /// Creates a CPU with the given cost model.
+    pub fn new(cost: CostModel) -> Cpu {
+        Cpu { cost }
+    }
+
+    /// The cost model in use.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Runs `code` starting at instruction `pc` until it exits, charging
+    /// executed instructions to `cycles`.
+    pub fn run(
+        &self,
+        state: &mut CpuState,
+        code: &CodeBuffer,
+        mut pc: usize,
+        ctx: &mut ExecContext<'_>,
+        cycles: &mut CycleCounter,
+    ) -> CpuExit {
+        let insts = code.insts();
+        loop {
+            let inst = match insts.get(pc) {
+                Some(inst) => inst,
+                None => return CpuExit::Return,
+            };
+            cycles.charge(self.cost.inst_cost(inst));
+            match inst {
+                MachInst::Nop => {}
+                MachInst::MovImm { dst, imm } => state.gprs[dst.index()] = *imm as u64,
+                MachInst::FMovImm { dst, bits } => state.fprs[dst.index()] = *bits,
+                MachInst::Mov { dst, src } => state.gprs[dst.index()] = state.gprs[src.index()],
+                MachInst::FMov { dst, src } => state.fprs[dst.index()] = state.fprs[src.index()],
+                MachInst::LoadSlot { dst, slot } => {
+                    let bits = ctx.values.read(ctx.slot_index(*slot));
+                    state.write(*dst, bits);
+                }
+                MachInst::StoreSlot { slot, src } => {
+                    let bits = state.read(*src);
+                    ctx.values.write(ctx.slot_index(*slot), bits);
+                }
+                MachInst::StoreSlotImm { slot, imm } => {
+                    ctx.values.write(ctx.slot_index(*slot), *imm as u64);
+                }
+                MachInst::StoreTag { slot, tag } => {
+                    ctx.values.set_tag(ctx.slot_index(*slot), *tag);
+                }
+                MachInst::Alu { op, width, dst, a, b } => {
+                    let a = state.gprs[a.index()];
+                    let b = state.gprs[b.index()];
+                    match ops::eval_alu(*op, *width, a, b) {
+                        Ok(v) => state.gprs[dst.index()] = v,
+                        Err(t) => return CpuExit::Trap(t),
+                    }
+                }
+                MachInst::AluImm { op, width, dst, a, imm } => {
+                    let a = state.gprs[a.index()];
+                    let b = match width {
+                        Width::W32 => *imm as i32 as u32 as u64,
+                        Width::W64 => *imm as u64,
+                    };
+                    match ops::eval_alu(*op, *width, a, b) {
+                        Ok(v) => state.gprs[dst.index()] = v,
+                        Err(t) => return CpuExit::Trap(t),
+                    }
+                }
+                MachInst::Unop { op, width, dst, src } => {
+                    state.gprs[dst.index()] = ops::eval_unop(*op, *width, state.gprs[src.index()]);
+                }
+                MachInst::Cmp { op, width, dst, a, b } => {
+                    state.gprs[dst.index()] =
+                        ops::eval_cmp(*op, *width, state.gprs[a.index()], state.gprs[b.index()]);
+                }
+                MachInst::CmpImm { op, width, dst, a, imm } => {
+                    let b = match width {
+                        Width::W32 => *imm as i32 as u32 as u64,
+                        Width::W64 => *imm as u64,
+                    };
+                    state.gprs[dst.index()] =
+                        ops::eval_cmp(*op, *width, state.gprs[a.index()], b);
+                }
+                MachInst::FAlu { op, width, dst, a, b } => {
+                    state.fprs[dst.index()] =
+                        ops::eval_falu(*op, *width, state.fprs[a.index()], state.fprs[b.index()]);
+                }
+                MachInst::FUnop { op, width, dst, src } => {
+                    state.fprs[dst.index()] = ops::eval_funop(*op, *width, state.fprs[src.index()]);
+                }
+                MachInst::FCmp { op, width, dst, a, b } => {
+                    state.gprs[dst.index()] =
+                        ops::eval_fcmp(*op, *width, state.fprs[a.index()], state.fprs[b.index()]);
+                }
+                MachInst::Convert { op, dst, src } => {
+                    let v = state.read(*src);
+                    match ops::eval_convert(*op, v) {
+                        Ok(bits) => state.write(*dst, bits),
+                        Err(t) => return CpuExit::Trap(t),
+                    }
+                }
+                MachInst::Select { dst, cond, if_true, if_false } => {
+                    let take = state.gprs[cond.index()] != 0;
+                    state.gprs[dst.index()] = if take {
+                        state.gprs[if_true.index()]
+                    } else {
+                        state.gprs[if_false.index()]
+                    };
+                }
+                MachInst::FSelect { dst, cond, if_true, if_false } => {
+                    let take = state.gprs[cond.index()] != 0;
+                    state.fprs[dst.index()] = if take {
+                        state.fprs[if_true.index()]
+                    } else {
+                        state.fprs[if_false.index()]
+                    };
+                }
+                MachInst::MemLoad { dst, addr, offset, width, signed, dst_width } => {
+                    let memory = match ctx.memory.as_deref() {
+                        Some(m) => m,
+                        None => return CpuExit::Trap(TrapCode::MemoryOutOfBounds),
+                    };
+                    let addr = state.gprs[addr.index()] as u32;
+                    let raw = match memory.load(addr, *offset, *width) {
+                        Ok(v) => v,
+                        Err(t) => return CpuExit::Trap(t),
+                    };
+                    let bits = extend_loaded(raw, *width, *signed, *dst_width);
+                    state.write(*dst, bits);
+                }
+                MachInst::MemStore { src, addr, offset, width } => {
+                    let addr_v = state.gprs[addr.index()] as u32;
+                    let bits = state.read(*src);
+                    let memory = match ctx.memory.as_deref_mut() {
+                        Some(m) => m,
+                        None => return CpuExit::Trap(TrapCode::MemoryOutOfBounds),
+                    };
+                    if let Err(t) = memory.store(addr_v, *offset, *width, bits) {
+                        return CpuExit::Trap(t);
+                    }
+                }
+                MachInst::MemorySize { dst } => {
+                    let pages = ctx.memory.as_deref().map(|m| m.size_pages()).unwrap_or(0);
+                    state.gprs[dst.index()] = pages as u64;
+                }
+                MachInst::MemoryGrow { dst, delta } => {
+                    let delta_v = state.gprs[delta.index()] as u32;
+                    let result = match ctx.memory.as_deref_mut() {
+                        Some(m) => m.grow(delta_v),
+                        None => -1,
+                    };
+                    state.gprs[dst.index()] = result as u32 as u64;
+                }
+                MachInst::GlobalGet { dst, index } => {
+                    let bits = ctx.globals[*index as usize].bits;
+                    state.write(*dst, bits);
+                }
+                MachInst::GlobalSet { index, src } => {
+                    let bits = state.read(*src);
+                    ctx.globals[*index as usize].bits = bits;
+                }
+                MachInst::Jump { target } => {
+                    pc = code.target(*target);
+                    continue;
+                }
+                MachInst::BrIf { cond, target, negate } => {
+                    let taken = (state.gprs[cond.index()] != 0) ^ negate;
+                    if taken {
+                        pc = code.target(*target);
+                        continue;
+                    }
+                }
+                MachInst::BrTable { index, targets, default } => {
+                    let i = state.gprs[index.index()] as usize;
+                    let label = targets.get(i).copied().unwrap_or(*default);
+                    pc = code.target(label);
+                    continue;
+                }
+                MachInst::Call { func_index } => {
+                    return CpuExit::Call {
+                        func_index: *func_index,
+                        resume_pc: pc + 1,
+                    };
+                }
+                MachInst::CallIndirect { type_index, table_index, index } => {
+                    return CpuExit::CallIndirect {
+                        type_index: *type_index,
+                        table_index: *table_index,
+                        entry_index: state.gprs[index.index()] as u32,
+                        resume_pc: pc + 1,
+                    };
+                }
+                MachInst::ProbeRuntime { probe_id } => {
+                    return CpuExit::Probe {
+                        exit: ProbeExit::Runtime { probe_id: *probe_id },
+                        resume_pc: pc + 1,
+                    };
+                }
+                MachInst::ProbeDirect { probe_id } => {
+                    return CpuExit::Probe {
+                        exit: ProbeExit::Direct { probe_id: *probe_id },
+                        resume_pc: pc + 1,
+                    };
+                }
+                MachInst::ProbeCounter { counter_id } => {
+                    return CpuExit::Probe {
+                        exit: ProbeExit::Counter { counter_id: *counter_id },
+                        resume_pc: pc + 1,
+                    };
+                }
+                MachInst::ProbeTosValue { probe_id, src } => {
+                    return CpuExit::Probe {
+                        exit: ProbeExit::TosValue {
+                            probe_id: *probe_id,
+                            bits: state.read(*src),
+                        },
+                        resume_pc: pc + 1,
+                    };
+                }
+                MachInst::Trap { code } => return CpuExit::Trap(*code),
+                MachInst::Return => return CpuExit::Return,
+            }
+            pc += 1;
+        }
+    }
+}
+
+fn extend_loaded(raw: u64, width: u32, signed: bool, dst_width: Width) -> u64 {
+    let value = if signed {
+        match width {
+            1 => raw as u8 as i8 as i64 as u64,
+            2 => raw as u16 as i16 as i64 as u64,
+            4 => raw as u32 as i32 as i64 as u64,
+            _ => raw,
+        }
+    } else {
+        raw
+    };
+    match dst_width {
+        Width::W32 => value as u32 as u64,
+        Width::W64 => value,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Assembler;
+    use crate::inst::{AluOp, CmpOp, FAluOp};
+    use crate::reg::{FReg, Reg};
+    use crate::values::{ValueTag, WasmValue};
+    use wasm::types::Limits;
+
+    struct World {
+        values: ValueStack,
+        memory: LinearMemory,
+        globals: Vec<GlobalSlot>,
+        tables: Vec<Table>,
+    }
+
+    impl World {
+        fn new() -> World {
+            World {
+                values: ValueStack::with_capacity(256),
+                memory: LinearMemory::new(Limits::at_least(1)),
+                globals: vec![GlobalSlot::from_value(WasmValue::I64(11))],
+                tables: vec![Table::new(Limits::at_least(4))],
+            }
+        }
+
+        fn run(&mut self, code: &CodeBuffer) -> (CpuExit, CpuState, u64) {
+            let cpu = Cpu::new(CostModel::default());
+            let mut state = CpuState::new();
+            let mut cycles = CycleCounter::new();
+            let mut ctx = ExecContext {
+                values: &mut self.values,
+                frame_base: 0,
+                memory: Some(&mut self.memory),
+                globals: &mut self.globals,
+                tables: &mut self.tables,
+            };
+            let exit = cpu.run(&mut state, code, 0, &mut ctx, &mut cycles);
+            (exit, state, cycles.total())
+        }
+    }
+
+    #[test]
+    fn arithmetic_and_moves() {
+        let mut asm = Assembler::new();
+        asm.emit(MachInst::MovImm { dst: Reg(0), imm: 21 });
+        asm.emit(MachInst::MovImm { dst: Reg(1), imm: 2 });
+        asm.emit(MachInst::Alu {
+            op: AluOp::Mul,
+            width: Width::W32,
+            dst: Reg(2),
+            a: Reg(0),
+            b: Reg(1),
+        });
+        asm.emit(MachInst::AluImm {
+            op: AluOp::Add,
+            width: Width::W32,
+            dst: Reg(2),
+            a: Reg(2),
+            imm: -2,
+        });
+        asm.emit(MachInst::StoreSlot { slot: 0, src: Reg(2).into() });
+        asm.emit(MachInst::StoreTag { slot: 0, tag: ValueTag::I32 });
+        asm.emit(MachInst::Return);
+        let code = asm.finish();
+
+        let mut w = World::new();
+        let (exit, state, cycles) = w.run(&code);
+        assert_eq!(exit, CpuExit::Return);
+        assert_eq!(state.gprs[2], 40);
+        assert_eq!(w.values.read_value(0), WasmValue::I32(40));
+        assert!(cycles > 0);
+    }
+
+    #[test]
+    fn loop_sums_one_to_ten() {
+        // r0 = counter, r1 = sum
+        let mut asm = Assembler::new();
+        asm.emit(MachInst::MovImm { dst: Reg(0), imm: 10 });
+        asm.emit(MachInst::MovImm { dst: Reg(1), imm: 0 });
+        let top = asm.new_bound_label();
+        asm.emit(MachInst::Alu {
+            op: AluOp::Add,
+            width: Width::W64,
+            dst: Reg(1),
+            a: Reg(1),
+            b: Reg(0),
+        });
+        asm.emit(MachInst::AluImm {
+            op: AluOp::Sub,
+            width: Width::W64,
+            dst: Reg(0),
+            a: Reg(0),
+            imm: 1,
+        });
+        asm.emit(MachInst::BrIf { cond: Reg(0), target: top, negate: false });
+        asm.emit(MachInst::Return);
+        let code = asm.finish();
+
+        let mut w = World::new();
+        let (exit, state, _) = w.run(&code);
+        assert_eq!(exit, CpuExit::Return);
+        assert_eq!(state.gprs[1], 55);
+    }
+
+    #[test]
+    fn float_ops_and_selects() {
+        let mut asm = Assembler::new();
+        asm.emit(MachInst::FMovImm { dst: FReg(0), bits: 2.0f64.to_bits() });
+        asm.emit(MachInst::FMovImm { dst: FReg(1), bits: 0.5f64.to_bits() });
+        asm.emit(MachInst::FAlu {
+            op: FAluOp::Div,
+            width: Width::W64,
+            dst: FReg(2),
+            a: FReg(0),
+            b: FReg(1),
+        });
+        asm.emit(MachInst::MovImm { dst: Reg(0), imm: 0 });
+        asm.emit(MachInst::FSelect {
+            dst: FReg(3),
+            cond: Reg(0),
+            if_true: FReg(0),
+            if_false: FReg(2),
+        });
+        asm.emit(MachInst::Return);
+        let code = asm.finish();
+        let mut w = World::new();
+        let (_, state, _) = w.run(&code);
+        assert_eq!(f64::from_bits(state.fprs[2]), 4.0);
+        assert_eq!(f64::from_bits(state.fprs[3]), 4.0);
+    }
+
+    #[test]
+    fn memory_access_and_bounds_trap() {
+        let mut asm = Assembler::new();
+        asm.emit(MachInst::MovImm { dst: Reg(0), imm: 64 });
+        asm.emit(MachInst::MovImm { dst: Reg(1), imm: -1 });
+        asm.emit(MachInst::MemStore { src: Reg(1).into(), addr: Reg(0), offset: 0, width: 4 });
+        asm.emit(MachInst::MemLoad {
+            dst: Reg(2).into(),
+            addr: Reg(0),
+            offset: 2,
+            width: 2,
+            signed: true,
+            dst_width: Width::W32,
+        });
+        asm.emit(MachInst::Return);
+        let code = asm.finish();
+        let mut w = World::new();
+        let (exit, state, _) = w.run(&code);
+        assert_eq!(exit, CpuExit::Return);
+        assert_eq!(state.gprs[2] as u32 as i32, -1);
+
+        // Out-of-bounds store traps.
+        let mut asm = Assembler::new();
+        asm.emit(MachInst::MovImm { dst: Reg(0), imm: 65536 });
+        asm.emit(MachInst::MemStore { src: Reg(0).into(), addr: Reg(0), offset: 0, width: 4 });
+        asm.emit(MachInst::Return);
+        let code = asm.finish();
+        let (exit, _, _) = w.run(&code);
+        assert_eq!(exit, CpuExit::Trap(TrapCode::MemoryOutOfBounds));
+    }
+
+    #[test]
+    fn memory_size_and_grow() {
+        let mut asm = Assembler::new();
+        asm.emit(MachInst::MemorySize { dst: Reg(0) });
+        asm.emit(MachInst::MovImm { dst: Reg(1), imm: 2 });
+        asm.emit(MachInst::MemoryGrow { dst: Reg(2), delta: Reg(1) });
+        asm.emit(MachInst::MemorySize { dst: Reg(3) });
+        asm.emit(MachInst::Return);
+        let code = asm.finish();
+        let mut w = World::new();
+        let (_, state, _) = w.run(&code);
+        assert_eq!(state.gprs[0], 1);
+        assert_eq!(state.gprs[2], 1);
+        assert_eq!(state.gprs[3], 3);
+    }
+
+    #[test]
+    fn globals_and_tags() {
+        let mut asm = Assembler::new();
+        asm.emit(MachInst::GlobalGet { dst: Reg(0).into(), index: 0 });
+        asm.emit(MachInst::AluImm {
+            op: AluOp::Add,
+            width: Width::W64,
+            dst: Reg(0),
+            a: Reg(0),
+            imm: 1,
+        });
+        asm.emit(MachInst::GlobalSet { index: 0, src: Reg(0).into() });
+        asm.emit(MachInst::Return);
+        let code = asm.finish();
+        let mut w = World::new();
+        let (_, _, _) = w.run(&code);
+        assert_eq!(w.globals[0].value(), WasmValue::I64(12));
+    }
+
+    #[test]
+    fn division_trap_exits() {
+        let mut asm = Assembler::new();
+        asm.emit(MachInst::MovImm { dst: Reg(0), imm: 9 });
+        asm.emit(MachInst::MovImm { dst: Reg(1), imm: 0 });
+        asm.emit(MachInst::Alu {
+            op: AluOp::DivU,
+            width: Width::W32,
+            dst: Reg(2),
+            a: Reg(0),
+            b: Reg(1),
+        });
+        asm.emit(MachInst::Return);
+        let code = asm.finish();
+        let mut w = World::new();
+        let (exit, _, _) = w.run(&code);
+        assert_eq!(exit, CpuExit::Trap(TrapCode::DivisionByZero));
+    }
+
+    #[test]
+    fn call_and_probe_exits_resume_pcs() {
+        let mut asm = Assembler::new();
+        asm.emit(MachInst::Call { func_index: 3 });
+        asm.emit(MachInst::ProbeTosValue { probe_id: 9, src: Reg(5).into() });
+        asm.emit(MachInst::Return);
+        let code = asm.finish();
+        let mut w = World::new();
+        let (exit, _, _) = w.run(&code);
+        assert_eq!(exit, CpuExit::Call { func_index: 3, resume_pc: 1 });
+
+        // Resume at pc 1: the probe exit carries the register value.
+        let cpu = Cpu::new(CostModel::default());
+        let mut state = CpuState::new();
+        state.gprs[5] = 77;
+        let mut cycles = CycleCounter::new();
+        let mut ctx = ExecContext {
+            values: &mut w.values,
+            frame_base: 0,
+            memory: Some(&mut w.memory),
+            globals: &mut w.globals,
+            tables: &mut w.tables,
+        };
+        let exit = cpu.run(&mut state, &code, 1, &mut ctx, &mut cycles);
+        assert_eq!(
+            exit,
+            CpuExit::Probe {
+                exit: ProbeExit::TosValue { probe_id: 9, bits: 77 },
+                resume_pc: 2
+            }
+        );
+        let exit = cpu.run(&mut state, &code, 2, &mut ctx, &mut cycles);
+        assert_eq!(exit, CpuExit::Return);
+    }
+
+    #[test]
+    fn br_table_dispatch() {
+        let mut asm = Assembler::new();
+        let l0 = asm.new_label();
+        let l1 = asm.new_label();
+        let ldefault = asm.new_label();
+        asm.emit(MachInst::BrTable {
+            index: Reg(0),
+            targets: vec![l0, l1],
+            default: ldefault,
+        });
+        asm.bind(l0);
+        asm.emit(MachInst::MovImm { dst: Reg(1), imm: 100 });
+        asm.emit(MachInst::Return);
+        asm.bind(l1);
+        asm.emit(MachInst::MovImm { dst: Reg(1), imm: 200 });
+        asm.emit(MachInst::Return);
+        asm.bind(ldefault);
+        asm.emit(MachInst::MovImm { dst: Reg(1), imm: 300 });
+        asm.emit(MachInst::Return);
+        let code = asm.finish();
+
+        for (input, expected) in [(0u64, 100u64), (1, 200), (2, 300), (99, 300)] {
+            let cpu = Cpu::new(CostModel::default());
+            let mut w = World::new();
+            let mut state = CpuState::new();
+            state.gprs[0] = input;
+            let mut cycles = CycleCounter::new();
+            let mut ctx = ExecContext {
+                values: &mut w.values,
+                frame_base: 0,
+                memory: Some(&mut w.memory),
+                globals: &mut w.globals,
+                tables: &mut w.tables,
+            };
+            let exit = cpu.run(&mut state, &code, 0, &mut ctx, &mut cycles);
+            assert_eq!(exit, CpuExit::Return);
+            assert_eq!(state.gprs[1], expected, "input {input}");
+        }
+    }
+
+    #[test]
+    fn frame_base_offsets_slot_access() {
+        let mut asm = Assembler::new();
+        asm.emit(MachInst::LoadSlot { dst: Reg(0).into(), slot: 1 });
+        asm.emit(MachInst::AluImm {
+            op: AluOp::Add,
+            width: Width::W64,
+            dst: Reg(0),
+            a: Reg(0),
+            imm: 5,
+        });
+        asm.emit(MachInst::StoreSlot { slot: 2, src: Reg(0).into() });
+        asm.emit(MachInst::Return);
+        let code = asm.finish();
+
+        let mut w = World::new();
+        w.values.write_tagged(10, 0, ValueTag::I64);
+        w.values.write_tagged(11, 30, ValueTag::I64);
+        let cpu = Cpu::new(CostModel::default());
+        let mut state = CpuState::new();
+        let mut cycles = CycleCounter::new();
+        let mut ctx = ExecContext {
+            values: &mut w.values,
+            frame_base: 10,
+            memory: Some(&mut w.memory),
+            globals: &mut w.globals,
+            tables: &mut w.tables,
+        };
+        cpu.run(&mut state, &code, 0, &mut ctx, &mut cycles);
+        assert_eq!(w.values.read(12), 35);
+    }
+
+    #[test]
+    fn comparisons_feed_branches() {
+        let mut asm = Assembler::new();
+        asm.emit(MachInst::MovImm { dst: Reg(0), imm: 3 });
+        asm.emit(MachInst::CmpImm {
+            op: CmpOp::LtS,
+            width: Width::W32,
+            dst: Reg(1),
+            a: Reg(0),
+            imm: 10,
+        });
+        let yes = asm.new_label();
+        asm.emit(MachInst::BrIf { cond: Reg(1), target: yes, negate: false });
+        asm.emit(MachInst::MovImm { dst: Reg(2), imm: 0 });
+        asm.emit(MachInst::Return);
+        asm.bind(yes);
+        asm.emit(MachInst::MovImm { dst: Reg(2), imm: 1 });
+        asm.emit(MachInst::Return);
+        let code = asm.finish();
+        let mut w = World::new();
+        let (_, state, _) = w.run(&code);
+        assert_eq!(state.gprs[2], 1);
+    }
+
+    #[test]
+    fn cycles_reflect_cost_model() {
+        let cost = CostModel::default();
+        let mut asm = Assembler::new();
+        asm.emit(MachInst::MovImm { dst: Reg(0), imm: 1 });
+        asm.emit(MachInst::Return);
+        let code = asm.finish();
+        let mut w = World::new();
+        let (_, _, cycles) = w.run(&code);
+        assert_eq!(cycles, cost.mov + cost.ret);
+    }
+}

@@ -1,0 +1,47 @@
+//! Execution substrate for the baseline-compiler study: a virtual target ISA,
+//! assembler, cycle cost model, CPU simulator, and the tagged value stack,
+//! linear memory, and tables shared by every execution tier.
+//!
+//! The paper's compilers emit x86-64 and run on hardware; this reproduction
+//! substitutes a virtual register machine whose emitted code is *actually
+//! executed* by [`cpu::Cpu`] against the same runtime objects the interpreter
+//! uses, with execution time measured in simulated cycles from a single
+//! [`cost::CostModel`]. See DESIGN.md for why this preserves the paper's
+//! relative results.
+//!
+//! Module map:
+//!
+//! * [`reg`] — general-purpose and floating-point registers;
+//! * [`inst`] — the instruction set, including value-tag stores and probes;
+//! * [`asm`] — forward-patching assembler and finished [`asm::CodeBuffer`]s
+//!   with bytecode source maps;
+//! * [`ops`] — scalar semantics shared by interpreter, CPU, and constant
+//!   folding;
+//! * [`lower`] — classification of Wasm opcodes into machine operations;
+//! * [`values`] — tagged 64-bit slots, the value stack, and globals;
+//! * [`memory`] — linear memory and tables;
+//! * [`cost`] — the cycle cost model;
+//! * [`cpu`] — the resumable CPU simulator;
+//! * [`x64`] — a byte-level x86-64 encoder demonstrating real machine-code
+//!   emission for the subset the baseline compiler needs.
+
+#![warn(missing_docs)]
+
+pub mod asm;
+pub mod cost;
+pub mod cpu;
+pub mod inst;
+pub mod lower;
+pub mod memory;
+pub mod ops;
+pub mod reg;
+pub mod values;
+pub mod x64;
+
+pub use asm::{Assembler, CodeBuffer};
+pub use cost::{CostModel, CycleCounter};
+pub use cpu::{Cpu, CpuExit, CpuState, ExecContext, ProbeExit};
+pub use inst::{Label, MachInst, TrapCode, Width};
+pub use memory::{LinearMemory, Table};
+pub use reg::{AnyReg, FReg, Reg};
+pub use values::{GlobalSlot, ValueStack, ValueTag, WasmValue};

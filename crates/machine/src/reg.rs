@@ -1,0 +1,145 @@
+//! Register definitions for the virtual target ISA.
+//!
+//! The target models a conventional 64-bit register machine: 16 general
+//! purpose registers and 16 floating-point registers, mirroring x86-64's
+//! GPR/XMM split that the production baseline compilers target.
+
+use std::fmt;
+
+/// Number of general-purpose registers.
+pub const NUM_GPRS: usize = 16;
+/// Number of floating-point registers.
+pub const NUM_FPRS: usize = 16;
+
+/// A general-purpose (integer) register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reg(pub u8);
+
+impl Reg {
+    /// Returns the register's index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// All general-purpose registers.
+    pub fn all() -> impl Iterator<Item = Reg> {
+        (0..NUM_GPRS as u8).map(Reg)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A floating-point register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FReg(pub u8);
+
+impl FReg {
+    /// Returns the register's index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// All floating-point registers.
+    pub fn all() -> impl Iterator<Item = FReg> {
+        (0..NUM_FPRS as u8).map(FReg)
+    }
+}
+
+impl fmt::Display for FReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+/// Either kind of register. Conversions and slot moves may cross the
+/// integer/float bank boundary, so several instructions take an `AnyReg`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AnyReg {
+    /// A general-purpose register.
+    Gpr(Reg),
+    /// A floating-point register.
+    Fpr(FReg),
+}
+
+impl AnyReg {
+    /// Returns the GPR if this is one.
+    pub fn as_gpr(self) -> Option<Reg> {
+        match self {
+            AnyReg::Gpr(r) => Some(r),
+            AnyReg::Fpr(_) => None,
+        }
+    }
+
+    /// Returns the FPR if this is one.
+    pub fn as_fpr(self) -> Option<FReg> {
+        match self {
+            AnyReg::Fpr(r) => Some(r),
+            AnyReg::Gpr(_) => None,
+        }
+    }
+
+    /// True if this is a floating-point register.
+    pub fn is_float(self) -> bool {
+        matches!(self, AnyReg::Fpr(_))
+    }
+}
+
+impl From<Reg> for AnyReg {
+    fn from(r: Reg) -> AnyReg {
+        AnyReg::Gpr(r)
+    }
+}
+
+impl From<FReg> for AnyReg {
+    fn from(r: FReg) -> AnyReg {
+        AnyReg::Fpr(r)
+    }
+}
+
+impl fmt::Display for AnyReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnyReg::Gpr(r) => write!(f, "{r}"),
+            AnyReg::Fpr(r) => write!(f, "{r}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_display_and_index() {
+        assert_eq!(Reg(3).to_string(), "r3");
+        assert_eq!(FReg(11).to_string(), "f11");
+        assert_eq!(Reg(7).index(), 7);
+        assert_eq!(FReg(0).index(), 0);
+    }
+
+    #[test]
+    fn register_iteration() {
+        assert_eq!(Reg::all().count(), NUM_GPRS);
+        assert_eq!(FReg::all().count(), NUM_FPRS);
+        assert_eq!(Reg::all().next(), Some(Reg(0)));
+        assert_eq!(FReg::all().last(), Some(FReg(15)));
+    }
+
+    #[test]
+    fn any_reg_conversions() {
+        let g: AnyReg = Reg(5).into();
+        let f: AnyReg = FReg(6).into();
+        assert_eq!(g.as_gpr(), Some(Reg(5)));
+        assert_eq!(g.as_fpr(), None);
+        assert_eq!(f.as_fpr(), Some(FReg(6)));
+        assert_eq!(f.as_gpr(), None);
+        assert!(!g.is_float());
+        assert!(f.is_float());
+        assert_eq!(g.to_string(), "r5");
+        assert_eq!(f.to_string(), "f6");
+    }
+}

@@ -1,0 +1,509 @@
+//! Runtime value representation: tagged 64-bit slots and the value stack.
+//!
+//! Following the paper's Wizard design (Fig. 2), every Wasm value occupies one
+//! 64-bit slot plus a one-byte *value tag* identifying what the slot holds.
+//! The value stack is shared verbatim between the in-place interpreter and
+//! JIT-compiled code: the interpreter reads and writes it for every
+//! instruction, while compiled code keeps values in registers and only spills
+//! to it at observable points (calls, traps, probes) or when registers run
+//! out. The garbage collector finds reference roots by scanning tags.
+
+use std::fmt;
+use wasm::types::ValueType;
+
+/// Encoding of a null reference in a 64-bit slot.
+pub const NULL_REF_BITS: u64 = u64::MAX;
+
+/// The dynamic tag stored alongside each value-stack slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum ValueTag {
+    /// The slot holds an `i32`.
+    I32 = 0,
+    /// The slot holds an `i64`.
+    I64 = 1,
+    /// The slot holds an `f32` (in its low 32 bits).
+    F32 = 2,
+    /// The slot holds an `f64`.
+    F64 = 3,
+    /// The slot holds a function reference (function index or null).
+    FuncRef = 4,
+    /// The slot holds a host object reference — a GC root.
+    Ref = 5,
+    /// The slot's contents are dead / uninitialized. Scanners skip it.
+    Dead = 6,
+}
+
+impl ValueTag {
+    /// The tag corresponding to a value type.
+    pub fn for_type(t: ValueType) -> ValueTag {
+        match t {
+            ValueType::I32 => ValueTag::I32,
+            ValueType::I64 => ValueTag::I64,
+            ValueType::F32 => ValueTag::F32,
+            ValueType::F64 => ValueTag::F64,
+            ValueType::FuncRef => ValueTag::FuncRef,
+            ValueType::ExternRef => ValueTag::Ref,
+        }
+    }
+
+    /// Decodes a tag from its byte encoding.
+    pub fn from_byte(b: u8) -> Option<ValueTag> {
+        Some(match b {
+            0 => ValueTag::I32,
+            1 => ValueTag::I64,
+            2 => ValueTag::F32,
+            3 => ValueTag::F64,
+            4 => ValueTag::FuncRef,
+            5 => ValueTag::Ref,
+            6 => ValueTag::Dead,
+            _ => return None,
+        })
+    }
+
+    /// True if slots with this tag are garbage-collection roots.
+    pub fn is_gc_root(self) -> bool {
+        self == ValueTag::Ref
+    }
+}
+
+impl fmt::Display for ValueTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ValueTag::I32 => "i32",
+            ValueTag::I64 => "i64",
+            ValueTag::F32 => "f32",
+            ValueTag::F64 => "f64",
+            ValueTag::FuncRef => "funcref",
+            ValueTag::Ref => "ref",
+            ValueTag::Dead => "dead",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A WebAssembly runtime value at the host level.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WasmValue {
+    /// A 32-bit integer.
+    I32(i32),
+    /// A 64-bit integer.
+    I64(i64),
+    /// A 32-bit float.
+    F32(f32),
+    /// A 64-bit float.
+    F64(f64),
+    /// A function reference (function index) or null.
+    FuncRef(Option<u32>),
+    /// A host object reference (handle into the host GC heap) or null.
+    ExternRef(Option<u32>),
+}
+
+impl WasmValue {
+    /// The default (zero / null) value of a type.
+    pub fn default_for(t: ValueType) -> WasmValue {
+        match t {
+            ValueType::I32 => WasmValue::I32(0),
+            ValueType::I64 => WasmValue::I64(0),
+            ValueType::F32 => WasmValue::F32(0.0),
+            ValueType::F64 => WasmValue::F64(0.0),
+            ValueType::FuncRef => WasmValue::FuncRef(None),
+            ValueType::ExternRef => WasmValue::ExternRef(None),
+        }
+    }
+
+    /// The value type of this value.
+    pub fn value_type(&self) -> ValueType {
+        match self {
+            WasmValue::I32(_) => ValueType::I32,
+            WasmValue::I64(_) => ValueType::I64,
+            WasmValue::F32(_) => ValueType::F32,
+            WasmValue::F64(_) => ValueType::F64,
+            WasmValue::FuncRef(_) => ValueType::FuncRef,
+            WasmValue::ExternRef(_) => ValueType::ExternRef,
+        }
+    }
+
+    /// The tag of this value.
+    pub fn tag(&self) -> ValueTag {
+        ValueTag::for_type(self.value_type())
+    }
+
+    /// The raw 64-bit slot encoding of this value.
+    pub fn to_bits(&self) -> u64 {
+        match *self {
+            WasmValue::I32(v) => v as u32 as u64,
+            WasmValue::I64(v) => v as u64,
+            WasmValue::F32(v) => v.to_bits() as u64,
+            WasmValue::F64(v) => v.to_bits(),
+            WasmValue::FuncRef(r) | WasmValue::ExternRef(r) => match r {
+                Some(i) => i as u64,
+                None => NULL_REF_BITS,
+            },
+        }
+    }
+
+    /// Reconstructs a value from its slot bits and tag.
+    pub fn from_bits(bits: u64, tag: ValueTag) -> WasmValue {
+        match tag {
+            ValueTag::I32 => WasmValue::I32(bits as u32 as i32),
+            ValueTag::I64 | ValueTag::Dead => WasmValue::I64(bits as i64),
+            ValueTag::F32 => WasmValue::F32(f32::from_bits(bits as u32)),
+            ValueTag::F64 => WasmValue::F64(f64::from_bits(bits)),
+            ValueTag::FuncRef => WasmValue::FuncRef(decode_ref(bits)),
+            ValueTag::Ref => WasmValue::ExternRef(decode_ref(bits)),
+        }
+    }
+
+    /// Returns the i32 payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this is not an `I32`.
+    pub fn unwrap_i32(&self) -> i32 {
+        match self {
+            WasmValue::I32(v) => *v,
+            other => panic!("expected i32, found {other:?}"),
+        }
+    }
+
+    /// Returns the i64 payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this is not an `I64`.
+    pub fn unwrap_i64(&self) -> i64 {
+        match self {
+            WasmValue::I64(v) => *v,
+            other => panic!("expected i64, found {other:?}"),
+        }
+    }
+
+    /// Returns the f32 payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this is not an `F32`.
+    pub fn unwrap_f32(&self) -> f32 {
+        match self {
+            WasmValue::F32(v) => *v,
+            other => panic!("expected f32, found {other:?}"),
+        }
+    }
+
+    /// Returns the f64 payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this is not an `F64`.
+    pub fn unwrap_f64(&self) -> f64 {
+        match self {
+            WasmValue::F64(v) => *v,
+            other => panic!("expected f64, found {other:?}"),
+        }
+    }
+}
+
+fn decode_ref(bits: u64) -> Option<u32> {
+    if bits == NULL_REF_BITS {
+        None
+    } else {
+        Some(bits as u32)
+    }
+}
+
+impl fmt::Display for WasmValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WasmValue::I32(v) => write!(f, "{v}:i32"),
+            WasmValue::I64(v) => write!(f, "{v}:i64"),
+            WasmValue::F32(v) => write!(f, "{v}:f32"),
+            WasmValue::F64(v) => write!(f, "{v}:f64"),
+            WasmValue::FuncRef(Some(i)) => write!(f, "funcref({i})"),
+            WasmValue::FuncRef(None) => write!(f, "funcref(null)"),
+            WasmValue::ExternRef(Some(i)) => write!(f, "ref({i})"),
+            WasmValue::ExternRef(None) => write!(f, "ref(null)"),
+        }
+    }
+}
+
+/// A global variable cell: a tagged 64-bit slot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GlobalSlot {
+    /// The raw slot bits.
+    pub bits: u64,
+    /// The tag describing the slot.
+    pub tag: ValueTag,
+}
+
+impl GlobalSlot {
+    /// Creates a global cell from a value.
+    pub fn from_value(v: WasmValue) -> GlobalSlot {
+        GlobalSlot {
+            bits: v.to_bits(),
+            tag: v.tag(),
+        }
+    }
+
+    /// Reads the cell as a value.
+    pub fn value(&self) -> WasmValue {
+        WasmValue::from_bits(self.bits, self.tag)
+    }
+}
+
+/// The explicit value stack shared by the interpreter and JIT code.
+///
+/// Slots are 64 bits wide; tags are stored in a parallel byte array. The
+/// stack has a fixed capacity — exhausting it is a stack-overflow trap,
+/// mirroring the guard page in the paper's Fig. 2.
+#[derive(Debug, Clone)]
+pub struct ValueStack {
+    slots: Vec<u64>,
+    tags: Vec<ValueTag>,
+    sp: usize,
+}
+
+/// Default capacity (in slots) of a value stack.
+pub const DEFAULT_VALUE_STACK_SLOTS: usize = 64 * 1024;
+
+impl Default for ValueStack {
+    fn default() -> ValueStack {
+        ValueStack::with_capacity(DEFAULT_VALUE_STACK_SLOTS)
+    }
+}
+
+impl ValueStack {
+    /// Creates a value stack with the given slot capacity.
+    pub fn with_capacity(slots: usize) -> ValueStack {
+        ValueStack {
+            slots: vec![0; slots],
+            tags: vec![ValueTag::Dead; slots],
+            sp: 0,
+        }
+    }
+
+    /// Total slot capacity.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The current stack pointer (index of the next free slot).
+    pub fn sp(&self) -> usize {
+        self.sp
+    }
+
+    /// Sets the stack pointer (e.g. when pushing or popping a frame).
+    pub fn set_sp(&mut self, sp: usize) {
+        debug_assert!(sp <= self.capacity());
+        self.sp = sp;
+    }
+
+    /// True if pushing `extra` more slots would overflow the stack.
+    pub fn would_overflow(&self, extra: usize) -> bool {
+        self.sp + extra > self.capacity()
+    }
+
+    /// Reads the raw bits of a slot.
+    pub fn read(&self, slot: usize) -> u64 {
+        self.slots[slot]
+    }
+
+    /// Writes the raw bits of a slot without touching its tag.
+    pub fn write(&mut self, slot: usize, bits: u64) {
+        self.slots[slot] = bits;
+    }
+
+    /// Reads a slot's tag.
+    pub fn tag(&self, slot: usize) -> ValueTag {
+        self.tags[slot]
+    }
+
+    /// Writes a slot's tag.
+    pub fn set_tag(&mut self, slot: usize, tag: ValueTag) {
+        self.tags[slot] = tag;
+    }
+
+    /// Writes both bits and tag of a slot.
+    pub fn write_tagged(&mut self, slot: usize, bits: u64, tag: ValueTag) {
+        self.slots[slot] = bits;
+        self.tags[slot] = tag;
+    }
+
+    /// Writes a value (bits + tag) to a slot.
+    pub fn write_value(&mut self, slot: usize, v: WasmValue) {
+        self.write_tagged(slot, v.to_bits(), v.tag());
+    }
+
+    /// Reads a slot as a value using its stored tag.
+    pub fn read_value(&self, slot: usize) -> WasmValue {
+        WasmValue::from_bits(self.slots[slot], self.tags[slot])
+    }
+
+    /// Pushes a value at the stack pointer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stack is full; callers are expected to check frame sizes
+    /// up front (the engine turns that check into a stack-overflow trap).
+    pub fn push(&mut self, v: WasmValue) {
+        let slot = self.sp;
+        self.write_value(slot, v);
+        self.sp += 1;
+    }
+
+    /// Pops the top value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stack is empty.
+    pub fn pop(&mut self) -> WasmValue {
+        assert!(self.sp > 0, "value stack underflow");
+        self.sp -= 1;
+        self.read_value(self.sp)
+    }
+
+    /// Marks a range of slots dead (used when popping frames so stale
+    /// references do not keep host objects alive).
+    pub fn clear_range(&mut self, start: usize, end: usize) {
+        for slot in start..end {
+            self.slots[slot] = 0;
+            self.tags[slot] = ValueTag::Dead;
+        }
+    }
+
+    /// Iterates over the live region `[0, sp)` yielding `(slot, bits, tag)`.
+    /// This is what tag-based GC root scanning walks.
+    pub fn iter_live(&self) -> impl Iterator<Item = (usize, u64, ValueTag)> + '_ {
+        (0..self.sp).map(move |i| (i, self.slots[i], self.tags[i]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tag_type_correspondence() {
+        for t in ValueType::ALL {
+            let tag = ValueTag::for_type(t);
+            assert_eq!(ValueTag::from_byte(tag as u8), Some(tag));
+        }
+        assert!(ValueTag::Ref.is_gc_root());
+        assert!(!ValueTag::I64.is_gc_root());
+        assert!(!ValueTag::FuncRef.is_gc_root());
+        assert_eq!(ValueTag::from_byte(200), None);
+    }
+
+    #[test]
+    fn value_bits_roundtrip() {
+        let cases = [
+            WasmValue::I32(-7),
+            WasmValue::I32(i32::MIN),
+            WasmValue::I64(i64::MAX),
+            WasmValue::F32(3.25),
+            WasmValue::F64(-0.0),
+            WasmValue::FuncRef(Some(12)),
+            WasmValue::FuncRef(None),
+            WasmValue::ExternRef(Some(0)),
+            WasmValue::ExternRef(None),
+        ];
+        for v in cases {
+            let bits = v.to_bits();
+            let back = WasmValue::from_bits(bits, v.tag());
+            assert_eq!(back, v, "{v}");
+        }
+    }
+
+    #[test]
+    fn nan_bits_preserved() {
+        let v = WasmValue::F64(f64::from_bits(0x7FF8_0000_0000_1234));
+        let back = WasmValue::from_bits(v.to_bits(), ValueTag::F64);
+        assert_eq!(back.to_bits(), v.to_bits());
+    }
+
+    #[test]
+    fn default_values() {
+        assert_eq!(WasmValue::default_for(ValueType::I32), WasmValue::I32(0));
+        assert_eq!(
+            WasmValue::default_for(ValueType::ExternRef),
+            WasmValue::ExternRef(None)
+        );
+        assert_eq!(WasmValue::default_for(ValueType::F64), WasmValue::F64(0.0));
+    }
+
+    #[test]
+    fn unwrap_accessors() {
+        assert_eq!(WasmValue::I32(3).unwrap_i32(), 3);
+        assert_eq!(WasmValue::I64(-3).unwrap_i64(), -3);
+        assert_eq!(WasmValue::F32(1.5).unwrap_f32(), 1.5);
+        assert_eq!(WasmValue::F64(2.5).unwrap_f64(), 2.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected i32")]
+    fn unwrap_wrong_kind_panics() {
+        WasmValue::F64(1.0).unwrap_i32();
+    }
+
+    #[test]
+    fn value_stack_push_pop() {
+        let mut vs = ValueStack::with_capacity(16);
+        assert_eq!(vs.sp(), 0);
+        vs.push(WasmValue::I32(1));
+        vs.push(WasmValue::F64(2.5));
+        vs.push(WasmValue::ExternRef(Some(9)));
+        assert_eq!(vs.sp(), 3);
+        assert_eq!(vs.pop(), WasmValue::ExternRef(Some(9)));
+        assert_eq!(vs.pop(), WasmValue::F64(2.5));
+        assert_eq!(vs.pop(), WasmValue::I32(1));
+        assert_eq!(vs.sp(), 0);
+    }
+
+    #[test]
+    fn value_stack_slot_access_and_tags() {
+        let mut vs = ValueStack::with_capacity(8);
+        vs.set_sp(4);
+        vs.write_tagged(2, 42, ValueTag::I64);
+        assert_eq!(vs.read(2), 42);
+        assert_eq!(vs.tag(2), ValueTag::I64);
+        vs.write(2, 43);
+        assert_eq!(vs.read(2), 43);
+        assert_eq!(vs.tag(2), ValueTag::I64, "raw write must not change tag");
+        vs.set_tag(2, ValueTag::Ref);
+        assert_eq!(vs.read_value(2), WasmValue::ExternRef(Some(43)));
+    }
+
+    #[test]
+    fn value_stack_live_iteration_and_clear() {
+        let mut vs = ValueStack::with_capacity(8);
+        vs.push(WasmValue::I32(1));
+        vs.push(WasmValue::ExternRef(Some(5)));
+        vs.push(WasmValue::ExternRef(None));
+        let roots: Vec<_> = vs
+            .iter_live()
+            .filter(|(_, bits, tag)| tag.is_gc_root() && *bits != NULL_REF_BITS)
+            .collect();
+        assert_eq!(roots.len(), 1);
+        assert_eq!(roots[0].0, 1);
+
+        vs.clear_range(0, 3);
+        assert!(vs.iter_live().all(|(_, _, tag)| tag == ValueTag::Dead));
+    }
+
+    #[test]
+    fn value_stack_overflow_detection() {
+        let mut vs = ValueStack::with_capacity(4);
+        assert!(!vs.would_overflow(4));
+        assert!(vs.would_overflow(5));
+        vs.set_sp(3);
+        assert!(vs.would_overflow(2));
+        assert!(!vs.would_overflow(1));
+    }
+
+    #[test]
+    fn global_slot_roundtrip() {
+        let g = GlobalSlot::from_value(WasmValue::F32(9.5));
+        assert_eq!(g.value(), WasmValue::F32(9.5));
+        assert_eq!(g.tag, ValueTag::F32);
+    }
+}

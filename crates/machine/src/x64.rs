@@ -1,0 +1,324 @@
+//! A byte-level x86-64 instruction encoder.
+//!
+//! The reproduction executes the virtual ISA in a simulator, but real baseline
+//! compilers emit concrete machine bytes. This module demonstrates that the
+//! emission side is conventional: it encodes the x86-64 subset a baseline
+//! compiler needs (register moves, immediates, loads/stores off a frame
+//! register, ALU ops, compares, conditional jumps, calls, and returns) with
+//! correct REX/ModRM/SIB encoding, verified byte-for-byte against reference
+//! encodings in the tests. It is not wired into the execution path because
+//! the offline environment provides no way to map executable pages.
+
+/// An x86-64 general-purpose register (the 16 architectural GPRs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum Gpr {
+    Rax = 0,
+    Rcx = 1,
+    Rdx = 2,
+    Rbx = 3,
+    Rsp = 4,
+    Rbp = 5,
+    Rsi = 6,
+    Rdi = 7,
+    R8 = 8,
+    R9 = 9,
+    R10 = 10,
+    R11 = 11,
+    R12 = 12,
+    R13 = 13,
+    R14 = 14,
+    R15 = 15,
+}
+
+impl Gpr {
+    fn low3(self) -> u8 {
+        (self as u8) & 0x7
+    }
+
+    fn high_bit(self) -> u8 {
+        ((self as u8) >> 3) & 1
+    }
+}
+
+/// Condition codes for `Jcc` / `SETcc`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum Cond {
+    Eq = 0x4,
+    Ne = 0x5,
+    Lt = 0xC,
+    Ge = 0xD,
+    Le = 0xE,
+    Gt = 0xF,
+    Below = 0x2,
+    AboveEq = 0x3,
+    BelowEq = 0x6,
+    Above = 0x7,
+}
+
+/// An append-only x86-64 machine code buffer.
+#[derive(Debug, Clone, Default)]
+pub struct X64Assembler {
+    bytes: Vec<u8>,
+}
+
+impl X64Assembler {
+    /// Creates an empty assembler.
+    pub fn new() -> X64Assembler {
+        X64Assembler::default()
+    }
+
+    /// The bytes emitted so far.
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// The current offset (used as a branch-target anchor).
+    pub fn offset(&self) -> usize {
+        self.bytes.len()
+    }
+
+    fn rex(&mut self, w: bool, reg: u8, rm: u8) {
+        let rex = 0x40 | ((w as u8) << 3) | (reg << 2) | rm;
+        if rex != 0x40 || w {
+            self.bytes.push(rex);
+        }
+    }
+
+    fn rex_always(&mut self, w: bool, reg: u8, rm: u8) {
+        self.bytes.push(0x40 | ((w as u8) << 3) | (reg << 2) | rm);
+    }
+
+    fn modrm(&mut self, md: u8, reg: u8, rm: u8) {
+        self.bytes.push((md << 6) | (reg << 3) | rm);
+    }
+
+    /// `mov dst, imm32` (sign-extended to 64 bits via the C7 form).
+    pub fn mov_ri32(&mut self, dst: Gpr, imm: i32) {
+        self.rex_always(true, 0, dst.high_bit());
+        self.bytes.push(0xC7);
+        self.modrm(0b11, 0, dst.low3());
+        self.bytes.extend_from_slice(&imm.to_le_bytes());
+    }
+
+    /// `movabs dst, imm64`.
+    pub fn mov_ri64(&mut self, dst: Gpr, imm: i64) {
+        self.rex_always(true, 0, dst.high_bit());
+        self.bytes.push(0xB8 + dst.low3());
+        self.bytes.extend_from_slice(&imm.to_le_bytes());
+    }
+
+    /// `mov dst, src` (64-bit register move).
+    pub fn mov_rr(&mut self, dst: Gpr, src: Gpr) {
+        self.rex_always(true, src.high_bit(), dst.high_bit());
+        self.bytes.push(0x89);
+        self.modrm(0b11, src.low3(), dst.low3());
+    }
+
+    /// `mov dst, [base + disp32]` (64-bit load).
+    pub fn load_rm(&mut self, dst: Gpr, base: Gpr, disp: i32) {
+        self.rex_always(true, dst.high_bit(), base.high_bit());
+        self.bytes.push(0x8B);
+        self.modrm(0b10, dst.low3(), base.low3());
+        if base.low3() == 4 {
+            // RSP/R12 need a SIB byte.
+            self.bytes.push(0x24);
+        }
+        self.bytes.extend_from_slice(&disp.to_le_bytes());
+    }
+
+    /// `mov [base + disp32], src` (64-bit store).
+    pub fn store_mr(&mut self, base: Gpr, disp: i32, src: Gpr) {
+        self.rex_always(true, src.high_bit(), base.high_bit());
+        self.bytes.push(0x89);
+        self.modrm(0b10, src.low3(), base.low3());
+        if base.low3() == 4 {
+            self.bytes.push(0x24);
+        }
+        self.bytes.extend_from_slice(&disp.to_le_bytes());
+    }
+
+    /// `add dst, src` (64-bit).
+    pub fn add_rr(&mut self, dst: Gpr, src: Gpr) {
+        self.rex_always(true, src.high_bit(), dst.high_bit());
+        self.bytes.push(0x01);
+        self.modrm(0b11, src.low3(), dst.low3());
+    }
+
+    /// `sub dst, src` (64-bit).
+    pub fn sub_rr(&mut self, dst: Gpr, src: Gpr) {
+        self.rex_always(true, src.high_bit(), dst.high_bit());
+        self.bytes.push(0x29);
+        self.modrm(0b11, src.low3(), dst.low3());
+    }
+
+    /// `add dst, imm32` (64-bit, immediate form — the ISEL optimization).
+    pub fn add_ri(&mut self, dst: Gpr, imm: i32) {
+        self.rex_always(true, 0, dst.high_bit());
+        self.bytes.push(0x81);
+        self.modrm(0b11, 0, dst.low3());
+        self.bytes.extend_from_slice(&imm.to_le_bytes());
+    }
+
+    /// `cmp a, b` (64-bit).
+    pub fn cmp_rr(&mut self, a: Gpr, b: Gpr) {
+        self.rex_always(true, b.high_bit(), a.high_bit());
+        self.bytes.push(0x39);
+        self.modrm(0b11, b.low3(), a.low3());
+    }
+
+    /// `jcc rel32`; returns the offset of the displacement for later patching.
+    pub fn jcc(&mut self, cond: Cond, rel: i32) -> usize {
+        self.bytes.push(0x0F);
+        self.bytes.push(0x80 | cond as u8);
+        let at = self.bytes.len();
+        self.bytes.extend_from_slice(&rel.to_le_bytes());
+        at
+    }
+
+    /// `jmp rel32`; returns the offset of the displacement for later patching.
+    pub fn jmp(&mut self, rel: i32) -> usize {
+        self.bytes.push(0xE9);
+        let at = self.bytes.len();
+        self.bytes.extend_from_slice(&rel.to_le_bytes());
+        at
+    }
+
+    /// Patches a previously emitted rel32 displacement so it targets `target`.
+    pub fn patch_rel32(&mut self, disp_offset: usize, target: usize) {
+        let next = disp_offset + 4;
+        let rel = target as i64 - next as i64;
+        self.bytes[disp_offset..disp_offset + 4]
+            .copy_from_slice(&(rel as i32).to_le_bytes());
+    }
+
+    /// `call rel32`.
+    pub fn call(&mut self, rel: i32) {
+        self.bytes.push(0xE8);
+        self.bytes.extend_from_slice(&rel.to_le_bytes());
+    }
+
+    /// `ret`.
+    pub fn ret(&mut self) {
+        self.bytes.push(0xC3);
+    }
+
+    /// `mov byte [base + disp32], imm8` — the encoding a value-tag store uses.
+    pub fn store_tag_byte(&mut self, base: Gpr, disp: i32, tag: u8) {
+        self.rex(false, 0, base.high_bit());
+        self.bytes.push(0xC6);
+        self.modrm(0b10, 0, base.low3());
+        if base.low3() == 4 {
+            self.bytes.push(0x24);
+        }
+        self.bytes.extend_from_slice(&disp.to_le_bytes());
+        self.bytes.push(tag);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mov_immediate_encodings() {
+        let mut a = X64Assembler::new();
+        a.mov_ri32(Gpr::Rax, 7);
+        assert_eq!(a.bytes(), &[0x48, 0xC7, 0xC0, 0x07, 0x00, 0x00, 0x00]);
+
+        let mut a = X64Assembler::new();
+        a.mov_ri32(Gpr::R12, -1);
+        assert_eq!(a.bytes(), &[0x49, 0xC7, 0xC4, 0xFF, 0xFF, 0xFF, 0xFF]);
+
+        let mut a = X64Assembler::new();
+        a.mov_ri64(Gpr::Rcx, 0x1122334455667788);
+        assert_eq!(
+            a.bytes(),
+            &[0x48, 0xB9, 0x88, 0x77, 0x66, 0x55, 0x44, 0x33, 0x22, 0x11]
+        );
+    }
+
+    #[test]
+    fn register_moves_and_alu() {
+        let mut a = X64Assembler::new();
+        a.mov_rr(Gpr::Rbx, Gpr::Rax);
+        assert_eq!(a.bytes(), &[0x48, 0x89, 0xC3]);
+
+        let mut a = X64Assembler::new();
+        a.add_rr(Gpr::Rax, Gpr::R9);
+        assert_eq!(a.bytes(), &[0x4C, 0x01, 0xC8]);
+
+        let mut a = X64Assembler::new();
+        a.sub_rr(Gpr::Rdx, Gpr::Rcx);
+        assert_eq!(a.bytes(), &[0x48, 0x29, 0xCA]);
+
+        let mut a = X64Assembler::new();
+        a.add_ri(Gpr::Rsi, 64);
+        assert_eq!(a.bytes(), &[0x48, 0x81, 0xC6, 0x40, 0x00, 0x00, 0x00]);
+
+        let mut a = X64Assembler::new();
+        a.cmp_rr(Gpr::Rax, Gpr::Rbx);
+        assert_eq!(a.bytes(), &[0x48, 0x39, 0xD8]);
+    }
+
+    #[test]
+    fn loads_and_stores_off_frame_register() {
+        // mov rax, [r14 + 0x10] — loading a value-stack slot off VFP (r14).
+        let mut a = X64Assembler::new();
+        a.load_rm(Gpr::Rax, Gpr::R14, 0x10);
+        assert_eq!(a.bytes(), &[0x49, 0x8B, 0x86, 0x10, 0x00, 0x00, 0x00]);
+
+        // mov [r14 + 0x18], rbx — spilling to the value stack.
+        let mut a = X64Assembler::new();
+        a.store_mr(Gpr::R14, 0x18, Gpr::Rbx);
+        assert_eq!(a.bytes(), &[0x49, 0x89, 0x9E, 0x18, 0x00, 0x00, 0x00]);
+
+        // RSP-based addressing requires a SIB byte.
+        let mut a = X64Assembler::new();
+        a.load_rm(Gpr::Rcx, Gpr::Rsp, 8);
+        assert_eq!(a.bytes(), &[0x48, 0x8B, 0x8C, 0x24, 0x08, 0x00, 0x00, 0x00]);
+    }
+
+    #[test]
+    fn tag_store_byte_encoding() {
+        // mov byte [r14 + 0x21], 5 — a value tag store.
+        let mut a = X64Assembler::new();
+        a.store_tag_byte(Gpr::R14, 0x21, 5);
+        assert_eq!(a.bytes(), &[0x41, 0xC6, 0x86, 0x21, 0x00, 0x00, 0x00, 0x05]);
+
+        // Low register needs no REX prefix.
+        let mut a = X64Assembler::new();
+        a.store_tag_byte(Gpr::Rdi, 4, 1);
+        assert_eq!(a.bytes(), &[0xC6, 0x87, 0x04, 0x00, 0x00, 0x00, 0x01]);
+    }
+
+    #[test]
+    fn control_flow_and_patching() {
+        let mut a = X64Assembler::new();
+        a.ret();
+        assert_eq!(a.bytes(), &[0xC3]);
+
+        let mut a = X64Assembler::new();
+        a.call(0x10);
+        assert_eq!(a.bytes(), &[0xE8, 0x10, 0x00, 0x00, 0x00]);
+
+        // Forward jump patched to land on the ret.
+        let mut a = X64Assembler::new();
+        let disp = a.jmp(0);
+        a.mov_ri32(Gpr::Rax, 1);
+        let target = a.offset();
+        a.ret();
+        a.patch_rel32(disp, target);
+        // jmp is 5 bytes; mov is 7 bytes; so rel = 7.
+        assert_eq!(&a.bytes()[..5], &[0xE9, 0x07, 0x00, 0x00, 0x00]);
+
+        // Conditional jump encoding.
+        let mut a = X64Assembler::new();
+        a.jcc(Cond::Eq, -6);
+        assert_eq!(a.bytes(), &[0x0F, 0x84, 0xFA, 0xFF, 0xFF, 0xFF]);
+        let mut a = X64Assembler::new();
+        a.jcc(Cond::Lt, 2);
+        assert_eq!(a.bytes(), &[0x0F, 0x8C, 0x02, 0x00, 0x00, 0x00]);
+    }
+}

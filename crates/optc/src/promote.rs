@@ -1,0 +1,372 @@
+//! Whole-function promotion of local-variable slots to registers.
+//!
+//! The baseline compiler gives up its register assignments at every
+//! control-flow boundary (its "spill the rest" snapshot strategy), so code in
+//! a loop reloads its locals from the value stack on every iteration. The
+//! optimizing tier removes that traffic: each frequently-accessed,
+//! non-reference local is assigned a dedicated register for the whole
+//! function. The register is initialized from the slot in an expanded
+//! prologue, every slot load/store of that local becomes a register move, and
+//! the slot is refreshed before observable points (calls, indirect calls,
+//! probes, traps, and returns) so the garbage collector, instrumentation, and
+//! cross-tier calls still see a canonical frame.
+
+use machine::asm::CodeBuffer;
+use machine::inst::MachInst;
+use machine::reg::{AnyReg, FReg, Reg, NUM_FPRS, NUM_GPRS};
+use spc::CompiledFunction;
+use std::collections::{HashMap, HashSet};
+use wasm::types::ValueType;
+
+/// Per-function statistics gathered by the analysis sweeps.
+#[derive(Debug, Clone, Default)]
+pub struct CodeAnalysis {
+    /// Number of accesses (loads + stores) per slot index.
+    pub slot_accesses: HashMap<u32, u32>,
+    /// Every register mentioned anywhere in the code.
+    pub used_regs: HashSet<AnyReg>,
+    /// Number of call-like instructions.
+    pub observable_points: u32,
+}
+
+/// Analyzes a compiled function, counting slot accesses and register usage.
+pub fn analyze(cf: &CompiledFunction) -> CodeAnalysis {
+    let mut analysis = CodeAnalysis::default();
+    for inst in cf.code.insts() {
+        match inst {
+            MachInst::LoadSlot { slot, .. }
+            | MachInst::StoreSlot { slot, .. }
+            | MachInst::StoreSlotImm { slot, .. } => {
+                *analysis.slot_accesses.entry(*slot).or_insert(0) += 1;
+            }
+            MachInst::Call { .. }
+            | MachInst::CallIndirect { .. }
+            | MachInst::ProbeRuntime { .. }
+            | MachInst::ProbeDirect { .. } => analysis.observable_points += 1,
+            _ => {}
+        }
+        for_each_reg(inst, |r| {
+            analysis.used_regs.insert(r);
+        });
+    }
+    analysis
+}
+
+/// Promotes eligible locals of `cf` to registers. `local_types` are the
+/// function's local slot types (parameters followed by declared locals);
+/// reference-typed locals are never promoted so root scanning stays precise.
+pub fn promote_locals(
+    cf: CompiledFunction,
+    local_types: &[ValueType],
+    analysis: &CodeAnalysis,
+) -> CompiledFunction {
+    // Pick promotion registers from the top of each bank, skipping any the
+    // generated code already uses.
+    let free_gprs: Vec<Reg> = (1..NUM_GPRS as u8)
+        .rev()
+        .map(Reg)
+        .filter(|r| !analysis.used_regs.contains(&AnyReg::Gpr(*r)))
+        .collect();
+    let free_fprs: Vec<FReg> = (1..NUM_FPRS as u8)
+        .rev()
+        .map(FReg)
+        .filter(|r| !analysis.used_regs.contains(&AnyReg::Fpr(*r)))
+        .collect();
+
+    // Candidate locals by access count, most-accessed first.
+    let mut candidates: Vec<(u32, u32)> = analysis
+        .slot_accesses
+        .iter()
+        .filter(|(slot, _)| (**slot as usize) < local_types.len())
+        .filter(|(slot, _)| !local_types[**slot as usize].is_reference())
+        .map(|(slot, count)| (*slot, *count))
+        .collect();
+    candidates.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+
+    let mut assignment: HashMap<u32, AnyReg> = HashMap::new();
+    let mut next_gpr = 0usize;
+    let mut next_fpr = 0usize;
+    for (slot, _count) in candidates {
+        let ty = local_types[slot as usize];
+        if ty.is_float() {
+            if next_fpr < free_fprs.len() {
+                assignment.insert(slot, AnyReg::Fpr(free_fprs[next_fpr]));
+                next_fpr += 1;
+            }
+        } else if next_gpr < free_gprs.len() {
+            assignment.insert(slot, AnyReg::Gpr(free_gprs[next_gpr]));
+            next_gpr += 1;
+        }
+    }
+    if assignment.is_empty() {
+        return cf;
+    }
+    rewrite(cf, &assignment)
+}
+
+fn rewrite(cf: CompiledFunction, assignment: &HashMap<u32, AnyReg>) -> CompiledFunction {
+    let old_insts = cf.code.insts();
+    let mut new_insts: Vec<MachInst> = Vec::with_capacity(old_insts.len() + assignment.len() * 2);
+    // Where branches to an old index should land (includes any flush code
+    // inserted before the instruction).
+    let mut branch_view = vec![0usize; old_insts.len() + 1];
+    // Where the old instruction itself landed (for call/probe metadata).
+    let mut exact_view = vec![0usize; old_insts.len()];
+
+    // Expanded prologue: initialize every promoted register from its slot.
+    let mut slots: Vec<(&u32, &AnyReg)> = assignment.iter().collect();
+    slots.sort_by_key(|(slot, _)| **slot);
+    for (slot, reg) in &slots {
+        new_insts.push(MachInst::LoadSlot {
+            dst: **reg,
+            slot: **slot,
+        });
+    }
+
+    for (i, inst) in old_insts.iter().enumerate() {
+        branch_view[i] = new_insts.len();
+        let needs_flush = matches!(
+            inst,
+            MachInst::Call { .. }
+                | MachInst::CallIndirect { .. }
+                | MachInst::ProbeRuntime { .. }
+                | MachInst::ProbeDirect { .. }
+                | MachInst::Trap { .. }
+                | MachInst::Return
+        );
+        if needs_flush {
+            for (slot, reg) in &slots {
+                new_insts.push(MachInst::StoreSlot {
+                    slot: **slot,
+                    src: **reg,
+                });
+            }
+        }
+        exact_view[i] = new_insts.len();
+        let rewritten = match inst {
+            MachInst::LoadSlot { dst, slot } if assignment.contains_key(slot) => {
+                move_between(*dst, assignment[slot])
+            }
+            MachInst::StoreSlot { slot, src } if assignment.contains_key(slot) => {
+                move_between(assignment[slot], *src)
+            }
+            MachInst::StoreSlotImm { slot, imm } if assignment.contains_key(slot) => {
+                match assignment[slot] {
+                    AnyReg::Gpr(dst) => MachInst::MovImm { dst, imm: *imm },
+                    AnyReg::Fpr(dst) => MachInst::FMovImm {
+                        dst,
+                        bits: *imm as u64,
+                    },
+                }
+            }
+            other => other.clone(),
+        };
+        new_insts.push(rewritten);
+    }
+    branch_view[old_insts.len()] = new_insts.len();
+
+    let new_labels: Vec<usize> = cf
+        .code
+        .label_targets()
+        .iter()
+        .map(|&t| branch_view[t.min(old_insts.len())])
+        .collect();
+    let new_source_map: Vec<(usize, u32)> = cf
+        .code
+        .source_map()
+        .iter()
+        .map(|&(i, off)| (branch_view[i.min(old_insts.len())], off))
+        .collect();
+    let new_call_sites = cf
+        .call_sites
+        .iter()
+        .map(|(&i, &info)| (exact_view[i], info))
+        .collect();
+    let new_probe_sites = cf
+        .probe_sites
+        .iter()
+        .map(|(&i, &info)| (exact_view[i], info))
+        .collect();
+    let mut new_stackmaps = spc::StackmapTable::default();
+    let mut maps: Vec<spc::Stackmap> = cf
+        .stackmaps
+        .iter()
+        .map(|m| spc::Stackmap {
+            inst_index: exact_view[m.inst_index],
+            ref_slots: m.ref_slots.clone(),
+        })
+        .collect();
+    maps.sort_by_key(|m| m.inst_index);
+    for m in maps {
+        new_stackmaps.push(m);
+    }
+
+    let code = CodeBuffer::from_raw_parts(new_insts, new_labels, new_source_map);
+    CompiledFunction {
+        code,
+        call_sites: new_call_sites,
+        probe_sites: new_probe_sites,
+        stackmaps: new_stackmaps,
+        ..cf
+    }
+}
+
+fn move_between(dst: AnyReg, src: AnyReg) -> MachInst {
+    match (dst, src) {
+        (AnyReg::Gpr(d), AnyReg::Gpr(s)) => MachInst::Mov { dst: d, src: s },
+        (AnyReg::Fpr(d), AnyReg::Fpr(s)) => MachInst::FMov { dst: d, src: s },
+        // Cross-bank moves do not occur: promotion banks follow local types,
+        // and the baseline compiler keeps banks consistent with types.
+        (d, s) => {
+            debug_assert!(false, "cross-bank move {d} <- {s}");
+            MachInst::Nop
+        }
+    }
+}
+
+/// Calls `f` for every register operand of `inst`.
+pub fn for_each_reg(inst: &MachInst, mut f: impl FnMut(AnyReg)) {
+    use MachInst::*;
+    match inst {
+        MovImm { dst, .. } => f(AnyReg::Gpr(*dst)),
+        FMovImm { dst, .. } => f(AnyReg::Fpr(*dst)),
+        Mov { dst, src } => {
+            f(AnyReg::Gpr(*dst));
+            f(AnyReg::Gpr(*src));
+        }
+        FMov { dst, src } => {
+            f(AnyReg::Fpr(*dst));
+            f(AnyReg::Fpr(*src));
+        }
+        LoadSlot { dst, .. } => f(*dst),
+        StoreSlot { src, .. } => f(*src),
+        Alu { dst, a, b, .. } | Cmp { dst, a, b, .. } => {
+            f(AnyReg::Gpr(*dst));
+            f(AnyReg::Gpr(*a));
+            f(AnyReg::Gpr(*b));
+        }
+        AluImm { dst, a, .. } | CmpImm { dst, a, .. } => {
+            f(AnyReg::Gpr(*dst));
+            f(AnyReg::Gpr(*a));
+        }
+        Unop { dst, src, .. } => {
+            f(AnyReg::Gpr(*dst));
+            f(AnyReg::Gpr(*src));
+        }
+        FAlu { dst, a, b, .. } => {
+            f(AnyReg::Fpr(*dst));
+            f(AnyReg::Fpr(*a));
+            f(AnyReg::Fpr(*b));
+        }
+        FUnop { dst, src, .. } => {
+            f(AnyReg::Fpr(*dst));
+            f(AnyReg::Fpr(*src));
+        }
+        FCmp { dst, a, b, .. } => {
+            f(AnyReg::Gpr(*dst));
+            f(AnyReg::Fpr(*a));
+            f(AnyReg::Fpr(*b));
+        }
+        Convert { dst, src, .. } => {
+            f(*dst);
+            f(*src);
+        }
+        Select {
+            dst,
+            cond,
+            if_true,
+            if_false,
+        } => {
+            f(AnyReg::Gpr(*dst));
+            f(AnyReg::Gpr(*cond));
+            f(AnyReg::Gpr(*if_true));
+            f(AnyReg::Gpr(*if_false));
+        }
+        FSelect {
+            dst,
+            cond,
+            if_true,
+            if_false,
+        } => {
+            f(AnyReg::Fpr(*dst));
+            f(AnyReg::Gpr(*cond));
+            f(AnyReg::Fpr(*if_true));
+            f(AnyReg::Fpr(*if_false));
+        }
+        MemLoad { dst, addr, .. } => {
+            f(*dst);
+            f(AnyReg::Gpr(*addr));
+        }
+        MemStore { src, addr, .. } => {
+            f(*src);
+            f(AnyReg::Gpr(*addr));
+        }
+        MemorySize { dst } => f(AnyReg::Gpr(*dst)),
+        MemoryGrow { dst, delta } => {
+            f(AnyReg::Gpr(*dst));
+            f(AnyReg::Gpr(*delta));
+        }
+        GlobalGet { dst, .. } => f(*dst),
+        GlobalSet { src, .. } => f(*src),
+        BrIf { cond, .. } => f(AnyReg::Gpr(*cond)),
+        BrTable { index, .. } => f(AnyReg::Gpr(*index)),
+        CallIndirect { index, .. } => f(AnyReg::Gpr(*index)),
+        ProbeTosValue { src, .. } => f(*src),
+        Nop | StoreSlotImm { .. } | StoreTag { .. } | Jump { .. } | Call { .. }
+        | ProbeRuntime { .. } | ProbeDirect { .. } | ProbeCounter { .. } | Trap { .. }
+        | Return => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use machine::inst::{AluOp, Width};
+
+    #[test]
+    fn for_each_reg_enumerates_operands() {
+        let mut seen = Vec::new();
+        for_each_reg(
+            &MachInst::Alu {
+                op: AluOp::Add,
+                width: Width::W32,
+                dst: Reg(1),
+                a: Reg(2),
+                b: Reg(3),
+            },
+            |r| seen.push(r),
+        );
+        assert_eq!(seen.len(), 3);
+        assert!(seen.contains(&AnyReg::Gpr(Reg(2))));
+
+        let mut seen = Vec::new();
+        for_each_reg(&MachInst::Nop, |r| seen.push(r));
+        assert!(seen.is_empty());
+
+        let mut seen = Vec::new();
+        for_each_reg(
+            &MachInst::MemLoad {
+                dst: AnyReg::Fpr(FReg(4)),
+                addr: Reg(5),
+                offset: 0,
+                width: 8,
+                signed: false,
+                dst_width: Width::W64,
+            },
+            |r| seen.push(r),
+        );
+        assert_eq!(seen, vec![AnyReg::Fpr(FReg(4)), AnyReg::Gpr(Reg(5))]);
+    }
+
+    #[test]
+    fn move_between_matches_banks() {
+        assert_eq!(
+            move_between(AnyReg::Gpr(Reg(1)), AnyReg::Gpr(Reg(2))),
+            MachInst::Mov { dst: Reg(1), src: Reg(2) }
+        );
+        assert_eq!(
+            move_between(AnyReg::Fpr(FReg(1)), AnyReg::Fpr(FReg(2))),
+            MachInst::FMov { dst: FReg(1), src: FReg(2) }
+        );
+    }
+}

@@ -1,0 +1,83 @@
+//! The Libsodium-like suite: 39 cryptographic-primitive line items.
+//!
+//! Libsodium's benchmarks exercise stream ciphers, hashes, MACs, and
+//! public-key primitives. Their inner loops are dominated by 32-bit and
+//! 64-bit add-rotate-xor (ARX) mixing, multiplication-based hashing over
+//! buffers, and wide-integer accumulation — the shapes synthesized here.
+
+use crate::kernels::{self, Scale};
+use crate::{BenchmarkItem, Suite};
+
+/// Builds the 39-item Libsodium-like suite.
+pub fn suite(scale: Scale) -> Suite {
+    let arx = |r: u32| kernels::arx_rounds(scale.iterations(r));
+    let hash = |w: u32, p: u32| kernels::hash_stream(scale.length(w), scale.iterations(p));
+    let wide = |r: u32| kernels::wide_mix(scale.iterations(r));
+
+    let items: Vec<(&'static str, wasm::Module)> = vec![
+        ("aead_chacha20poly1305", arx(120_000)),
+        ("aead_xchacha20poly1305", arx(130_000)),
+        ("chacha20", arx(100_000)),
+        ("xchacha20", arx(110_000)),
+        ("salsa20", arx(90_000)),
+        ("xsalsa20", arx(95_000)),
+        ("salsa2012", arx(60_000)),
+        ("salsa208", arx(40_000)),
+        ("stream_chacha20_ietf", arx(105_000)),
+        ("stream_salsa20_xor", arx(92_000)),
+        ("hchacha20", arx(70_000)),
+        ("core_hsalsa20", arx(65_000)),
+        ("onetimeauth_poly1305", wide(140_000)),
+        ("auth_hmacsha256", hash(4096, 24)),
+        ("auth_hmacsha512", hash(4096, 30)),
+        ("auth_hmacsha512256", hash(4096, 27)),
+        ("hash_sha256", hash(8192, 16)),
+        ("hash_sha512", hash(8192, 20)),
+        ("generichash_blake2b", hash(6144, 22)),
+        ("generichash_blake2b_salt", hash(6144, 24)),
+        ("shorthash_siphash24", wide(120_000)),
+        ("shorthash_siphashx24", wide(128_000)),
+        ("secretbox_xsalsa20poly1305", arx(85_000)),
+        ("secretbox_easy", arx(88_000)),
+        ("box_curve25519xsalsa20poly1305", wide(150_000)),
+        ("box_easy", wide(145_000)),
+        ("scalarmult_curve25519", wide(180_000)),
+        ("sign_ed25519", wide(160_000)),
+        ("sign_ed25519_open", wide(155_000)),
+        ("kdf_blake2b", hash(2048, 28)),
+        ("kx_client_session_keys", wide(100_000)),
+        ("pwhash_argon2i", hash(16384, 12)),
+        ("pwhash_argon2id", hash(16384, 14)),
+        ("pwhash_scryptsalsa208sha256", hash(12288, 13)),
+        ("secretstream_xchacha20poly1305", arx(125_000)),
+        ("stream_xchacha20_xor", arx(115_000)),
+        ("verify_16", hash(1024, 32)),
+        ("verify_32", hash(1536, 32)),
+        ("verify_64", hash(2048, 32)),
+    ];
+    Suite {
+        name: "libsodium",
+        items: items
+            .into_iter()
+            .map(|(name, module)| BenchmarkItem {
+                suite: "libsodium",
+                name: name.to_string(),
+                module,
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_39_items_with_crypto_names() {
+        let s = suite(Scale::Test);
+        assert_eq!(s.len(), 39);
+        assert!(s.items.iter().any(|i| i.name == "chacha20"));
+        assert!(s.items.iter().any(|i| i.name == "hash_sha512"));
+        assert!(s.items.iter().all(|i| i.suite == "libsodium"));
+    }
+}

@@ -1,0 +1,78 @@
+//! The Ostrich-like suite: 11 mixed numerical/graph line items.
+//!
+//! Ostrich collects numerical-computing kernels from the "dwarfs" taxonomy:
+//! n-body, sparse/graph traversals, stencils, and dense linear algebra. The
+//! synthesized items mix floating-point arithmetic, data-dependent control
+//! flow, and memory-bound loops accordingly.
+
+use crate::kernels::{self, Scale};
+use crate::{BenchmarkItem, Suite};
+
+/// Builds the 11-item Ostrich-like suite.
+pub fn suite(scale: Scale) -> Suite {
+    let items: Vec<(&'static str, wasm::Module)> = vec![
+        (
+            "nbody",
+            kernels::float_nbody(scale.length(96), scale.iterations(24)),
+        ),
+        (
+            "lavamd",
+            kernels::float_nbody(scale.length(64), scale.iterations(32)),
+        ),
+        (
+            "bfs",
+            kernels::graph_walk(scale.length(4096), scale.iterations(300_000)),
+        ),
+        (
+            "pagerank",
+            kernels::graph_walk(scale.length(8192), scale.iterations(260_000)),
+        ),
+        (
+            "spmv",
+            kernels::graph_walk(scale.length(16384), scale.iterations(220_000)),
+        ),
+        ("lud", kernels::dense_matmul(scale.length(28))),
+        ("backprop", kernels::dense_matmul(scale.length(24))),
+        (
+            "hotspot",
+            kernels::stencil1d(scale.length(1536), scale.iterations(48)),
+        ),
+        (
+            "srad",
+            kernels::stencil1d(scale.length(1280), scale.iterations(56)),
+        ),
+        (
+            "fft",
+            kernels::wide_mix(scale.iterations(200_000)),
+        ),
+        (
+            "nw",
+            kernels::triad(scale.length(3072)),
+        ),
+    ];
+    Suite {
+        name: "ostrich",
+        items: items
+            .into_iter()
+            .map(|(name, module)| BenchmarkItem {
+                suite: "ostrich",
+                name: name.to_string(),
+                module,
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_11_items_with_ostrich_names() {
+        let s = suite(Scale::Test);
+        assert_eq!(s.len(), 11);
+        assert!(s.items.iter().any(|i| i.name == "nbody"));
+        assert!(s.items.iter().any(|i| i.name == "bfs"));
+        assert!(s.items.iter().all(|i| i.suite == "ostrich"));
+    }
+}

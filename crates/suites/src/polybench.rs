@@ -1,0 +1,73 @@
+//! The PolyBenchC-like suite: 28 numerical line items.
+//!
+//! PolyBenchC consists of dense linear-algebra and stencil kernels. The
+//! synthesized line items reproduce those loop shapes (triple-nested matrix
+//! products, 1-D/2-D-style stencils, and streaming vector kernels) at a range
+//! of problem sizes so per-suite averages and min/max error bars are
+//! meaningful.
+
+use crate::kernels::{self, Scale};
+use crate::{BenchmarkItem, Suite};
+
+/// Builds the 28-item PolyBenchC-like suite.
+pub fn suite(scale: Scale) -> Suite {
+    let mm = |n: u32| kernels::dense_matmul(scale.length(n));
+    let st = |n: u32, it: u32| kernels::stencil1d(scale.length(n), scale.iterations(it));
+    let tr = |n: u32| kernels::triad(scale.length(n));
+
+    let items: Vec<(&'static str, wasm::Module)> = vec![
+        ("gemm", mm(24)),
+        ("2mm", mm(20)),
+        ("3mm", mm(18)),
+        ("syrk", mm(22)),
+        ("syr2k", mm(26)),
+        ("trmm", mm(16)),
+        ("symm", mm(21)),
+        ("doitgen", mm(14)),
+        ("lu", mm(19)),
+        ("ludcmp", mm(17)),
+        ("cholesky", mm(15)),
+        ("gramschmidt", mm(13)),
+        ("correlation", mm(23)),
+        ("covariance", mm(25)),
+        ("floyd-warshall", mm(12)),
+        ("nussinov", mm(11)),
+        ("jacobi-1d", st(512, 64)),
+        ("jacobi-2d", st(768, 48)),
+        ("seidel-2d", st(640, 56)),
+        ("fdtd-2d", st(896, 40)),
+        ("heat-3d", st(448, 72)),
+        ("adi", st(384, 80)),
+        ("deriche", st(1024, 32)),
+        ("atax", tr(2048)),
+        ("bicg", tr(1792)),
+        ("mvt", tr(2304)),
+        ("gesummv", tr(1536)),
+        ("trisolv", tr(1280)),
+    ];
+    Suite {
+        name: "polybench",
+        items: items
+            .into_iter()
+            .map(|(name, module)| BenchmarkItem {
+                suite: "polybench",
+                name: name.to_string(),
+                module,
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_28_items_with_polybench_names() {
+        let s = suite(Scale::Test);
+        assert_eq!(s.len(), 28);
+        assert!(s.items.iter().any(|i| i.name == "gemm"));
+        assert!(s.items.iter().any(|i| i.name == "jacobi-2d"));
+        assert!(s.items.iter().all(|i| i.suite == "polybench"));
+    }
+}

@@ -1,0 +1,60 @@
+//! WebAssembly substrate: module representation, binary format, and validation.
+//!
+//! This crate is the foundation of the baseline-compiler study. It provides:
+//!
+//! * [`types`] — value types, signatures, limits, and block types;
+//! * [`opcode`] — the opcode set with immediate-shape and signature metadata;
+//! * [`leb`], [`reader`], [`writer`] — binary primitives shared by everything
+//!   that touches bytecode (decoder, encoder, interpreter, compilers);
+//! * [`module`] — the in-memory [`module::Module`], with function bodies kept
+//!   as raw bytecode so execution tiers can work *in place*;
+//! * [`builder`] — programmatic construction of modules and bodies;
+//! * [`decode`] / [`encode`] — the `.wasm` binary format;
+//! * [`validate`] — the forward abstract-interpretation validator whose
+//!   algorithm the single-pass compiler reuses.
+//!
+//! # Examples
+//!
+//! Build, encode, decode, and validate a small module:
+//!
+//! ```
+//! use wasm::builder::{CodeBuilder, ModuleBuilder};
+//! use wasm::opcode::Opcode;
+//! use wasm::types::{FuncType, ValueType};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = ModuleBuilder::new();
+//! let mut code = CodeBuilder::new();
+//! code.local_get(0).local_get(1).op(Opcode::I32Add);
+//! let add = b.add_func(
+//!     FuncType::new(vec![ValueType::I32, ValueType::I32], vec![ValueType::I32]),
+//!     vec![],
+//!     code.finish(),
+//! );
+//! b.export_func("add", add);
+//! let module = b.finish();
+//!
+//! let bytes = wasm::encode::encode(&module);
+//! let decoded = wasm::decode::decode(&bytes)?;
+//! let info = wasm::validate::validate(&decoded)?;
+//! assert_eq!(info.funcs[0].max_stack, 2);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod decode;
+pub mod encode;
+pub mod leb;
+pub mod module;
+pub mod opcode;
+pub mod reader;
+pub mod types;
+pub mod validate;
+pub mod writer;
+
+pub use module::Module;
+pub use opcode::Opcode;
+pub use types::{BlockType, FuncType, GlobalType, Limits, ValueType};

@@ -1,0 +1,567 @@
+//! Byte and bytecode readers.
+//!
+//! [`ByteReader`] is a cursor over raw bytes used by the module decoder.
+//! [`BytecodeReader`] layers instruction-aware reads on top of it and is the
+//! iterator that the validator, the in-place interpreter, and the single-pass
+//! compiler all use to walk a function body one instruction at a time.
+
+use crate::leb::{self, LebError};
+use crate::opcode::{ImmediateKind, Opcode};
+use crate::types::{BlockType, ValueType};
+use std::fmt;
+
+/// Errors produced while reading bytes or bytecode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReadError {
+    /// The input ended unexpectedly.
+    UnexpectedEnd {
+        /// Offset at which more bytes were needed.
+        offset: usize,
+    },
+    /// A LEB128 value was malformed.
+    BadLeb {
+        /// Offset of the value.
+        offset: usize,
+        /// The underlying LEB error.
+        error: LebError,
+    },
+    /// An unknown opcode byte was encountered.
+    UnknownOpcode {
+        /// Offset of the opcode byte.
+        offset: usize,
+        /// The offending byte.
+        byte: u8,
+    },
+    /// An invalid value type or block type byte was encountered.
+    BadType {
+        /// Offset of the type byte.
+        offset: usize,
+        /// The offending byte.
+        byte: u8,
+    },
+}
+
+impl fmt::Display for ReadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReadError::UnexpectedEnd { offset } => {
+                write!(f, "unexpected end of input at offset {offset}")
+            }
+            ReadError::BadLeb { offset, error } => {
+                write!(f, "malformed LEB128 at offset {offset}: {error}")
+            }
+            ReadError::UnknownOpcode { offset, byte } => {
+                write!(f, "unknown opcode {byte:#04x} at offset {offset}")
+            }
+            ReadError::BadType { offset, byte } => {
+                write!(f, "invalid type byte {byte:#04x} at offset {offset}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReadError {}
+
+/// A memory access immediate: alignment exponent and byte offset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MemArg {
+    /// log2 of the access alignment hint.
+    pub align: u32,
+    /// Constant byte offset added to the dynamic address.
+    pub offset: u32,
+}
+
+/// A cursor over a byte slice.
+#[derive(Debug, Clone)]
+pub struct ByteReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Creates a reader over `data` starting at offset zero.
+    pub fn new(data: &'a [u8]) -> ByteReader<'a> {
+        ByteReader { data, pos: 0 }
+    }
+
+    /// Creates a reader starting at `pos`.
+    pub fn at(data: &'a [u8], pos: usize) -> ByteReader<'a> {
+        ByteReader { data, pos }
+    }
+
+    /// Current offset.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Sets the current offset.
+    pub fn set_pos(&mut self, pos: usize) {
+        self.pos = pos;
+    }
+
+    /// The underlying data.
+    pub fn data(&self) -> &'a [u8] {
+        self.data
+    }
+
+    /// Remaining bytes from the current position.
+    pub fn remaining(&self) -> usize {
+        self.data.len().saturating_sub(self.pos)
+    }
+
+    /// True when all bytes have been consumed.
+    pub fn is_at_end(&self) -> bool {
+        self.pos >= self.data.len()
+    }
+
+    /// Reads one byte.
+    pub fn read_u8(&mut self) -> Result<u8, ReadError> {
+        let b = *self
+            .data
+            .get(self.pos)
+            .ok_or(ReadError::UnexpectedEnd { offset: self.pos })?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    /// Reads `n` bytes as a slice.
+    pub fn read_bytes(&mut self, n: usize) -> Result<&'a [u8], ReadError> {
+        if self.remaining() < n {
+            return Err(ReadError::UnexpectedEnd { offset: self.pos });
+        }
+        let slice = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Reads a 32-bit little-endian value.
+    pub fn read_u32_le(&mut self) -> Result<u32, ReadError> {
+        let bytes = self.read_bytes(4)?;
+        Ok(u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]))
+    }
+
+    /// Reads a 64-bit little-endian value.
+    pub fn read_u64_le(&mut self) -> Result<u64, ReadError> {
+        let bytes = self.read_bytes(8)?;
+        let mut arr = [0u8; 8];
+        arr.copy_from_slice(bytes);
+        Ok(u64::from_le_bytes(arr))
+    }
+
+    /// Reads an unsigned LEB128 value with at most 32 bits.
+    pub fn read_u32_leb(&mut self) -> Result<u32, ReadError> {
+        let (v, n) = leb::read_unsigned(self.data, self.pos, 32).map_err(|error| {
+            map_leb_error(error, self.data, self.pos)
+        })?;
+        self.pos += n;
+        Ok(v as u32)
+    }
+
+    /// Reads an unsigned LEB128 value with at most 64 bits.
+    pub fn read_u64_leb(&mut self) -> Result<u64, ReadError> {
+        let (v, n) = leb::read_unsigned(self.data, self.pos, 64).map_err(|error| {
+            map_leb_error(error, self.data, self.pos)
+        })?;
+        self.pos += n;
+        Ok(v)
+    }
+
+    /// Reads a signed LEB128 value with at most 32 bits.
+    pub fn read_i32_leb(&mut self) -> Result<i32, ReadError> {
+        let (v, n) = leb::read_signed(self.data, self.pos, 32).map_err(|error| {
+            map_leb_error(error, self.data, self.pos)
+        })?;
+        self.pos += n;
+        Ok(v as i32)
+    }
+
+    /// Reads a signed LEB128 value with at most 64 bits.
+    pub fn read_i64_leb(&mut self) -> Result<i64, ReadError> {
+        let (v, n) = leb::read_signed(self.data, self.pos, 64).map_err(|error| {
+            map_leb_error(error, self.data, self.pos)
+        })?;
+        self.pos += n;
+        Ok(v)
+    }
+
+    /// Reads a UTF-8 name prefixed by its length.
+    pub fn read_name(&mut self) -> Result<String, ReadError> {
+        let len = self.read_u32_leb()? as usize;
+        let offset = self.pos;
+        let bytes = self.read_bytes(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| ReadError::BadType { offset, byte: 0 })
+    }
+
+    /// Reads a value type byte.
+    pub fn read_value_type(&mut self) -> Result<ValueType, ReadError> {
+        let offset = self.pos;
+        let b = self.read_u8()?;
+        ValueType::from_byte(b).ok_or(ReadError::BadType { offset, byte: b })
+    }
+}
+
+fn map_leb_error(error: LebError, data: &[u8], offset: usize) -> ReadError {
+    match error {
+        LebError::Truncated => ReadError::UnexpectedEnd {
+            offset: data.len(),
+        },
+        other => ReadError::BadLeb {
+            offset,
+            error: other,
+        },
+    }
+}
+
+/// An instruction-aware reader over a function body's code bytes.
+///
+/// Offsets reported by this reader are *bytecode offsets* relative to the
+/// start of the code (after local declarations), which is exactly the program
+/// counter notion the paper's instrumentation and tier transfer use.
+#[derive(Debug, Clone)]
+pub struct BytecodeReader<'a> {
+    inner: ByteReader<'a>,
+}
+
+impl<'a> BytecodeReader<'a> {
+    /// Creates a bytecode reader over `code`.
+    pub fn new(code: &'a [u8]) -> BytecodeReader<'a> {
+        BytecodeReader {
+            inner: ByteReader::new(code),
+        }
+    }
+
+    /// The current bytecode offset.
+    pub fn pc(&self) -> usize {
+        self.inner.pos()
+    }
+
+    /// Repositions the reader.
+    pub fn set_pc(&mut self, pc: usize) {
+        self.inner.set_pos(pc);
+    }
+
+    /// True when the whole body has been read.
+    pub fn is_at_end(&self) -> bool {
+        self.inner.is_at_end()
+    }
+
+    /// The underlying code bytes.
+    pub fn code(&self) -> &'a [u8] {
+        self.inner.data()
+    }
+
+    /// Reads the next opcode byte.
+    pub fn read_opcode(&mut self) -> Result<Opcode, ReadError> {
+        let offset = self.inner.pos();
+        let b = self.inner.read_u8()?;
+        Opcode::from_byte(b).ok_or(ReadError::UnknownOpcode { offset, byte: b })
+    }
+
+    /// Peeks the next opcode without advancing. Returns `None` at the end of
+    /// the body or on an unknown byte.
+    pub fn peek_opcode(&self) -> Option<Opcode> {
+        self.inner
+            .data()
+            .get(self.inner.pos())
+            .copied()
+            .and_then(Opcode::from_byte)
+    }
+
+    /// Reads an unsigned 32-bit LEB index immediate.
+    pub fn read_index(&mut self) -> Result<u32, ReadError> {
+        self.inner.read_u32_leb()
+    }
+
+    /// Reads an `i32.const` immediate.
+    pub fn read_i32(&mut self) -> Result<i32, ReadError> {
+        self.inner.read_i32_leb()
+    }
+
+    /// Reads an `i64.const` immediate.
+    pub fn read_i64(&mut self) -> Result<i64, ReadError> {
+        self.inner.read_i64_leb()
+    }
+
+    /// Reads an `f32.const` immediate.
+    pub fn read_f32(&mut self) -> Result<f32, ReadError> {
+        Ok(f32::from_bits(self.inner.read_u32_le()?))
+    }
+
+    /// Reads an `f64.const` immediate.
+    pub fn read_f64(&mut self) -> Result<f64, ReadError> {
+        Ok(f64::from_bits(self.inner.read_u64_le()?))
+    }
+
+    /// Reads a block type immediate.
+    pub fn read_block_type(&mut self) -> Result<BlockType, ReadError> {
+        let offset = self.inner.pos();
+        let b = *self
+            .inner
+            .data()
+            .get(offset)
+            .ok_or(ReadError::UnexpectedEnd { offset })?;
+        if b == 0x40 {
+            self.inner.set_pos(offset + 1);
+            return Ok(BlockType::Empty);
+        }
+        if let Some(vt) = ValueType::from_byte(b) {
+            self.inner.set_pos(offset + 1);
+            return Ok(BlockType::Value(vt));
+        }
+        // Otherwise it is a signed LEB type index (must be non-negative).
+        let idx = self.inner.read_i32_leb()?;
+        if idx < 0 {
+            return Err(ReadError::BadType { offset, byte: b });
+        }
+        Ok(BlockType::Func(idx as u32))
+    }
+
+    /// Reads a memory argument (alignment + offset).
+    pub fn read_memarg(&mut self) -> Result<MemArg, ReadError> {
+        let align = self.inner.read_u32_leb()?;
+        let offset = self.inner.read_u32_leb()?;
+        Ok(MemArg { align, offset })
+    }
+
+    /// Reads a `br_table` immediate: the list of targets plus the default.
+    pub fn read_branch_table(&mut self) -> Result<(Vec<u32>, u32), ReadError> {
+        let count = self.inner.read_u32_leb()?;
+        let mut targets = Vec::with_capacity(count.min(1024) as usize);
+        for _ in 0..count {
+            targets.push(self.inner.read_u32_leb()?);
+        }
+        let default = self.inner.read_u32_leb()?;
+        Ok((targets, default))
+    }
+
+    /// Reads the reference type immediate of `ref.null`.
+    pub fn read_ref_type(&mut self) -> Result<ValueType, ReadError> {
+        let offset = self.inner.pos();
+        let b = self.inner.read_u8()?;
+        match ValueType::from_byte(b) {
+            Some(t) if t.is_reference() => Ok(t),
+            _ => Err(ReadError::BadType { offset, byte: b }),
+        }
+    }
+
+    /// Reads the `call_indirect` immediate: type index and table index.
+    pub fn read_call_indirect(&mut self) -> Result<(u32, u32), ReadError> {
+        let type_index = self.inner.read_u32_leb()?;
+        let table_index = self.inner.read_u32_leb()?;
+        Ok((type_index, table_index))
+    }
+
+    /// Skips over the immediates of `op`, leaving the reader at the next
+    /// opcode. This is how clients iterate instructions they do not care
+    /// about (e.g. probe insertion scanning for branches).
+    pub fn skip_immediates(&mut self, op: Opcode) -> Result<(), ReadError> {
+        match op.immediate_kind() {
+            ImmediateKind::None => {}
+            ImmediateKind::BlockType => {
+                self.read_block_type()?;
+            }
+            ImmediateKind::LabelIndex
+            | ImmediateKind::FuncIndex
+            | ImmediateKind::LocalIndex
+            | ImmediateKind::GlobalIndex => {
+                self.read_index()?;
+            }
+            ImmediateKind::BranchTable => {
+                self.read_branch_table()?;
+            }
+            ImmediateKind::CallIndirect => {
+                self.read_call_indirect()?;
+            }
+            ImmediateKind::MemArg => {
+                self.read_memarg()?;
+            }
+            ImmediateKind::MemoryIndex => {
+                self.inner.read_u8()?;
+            }
+            ImmediateKind::I32Const => {
+                self.read_i32()?;
+            }
+            ImmediateKind::I64Const => {
+                self.read_i64()?;
+            }
+            ImmediateKind::F32Const => {
+                self.read_f32()?;
+            }
+            ImmediateKind::F64Const => {
+                self.read_f64()?;
+            }
+            ImmediateKind::RefType => {
+                self.read_ref_type()?;
+            }
+            ImmediateKind::SelectTyped => {
+                let count = self.read_index()?;
+                for _ in 0..count {
+                    self.inner.read_value_type()?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads a reserved single-byte memory index (must currently be zero).
+    pub fn read_memory_index(&mut self) -> Result<u8, ReadError> {
+        self.inner.read_u8()
+    }
+
+    /// Reads the typed-select immediate (list of result types).
+    pub fn read_select_types(&mut self) -> Result<Vec<ValueType>, ReadError> {
+        let count = self.read_index()?;
+        let mut types = Vec::with_capacity(count.min(16) as usize);
+        for _ in 0..count {
+            types.push(self.inner.read_value_type()?);
+        }
+        Ok(types)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::leb;
+
+    #[test]
+    fn byte_reader_basics() {
+        let data = [1u8, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12];
+        let mut r = ByteReader::new(&data);
+        assert_eq!(r.read_u8().unwrap(), 1);
+        assert_eq!(r.read_u32_le().unwrap(), u32::from_le_bytes([2, 3, 4, 5]));
+        assert_eq!(r.pos(), 5);
+        assert_eq!(r.remaining(), 7);
+        assert!(!r.is_at_end());
+        let rest = r.read_bytes(7).unwrap();
+        assert_eq!(rest, &[6, 7, 8, 9, 10, 11, 12]);
+        assert!(r.is_at_end());
+        assert!(matches!(r.read_u8(), Err(ReadError::UnexpectedEnd { .. })));
+    }
+
+    #[test]
+    fn byte_reader_leb() {
+        let mut data = Vec::new();
+        leb::write_unsigned(&mut data, 624485);
+        leb::write_signed(&mut data, -123456);
+        leb::write_unsigned(&mut data, u64::MAX);
+        let mut r = ByteReader::new(&data);
+        assert_eq!(r.read_u32_leb().unwrap(), 624485);
+        assert_eq!(r.read_i32_leb().unwrap(), -123456);
+        assert_eq!(r.read_u64_leb().unwrap(), u64::MAX);
+        assert!(r.is_at_end());
+    }
+
+    #[test]
+    fn read_name_roundtrip() {
+        let mut data = Vec::new();
+        leb::write_unsigned(&mut data, 5);
+        data.extend_from_slice(b"hello");
+        let mut r = ByteReader::new(&data);
+        assert_eq!(r.read_name().unwrap(), "hello");
+    }
+
+    #[test]
+    fn bytecode_reader_opcode_and_immediates() {
+        // i32.const 42 ; local.get 3 ; i32.add ; end
+        let mut code = vec![Opcode::I32Const.to_byte()];
+        leb::write_signed(&mut code, 42);
+        code.push(Opcode::LocalGet.to_byte());
+        leb::write_unsigned(&mut code, 3);
+        code.push(Opcode::I32Add.to_byte());
+        code.push(Opcode::End.to_byte());
+
+        let mut r = BytecodeReader::new(&code);
+        assert_eq!(r.read_opcode().unwrap(), Opcode::I32Const);
+        assert_eq!(r.read_i32().unwrap(), 42);
+        assert_eq!(r.read_opcode().unwrap(), Opcode::LocalGet);
+        assert_eq!(r.read_index().unwrap(), 3);
+        assert_eq!(r.peek_opcode(), Some(Opcode::I32Add));
+        assert_eq!(r.read_opcode().unwrap(), Opcode::I32Add);
+        assert_eq!(r.read_opcode().unwrap(), Opcode::End);
+        assert!(r.is_at_end());
+    }
+
+    #[test]
+    fn bytecode_reader_block_types() {
+        let code = [0x40u8, 0x7F, 0x05];
+        let mut r = BytecodeReader::new(&code);
+        assert_eq!(r.read_block_type().unwrap(), BlockType::Empty);
+        assert_eq!(r.read_block_type().unwrap(), BlockType::Value(ValueType::I32));
+        assert_eq!(r.read_block_type().unwrap(), BlockType::Func(5));
+    }
+
+    #[test]
+    fn bytecode_reader_branch_table() {
+        let mut code = Vec::new();
+        leb::write_unsigned(&mut code, 3);
+        for t in [0u64, 1, 2] {
+            leb::write_unsigned(&mut code, t);
+        }
+        leb::write_unsigned(&mut code, 7);
+        let mut r = BytecodeReader::new(&code);
+        let (targets, default) = r.read_branch_table().unwrap();
+        assert_eq!(targets, vec![0, 1, 2]);
+        assert_eq!(default, 7);
+    }
+
+    #[test]
+    fn skip_immediates_lands_on_next_opcode() {
+        // f64.const 1.5 ; br_table [0 1] 2 ; i32.load align=2 offset=16 ; nop
+        let mut code = vec![Opcode::F64Const.to_byte()];
+        code.extend_from_slice(&1.5f64.to_bits().to_le_bytes());
+        code.push(Opcode::BrTable.to_byte());
+        leb::write_unsigned(&mut code, 2);
+        leb::write_unsigned(&mut code, 0);
+        leb::write_unsigned(&mut code, 1);
+        leb::write_unsigned(&mut code, 2);
+        code.push(Opcode::I32Load.to_byte());
+        leb::write_unsigned(&mut code, 2);
+        leb::write_unsigned(&mut code, 16);
+        code.push(Opcode::Nop.to_byte());
+
+        let mut r = BytecodeReader::new(&code);
+        for expected in [Opcode::F64Const, Opcode::BrTable, Opcode::I32Load, Opcode::Nop] {
+            let op = r.read_opcode().unwrap();
+            assert_eq!(op, expected);
+            r.skip_immediates(op).unwrap();
+        }
+        assert!(r.is_at_end());
+    }
+
+    #[test]
+    fn float_immediates_roundtrip_bit_exact() {
+        let mut code = vec![Opcode::F32Const.to_byte()];
+        code.extend_from_slice(&f32::NAN.to_bits().to_le_bytes());
+        code.push(Opcode::F64Const.to_byte());
+        code.extend_from_slice(&(-0.0f64).to_bits().to_le_bytes());
+        let mut r = BytecodeReader::new(&code);
+        assert_eq!(r.read_opcode().unwrap(), Opcode::F32Const);
+        assert_eq!(r.read_f32().unwrap().to_bits(), f32::NAN.to_bits());
+        assert_eq!(r.read_opcode().unwrap(), Opcode::F64Const);
+        assert_eq!(r.read_f64().unwrap().to_bits(), (-0.0f64).to_bits());
+    }
+
+    #[test]
+    fn unknown_opcode_is_reported_with_offset() {
+        let code = [Opcode::Nop.to_byte(), 0xF5];
+        let mut r = BytecodeReader::new(&code);
+        r.read_opcode().unwrap();
+        match r.read_opcode() {
+            Err(ReadError::UnknownOpcode { offset, byte }) => {
+                assert_eq!(offset, 1);
+                assert_eq!(byte, 0xF5);
+            }
+            other => panic!("expected unknown opcode error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ref_type_immediate_validation() {
+        let code = [0x6F, 0x7F];
+        let mut r = BytecodeReader::new(&code);
+        assert_eq!(r.read_ref_type().unwrap(), ValueType::ExternRef);
+        assert!(matches!(r.read_ref_type(), Err(ReadError::BadType { .. })));
+    }
+}

@@ -1,0 +1,61 @@
+//! Tier shootout: run one line item from each suite under the interpreter,
+//! every baseline-compiler design profile, and the optimizing tier, printing
+//! a miniature SQ-space (compile speed vs. speedup) — the paper's Figs. 7-9
+//! in one screen.
+//!
+//! Run with: `cargo run --example tier_shootout`
+
+use engine::{Engine, EngineConfig, Imports, Instrumentation};
+use suites::{BenchmarkItem, Scale};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let suites = suites::all_suites(Scale::Test);
+    let picks = [
+        &suites[0].items[0],  // polybench/gemm
+        &suites[1].items[2],  // libsodium/chacha20
+        &suites[2].items[2],  // ostrich/bfs
+    ];
+
+    for item in picks {
+        println!("=== {}/{} ({} bytes) ===", item.suite, item.name, item.encoded_size());
+        let interp_cycles = run(&EngineConfig::interpreter("wizeng-int"), item)?.0;
+        println!(
+            "{:<16} {:>14} cycles  {:>9}  {:>12}",
+            "engine", "execution", "speedup", "compile µs"
+        );
+        println!(
+            "{:<16} {:>14} {:>9} {:>12}",
+            "wizeng-int", interp_cycles, "1.00x", "-"
+        );
+        let mut configs: Vec<EngineConfig> = spc::all_profiles()
+            .into_iter()
+            .map(|p| EngineConfig::baseline(p.name, p.options))
+            .collect();
+        configs.push(EngineConfig::optimizing("optimizing"));
+        for config in configs {
+            let (cycles, compile_us) = run(&config, item)?;
+            println!(
+                "{:<16} {:>14} {:>8.2}x {:>12}",
+                config.name,
+                cycles,
+                interp_cycles as f64 / cycles as f64,
+                compile_us,
+            );
+        }
+        println!();
+    }
+    Ok(())
+}
+
+fn run(
+    config: &EngineConfig,
+    item: &suites::BenchmarkItem,
+) -> Result<(u64, u128), Box<dyn std::error::Error>> {
+    let engine = Engine::new(config.clone());
+    let mut instance = engine.instantiate(&item.module, Imports::new(), Instrumentation::none())?;
+    engine.call_export(&mut instance, BenchmarkItem::ENTRY, &[])?;
+    Ok((
+        instance.metrics.exec_cycles,
+        instance.metrics.compile_wall.as_micros(),
+    ))
+}

@@ -1,0 +1,157 @@
+//! Differential testing across execution tiers.
+//!
+//! Every benchmark line item is executed by the in-place interpreter, by the
+//! baseline compiler in its optimization and tagging configurations, by the
+//! six production design profiles, by the optimizing tier, and by the tiered
+//! configuration. All of them must produce exactly the same checksum — the
+//! strongest end-to-end statement that the compilers are semantics-preserving.
+
+use engine::{Engine, EngineConfig, Imports, Instrumentation};
+use machine::values::WasmValue;
+use spc::CompilerOptions;
+use suites::{all_suites, BenchmarkItem, Scale};
+
+fn run_item(config: EngineConfig, item: &BenchmarkItem) -> Result<WasmValue, String> {
+    let engine = Engine::new(config);
+    let mut instance = engine
+        .instantiate(&item.module, Imports::new(), Instrumentation::none())
+        .map_err(|e| format!("{}/{}: instantiate: {e}", item.suite, item.name))?;
+    let results = engine
+        .call_export(&mut instance, BenchmarkItem::ENTRY, &[])
+        .map_err(|e| format!("{}/{}: trap: {e}", item.suite, item.name))?;
+    results
+        .first()
+        .copied()
+        .ok_or_else(|| format!("{}/{}: no result", item.suite, item.name))
+}
+
+fn reference_results() -> Vec<(String, WasmValue)> {
+    let mut out = Vec::new();
+    for suite in all_suites(Scale::Test) {
+        for item in &suite.items {
+            let value = run_item(EngineConfig::interpreter("wizeng-int"), item)
+                .unwrap_or_else(|e| panic!("{e}"));
+            out.push((format!("{}/{}", item.suite, item.name), value));
+        }
+    }
+    out
+}
+
+fn check_config_against_interpreter(config_name: &str, make: impl Fn() -> EngineConfig) {
+    let reference = reference_results();
+    let mut index = 0;
+    for suite in all_suites(Scale::Test) {
+        for item in &suite.items {
+            let expected = &reference[index];
+            index += 1;
+            let got = run_item(make(), item).unwrap_or_else(|e| panic!("[{config_name}] {e}"));
+            assert_eq!(
+                &got, &expected.1,
+                "[{config_name}] {} disagrees with the interpreter",
+                expected.0
+            );
+        }
+    }
+}
+
+#[test]
+fn baseline_allopt_matches_interpreter_on_all_78_items() {
+    check_config_against_interpreter("allopt", || {
+        EngineConfig::baseline("wizeng-spc", CompilerOptions::allopt())
+    });
+}
+
+#[test]
+fn baseline_optimization_ablations_match_interpreter() {
+    for options in CompilerOptions::figure4_configs() {
+        let name = options.name.clone();
+        check_config_against_interpreter(&name, || {
+            EngineConfig::baseline(&options.name, options.clone())
+        });
+    }
+}
+
+#[test]
+fn value_tag_configurations_match_interpreter() {
+    for options in CompilerOptions::figure5_configs() {
+        let name = options.name.clone();
+        check_config_against_interpreter(&name, || {
+            EngineConfig::baseline(&options.name, options.clone())
+        });
+    }
+}
+
+#[test]
+fn production_design_profiles_match_interpreter() {
+    for profile in spc::all_profiles() {
+        let name = profile.name;
+        check_config_against_interpreter(name, || {
+            EngineConfig::baseline(profile.name, profile.options.clone())
+        });
+    }
+}
+
+#[test]
+fn optimizing_tier_matches_interpreter() {
+    check_config_against_interpreter("optimizing", || EngineConfig::optimizing("optimizing"));
+}
+
+#[test]
+fn tiered_engine_matches_interpreter() {
+    check_config_against_interpreter("tiered", || {
+        EngineConfig::tiered("tiered", 1, CompilerOptions::allopt())
+    });
+}
+
+#[test]
+fn lazy_compilation_matches_eager() {
+    let suites = all_suites(Scale::Test);
+    let item = &suites[0].items[0];
+    let eager = run_item(
+        EngineConfig::baseline("eager", CompilerOptions::allopt()),
+        item,
+    )
+    .unwrap();
+    let lazy = run_item(
+        EngineConfig::baseline("lazy", CompilerOptions::allopt()).with_lazy_compile(true),
+        item,
+    )
+    .unwrap();
+    assert_eq!(eager, lazy);
+}
+
+#[test]
+fn execution_cycles_show_the_expected_tier_ordering() {
+    // The interpreter must execute many more cycles than baseline-compiled
+    // code, which in turn should not beat the optimizing tier. Checked on a
+    // compute-heavy item so the ordering is unambiguous.
+    let suites = all_suites(Scale::Test);
+    let item = suites[1]
+        .items
+        .iter()
+        .find(|i| i.name == "chacha20")
+        .expect("chacha20 exists");
+
+    let cycles_for = |config: EngineConfig| {
+        let engine = Engine::new(config);
+        let mut instance = engine
+            .instantiate(&item.module, Imports::new(), Instrumentation::none())
+            .unwrap();
+        engine
+            .call_export(&mut instance, BenchmarkItem::ENTRY, &[])
+            .unwrap();
+        instance.metrics.exec_cycles
+    };
+
+    let interp = cycles_for(EngineConfig::interpreter("wizeng-int"));
+    let baseline = cycles_for(EngineConfig::baseline("wizeng-spc", CompilerOptions::allopt()));
+    let optimizing = cycles_for(EngineConfig::optimizing("optimizing"));
+    assert!(
+        interp > baseline * 3,
+        "interpreter ({interp}) should be much slower than baseline ({baseline})"
+    );
+    assert!(
+        optimizing <= baseline,
+        "optimizing tier ({optimizing}) should not be slower than baseline ({baseline})"
+    );
+}

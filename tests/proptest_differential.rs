@@ -1,0 +1,142 @@
+//! Property-based differential testing: randomly generated straight-line
+//! arithmetic functions must produce identical results (including identical
+//! traps) in the interpreter and in baseline-compiled code under every
+//! optimization configuration.
+
+use engine::{Engine, EngineConfig, Imports, Instrumentation};
+use machine::values::WasmValue;
+use machine::TrapCode;
+use proptest::prelude::*;
+use spc::CompilerOptions;
+use wasm::builder::{CodeBuilder, ModuleBuilder};
+use wasm::opcode::Opcode;
+use wasm::types::{FuncType, ValueType};
+
+/// One step of a generated program: an operation applied to the accumulator
+/// (local 2) and either a constant or one of the two parameters.
+#[derive(Debug, Clone)]
+enum Step {
+    Const(i32),
+    Param(u8),
+    Binop(u8),
+    Unop(u8),
+    StoreLocal,
+    LoadLocal,
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        any::<i32>().prop_map(Step::Const),
+        (0u8..2).prop_map(Step::Param),
+        (0u8..12).prop_map(Step::Binop),
+        (0u8..4).prop_map(Step::Unop),
+        Just(Step::StoreLocal),
+        Just(Step::LoadLocal),
+    ]
+}
+
+/// Builds a module whose exported `f(i32, i32) -> i32` applies the steps to a
+/// running accumulator. The generated code always leaves exactly one i32 on
+/// the stack between steps, so it always validates.
+fn build_program(steps: &[Step]) -> wasm::Module {
+    let mut b = ModuleBuilder::new();
+    let mut c = CodeBuilder::new();
+    c.local_get(0);
+    for step in steps {
+        match step {
+            Step::Const(v) => {
+                c.i32_const(*v).op(Opcode::I32Add);
+            }
+            Step::Param(p) => {
+                c.local_get(u32::from(*p)).op(Opcode::I32Xor);
+            }
+            Step::Binop(which) => {
+                let op = [
+                    Opcode::I32Add,
+                    Opcode::I32Sub,
+                    Opcode::I32Mul,
+                    Opcode::I32And,
+                    Opcode::I32Or,
+                    Opcode::I32Xor,
+                    Opcode::I32Shl,
+                    Opcode::I32ShrS,
+                    Opcode::I32ShrU,
+                    Opcode::I32Rotl,
+                    Opcode::I32DivS,
+                    Opcode::I32RemU,
+                ][usize::from(*which) % 12];
+                c.local_get(1).op(op);
+            }
+            Step::Unop(which) => {
+                let op = [
+                    Opcode::I32Eqz,
+                    Opcode::I32Clz,
+                    Opcode::I32Ctz,
+                    Opcode::I32Popcnt,
+                ][usize::from(*which) % 4];
+                c.op(op);
+            }
+            Step::StoreLocal => {
+                c.local_tee(2);
+            }
+            Step::LoadLocal => {
+                c.drop_().local_get(2);
+            }
+        }
+    }
+    let f = b.add_func(
+        FuncType::new(vec![ValueType::I32, ValueType::I32], vec![ValueType::I32]),
+        vec![ValueType::I32],
+        c.finish(),
+    );
+    b.export_func("f", f);
+    b.finish()
+}
+
+fn run(
+    config: EngineConfig,
+    module: &wasm::Module,
+    a: i32,
+    b: i32,
+) -> Result<WasmValue, TrapCode> {
+    let engine = Engine::new(config);
+    let mut instance = engine
+        .instantiate(module, Imports::new(), Instrumentation::none())
+        .expect("generated module instantiates");
+    engine
+        .call_export(&mut instance, "f", &[WasmValue::I32(a), WasmValue::I32(b)])
+        .map(|r| r[0])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn generated_programs_agree_across_tiers(
+        steps in proptest::collection::vec(step_strategy(), 1..40),
+        a in any::<i32>(),
+        b in any::<i32>(),
+    ) {
+        let module = build_program(&steps);
+        // Validation must accept every generated program.
+        wasm::validate::validate(&module).expect("generated program validates");
+
+        let reference = run(EngineConfig::interpreter("int"), &module, a, b);
+        for options in [
+            CompilerOptions::allopt(),
+            CompilerOptions::nok(),
+            CompilerOptions::nomr(),
+            CompilerOptions::with_tagging(spc::TagStrategy::None, "notags"),
+            CompilerOptions::with_tagging(spc::TagStrategy::Eager, "eager"),
+        ] {
+            let name = options.name.clone();
+            let got = run(EngineConfig::baseline(&name, options), &module, a, b);
+            prop_assert_eq!(
+                &got, &reference,
+                "configuration {} disagrees with the interpreter", name
+            );
+        }
+        let opt = run(EngineConfig::optimizing("opt"), &module, a, b);
+        prop_assert_eq!(&opt, &reference, "optimizing tier disagrees");
+    }
+}

@@ -1,0 +1,236 @@
+//! Integration tests for tier transfer (Fig. 2's frame compatibility) and
+//! garbage collection with tags vs. stackmaps (Section IV-C).
+
+use engine::{Engine, EngineConfig, Heap, Imports, Instrumentation};
+use machine::values::WasmValue;
+use spc::{CompilerOptions, TagStrategy};
+use wasm::builder::{CodeBuilder, ModuleBuilder};
+use wasm::module::ConstExpr;
+use wasm::opcode::Opcode;
+use wasm::types::{BlockType, FuncType, GlobalType, ValueType};
+
+/// fib(n) with recursive calls: exercises deep cross-frame calls.
+fn fib_module() -> wasm::Module {
+    let mut b = ModuleBuilder::new();
+    let mut c = CodeBuilder::new();
+    // if n < 2 return n; else return fib(n-1) + fib(n-2)
+    c.local_get(0)
+        .i32_const(2)
+        .op(Opcode::I32LtS)
+        .if_(BlockType::Empty)
+        .local_get(0)
+        .return_()
+        .end()
+        .local_get(0)
+        .i32_const(1)
+        .op(Opcode::I32Sub)
+        .call(0)
+        .local_get(0)
+        .i32_const(2)
+        .op(Opcode::I32Sub)
+        .call(0)
+        .op(Opcode::I32Add);
+    let f = b.add_func(
+        FuncType::new(vec![ValueType::I32], vec![ValueType::I32]),
+        vec![],
+        c.finish(),
+    );
+    assert_eq!(f, 0);
+    b.export_func("fib", f);
+    b.finish()
+}
+
+#[test]
+fn recursive_calls_agree_across_tiers() {
+    let module = fib_module();
+    let mut results = Vec::new();
+    for config in [
+        EngineConfig::interpreter("int"),
+        EngineConfig::baseline("jit", CompilerOptions::allopt()),
+        EngineConfig::optimizing("opt"),
+        EngineConfig::tiered("tiered", 3, CompilerOptions::allopt()),
+    ] {
+        let engine = Engine::new(config);
+        let mut instance = engine
+            .instantiate(&module, Imports::new(), Instrumentation::none())
+            .unwrap();
+        let r = engine
+            .call_export(&mut instance, "fib", &[WasmValue::I32(15)])
+            .unwrap();
+        results.push(r[0]);
+    }
+    assert!(results.iter().all(|r| *r == WasmValue::I32(610)), "{results:?}");
+}
+
+#[test]
+fn tiered_engine_compiles_only_hot_functions() {
+    let module = fib_module();
+    let engine = Engine::new(EngineConfig::tiered("tiered", 5, CompilerOptions::allopt()));
+    let mut instance = engine
+        .instantiate(&module, Imports::new(), Instrumentation::none())
+        .unwrap();
+
+    // A cold call stays in the interpreter (fib(1) makes a single call).
+    engine
+        .call_export(&mut instance, "fib", &[WasmValue::I32(1)])
+        .unwrap();
+    assert!(instance.compiled_code(0).is_none(), "not hot yet");
+
+    // Recursion makes the function hot; it tiers up mid-workload and the JIT
+    // frames interoperate with the interpreter frames already on the stack.
+    let r = engine
+        .call_export(&mut instance, "fib", &[WasmValue::I32(12)])
+        .unwrap();
+    assert_eq!(r, vec![WasmValue::I32(144)]);
+    assert!(instance.compiled_code(0).is_some(), "tiered up");
+    assert!(instance.call_count(0) > 5);
+    assert!(instance.metrics.functions_compiled == 1);
+}
+
+#[test]
+fn stack_overflow_is_a_trap_not_a_crash() {
+    // Infinite recursion must produce a StackOverflow trap.
+    let mut b = ModuleBuilder::new();
+    let mut c = CodeBuilder::new();
+    c.local_get(0).call(0);
+    let f = b.add_func(
+        FuncType::new(vec![ValueType::I32], vec![ValueType::I32]),
+        vec![],
+        c.finish(),
+    );
+    b.export_func("loop_forever", f);
+    let module = b.finish();
+    for config in [
+        EngineConfig::interpreter("int"),
+        EngineConfig::baseline("jit", CompilerOptions::allopt()),
+    ] {
+        let engine = Engine::new(config);
+        let mut instance = engine
+            .instantiate(&module, Imports::new(), Instrumentation::none())
+            .unwrap();
+        let err = engine
+            .call_export(&mut instance, "loop_forever", &[WasmValue::I32(0)])
+            .unwrap_err();
+        assert_eq!(err, machine::TrapCode::StackOverflow);
+    }
+}
+
+/// A module that keeps references alive in locals and globals across calls
+/// while allocating garbage.
+fn gc_module() -> wasm::Module {
+    let mut b = ModuleBuilder::new();
+    let alloc = b.import_func(
+        "host",
+        "alloc",
+        FuncType::new(vec![ValueType::I32], vec![ValueType::ExternRef]),
+    );
+    let live_check = b.import_func(
+        "host",
+        "live",
+        FuncType::new(vec![], vec![ValueType::I32]),
+    );
+    let g = b.add_global(
+        GlobalType::mutable(ValueType::ExternRef),
+        ConstExpr::RefNull(ValueType::ExternRef),
+    );
+    let mut c = CodeBuilder::new();
+    // Two garbage allocations first, then one kept in a local and one kept in
+    // a global. Collections are triggered at the later call sites, where the
+    // garbage is unreachable from any frame slot, local, or global.
+    c.i32_const(30).call(alloc).drop_();
+    c.i32_const(40).call(alloc).drop_();
+    c.i32_const(10).call(alloc).local_set(1);
+    c.i32_const(20).call(alloc).global_set(g);
+    // Another call so the GC (triggered at call sites) can run with the live
+    // refs only reachable from the frame and the global.
+    c.call(live_check);
+    let f = b.add_func(
+        FuncType::new(vec![ValueType::I32], vec![ValueType::I32]),
+        vec![ValueType::ExternRef],
+        c.finish(),
+    );
+    b.export_func("churn", f);
+    b.finish()
+}
+
+fn run_gc(strategy: TagStrategy) -> (u64, u64, i32) {
+    let module = gc_module();
+    let options = CompilerOptions {
+        tagging: strategy,
+        ..CompilerOptions::allopt()
+    };
+    let engine = Engine::new(EngineConfig::baseline("gc-test", options));
+    let imports = Imports::new()
+        .func("host", "alloc", |heap, args| {
+            Ok(vec![WasmValue::ExternRef(Some(
+                heap.alloc(args[0].unwrap_i32() as u64),
+            ))])
+        })
+        .func("host", "live", |heap, _| {
+            Ok(vec![WasmValue::I32(heap.live_count() as i32)])
+        });
+    let mut instance = engine
+        .instantiate(&module, imports, Instrumentation::none())
+        .unwrap();
+    // Collect aggressively: every call site with at least one live object.
+    instance.heap = Heap::with_threshold(1);
+    let live_at_end = engine
+        .call_export(&mut instance, "churn", &[WasmValue::I32(0)])
+        .unwrap()[0];
+    (
+        instance.heap.collections(),
+        instance.heap.total_freed(),
+        match live_at_end {
+            WasmValue::I32(v) => v,
+            _ => -1,
+        },
+    )
+}
+
+#[test]
+fn gc_keeps_exactly_the_live_objects_with_value_tags() {
+    let (collections, freed, live) = run_gc(TagStrategy::OnDemand);
+    assert!(collections > 0, "the heap threshold forces collections");
+    assert!(freed >= 1, "garbage allocations are reclaimed");
+    assert_eq!(live, 2, "the local-held and global-held objects survive");
+}
+
+#[test]
+fn gc_keeps_exactly_the_live_objects_with_stackmaps() {
+    let (collections, freed, live) = run_gc(TagStrategy::Stackmaps);
+    assert!(collections > 0);
+    assert!(freed >= 1);
+    assert_eq!(live, 2);
+}
+
+#[test]
+fn branch_monitor_counts_match_across_tiers() {
+    // The same branchy program must report identical branch profiles whether
+    // probes fire from the interpreter, from runtime-call probes in JIT code,
+    // or from intrinsified probes.
+    let suite = suites::ostrich::suite(suites::Scale::Test);
+    let item = suite.items.iter().find(|i| i.name == "bfs").unwrap();
+    let mut observations = Vec::new();
+    for config in [
+        EngineConfig::interpreter("int"),
+        EngineConfig::baseline(
+            "jit",
+            CompilerOptions {
+                probe_mode: spc::ProbeMode::Runtime,
+                ..CompilerOptions::allopt()
+            },
+        ),
+        EngineConfig::baseline("optjit", CompilerOptions::allopt()),
+    ] {
+        let engine = Engine::new(config);
+        let monitor = Instrumentation::branch_monitor(&item.module);
+        let mut instance = engine.instantiate(&item.module, Imports::new(), monitor).unwrap();
+        engine
+            .call_export(&mut instance, "main", &[])
+            .unwrap();
+        observations.push(instance.instrumentation.branch_monitor_data().total_observations());
+    }
+    assert!(observations[0] > 0);
+    assert_eq!(observations[0], observations[1], "int vs jit");
+    assert_eq!(observations[0], observations[2], "int vs optjit");
+}
