@@ -29,6 +29,9 @@ pub struct ItemMeasurement {
     pub compile_wall: Duration,
     /// Wasm bytes compiled.
     pub compiled_wasm_bytes: u64,
+    /// Machine-code bytes produced by the configuration's backend (the
+    /// virtual ISA's estimate, or real encodings under the x86-64 backend).
+    pub compiled_machine_bytes: u64,
     /// Size of the module binary in bytes.
     pub module_bytes: u64,
     /// The checksum `main` returned (used to cross-check configurations).
@@ -79,6 +82,7 @@ pub fn measure_item(
         setup_wall: instance.metrics.setup_wall,
         compile_wall: instance.metrics.compile_wall,
         compiled_wasm_bytes: instance.metrics.compiled_wasm_bytes,
+        compiled_machine_bytes: instance.metrics.compiled_machine_bytes,
         module_bytes: item.encoded_size() as u64,
         checksum,
         probe_firings: instance.instrumentation.total_firings(),

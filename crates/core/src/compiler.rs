@@ -6,6 +6,15 @@
 //! compile-time constant (see [`crate::abstract_state`]). Code is emitted
 //! instruction by instruction; there is no intermediate representation.
 //!
+//! All emission flows through the [`Masm`] macro-assembler trait, which
+//! separates this translation strategy from target encoding: the same
+//! compiler drives both the virtual-ISA
+//! [`Assembler`](machine::asm::Assembler) (whose [`CodeBuffer`] the CPU
+//! simulator executes) and the x86-64 backend
+//! ([`machine::x64_masm::X64Masm`]), which emits real machine bytes. This is
+//! the structure every production baseline compiler surveyed by the paper
+//! uses to serve multiple ISAs from one compiler design.
+//!
 //! Within straight-line code the compiler performs the optimizations the
 //! paper attributes to abstract interpretation: forward register allocation
 //! (with optional multi-register sharing), constant tracking and folding,
@@ -25,8 +34,9 @@ use crate::instrument::{ProbeKind, ProbeSites};
 use crate::options::{CompilerOptions, ProbeMode, TagStrategy};
 use crate::stackmap::{Stackmap, StackmapTable};
 use machine::asm::{Assembler, CodeBuffer};
-use machine::inst::{Label, MachInst, TrapCode, Width};
+use machine::inst::{CmpOp, Label, TrapCode, Width};
 use machine::lower::{classify, OpClass};
+use machine::masm::Masm;
 use machine::reg::AnyReg;
 use machine::values::{ValueTag, NULL_REF_BITS};
 use wasm::module::Module;
@@ -61,9 +71,11 @@ pub struct JitProbeSite {
 pub struct CompileStats {
     /// Bytes of Wasm bytecode compiled.
     pub wasm_bytes: u32,
-    /// Number of machine instructions emitted.
+    /// Number of machine instructions emitted (macro operations for
+    /// byte-level backends).
     pub machine_insts: u32,
-    /// Estimated machine-code size in bytes.
+    /// Machine-code size in bytes (estimated for the virtual ISA, exact for
+    /// byte-level backends).
     pub code_size_bytes: u32,
     /// Value-tag stores emitted.
     pub tag_stores: u32,
@@ -77,18 +89,21 @@ pub struct CompileStats {
     pub spills: u32,
 }
 
-/// The output of compiling one function.
+/// The output of compiling one function through a [`Masm`] backend: the
+/// backend's finished code plus the backend-independent metadata the engine
+/// needs. Call/probe/stackmap keys are the backend's *site indices*
+/// (instruction indices for the virtual ISA, byte offsets for x86-64).
 #[derive(Debug, Clone)]
-pub struct CompiledFunction {
+pub struct CompiledCode<T> {
     /// The function's index in the function index space.
     pub func_index: u32,
     /// The emitted code.
-    pub code: CodeBuffer,
+    pub code: T,
     /// Per-call-site stackmaps (only when [`TagStrategy::Stackmaps`]).
     pub stackmaps: StackmapTable,
-    /// Metadata for every call instruction, keyed by instruction index.
+    /// Metadata for every call instruction, keyed by site index.
     pub call_sites: HashMap<usize, CallSiteInfo>,
-    /// Metadata for every probe instruction, keyed by instruction index.
+    /// Metadata for every probe instruction, keyed by site index.
     pub probe_sites: HashMap<usize, JitProbeSite>,
     /// Number of results.
     pub num_results: u32,
@@ -99,6 +114,10 @@ pub struct CompiledFunction {
     /// Compilation statistics.
     pub stats: CompileStats,
 }
+
+/// The output of compiling one function for the virtual ISA — the executable
+/// backend every engine configuration runs on.
+pub type CompiledFunction = CompiledCode<CodeBuffer>;
 
 /// An error produced during compilation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -134,7 +153,7 @@ impl SinglePassCompiler {
         &self.options
     }
 
-    /// Compiles one defined function.
+    /// Compiles one defined function for the virtual ISA.
     ///
     /// # Errors
     ///
@@ -147,6 +166,26 @@ impl SinglePassCompiler {
         info: &FuncInfo,
         probes: &ProbeSites,
     ) -> Result<CompiledFunction, CompileError> {
+        self.compile_with(Assembler::new(), module, func_index, info, probes)
+    }
+
+    /// Compiles one defined function through an arbitrary [`Masm`] backend.
+    ///
+    /// The translation strategy — one forward pass, abstract interpretation,
+    /// the straight-line optimizations — is identical for every backend;
+    /// only the expansion of each semantic operation differs.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for malformed bodies or unsupported features.
+    pub fn compile_with<M: Masm>(
+        &self,
+        masm: M,
+        module: &Module,
+        func_index: u32,
+        info: &FuncInfo,
+        probes: &ProbeSites,
+    ) -> Result<CompiledCode<M::Output>, CompileError> {
         let decl = module.func_decl(func_index).ok_or(CompileError {
             offset: 0,
             message: format!("function {func_index} has no body"),
@@ -193,7 +232,7 @@ impl SinglePassCompiler {
             num_locals: local_types.len(),
             num_results: sig.results.len() as u32,
             results: sig.results.clone(),
-            asm: Assembler::new(),
+            asm: masm,
             state: AbstractState::new(&local_types, self.options.multi_register),
             ctrl: Vec::new(),
             stackmaps: StackmapTable::default(),
@@ -205,13 +244,13 @@ impl SinglePassCompiler {
             },
         };
         fc.compile_body(&decl.code)?;
-        let code = fc.asm.finish();
         let stats = CompileStats {
-            machine_insts: code.len() as u32,
-            code_size_bytes: code.code_size() as u32,
+            machine_insts: fc.asm.num_insts() as u32,
+            code_size_bytes: fc.asm.code_size() as u32,
             ..fc.stats
         };
-        Ok(CompiledFunction {
+        let code = fc.asm.finish();
+        Ok(CompiledCode {
             func_index,
             code,
             stackmaps: fc.stackmaps,
@@ -246,14 +285,14 @@ struct CtrlFrame {
     unreachable: bool,
 }
 
-struct FuncCompiler<'a> {
+struct FuncCompiler<'a, M: Masm> {
     module: &'a Module,
     options: &'a CompilerOptions,
     probes: &'a ProbeSites,
     num_locals: usize,
     num_results: u32,
     results: Vec<ValueType>,
-    asm: Assembler,
+    asm: M,
     state: AbstractState,
     ctrl: Vec<CtrlFrame>,
     stackmaps: StackmapTable,
@@ -262,7 +301,7 @@ struct FuncCompiler<'a> {
     stats: CompileStats,
 }
 
-impl<'a> FuncCompiler<'a> {
+impl<'a, M: Masm> FuncCompiler<'a, M> {
     fn error(&self, offset: usize, message: impl Into<String>) -> CompileError {
         CompileError {
             offset,
@@ -320,10 +359,7 @@ impl<'a> FuncCompiler<'a> {
 
     fn emit_tag(&mut self, slot: usize) {
         let tag = self.tag_of(self.state.slot(slot).ty);
-        self.asm.emit(MachInst::StoreTag {
-            slot: slot as u32,
-            tag,
-        });
+        self.asm.store_tag(slot as u32, tag);
         self.state.set_tag_in_memory(slot, true);
         self.stats.tag_stores += 1;
     }
@@ -350,16 +386,10 @@ impl<'a> FuncCompiler<'a> {
         }
         match s.loc {
             Loc::Const(c) => {
-                self.asm.emit(MachInst::StoreSlotImm {
-                    slot: slot as u32,
-                    imm: c as i64,
-                });
+                self.asm.store_slot_imm(slot as u32, c as i64);
             }
             Loc::Reg(r) => {
-                self.asm.emit(MachInst::StoreSlot {
-                    slot: slot as u32,
-                    src: r,
-                });
+                self.asm.store_slot(slot as u32, r);
             }
             Loc::Memory => {}
         }
@@ -419,7 +449,7 @@ impl<'a> FuncCompiler<'a> {
         let slots = self.state.slots_in_reg(reg).to_vec();
         for slot in slots {
             if !self.state.slot(slot as usize).in_memory {
-                self.asm.emit(MachInst::StoreSlot { slot, src: reg });
+                self.asm.store_slot(slot, reg);
                 self.state.mark_in_memory(slot as usize);
                 self.stats.spills += 1;
             }
@@ -451,10 +481,10 @@ impl<'a> FuncCompiler<'a> {
                 let r = self.alloc_reg(float, pinned);
                 match r {
                     AnyReg::Gpr(g) => {
-                        self.asm.emit(MachInst::MovImm { dst: g, imm: c as i64 });
+                        self.asm.mov_imm(g, c as i64);
                     }
                     AnyReg::Fpr(f) => {
-                        self.asm.emit(MachInst::FMovImm { dst: f, bits: c });
+                        self.asm.fmov_imm(f, c);
                     }
                 }
                 self.state
@@ -464,10 +494,7 @@ impl<'a> FuncCompiler<'a> {
             Loc::Memory => {
                 let float = s.ty.is_float();
                 let r = self.alloc_reg(float, pinned);
-                self.asm.emit(MachInst::LoadSlot {
-                    dst: r,
-                    slot: slot as u32,
-                });
+                self.asm.load_slot(r, slot as u32);
                 self.state.set_slot(slot, Loc::Reg(r), true, s.tag_in_memory);
                 r
             }
@@ -548,16 +575,10 @@ impl<'a> FuncCompiler<'a> {
             let s = *self.state.slot(local);
             match s.loc {
                 Loc::Const(c) => {
-                    self.asm.emit(MachInst::StoreSlotImm {
-                        slot: local as u32,
-                        imm: c as i64,
-                    });
+                    self.asm.store_slot_imm(local as u32, c as i64);
                 }
                 Loc::Reg(r) => {
-                    self.asm.emit(MachInst::StoreSlot {
-                        slot: local as u32,
-                        src: r,
-                    });
+                    self.asm.store_slot(local as u32, r);
                 }
                 Loc::Memory => {}
             }
@@ -569,21 +590,15 @@ impl<'a> FuncCompiler<'a> {
             let s = *self.state.slot(src);
             match s.loc {
                 Loc::Const(c) => {
-                    self.asm.emit(MachInst::StoreSlotImm { slot: dst, imm: c as i64 });
+                    self.asm.store_slot_imm(dst, c as i64);
                 }
                 Loc::Reg(r) => {
-                    self.asm.emit(MachInst::StoreSlot { slot: dst, src: r });
+                    self.asm.store_slot(dst, r);
                 }
                 Loc::Memory => {
                     if src as u32 != dst {
-                        self.asm.emit(MachInst::LoadSlot {
-                            dst: AnyReg::Gpr(SCRATCH_GPR),
-                            slot: src as u32,
-                        });
-                        self.asm.emit(MachInst::StoreSlot {
-                            slot: dst,
-                            src: AnyReg::Gpr(SCRATCH_GPR),
-                        });
+                        self.asm.load_slot(AnyReg::Gpr(SCRATCH_GPR), src as u32);
+                        self.asm.store_slot(dst, AnyReg::Gpr(SCRATCH_GPR));
                     }
                 }
             }
@@ -607,29 +622,23 @@ impl<'a> FuncCompiler<'a> {
             let s = *self.state.slot(src);
             match s.loc {
                 Loc::Const(c) => {
-                    self.asm.emit(MachInst::StoreSlotImm { slot: dst, imm: c as i64 });
+                    self.asm.store_slot_imm(dst, c as i64);
                 }
                 Loc::Reg(r) => {
-                    self.asm.emit(MachInst::StoreSlot { slot: dst, src: r });
+                    self.asm.store_slot(dst, r);
                 }
                 Loc::Memory => {
-                    self.asm.emit(MachInst::LoadSlot {
-                        dst: AnyReg::Gpr(SCRATCH_GPR),
-                        slot: src as u32,
-                    });
-                    self.asm.emit(MachInst::StoreSlot {
-                        slot: dst,
-                        src: AnyReg::Gpr(SCRATCH_GPR),
-                    });
+                    self.asm.load_slot(AnyReg::Gpr(SCRATCH_GPR), src as u32);
+                    self.asm.store_slot(dst, AnyReg::Gpr(SCRATCH_GPR));
                 }
             }
             if self.options.tagging.uses_tags() {
                 let tag = self.tag_of(self.results[i]);
-                self.asm.emit(MachInst::StoreTag { slot: dst, tag });
+                self.asm.store_tag(dst, tag);
                 self.stats.tag_stores += 1;
             }
         }
-        self.asm.emit(MachInst::Return);
+        self.asm.ret();
     }
 
     fn emit_probe(&mut self, site: crate::instrument::ProbeSite, offset: u32) {
@@ -637,9 +646,9 @@ impl<'a> FuncCompiler<'a> {
             offset,
             operand_height: self.state.height() as u32,
         };
-        let inst_index = match (self.options.probe_mode, site.kind) {
+        let site_index = match (self.options.probe_mode, site.kind) {
             (ProbeMode::Optimized, ProbeKind::Counter { counter_id }) => {
-                self.asm.emit(MachInst::ProbeCounter { counter_id })
+                self.asm.probe_counter(counter_id)
             }
             (ProbeMode::Optimized, ProbeKind::TopOfStack) => {
                 let src = if self.state.height() > 0 {
@@ -648,25 +657,18 @@ impl<'a> FuncCompiler<'a> {
                 } else {
                     AnyReg::Gpr(SCRATCH_GPR)
                 };
-                self.asm.emit(MachInst::ProbeTosValue {
-                    probe_id: site.probe_id,
-                    src,
-                })
+                self.asm.probe_tos(site.probe_id, src)
             }
             (ProbeMode::Optimized, ProbeKind::Generic) => {
                 self.flush_for_observation();
-                self.asm.emit(MachInst::ProbeDirect {
-                    probe_id: site.probe_id,
-                })
+                self.asm.probe_direct(site.probe_id)
             }
             (ProbeMode::Runtime, _) => {
                 self.flush_for_observation();
-                self.asm.emit(MachInst::ProbeRuntime {
-                    probe_id: site.probe_id,
-                })
+                self.asm.probe_runtime(site.probe_id)
             }
         };
-        self.probe_sites.insert(inst_index, meta);
+        self.probe_sites.insert(site_index, meta);
     }
 
     // ---- Instruction compilation --------------------------------------------
@@ -690,9 +692,7 @@ impl<'a> FuncCompiler<'a> {
         match op {
             Opcode::Nop => {}
             Opcode::Unreachable => {
-                self.asm.emit(MachInst::Trap {
-                    code: TrapCode::Unreachable,
-                });
+                self.asm.trap(TrapCode::Unreachable);
                 self.mark_unreachable();
             }
             Opcode::Block | Opcode::Loop | Opcode::If => {
@@ -722,11 +722,11 @@ impl<'a> FuncCompiler<'a> {
                     Opcode::If => {
                         let else_label = self.asm.new_label();
                         if let Some(rc) = cond_reg {
-                            self.asm.emit(MachInst::BrIf {
-                                cond: rc.as_gpr().expect("condition is an integer"),
-                                target: else_label,
-                                negate: true,
-                            });
+                            self.asm.br_if(
+                                rc.as_gpr().expect("condition is an integer"),
+                                else_label,
+                                true,
+                            );
                         }
                         (None, Some(else_label))
                     }
@@ -755,7 +755,7 @@ impl<'a> FuncCompiler<'a> {
                 let frame = self.ctrl.last_mut().expect("else inside an if");
                 if was_reachable {
                     let end = frame.end_label;
-                    self.asm.emit(MachInst::Jump { target: end });
+                    self.asm.jump(end);
                 }
                 let frame = self.ctrl.last_mut().expect("else inside an if");
                 if let Some(else_label) = frame.else_label.take() {
@@ -812,7 +812,7 @@ impl<'a> FuncCompiler<'a> {
                     .branch_target(depth)
                     .ok_or_else(|| self.error(offset, "bad branch depth"))?;
                 self.emit_branch_adaptation(base, arity);
-                self.asm.emit(MachInst::Jump { target: label });
+                self.asm.jump(label);
                 self.mark_unreachable();
             }
             Opcode::BrIf => {
@@ -830,7 +830,7 @@ impl<'a> FuncCompiler<'a> {
                                 .branch_target(depth)
                                 .ok_or_else(|| self.error(offset, "bad branch depth"))?;
                             self.emit_branch_adaptation(base, arity);
-                            self.asm.emit(MachInst::Jump { target: label });
+                            self.asm.jump(label);
                             self.mark_unreachable();
                         }
                         return Ok(());
@@ -844,20 +844,12 @@ impl<'a> FuncCompiler<'a> {
                 let rc = rc.as_gpr().expect("condition is an integer");
                 if self.needs_branch_adaptation(base, arity) {
                     let skip = self.asm.new_label();
-                    self.asm.emit(MachInst::BrIf {
-                        cond: rc,
-                        target: skip,
-                        negate: true,
-                    });
+                    self.asm.br_if(rc, skip, true);
                     self.emit_branch_adaptation(base, arity);
-                    self.asm.emit(MachInst::Jump { target: label });
+                    self.asm.jump(label);
                     self.asm.bind(skip);
                 } else {
-                    self.asm.emit(MachInst::BrIf {
-                        cond: rc,
-                        target: label,
-                        negate: false,
-                    });
+                    self.asm.br_if(rc, label, false);
                 }
             }
             Opcode::BrTable => {
@@ -882,15 +874,15 @@ impl<'a> FuncCompiler<'a> {
                     }
                 }
                 let default_stub = resolved.last().expect("at least the default").0;
-                self.asm.emit(MachInst::BrTable {
-                    index: ri.as_gpr().expect("index is an integer"),
-                    targets: stubs,
-                    default: default_stub,
-                });
+                self.asm.br_table(
+                    ri.as_gpr().expect("index is an integer"),
+                    stubs,
+                    default_stub,
+                );
                 for (stub, (label, base, arity)) in resolved {
                     self.asm.bind(stub);
                     self.emit_branch_adaptation(base, arity);
-                    self.asm.emit(MachInst::Jump { target: label });
+                    self.asm.jump(label);
                 }
                 self.mark_unreachable();
             }
@@ -917,12 +909,12 @@ impl<'a> FuncCompiler<'a> {
                 let refs = self.flush_for_observation();
                 let callee_slot_base =
                     (self.num_locals + self.state.height() - sig.params.len()) as u32;
-                let inst_index = self.asm.emit(MachInst::Call { func_index: callee });
+                let site_index = self.asm.call(callee);
                 self.call_sites
-                    .insert(inst_index, CallSiteInfo { callee_slot_base });
+                    .insert(site_index, CallSiteInfo { callee_slot_base });
                 if let Some(ref_slots) = refs {
                     self.stackmaps.push(Stackmap {
-                        inst_index,
+                        inst_index: site_index,
                         ref_slots,
                     });
                 }
@@ -956,16 +948,16 @@ impl<'a> FuncCompiler<'a> {
                 let refs = self.flush_for_observation();
                 let callee_slot_base =
                     (self.num_locals + self.state.height() - sig.params.len()) as u32;
-                let inst_index = self.asm.emit(MachInst::CallIndirect {
+                let site_index = self.asm.call_indirect(
                     type_index,
                     table_index,
-                    index: ri.as_gpr().expect("table index is an integer"),
-                });
+                    ri.as_gpr().expect("table index is an integer"),
+                );
                 self.call_sites
-                    .insert(inst_index, CallSiteInfo { callee_slot_base });
+                    .insert(site_index, CallSiteInfo { callee_slot_base });
                 if let Some(ref_slots) = refs {
                     self.stackmaps.push(Stackmap {
-                        inst_index,
+                        inst_index: site_index,
                         ref_slots,
                     });
                 }
@@ -1010,7 +1002,7 @@ impl<'a> FuncCompiler<'a> {
                     .ok_or_else(|| self.error(offset, format!("unknown global {index}")))?
                     .value_type;
                 let dst = self.alloc_reg(ty.is_float(), &[]);
-                self.asm.emit(MachInst::GlobalGet { dst, index });
+                self.asm.global_get(dst, index);
                 self.push_result(ty, Loc::Reg(dst));
             }
             Opcode::GlobalSet => {
@@ -1020,7 +1012,7 @@ impl<'a> FuncCompiler<'a> {
                 let top = self.state.operand_index(0);
                 let src = self.ensure_in_reg(top, &[]);
                 self.state.pop();
-                self.asm.emit(MachInst::GlobalSet { index, src });
+                self.asm.global_set(index, src);
             }
             Opcode::I32Const => {
                 let v = reader
@@ -1063,13 +1055,13 @@ impl<'a> FuncCompiler<'a> {
                 let r = self.ensure_in_reg(top, &[]);
                 self.state.pop();
                 let dst = self.alloc_reg(false, &[r]);
-                self.asm.emit(MachInst::CmpImm {
-                    op: machine::inst::CmpOp::Eq,
-                    width: Width::W64,
-                    dst: dst.as_gpr().expect("gpr"),
-                    a: r.as_gpr().expect("references live in GPRs"),
-                    imm: -1,
-                });
+                self.asm.cmp_imm(
+                    CmpOp::Eq,
+                    Width::W64,
+                    dst.as_gpr().expect("gpr"),
+                    r.as_gpr().expect("references live in GPRs"),
+                    -1,
+                );
                 self.push_result(ValueType::I32, Loc::Reg(dst));
             }
             Opcode::MemorySize => {
@@ -1077,9 +1069,7 @@ impl<'a> FuncCompiler<'a> {
                     .read_memory_index()
                     .map_err(|e| self.error(offset, e.to_string()))?;
                 let dst = self.alloc_reg(false, &[]);
-                self.asm.emit(MachInst::MemorySize {
-                    dst: dst.as_gpr().expect("gpr"),
-                });
+                self.asm.memory_size(dst.as_gpr().expect("gpr"));
                 self.push_result(ValueType::I32, Loc::Reg(dst));
             }
             Opcode::MemoryGrow => {
@@ -1090,10 +1080,10 @@ impl<'a> FuncCompiler<'a> {
                 let delta = self.ensure_in_reg(top, &[]);
                 self.state.pop();
                 let dst = self.alloc_reg(false, &[delta]);
-                self.asm.emit(MachInst::MemoryGrow {
-                    dst: dst.as_gpr().expect("gpr"),
-                    delta: delta.as_gpr().expect("gpr"),
-                });
+                self.asm.memory_grow(
+                    dst.as_gpr().expect("gpr"),
+                    delta.as_gpr().expect("gpr"),
+                );
                 self.push_result(ValueType::I32, Loc::Reg(dst));
             }
             _ if op.is_memory_access() => {
@@ -1118,10 +1108,10 @@ impl<'a> FuncCompiler<'a> {
             let dst = self.alloc_reg(ty.is_float(), &[]);
             match dst {
                 AnyReg::Gpr(g) => {
-                    self.asm.emit(MachInst::MovImm { dst: g, imm: bits as i64 });
+                    self.asm.mov_imm(g, bits as i64);
                 }
                 AnyReg::Fpr(f) => {
-                    self.asm.emit(MachInst::FMovImm { dst: f, bits });
+                    self.asm.fmov_imm(f, bits);
                 }
             }
             self.push_result(ty, Loc::Reg(dst));
@@ -1139,29 +1129,26 @@ impl<'a> FuncCompiler<'a> {
             }
             Loc::Reg(r) => {
                 let dst = self.alloc_reg(s.ty.is_float(), &[r]);
-                match (dst, r) {
-                    (AnyReg::Gpr(d), AnyReg::Gpr(src)) => {
-                        self.asm.emit(MachInst::Mov { dst: d, src });
-                    }
-                    (AnyReg::Fpr(d), AnyReg::Fpr(src)) => {
-                        self.asm.emit(MachInst::FMov { dst: d, src });
-                    }
-                    _ => unreachable!("register banks match the type"),
-                }
+                self.emit_move_between(dst, r);
                 self.push_result(s.ty, Loc::Reg(dst));
             }
             Loc::Const(_) | Loc::Memory => {
                 let dst = self.alloc_reg(s.ty.is_float(), &[]);
-                self.asm.emit(MachInst::LoadSlot {
-                    dst,
-                    slot: index as u32,
-                });
+                self.asm.load_slot(dst, index as u32);
                 if self.options.multi_register {
                     // The register now caches the local as well.
                     self.state.share(dst, index);
                 }
                 self.push_result(s.ty, Loc::Reg(dst));
             }
+        }
+    }
+
+    fn emit_move_between(&mut self, dst: AnyReg, src: AnyReg) {
+        match (dst, src) {
+            (AnyReg::Gpr(d), AnyReg::Gpr(s)) => self.asm.mov(d, s),
+            (AnyReg::Fpr(d), AnyReg::Fpr(s)) => self.asm.fmov(d, s),
+            _ => unreachable!("register banks match the type"),
         }
     }
 
@@ -1175,15 +1162,7 @@ impl<'a> FuncCompiler<'a> {
             Loc::Reg(r) => {
                 if is_tee && !self.options.multi_register {
                     let dst = self.alloc_reg(s.ty.is_float(), &[r]);
-                    match (dst, r) {
-                        (AnyReg::Gpr(d), AnyReg::Gpr(src)) => {
-                            self.asm.emit(MachInst::Mov { dst: d, src });
-                        }
-                        (AnyReg::Fpr(d), AnyReg::Fpr(src)) => {
-                            self.asm.emit(MachInst::FMov { dst: d, src });
-                        }
-                        _ => unreachable!("register banks match the type"),
-                    }
+                    self.emit_move_between(dst, r);
                     self.state.set_slot(index, Loc::Reg(dst), false, false);
                 } else {
                     self.state.set_slot(index, Loc::Reg(r), false, false);
@@ -1215,20 +1194,10 @@ impl<'a> FuncCompiler<'a> {
         let cond_gpr = rc.as_gpr().expect("condition is an integer");
         match (dst, ra, rb) {
             (AnyReg::Gpr(d), AnyReg::Gpr(a), AnyReg::Gpr(b)) => {
-                self.asm.emit(MachInst::Select {
-                    dst: d,
-                    cond: cond_gpr,
-                    if_true: a,
-                    if_false: b,
-                });
+                self.asm.select(d, cond_gpr, a, b);
             }
             (AnyReg::Fpr(d), AnyReg::Fpr(a), AnyReg::Fpr(b)) => {
-                self.asm.emit(MachInst::FSelect {
-                    dst: d,
-                    cond: cond_gpr,
-                    if_true: a,
-                    if_false: b,
-                });
+                self.asm.fselect(d, cond_gpr, a, b);
             }
             _ => unreachable!("select operands share one register bank"),
         }
@@ -1256,14 +1225,14 @@ impl<'a> FuncCompiler<'a> {
                 } else {
                     Width::W64
                 };
-                self.asm.emit(MachInst::MemLoad {
+                self.asm.mem_load(
                     dst,
-                    addr: ra.as_gpr().expect("address is an integer"),
-                    offset: mem_offset,
+                    ra.as_gpr().expect("address is an integer"),
+                    mem_offset,
                     width,
                     signed,
                     dst_width,
-                });
+                );
                 self.push_result(result, Loc::Reg(dst));
             }
             OpSignature::Store(_) => {
@@ -1273,12 +1242,12 @@ impl<'a> FuncCompiler<'a> {
                 let ra = self.ensure_in_reg(addr, &[rv]);
                 self.state.pop();
                 self.state.pop();
-                self.asm.emit(MachInst::MemStore {
-                    src: rv,
-                    addr: ra.as_gpr().expect("address is an integer"),
-                    offset: mem_offset,
+                self.asm.mem_store(
+                    rv,
+                    ra.as_gpr().expect("address is an integer"),
+                    mem_offset,
                     width,
-                });
+                );
             }
             _ => unreachable!("memory access opcodes have load/store signatures"),
         }
@@ -1334,22 +1303,10 @@ impl<'a> FuncCompiler<'a> {
                         let d = dst.as_gpr().expect("integer result");
                         match class {
                             OpClass::Alu(alu_op, w) => {
-                                self.asm.emit(MachInst::AluImm {
-                                    op: alu_op,
-                                    width: w,
-                                    dst: d,
-                                    a,
-                                    imm,
-                                });
+                                self.asm.alu_imm(alu_op, w, d, a, imm);
                             }
                             OpClass::Cmp(cmp_op, w) => {
-                                self.asm.emit(MachInst::CmpImm {
-                                    op: cmp_op,
-                                    width: w,
-                                    dst: d,
-                                    a,
-                                    imm,
-                                });
+                                self.asm.cmp_imm(cmp_op, w, d, a, imm);
                             }
                             _ => unreachable!("matched above"),
                         }
@@ -1376,424 +1333,61 @@ impl<'a> FuncCompiler<'a> {
         let dst = self.alloc_reg(result_ty.is_float(), &operand_regs[..arity]);
         match class {
             OpClass::Alu(op, width) => {
-                self.asm.emit(MachInst::Alu {
+                self.asm.alu(
                     op,
                     width,
-                    dst: dst.as_gpr().expect("gpr"),
-                    a: operand_regs[0].as_gpr().expect("gpr"),
-                    b: operand_regs[1].as_gpr().expect("gpr"),
-                });
+                    dst.as_gpr().expect("gpr"),
+                    operand_regs[0].as_gpr().expect("gpr"),
+                    operand_regs[1].as_gpr().expect("gpr"),
+                );
             }
             OpClass::Cmp(op, width) => {
-                self.asm.emit(MachInst::Cmp {
+                self.asm.cmp(
                     op,
                     width,
-                    dst: dst.as_gpr().expect("gpr"),
-                    a: operand_regs[0].as_gpr().expect("gpr"),
-                    b: operand_regs[1].as_gpr().expect("gpr"),
-                });
+                    dst.as_gpr().expect("gpr"),
+                    operand_regs[0].as_gpr().expect("gpr"),
+                    operand_regs[1].as_gpr().expect("gpr"),
+                );
             }
             OpClass::Unop(op, width) => {
-                self.asm.emit(MachInst::Unop {
+                self.asm.unop(
                     op,
                     width,
-                    dst: dst.as_gpr().expect("gpr"),
-                    src: operand_regs[0].as_gpr().expect("gpr"),
-                });
+                    dst.as_gpr().expect("gpr"),
+                    operand_regs[0].as_gpr().expect("gpr"),
+                );
             }
             OpClass::FAlu(op, width) => {
-                self.asm.emit(MachInst::FAlu {
+                self.asm.falu(
                     op,
                     width,
-                    dst: dst.as_fpr().expect("fpr"),
-                    a: operand_regs[0].as_fpr().expect("fpr"),
-                    b: operand_regs[1].as_fpr().expect("fpr"),
-                });
+                    dst.as_fpr().expect("fpr"),
+                    operand_regs[0].as_fpr().expect("fpr"),
+                    operand_regs[1].as_fpr().expect("fpr"),
+                );
             }
             OpClass::FUnop(op, width) => {
-                self.asm.emit(MachInst::FUnop {
+                self.asm.funop(
                     op,
                     width,
-                    dst: dst.as_fpr().expect("fpr"),
-                    src: operand_regs[0].as_fpr().expect("fpr"),
-                });
+                    dst.as_fpr().expect("fpr"),
+                    operand_regs[0].as_fpr().expect("fpr"),
+                );
             }
             OpClass::FCmp(op, width) => {
-                self.asm.emit(MachInst::FCmp {
+                self.asm.fcmp(
                     op,
                     width,
-                    dst: dst.as_gpr().expect("gpr"),
-                    a: operand_regs[0].as_fpr().expect("fpr"),
-                    b: operand_regs[1].as_fpr().expect("fpr"),
-                });
+                    dst.as_gpr().expect("gpr"),
+                    operand_regs[0].as_fpr().expect("fpr"),
+                    operand_regs[1].as_fpr().expect("fpr"),
+                );
             }
             OpClass::Convert(op) => {
-                self.asm.emit(MachInst::Convert {
-                    op,
-                    dst,
-                    src: operand_regs[0],
-                });
+                self.asm.convert(op, dst, operand_regs[0]);
             }
         }
         self.push_result(result_ty, Loc::Reg(dst));
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use wasm::builder::{CodeBuilder, ModuleBuilder};
-    use wasm::types::{FuncType, Limits};
-    use wasm::validate::validate;
-
-    fn compile_with(
-        options: CompilerOptions,
-        params: Vec<ValueType>,
-        results: Vec<ValueType>,
-        locals: Vec<ValueType>,
-        code: CodeBuilder,
-    ) -> CompiledFunction {
-        let mut b = ModuleBuilder::new();
-        b.add_memory(Limits::at_least(1));
-        let f = b.add_func(FuncType::new(params, results), locals, code.finish());
-        b.export_func("f", f);
-        let module = b.finish();
-        let info = validate(&module).expect("valid");
-        SinglePassCompiler::new(options)
-            .compile(&module, f, &info.funcs[0], &ProbeSites::none())
-            .expect("compiles")
-    }
-
-    fn count_insts(cf: &CompiledFunction, pred: impl Fn(&MachInst) -> bool) -> usize {
-        cf.code.insts().iter().filter(|i| pred(i)).count()
-    }
-
-    #[test]
-    fn straight_line_add_compiles_small() {
-        let mut c = CodeBuilder::new();
-        c.local_get(0).local_get(1).op(Opcode::I32Add);
-        let cf = compile_with(
-            CompilerOptions::allopt(),
-            vec![ValueType::I32, ValueType::I32],
-            vec![ValueType::I32],
-            vec![],
-            c,
-        );
-        assert!(cf.code.len() < 12, "compact code:\n{}", cf.code.disassemble());
-        assert_eq!(cf.num_results, 1);
-        assert_eq!(cf.num_locals, 2);
-        assert!(count_insts(&cf, |i| matches!(i, MachInst::Return)) >= 1);
-    }
-
-    #[test]
-    fn constants_fold_under_allopt_but_not_nokfold() {
-        let mut c = CodeBuilder::new();
-        c.i32_const(6).i32_const(7).op(Opcode::I32Mul);
-        let folded = compile_with(
-            CompilerOptions::allopt(),
-            vec![],
-            vec![ValueType::I32],
-            vec![],
-            c.clone(),
-        );
-        assert_eq!(folded.stats.constants_folded, 1);
-        assert_eq!(
-            count_insts(&folded, |i| matches!(i, MachInst::Alu { .. } | MachInst::AluImm { .. })),
-            0,
-            "multiply folded away:\n{}",
-            folded.code.disassemble()
-        );
-        // The folded constant is stored directly by the epilogue.
-        assert!(count_insts(&folded, |i| matches!(i, MachInst::StoreSlotImm { .. })) >= 1);
-
-        let unfolded = compile_with(
-            CompilerOptions::nokfold(),
-            vec![],
-            vec![ValueType::I32],
-            vec![],
-            c,
-        );
-        assert_eq!(unfolded.stats.constants_folded, 0);
-        assert!(unfolded.code.len() > folded.code.len());
-    }
-
-    #[test]
-    fn immediate_selection_uses_imm_forms() {
-        let mut c = CodeBuilder::new();
-        c.local_get(0).i32_const(5).op(Opcode::I32Add);
-        let isel = compile_with(
-            CompilerOptions::allopt(),
-            vec![ValueType::I32],
-            vec![ValueType::I32],
-            vec![],
-            c.clone(),
-        );
-        assert_eq!(isel.stats.immediate_selections, 1);
-        assert_eq!(count_insts(&isel, |i| matches!(i, MachInst::AluImm { .. })), 1);
-
-        let noisel = compile_with(
-            CompilerOptions::noisel(),
-            vec![ValueType::I32],
-            vec![ValueType::I32],
-            vec![],
-            c,
-        );
-        assert_eq!(noisel.stats.immediate_selections, 0);
-        assert!(count_insts(&noisel, |i| matches!(i, MachInst::Alu { .. })) >= 1);
-        assert!(noisel.code.len() > isel.code.len());
-    }
-
-    #[test]
-    fn multi_register_elides_moves() {
-        // local.get 0 twice: with MR the second get shares the register.
-        let mut c = CodeBuilder::new();
-        c.local_get(0).local_get(0).op(Opcode::I32Add);
-        let mr = compile_with(
-            CompilerOptions::allopt(),
-            vec![ValueType::I32],
-            vec![ValueType::I32],
-            vec![],
-            c.clone(),
-        );
-        let nomr = compile_with(
-            CompilerOptions::nomr(),
-            vec![ValueType::I32],
-            vec![ValueType::I32],
-            vec![],
-            c,
-        );
-        let mr_loads = count_insts(&mr, |i| {
-            matches!(i, MachInst::LoadSlot { .. } | MachInst::Mov { .. })
-        });
-        let nomr_loads = count_insts(&nomr, |i| {
-            matches!(i, MachInst::LoadSlot { .. } | MachInst::Mov { .. })
-        });
-        assert!(
-            mr_loads < nomr_loads,
-            "MR should elide a load/move: {mr_loads} vs {nomr_loads}"
-        );
-    }
-
-    #[test]
-    fn tag_strategies_control_tag_stores() {
-        let mut c = CodeBuilder::new();
-        c.local_get(0)
-            .i32_const(1)
-            .op(Opcode::I32Add)
-            .local_set(0)
-            .local_get(0);
-        let make = |strategy, name: &str| {
-            compile_with(
-                CompilerOptions::with_tagging(strategy, name),
-                vec![ValueType::I32],
-                vec![ValueType::I32],
-                vec![],
-                c.clone(),
-            )
-        };
-        let notags = make(TagStrategy::None, "notags");
-        let eager = make(TagStrategy::Eager, "eagertags");
-        let ondemand = make(TagStrategy::OnDemand, "on-demand");
-        let stackmaps = make(TagStrategy::Stackmaps, "maps");
-
-        let tag_count = |cf: &CompiledFunction| {
-            count_insts(cf, |i| matches!(i, MachInst::StoreTag { .. }))
-        };
-        assert_eq!(tag_count(&notags), 0);
-        assert_eq!(tag_count(&stackmaps), 0);
-        assert!(tag_count(&eager) > tag_count(&ondemand));
-        // No calls or probes: on-demand only tags the returned result.
-        assert!(tag_count(&ondemand) <= 1, "{}", ondemand.code.disassemble());
-    }
-
-    #[test]
-    fn stackmaps_recorded_at_call_sites() {
-        let mut b = ModuleBuilder::new();
-        let callee = b.add_func(
-            FuncType::new(vec![], vec![]),
-            vec![],
-            CodeBuilder::new().finish(),
-        );
-        let mut c = CodeBuilder::new();
-        c.local_get(0).call(callee).drop_();
-        let f = b.add_func(
-            FuncType::new(vec![ValueType::ExternRef], vec![]),
-            vec![],
-            c.finish(),
-        );
-        let module = b.finish();
-        let info = validate(&module).unwrap();
-
-        let cf = SinglePassCompiler::new(CompilerOptions {
-            tagging: TagStrategy::Stackmaps,
-            ..CompilerOptions::allopt()
-        })
-        .compile(&module, f, &info.funcs[1], &ProbeSites::none())
-        .unwrap();
-        assert_eq!(cf.stackmaps.len(), 1);
-        let map = cf.stackmaps.iter().next().unwrap();
-        assert!(map.is_ref(0), "the externref param is a root");
-        assert_eq!(cf.call_sites.len(), 1);
-        let site = cf.call_sites.values().next().unwrap();
-        // One local + one operand (the externref pushed for... actually the
-        // call has no args, so the callee base is locals + current height.
-        assert_eq!(site.callee_slot_base, 2);
-    }
-
-    #[test]
-    fn branch_folding_removes_constant_branches() {
-        let mut c = CodeBuilder::new();
-        c.block(BlockType::Empty)
-            .i32_const(0)
-            .br_if(0)
-            .i32_const(1)
-            .drop_()
-            .end();
-        let folded = compile_with(
-            CompilerOptions::allopt(),
-            vec![],
-            vec![],
-            vec![],
-            c.clone(),
-        );
-        assert_eq!(folded.stats.branches_folded, 1);
-        assert_eq!(count_insts(&folded, |i| matches!(i, MachInst::BrIf { .. })), 0);
-
-        let unfolded = compile_with(CompilerOptions::nokfold(), vec![], vec![], vec![], c);
-        assert_eq!(unfolded.stats.branches_folded, 0);
-        assert!(count_insts(&unfolded, |i| matches!(i, MachInst::BrIf { .. })) >= 1);
-    }
-
-    #[test]
-    fn loops_and_branches_compile_with_bound_labels() {
-        let mut c = CodeBuilder::new();
-        c.block(BlockType::Empty)
-            .loop_(BlockType::Empty)
-            .local_get(0)
-            .op(Opcode::I32Eqz)
-            .br_if(1)
-            .local_get(0)
-            .i32_const(1)
-            .op(Opcode::I32Sub)
-            .local_set(0)
-            .br(0)
-            .end()
-            .end()
-            .local_get(0);
-        let cf = compile_with(
-            CompilerOptions::allopt(),
-            vec![ValueType::I32],
-            vec![ValueType::I32],
-            vec![],
-            c,
-        );
-        // Has a backward jump (the loop) and a forward branch (the exit).
-        assert!(count_insts(&cf, |i| matches!(i, MachInst::Jump { .. })) >= 1);
-        assert!(count_insts(&cf, |i| matches!(i, MachInst::BrIf { .. })) >= 1);
-        assert!(cf.code.source_map().len() > 4, "debug metadata records source offsets");
-    }
-
-    #[test]
-    fn multi_value_rejected_without_mv_feature() {
-        let mut b = ModuleBuilder::new();
-        let mut c = CodeBuilder::new();
-        c.i32_const(1).i32_const(2);
-        let f = b.add_func(
-            FuncType::new(vec![], vec![ValueType::I32, ValueType::I32]),
-            vec![],
-            c.finish(),
-        );
-        let module = b.finish();
-        let info = validate(&module).unwrap();
-        let options = CompilerOptions {
-            multi_value: false,
-            ..CompilerOptions::allopt()
-        };
-        let err = SinglePassCompiler::new(options)
-            .compile(&module, f, &info.funcs[0], &ProbeSites::none())
-            .unwrap_err();
-        assert!(err.to_string().contains("multi-value"));
-    }
-
-    #[test]
-    fn probes_compile_to_requested_shapes() {
-        let mut c = CodeBuilder::new();
-        c.local_get(0).drop_().nop();
-        let build = |mode, kind| {
-            let mut b = ModuleBuilder::new();
-            let mut code = CodeBuilder::new();
-            code.local_get(0).drop_().nop();
-            let f = b.add_func(FuncType::new(vec![ValueType::I32], vec![]), vec![], code.finish());
-            let module = b.finish();
-            let info = validate(&module).unwrap();
-            let mut probes = ProbeSites::none();
-            // Attach at offset 2 (the drop instruction).
-            probes.insert(2, crate::instrument::ProbeSite { probe_id: 5, kind });
-            let options = CompilerOptions {
-                probe_mode: mode,
-                ..CompilerOptions::allopt()
-            };
-            SinglePassCompiler::new(options)
-                .compile(&module, f, &info.funcs[0], &probes)
-                .unwrap()
-        };
-        let _ = c;
-        let runtime = build(ProbeMode::Runtime, ProbeKind::TopOfStack);
-        assert_eq!(count_insts(&runtime, |i| matches!(i, MachInst::ProbeRuntime { .. })), 1);
-        let opt = build(ProbeMode::Optimized, ProbeKind::TopOfStack);
-        assert_eq!(count_insts(&opt, |i| matches!(i, MachInst::ProbeTosValue { .. })), 1);
-        let counter = build(ProbeMode::Optimized, ProbeKind::Counter { counter_id: 3 });
-        assert_eq!(count_insts(&counter, |i| matches!(i, MachInst::ProbeCounter { .. })), 1);
-        assert!(opt.code.len() < runtime.code.len(), "optimized probes avoid the flush");
-    }
-
-    #[test]
-    fn call_sites_record_callee_base() {
-        let mut b = ModuleBuilder::new();
-        let callee = b.add_func(
-            FuncType::new(vec![ValueType::I32], vec![ValueType::I32]),
-            vec![],
-            {
-                let mut c = CodeBuilder::new();
-                c.local_get(0);
-                c.finish()
-            },
-        );
-        let mut c = CodeBuilder::new();
-        c.i32_const(9).i32_const(1).call(callee).op(Opcode::I32Add);
-        let f = b.add_func(FuncType::new(vec![], vec![ValueType::I32]), vec![], c.finish());
-        let module = b.finish();
-        let info = validate(&module).unwrap();
-        let cf = SinglePassCompiler::default()
-            .compile(&module, f, &info.funcs[1], &ProbeSites::none())
-            .unwrap();
-        assert_eq!(cf.call_sites.len(), 1);
-        let site = cf.call_sites.values().next().unwrap();
-        // No locals; two operands pushed; the call consumes one arg, so the
-        // callee's frame starts at slot 1.
-        assert_eq!(site.callee_slot_base, 1);
-        assert_eq!(cf.frame_slots, 2);
-    }
-
-    #[test]
-    fn wazero_style_lowering_pass_still_compiles_correctly() {
-        let mut c = CodeBuilder::new();
-        c.local_get(0).i32_const(2).op(Opcode::I32Mul);
-        let options = CompilerOptions {
-            extra_lowering_pass: true,
-            track_constants: false,
-            instruction_selection: false,
-            constant_folding: false,
-            ..CompilerOptions::allopt()
-        };
-        let cf = compile_with(
-            options,
-            vec![ValueType::I32],
-            vec![ValueType::I32],
-            vec![],
-            c,
-        );
-        assert!(count_insts(&cf, |i| matches!(i, MachInst::Alu { .. })) >= 1);
-        assert!(count_insts(&cf, |i| matches!(i, MachInst::MovImm { .. })) >= 1);
     }
 }

@@ -4,7 +4,10 @@
 //! probed bytecode offsets. The compiler statically determines what to emit
 //! at each site: an unoptimized runtime call, a direct call, or a fully
 //! intrinsified sequence (counter increment, top-of-stack pass) — the
-//! paper's Section IV-D optimizations evaluated in Fig. 6.
+//! paper's Section IV-D optimizations evaluated in Fig. 6. Emission goes
+//! through the probe operations of the [`machine::Masm`] macro-assembler
+//! trait, so every backend (virtual ISA, x86-64) gets the same probe
+//! shapes; backends return a site index the engine uses to route firings.
 
 use std::collections::HashMap;
 

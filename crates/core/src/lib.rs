@@ -58,7 +58,8 @@ pub mod profiles;
 pub mod stackmap;
 
 pub use compiler::{
-    CallSiteInfo, CompileError, CompileStats, CompiledFunction, JitProbeSite, SinglePassCompiler,
+    CallSiteInfo, CompileError, CompileStats, CompiledCode, CompiledFunction, JitProbeSite,
+    SinglePassCompiler,
 };
 pub use instrument::{ProbeKind, ProbeSite, ProbeSites};
 pub use options::{CompilerOptions, ProbeMode, TagStrategy};

@@ -32,7 +32,7 @@ impl StackmapTable {
     /// Adds a stackmap. Maps must be added in increasing instruction order.
     pub fn push(&mut self, map: Stackmap) {
         debug_assert!(
-            self.maps.last().map_or(true, |m| m.inst_index < map.inst_index),
+            self.maps.last().is_none_or(|m| m.inst_index < map.inst_index),
             "stackmaps must be added in instruction order"
         );
         self.maps.push(map);

@@ -6,6 +6,7 @@
 //! these side by side.
 
 use machine::cost::CostModel;
+use machine::masm::CodeBackend;
 use spc::CompilerOptions;
 
 /// Which execution tier(s) a configuration uses.
@@ -47,6 +48,14 @@ pub struct EngineConfig {
     pub deopt_on_probe: bool,
     /// Maximum call depth before a stack-overflow trap.
     pub max_call_depth: usize,
+    /// Which macro-assembler backend the compiling tiers emit through.
+    ///
+    /// Execution always runs virtual-ISA code (the simulator cannot execute
+    /// real machine bytes in this offline environment); selecting
+    /// [`CodeBackend::X64`] additionally emits each compiled function
+    /// through the x86-64 backend so [`crate::RunMetrics`] reports *real*
+    /// encoded machine-code bytes instead of the virtual ISA's estimate.
+    pub backend: CodeBackend,
 }
 
 impl Default for EngineConfig {
@@ -66,6 +75,7 @@ impl EngineConfig {
             validate: true,
             deopt_on_probe: false,
             max_call_depth: 10_000,
+            backend: CodeBackend::VirtualIsa,
         }
     }
 
@@ -79,6 +89,7 @@ impl EngineConfig {
             validate: true,
             deopt_on_probe: false,
             max_call_depth: 10_000,
+            backend: CodeBackend::VirtualIsa,
         }
     }
 
@@ -92,6 +103,7 @@ impl EngineConfig {
             validate: true,
             deopt_on_probe: false,
             max_call_depth: 10_000,
+            backend: CodeBackend::VirtualIsa,
         }
     }
 
@@ -108,6 +120,7 @@ impl EngineConfig {
             validate: true,
             deopt_on_probe: false,
             max_call_depth: 10_000,
+            backend: CodeBackend::VirtualIsa,
         }
     }
 
@@ -126,6 +139,13 @@ impl EngineConfig {
     /// Enables tier-down to the interpreter when probes fire in JIT code.
     pub fn with_deopt_on_probe(mut self) -> EngineConfig {
         self.deopt_on_probe = true;
+        self
+    }
+
+    /// Selects the macro-assembler backend the compiling tiers emit through
+    /// (see [`EngineConfig::backend`]).
+    pub fn with_backend(mut self, backend: CodeBackend) -> EngineConfig {
+        self.backend = backend;
         self
     }
 
@@ -172,5 +192,8 @@ mod tests {
         assert!(c.lazy_compile);
         let d = EngineConfig::default().with_deopt_on_probe();
         assert!(d.deopt_on_probe);
+        assert_eq!(d.backend, CodeBackend::VirtualIsa);
+        let x = EngineConfig::default().with_backend(CodeBackend::X64);
+        assert_eq!(x.backend, CodeBackend::X64);
     }
 }

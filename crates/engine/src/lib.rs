@@ -47,6 +47,7 @@ pub mod gc;
 pub mod monitor;
 
 pub use config::{EngineConfig, TierPolicy};
+pub use machine::masm::CodeBackend;
 pub use engine::{Engine, EngineError, HostFunc, Imports, Instance, RunMetrics};
 pub use gc::{Heap, HostObject};
 pub use monitor::{BranchMonitor, BranchProfile, Instrumentation};

@@ -198,8 +198,8 @@ impl Interpreter {
                 let arity = class.arity();
                 let sp = ctx.values.sp();
                 let mut operands = [0u64; 2];
-                for i in 0..arity {
-                    operands[i] = ctx.values.read(sp - arity + i);
+                for (i, operand) in operands.iter_mut().enumerate().take(arity) {
+                    *operand = ctx.values.read(sp - arity + i);
                     cycles.charge(cost.slot_load);
                 }
                 cycles.charge(self.class_cost(op));

@@ -27,11 +27,43 @@ impl CodeBuffer {
     /// Rebuilds a code buffer from raw parts. Used by post-passes (e.g. the
     /// optimizing tier's slot promotion) that rewrite instruction sequences
     /// and must remap label targets and source-map entries themselves.
+    ///
+    /// In debug builds this validates the remapping instead of silently
+    /// accepting a corrupt rewrite: every label target and source-map
+    /// instruction index must be in bounds (a label may target one past the
+    /// end, i.e. the function's end), and the source map must stay sorted by
+    /// instruction index so [`CodeBuffer::source_offset`]'s binary search
+    /// remains correct.
     pub fn from_raw_parts(
         insts: Vec<MachInst>,
         label_targets: Vec<usize>,
         source_map: Vec<(usize, u32)>,
     ) -> CodeBuffer {
+        #[cfg(debug_assertions)]
+        {
+            for (label, &target) in label_targets.iter().enumerate() {
+                debug_assert!(
+                    target <= insts.len(),
+                    "label L{label} targets instruction {target}, past the end ({})",
+                    insts.len()
+                );
+            }
+            for pair in source_map.windows(2) {
+                debug_assert!(
+                    pair[0].0 <= pair[1].0,
+                    "source map must be sorted by instruction index: {:?} before {:?}",
+                    pair[0],
+                    pair[1]
+                );
+            }
+            if let Some(&(index, _)) = source_map.last() {
+                debug_assert!(
+                    index <= insts.len(),
+                    "source-map entry at instruction {index} is past the end ({})",
+                    insts.len()
+                );
+            }
+        }
         let code_size = insts.iter().map(|i| i.encoded_size()).sum();
         CodeBuffer {
             insts,
@@ -193,14 +225,7 @@ impl Assembler {
     /// Records that instructions emitted from here on originate from the Wasm
     /// bytecode offset `offset`.
     pub fn mark_source(&mut self, offset: u32) {
-        let at = self.insts.len();
-        if let Some(last) = self.source_map.last_mut() {
-            if last.0 == at {
-                last.1 = offset;
-                return;
-            }
-        }
-        self.source_map.push((at, offset));
+        crate::masm::push_source_mark(&mut self.source_map, self.insts.len(), offset);
     }
 
     /// Finishes assembly, resolving all labels.
@@ -313,6 +338,33 @@ mod tests {
         let code = asm.finish();
         assert_eq!(code.source_map(), &[(0, 3)]);
         assert_eq!(code.source_offset(0), Some(3));
+    }
+
+    #[test]
+    fn from_raw_parts_accepts_valid_rewrites() {
+        let insts = vec![MachInst::Nop, MachInst::Return];
+        // A label may target one past the end (the function end).
+        let code = CodeBuffer::from_raw_parts(insts, vec![0, 2], vec![(0, 0), (1, 4)]);
+        assert_eq!(code.target(Label(1)), 2);
+        assert_eq!(code.source_offset(1), Some(4));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "past the end")]
+    fn from_raw_parts_rejects_out_of_bounds_labels() {
+        let _ = CodeBuffer::from_raw_parts(vec![MachInst::Return], vec![5], vec![]);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "sorted by instruction index")]
+    fn from_raw_parts_rejects_unsorted_source_map() {
+        let _ = CodeBuffer::from_raw_parts(
+            vec![MachInst::Nop, MachInst::Return],
+            vec![],
+            vec![(1, 0), (0, 2)],
+        );
     }
 
     #[test]

@@ -1,7 +1,9 @@
 //! The virtual target instruction set.
 //!
-//! The baseline and optimizing compilers emit these instructions instead of a
-//! concrete ISA such as x86-64 (see DESIGN.md for the substitution argument).
+//! The virtual-ISA [`Masm`](crate::masm::Masm) backend emits these
+//! instructions — one per macro operation — and the CPU simulator executes
+//! them (see DESIGN.md for the substitution argument); the x86-64 backend
+//! emits real machine bytes for the same operations instead.
 //! The set deliberately mirrors what the production Wasm baseline compilers
 //! emit: register/register and register/immediate ALU forms (immediate forms
 //! are the paper's *instruction selection* optimization), loads and stores of

@@ -17,13 +17,18 @@
 //!   with bytecode source maps;
 //! * [`ops`] — scalar semantics shared by interpreter, CPU, and constant
 //!   folding;
+//! * [`masm`] — the [`masm::Masm`] macro-assembler trait that separates the
+//!   single-pass translation strategy from target encoding, implemented by
+//!   the virtual-ISA assembler and by the x86-64 backend;
 //! * [`lower`] — classification of Wasm opcodes into machine operations;
 //! * [`values`] — tagged 64-bit slots, the value stack, and globals;
 //! * [`memory`] — linear memory and tables;
 //! * [`cost`] — the cycle cost model;
 //! * [`cpu`] — the resumable CPU simulator;
-//! * [`x64`] — a byte-level x86-64 encoder demonstrating real machine-code
-//!   emission for the subset the baseline compiler needs.
+//! * [`x64`] — a byte-level x86-64 instruction encoder;
+//! * [`x64_masm`] — the x86-64 [`masm::Masm`] backend built on that encoder,
+//!   emitting real machine bytes with label patching, a source map, and
+//!   runtime relocations.
 
 #![warn(missing_docs)]
 
@@ -32,16 +37,20 @@ pub mod cost;
 pub mod cpu;
 pub mod inst;
 pub mod lower;
+pub mod masm;
 pub mod memory;
 pub mod ops;
 pub mod reg;
 pub mod values;
 pub mod x64;
+pub mod x64_masm;
 
 pub use asm::{Assembler, CodeBuffer};
+pub use masm::{CodeBackend, Masm};
 pub use cost::{CostModel, CycleCounter};
 pub use cpu::{Cpu, CpuExit, CpuState, ExecContext, ProbeExit};
 pub use inst::{Label, MachInst, TrapCode, Width};
 pub use memory::{LinearMemory, Table};
 pub use reg::{AnyReg, FReg, Reg};
+pub use x64_masm::{X64Code, X64Masm};
 pub use values::{GlobalSlot, ValueStack, ValueTag, WasmValue};

@@ -1,13 +1,18 @@
 //! Register definitions for the virtual target ISA.
 //!
-//! The target models a conventional 64-bit register machine: 16 general
+//! The target models a conventional 64-bit register machine: 14 general
 //! purpose registers and 16 floating-point registers, mirroring x86-64's
-//! GPR/XMM split that the production baseline compilers target.
+//! GPR/XMM split that the production baseline compilers target. The GPR
+//! count is 14 rather than 16 because a real x86-64 backend must reserve the
+//! stack pointer (RSP) and a value-frame pointer (this reproduction's x64
+//! backend pins R14, the register Wizard uses); keeping the virtual register
+//! file inside that budget lets every virtual register map injectively onto
+//! a concrete x86-64 register (see [`crate::x64_masm`]).
 
 use std::fmt;
 
 /// Number of general-purpose registers.
-pub const NUM_GPRS: usize = 16;
+pub const NUM_GPRS: usize = 14;
 /// Number of floating-point registers.
 pub const NUM_FPRS: usize = 16;
 

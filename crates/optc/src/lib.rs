@@ -6,7 +6,10 @@
 //! cluster of the paper's Fig. 10). This reproduction's optimizing tier is
 //! deliberately simple but real: it runs the single-pass compiler to obtain
 //! correct code and metadata, then performs whole-function analysis and
-//! rewriting passes over the machine code:
+//! rewriting passes **at the virtual-ISA level, over the finished
+//! [`machine::CodeBuffer`]** — deliberately above the `Masm`
+//! macro-assembler boundary, which only appends (see DESIGN.md, "The
+//! macro-assembler boundary"):
 //!
 //! * **slot promotion** (the big win): local variables are assigned dedicated
 //!   registers for the entire function, eliminating the per-use value-stack

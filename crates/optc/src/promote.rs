@@ -1,5 +1,14 @@
 //! Whole-function promotion of local-variable slots to registers.
 //!
+//! This is explicitly a **virtual-ISA-level pass over [`CodeBuffer`]**: it
+//! rewrites finished `MachInst` sequences, inspecting and transforming
+//! individual instructions — an IR-like capability the [`machine::Masm`]
+//! macro-assembler boundary intentionally does not expose, because baseline
+//! backends only append. It therefore runs only on the virtual-ISA backend
+//! (the executable one); a byte-level backend would re-emit the promoted
+//! code through its own `Masm` instead. See DESIGN.md, "The macro-assembler
+//! boundary".
+//!
 //! The baseline compiler gives up its register assignments at every
 //! control-flow boundary (its "spill the rest" snapshot strategy), so code in
 //! a loop reloads its locals from the value stack on every iteration. The

@@ -70,7 +70,7 @@ fn emit_lcg_step(c: &mut CodeBuilder, seed: u32) {
 }
 
 fn pages_for_bytes(bytes: u64) -> u32 {
-    ((bytes + 65535) / 65536).max(1) as u32
+    bytes.div_ceil(65536).max(1) as u32
 }
 
 /// Builds a module skeleton: memory sized for `mem_bytes`, an `init` function

@@ -31,7 +31,7 @@ impl std::error::Error for LebError {}
 /// Decodes an unsigned LEB128 value of at most `bits` bits from `data`
 /// starting at `pos`. Returns the value and the number of bytes consumed.
 pub fn read_unsigned(data: &[u8], pos: usize, bits: u32) -> Result<(u64, usize), LebError> {
-    let max_bytes = (bits as usize + 6) / 7;
+    let max_bytes = (bits as usize).div_ceil(7);
     let mut result: u64 = 0;
     let mut shift = 0u32;
     let mut count = 0usize;
@@ -60,7 +60,7 @@ pub fn read_unsigned(data: &[u8], pos: usize, bits: u32) -> Result<(u64, usize),
 /// Decodes a signed LEB128 value of at most `bits` bits from `data` starting
 /// at `pos`. Returns the value and the number of bytes consumed.
 pub fn read_signed(data: &[u8], pos: usize, bits: u32) -> Result<(i64, usize), LebError> {
-    let max_bytes = (bits as usize + 6) / 7;
+    let max_bytes = (bits as usize).div_ceil(7);
     let mut result: i64 = 0;
     let mut shift = 0u32;
     let mut count = 0usize;

@@ -194,7 +194,7 @@ impl Limits {
 
     /// Checks that `min <= max` when a maximum is present.
     pub fn is_well_formed(&self) -> bool {
-        self.max.map_or(true, |m| self.min <= m)
+        self.max.is_none_or(|m| self.min <= m)
     }
 }
 
@@ -284,9 +284,9 @@ impl BlockType {
     /// Resolves this block type against a type section into (params, results).
     ///
     /// Returns `None` when `Func(i)` is out of bounds.
-    pub fn resolve<'a>(
+    pub fn resolve(
         &self,
-        types: &'a [FuncType],
+        types: &[FuncType],
     ) -> Option<(Vec<ValueType>, Vec<ValueType>)> {
         match *self {
             BlockType::Empty => Some((Vec::new(), Vec::new())),

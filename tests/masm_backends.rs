@@ -1,0 +1,212 @@
+//! Differential testing of the two `Masm` backends.
+//!
+//! The single-pass compiler emits exclusively through the macro-assembler
+//! trait, so the virtual-ISA backend (executed by the simulator) and the
+//! x86-64 backend (real machine bytes) must agree on everything
+//! backend-independent: the number of macro operations, the label
+//! structure, the bytecode offsets in the source map, and the call/probe
+//! metadata. This is the test that promotes the x86-64 encoder from demo to
+//! backend: it must compile every function of all three synthetic suites
+//! without panicking.
+
+use engine::{CodeBackend, Engine, EngineConfig, Imports, Instrumentation};
+use machine::x64_masm::X64Masm;
+use machine::values::WasmValue;
+use spc::{CompilerOptions, ProbeKind, ProbeMode, ProbeSite, ProbeSites, SinglePassCompiler};
+use suites::{all_suites, BenchmarkItem, Scale};
+use wasm::validate::validate;
+use wasm::Module;
+
+/// Compiles every defined function of `module` with both backends and
+/// cross-checks the backend-independent structure. Returns the number of
+/// functions compared.
+fn compare_backends(module: &Module, probes: &ProbeSites, options: CompilerOptions) -> usize {
+    let info = validate(module).expect("module validates");
+    let compiler = SinglePassCompiler::new(options);
+    let mut compared = 0;
+    for defined in 0..module.funcs.len() as u32 {
+        let func_index = module.defined_to_func_index(defined);
+        let finfo = &info.funcs[defined as usize];
+        let virt = compiler
+            .compile(module, func_index, finfo, probes)
+            .expect("virtual-ISA backend compiles");
+        let x64 = compiler
+            .compile_with(X64Masm::new(), module, func_index, finfo, probes)
+            .expect("x86-64 backend compiles");
+
+        // The same translation drove both backends: macro-operation counts
+        // and frame layout are identical.
+        assert_eq!(virt.stats.machine_insts, x64.stats.machine_insts);
+        assert_eq!(virt.frame_slots, x64.frame_slots);
+        assert_eq!(virt.num_locals, x64.num_locals);
+
+        // Label structure: same labels, bound in the same order.
+        let vt = virt.code.label_targets();
+        let xt = x64.code.label_targets();
+        assert_eq!(vt.len(), xt.len(), "label counts match");
+        for i in 0..vt.len() {
+            assert!(
+                xt[i] <= x64.code.code_size(),
+                "x64 label L{i} must land inside the code"
+            );
+            for j in 0..vt.len() {
+                assert_eq!(
+                    vt[i] <= vt[j],
+                    xt[i] <= xt[j],
+                    "labels L{i}/L{j} must be ordered identically in both backends"
+                );
+            }
+        }
+
+        // Source maps record the same bytecode-offset sequence (anchored at
+        // different code positions: instruction indices vs byte offsets).
+        let v_offsets: Vec<u32> = virt.code.source_map().iter().map(|&(_, o)| o).collect();
+        let x_offsets: Vec<u32> = x64.code.source_map().iter().map(|&(_, o)| o).collect();
+        assert_eq!(v_offsets, x_offsets, "source maps agree on bytecode offsets");
+
+        // Call and probe metadata: same sites with the same payloads.
+        let mut v_calls: Vec<u32> =
+            virt.call_sites.values().map(|c| c.callee_slot_base).collect();
+        let mut x_calls: Vec<u32> =
+            x64.call_sites.values().map(|c| c.callee_slot_base).collect();
+        v_calls.sort_unstable();
+        x_calls.sort_unstable();
+        assert_eq!(v_calls, x_calls, "call-site metadata agrees");
+        let mut v_probes: Vec<(u32, u32)> = virt
+            .probe_sites
+            .values()
+            .map(|p| (p.offset, p.operand_height))
+            .collect();
+        let mut x_probes: Vec<(u32, u32)> = x64
+            .probe_sites
+            .values()
+            .map(|p| (p.offset, p.operand_height))
+            .collect();
+        v_probes.sort_unstable();
+        x_probes.sort_unstable();
+        assert_eq!(v_probes, x_probes, "probe-site metadata agrees");
+        assert_eq!(virt.stackmaps.len(), x64.stackmaps.len());
+
+        // The x86-64 backend produced real bytes and kept its metadata keys
+        // (byte offsets) inside them.
+        if !virt.code.is_empty() {
+            assert!(x64.code.code_size() > 0, "non-empty code on both backends");
+        }
+        for &site in x64.call_sites.keys().chain(x64.probe_sites.keys()) {
+            assert!(site < x64.code.code_size(), "site index inside the code");
+        }
+        compared += 1;
+    }
+    compared
+}
+
+#[test]
+fn x64_backend_compiles_all_three_suites() {
+    let mut functions = 0;
+    for suite in all_suites(Scale::Test) {
+        for item in &suite.items {
+            functions += compare_backends(
+                &item.module,
+                &ProbeSites::none(),
+                CompilerOptions::allopt(),
+            );
+        }
+    }
+    assert!(functions >= 78, "every line item has at least its entry function");
+}
+
+#[test]
+fn backends_agree_under_probes_and_tag_strategies() {
+    // A small function with known instruction offsets, probed at three
+    // sites with three probe kinds — exercising the probe expansions, tag
+    // stores, and immediate forms of both backends.
+    use wasm::builder::{CodeBuilder, ModuleBuilder};
+    use wasm::opcode::Opcode;
+    use wasm::types::{FuncType, ValueType};
+    let mut b = ModuleBuilder::new();
+    let mut c = CodeBuilder::new();
+    // Offsets: 0 = local.get, 2 = i32.const, 4 = i32.add, 5 = local.tee, ...
+    c.local_get(0)
+        .i32_const(5)
+        .op(Opcode::I32Add)
+        .local_tee(0)
+        .drop_()
+        .local_get(0);
+    let f = b.add_func(
+        FuncType::new(vec![ValueType::I32], vec![ValueType::I32]),
+        vec![],
+        c.finish(),
+    );
+    b.export_func("f", f);
+    let module = b.finish();
+
+    let mut probes = ProbeSites::none();
+    probes.insert(0, ProbeSite { probe_id: 0, kind: ProbeKind::Generic });
+    probes.insert(2, ProbeSite { probe_id: 1, kind: ProbeKind::Counter { counter_id: 1 } });
+    probes.insert(4, ProbeSite { probe_id: 2, kind: ProbeKind::TopOfStack });
+    for options in [
+        CompilerOptions::allopt(),
+        CompilerOptions {
+            probe_mode: ProbeMode::Runtime,
+            ..CompilerOptions::allopt()
+        },
+        CompilerOptions::with_tagging(spc::TagStrategy::Eager, "eager"),
+        CompilerOptions::with_tagging(spc::TagStrategy::Stackmaps, "maps"),
+        CompilerOptions::nok(),
+    ] {
+        let compared = compare_backends(&module, &probes, options);
+        assert_eq!(compared, 1);
+    }
+}
+
+#[test]
+fn x64_backend_selection_preserves_execution_checksums() {
+    // Selecting the x86-64 backend changes what the code-size metrics
+    // measure, never what executes: checksums must match the interpreter.
+    let run = |config: EngineConfig, item: &BenchmarkItem| -> WasmValue {
+        let engine = Engine::new(config);
+        let mut instance = engine
+            .instantiate(&item.module, Imports::new(), Instrumentation::none())
+            .expect("instantiates");
+        engine
+            .call_export(&mut instance, BenchmarkItem::ENTRY, &[])
+            .expect("runs")[0]
+    };
+    for item in &suites::ostrich::suite(Scale::Test).items {
+        let reference = run(EngineConfig::interpreter("int"), item);
+        let x64_backend = run(
+            EngineConfig::baseline("spc-x64", CompilerOptions::allopt())
+                .with_backend(CodeBackend::X64),
+            item,
+        );
+        assert_eq!(
+            x64_backend, reference,
+            "{}: x64-backend config must execute identically",
+            item.name
+        );
+    }
+}
+
+#[test]
+fn x64_backend_reports_larger_real_code_sizes() {
+    // Real encodings are strictly positive and differ from the virtual
+    // ISA's estimates, which is the point of per-backend size reporting.
+    let item = &suites::libsodium::suite(Scale::Test).items[0];
+    let measure = |backend: CodeBackend| -> u64 {
+        let engine = Engine::new(
+            EngineConfig::baseline("spc", CompilerOptions::allopt()).with_backend(backend),
+        );
+        let instance = engine
+            .instantiate(&item.module, Imports::new(), Instrumentation::none())
+            .expect("instantiates");
+        instance.metrics.compiled_machine_bytes
+    };
+    let virtual_bytes = measure(CodeBackend::VirtualIsa);
+    let x64_bytes = measure(CodeBackend::X64);
+    assert!(virtual_bytes > 0);
+    assert!(x64_bytes > 0);
+    assert_ne!(
+        virtual_bytes, x64_bytes,
+        "real encodings are measured, not the estimate"
+    );
+}

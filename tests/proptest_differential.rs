@@ -139,4 +139,37 @@ proptest! {
         let opt = run(EngineConfig::optimizing("opt"), &module, a, b);
         prop_assert_eq!(&opt, &reference, "optimizing tier disagrees");
     }
+
+    #[test]
+    fn generated_programs_compile_identically_on_both_masm_backends(
+        steps in proptest::collection::vec(step_strategy(), 1..40),
+        a in any::<i32>(),
+        b in any::<i32>(),
+    ) {
+        let module = build_program(&steps);
+        let info = wasm::validate::validate(&module).expect("generated program validates");
+        let compiler = spc::SinglePassCompiler::new(CompilerOptions::allopt());
+        let probes = spc::ProbeSites::none();
+        let virt = compiler
+            .compile(&module, 0, &info.funcs[0], &probes)
+            .expect("virtual-ISA backend compiles");
+        let x64 = compiler
+            .compile_with(machine::x64_masm::X64Masm::new(), &module, 0, &info.funcs[0], &probes)
+            .expect("x86-64 backend compiles");
+
+        // Backend-independent structure agrees: macro-op count, labels, and
+        // the bytecode offsets recorded in the source map.
+        prop_assert_eq!(virt.stats.machine_insts, x64.stats.machine_insts);
+        prop_assert_eq!(virt.code.label_targets().len(), x64.code.label_targets().len());
+        let v_offsets: Vec<u32> = virt.code.source_map().iter().map(|&(_, o)| o).collect();
+        let x_offsets: Vec<u32> = x64.code.source_map().iter().map(|&(_, o)| o).collect();
+        prop_assert_eq!(v_offsets, x_offsets);
+        prop_assert!(x64.code.code_size() > 0);
+
+        // And the virtual-ISA code still executes to the interpreter's
+        // checksum.
+        let reference = run(EngineConfig::interpreter("int"), &module, a, b);
+        let jit = run(EngineConfig::baseline("allopt", CompilerOptions::allopt()), &module, a, b);
+        prop_assert_eq!(jit, reference);
+    }
 }
