@@ -1,0 +1,129 @@
+//! FIG 11 (beyond the paper): the compilation pipeline at serving scale.
+//!
+//! Two experiments over the three suites:
+//!
+//! 1. **Compile-throughput scaling** — eagerly compile every suite module
+//!    with the pipeline at 1, 2, 4, and 8 workers and report wall-clock
+//!    compile throughput (compiled Wasm MB/s) and speedup over 1 worker.
+//!    On a single-core host the curve is flat; the point of the column is
+//!    that the *output* is identical while the wall-clock shrinks with
+//!    available cores.
+//! 2. **Cold vs. warm instantiation** — instantiate every module twice
+//!    against a shared keyed code cache and compare instantiation latency.
+//!    The warm pass skips validation, preparation, and compilation (the
+//!    cache hit is observable in the metrics), which is the serve-many-
+//!    requests scenario the cache exists for. The warm pass still pays the
+//!    content-hash (an O(module size) encode), so the ratio understates
+//!    what a serving loop with a precomputed `CacheKey` would see.
+//!
+//! Run with `--full` for paper-sized workloads; the default is the smoke
+//! scale used by CI.
+
+use bench::{print_header, scale_from_args, summarize};
+use engine::{CodeCache, Engine, EngineConfig, Imports, Instrumentation};
+use spc::CompilerOptions;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() {
+    let scale = scale_from_args();
+    print_header(
+        "FIG 11 (beyond the paper)",
+        "Parallel compile pipeline scaling and keyed code cache",
+    );
+    let suites = suites::all_suites(scale);
+
+    // ---- Part 1: compile-throughput scaling over worker counts ----------
+    println!("\n[1] eager-compile scaling over all {} modules:",
+        suites.iter().map(|s| s.len()).sum::<usize>());
+    println!(
+        "{:<8} | {:>12} | {:>14} | {:>8}",
+        "workers", "wall (ms)", "thrpt (MB/s)", "speedup"
+    );
+    println!("{:-<8}-+-{:-<12}-+-{:-<14}-+-{:-<8}", "", "", "", "");
+    let mut baseline_wall = None;
+    for workers in [1usize, 2, 4, 8] {
+        let engine = Engine::new(
+            EngineConfig::baseline("wizeng-spc", CompilerOptions::allopt())
+                .with_compile_workers(workers),
+        );
+        let start = Instant::now();
+        let mut wasm_bytes = 0u64;
+        let mut functions = 0u32;
+        for suite in &suites {
+            for item in &suite.items {
+                let instance = engine
+                    .instantiate(&item.module, Imports::new(), Instrumentation::none())
+                    .expect("suite modules instantiate");
+                wasm_bytes += instance.metrics.compiled_wasm_bytes;
+                functions += instance.metrics.functions_compiled;
+            }
+        }
+        let wall = start.elapsed();
+        let baseline = *baseline_wall.get_or_insert(wall);
+        println!(
+            "{:<8} | {:>12.2} | {:>14.2} | {:>7.2}x",
+            workers,
+            wall.as_secs_f64() * 1e3,
+            wasm_bytes as f64 / 1e6 / wall.as_secs_f64().max(1e-9),
+            baseline.as_secs_f64() / wall.as_secs_f64().max(1e-9),
+        );
+        assert!(functions > 0, "scaling run compiled nothing");
+    }
+
+    // ---- Part 2: cold vs. warm instantiation under the code cache -------
+    println!("\n[2] cold vs. warm instantiation latency (shared keyed cache):");
+    println!(
+        "{:<12} | {:>12} | {:>12} | {:>8}",
+        "suite", "cold (us)", "warm (us)", "ratio"
+    );
+    println!("{:-<12}-+-{:-<12}-+-{:-<12}-+-{:-<8}", "", "", "", "");
+    let cache = Arc::new(CodeCache::new());
+    let engine = Engine::new(EngineConfig::baseline("wizeng-spc", CompilerOptions::allopt()))
+        .with_code_cache(Arc::clone(&cache));
+    let mut items_deduped = 0u32;
+    for suite in &suites {
+        let mut cold_us = Vec::new();
+        let mut warm_us = Vec::new();
+        for item in &suite.items {
+            let start = Instant::now();
+            let cold = engine
+                .instantiate(&item.module, Imports::new(), Instrumentation::none())
+                .expect("cold instantiation");
+            cold_us.push(start.elapsed().as_secs_f64() * 1e6);
+            // Some generated line items encode to byte-identical modules;
+            // content hashing dedupes them, so even a first instantiation
+            // can hit. Count rather than forbid it.
+            if cold.metrics.cache_hit {
+                items_deduped += 1;
+            }
+
+            let start = Instant::now();
+            let warm = engine
+                .instantiate(&item.module, Imports::new(), Instrumentation::none())
+                .expect("warm instantiation");
+            warm_us.push(start.elapsed().as_secs_f64() * 1e6);
+            assert!(warm.metrics.cache_hit, "second instantiation hits the cache");
+            assert_eq!(
+                warm.metrics.functions_compiled, 0,
+                "a warm instantiation compiles nothing"
+            );
+        }
+        let cold = summarize(&cold_us);
+        let warm = summarize(&warm_us);
+        println!(
+            "{:<12} | {:>12.1} | {:>12.1} | {:>7.1}x",
+            suite.name,
+            cold.mean,
+            warm.mean,
+            cold.mean / warm.mean.max(1e-9),
+        );
+    }
+    println!(
+        "\ncache: {} unique modules, {} hits, {} misses \
+         ({items_deduped} line items were byte-identical to an earlier one)",
+        cache.len(),
+        cache.hits(),
+        cache.misses()
+    );
+}

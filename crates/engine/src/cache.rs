@@ -1,0 +1,212 @@
+//! The keyed code cache: share compiled modules across instantiations.
+//!
+//! The serve-many-requests scenario instantiates the same module over and
+//! over — exactly the workload where recompiling (or even revalidating) per
+//! instance is pure waste. A [`CodeCache`] maps a [`CacheKey`] to the shared
+//! [`CompiledModule`] artifact, so a warm instantiation skips validation,
+//! preparation, and compilation entirely and only builds the instance's
+//! mutable runtime state.
+//!
+//! The key covers every input that affects emitted code:
+//!
+//! * the module's *content* ([`Module::content_hash`] — stable FNV-1a over
+//!   the binary encoding, so it is independent of how the in-memory value
+//!   was produced);
+//! * a fingerprint of the compiler-relevant configuration
+//!   ([`EngineConfig::compile_fingerprint`] — tier policy and every
+//!   [`CompilerOptions`](spc::CompilerOptions) axis, but *not* labels like
+//!   the configuration name or execution-only knobs like the cost model);
+//! * the code [`CodeBackend`];
+//! * a fingerprint of the attached instrumentation
+//!   ([`Instrumentation::fingerprint`]), because probes are baked into
+//!   generated code.
+//!
+//! A warm instantiation still pays O(module size) to compute the content
+//! hash — `Module`'s fields are public and mutable, so memoizing the hash
+//! inside the module would go stale (and silently poison the cache) if a
+//! caller mutated it after hashing. Hashing is far cheaper than the
+//! validation + preparation + compilation a hit skips; a serving loop that
+//! wants to shave it too can compute a [`CacheKey`] once (its fields are
+//! public) and keep its own `CacheKey → Arc<CompiledModule>` map next to
+//! the instance state.
+
+use crate::config::EngineConfig;
+use crate::monitor::Instrumentation;
+use crate::pipeline::CompiledModule;
+use machine::masm::CodeBackend;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use wasm::module::Module;
+
+/// The lookup key of one cached [`CompiledModule`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// [`Module::content_hash`] of the module.
+    pub content_hash: u64,
+    /// [`EngineConfig::compile_fingerprint`] of the configuration.
+    pub options_fingerprint: u64,
+    /// The macro-assembler backend code is emitted through.
+    pub backend: CodeBackend,
+    /// [`Instrumentation::fingerprint`] of the attached instrumentation.
+    pub instrumentation_fingerprint: u64,
+}
+
+impl CacheKey {
+    /// Computes the key for instantiating `module` under `config` with
+    /// `instrumentation` attached.
+    pub fn for_instantiation(
+        config: &EngineConfig,
+        module: &Module,
+        instrumentation: &Instrumentation,
+    ) -> CacheKey {
+        CacheKey {
+            content_hash: module.content_hash(),
+            options_fingerprint: config.compile_fingerprint(),
+            backend: config.backend,
+            instrumentation_fingerprint: instrumentation.fingerprint(),
+        }
+    }
+}
+
+/// A thread-safe map from [`CacheKey`] to the shared compiled-module
+/// artifact, with hit/miss counters.
+///
+/// The cache holds [`Arc`]s, so entries stay alive while any instance uses
+/// them; lazily-compiled functions published into a cached artifact are
+/// visible to every past and future instantiation sharing it.
+#[derive(Debug, Default)]
+pub struct CodeCache {
+    entries: Mutex<HashMap<CacheKey, Arc<CompiledModule>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl CodeCache {
+    /// Creates an empty cache.
+    pub fn new() -> CodeCache {
+        CodeCache::default()
+    }
+
+    /// Looks up a key, counting the outcome as a hit or miss.
+    pub fn lookup(&self, key: &CacheKey) -> Option<Arc<CompiledModule>> {
+        let entries = self.entries.lock().expect("code cache poisoned");
+        match entries.get(key) {
+            Some(artifact) => {
+                self.hits.fetch_add(1, Ordering::SeqCst);
+                Some(Arc::clone(artifact))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::SeqCst);
+                None
+            }
+        }
+    }
+
+    /// Inserts (or replaces) the artifact for a key.
+    pub fn insert(&self, key: CacheKey, artifact: Arc<CompiledModule>) {
+        self.entries
+            .lock()
+            .expect("code cache poisoned")
+            .insert(key, artifact);
+    }
+
+    /// The number of cached artifacts.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("code cache poisoned").len()
+    }
+
+    /// True if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookups that found an entry.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::SeqCst)
+    }
+
+    /// Lookups that found nothing.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::SeqCst)
+    }
+
+    /// Drops every cached artifact (counters are preserved).
+    pub fn clear(&self) {
+        self.entries.lock().expect("code cache poisoned").clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use machine::masm::CodeBackend;
+    use spc::{CompilerOptions, TagStrategy};
+    use wasm::builder::{CodeBuilder, ModuleBuilder};
+    use wasm::types::FuncType;
+
+    fn module(body_const: i32) -> Module {
+        let mut b = ModuleBuilder::new();
+        let mut c = CodeBuilder::new();
+        // A conditional branch so the branch monitor attaches a probe.
+        c.block(wasm::BlockType::Empty)
+            .i32_const(body_const)
+            .br_if(0)
+            .end()
+            .i32_const(body_const);
+        let f = b.add_func(
+            FuncType::new(vec![], vec![wasm::ValueType::I32]),
+            vec![],
+            c.finish(),
+        );
+        b.export_func("main", f);
+        b.finish()
+    }
+
+    #[test]
+    fn key_separates_every_axis() {
+        let m1 = module(1);
+        let base = EngineConfig::baseline("a", CompilerOptions::allopt());
+        let key = |config: &EngineConfig, m: &Module| {
+            CacheKey::for_instantiation(config, m, &Instrumentation::none())
+        };
+        let k = key(&base, &m1);
+        assert_eq!(k, key(&base, &m1), "keys are deterministic");
+        // Same semantics, different label: the key must not change.
+        let renamed = EngineConfig::baseline("b", CompilerOptions::allopt());
+        assert_eq!(k, key(&renamed, &m1), "configuration names are not semantic");
+        // Different module content.
+        assert_ne!(k, key(&base, &module(2)));
+        // Different compiler options.
+        let notags = EngineConfig::baseline(
+            "a",
+            CompilerOptions::with_tagging(TagStrategy::None, "notags"),
+        );
+        assert_ne!(k, key(&notags, &m1));
+        // Different backend.
+        let x64 = base.clone().with_backend(CodeBackend::X64);
+        assert_ne!(k, key(&x64, &m1));
+        // Different instrumentation.
+        let probed = CacheKey::for_instantiation(&base, &m1, &Instrumentation::branch_monitor(&m1));
+        assert_ne!(k, probed);
+    }
+
+    #[test]
+    fn lookup_counts_hits_and_misses() {
+        let cache = CodeCache::new();
+        let m = module(3);
+        let config = EngineConfig::default();
+        let key = CacheKey::for_instantiation(&config, &m, &Instrumentation::none());
+        assert!(cache.lookup(&key).is_none());
+        assert!(cache.is_empty());
+        let artifact = Arc::new(CompiledModule::build(m).unwrap());
+        cache.insert(key, Arc::clone(&artifact));
+        assert_eq!(cache.len(), 1);
+        let found = cache.lookup(&key).expect("cached");
+        assert!(Arc::ptr_eq(&found, &artifact), "the artifact itself is shared");
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        cache.clear();
+        assert!(cache.lookup(&key).is_none());
+        assert_eq!((cache.hits(), cache.misses()), (1, 2));
+    }
+}

@@ -7,7 +7,8 @@
 
 use machine::cost::CostModel;
 use machine::masm::CodeBackend;
-use spc::CompilerOptions;
+use spc::{CompilerOptions, ProbeMode, TagStrategy};
+use wasm::hash::Fnv64;
 
 /// Which execution tier(s) a configuration uses.
 #[derive(Debug, Clone, PartialEq)]
@@ -56,6 +57,17 @@ pub struct EngineConfig {
     /// through the x86-64 backend so [`crate::RunMetrics`] reports *real*
     /// encoded machine-code bytes instead of the virtual ISA's estimate.
     pub backend: CodeBackend,
+    /// How many worker threads eager (instantiate-time) compilation shards
+    /// across. `1` (the default) is the serial path; any higher count
+    /// produces byte-identical code, since each function's compilation reads
+    /// only immutable inputs (see [`crate::pipeline`]).
+    pub compile_workers: usize,
+    /// The host GC heap's collection threshold: a collection is requested at
+    /// the next safe point once this many objects are live. `0` (the
+    /// default) never requests collection — matching the seed behaviour
+    /// where instances started with an inert heap — so GC-sensitive callers
+    /// opt in explicitly.
+    pub gc_threshold: usize,
 }
 
 impl Default for EngineConfig {
@@ -76,6 +88,8 @@ impl EngineConfig {
             deopt_on_probe: false,
             max_call_depth: 10_000,
             backend: CodeBackend::VirtualIsa,
+            compile_workers: 1,
+            gc_threshold: 0,
         }
     }
 
@@ -90,6 +104,8 @@ impl EngineConfig {
             deopt_on_probe: false,
             max_call_depth: 10_000,
             backend: CodeBackend::VirtualIsa,
+            compile_workers: 1,
+            gc_threshold: 0,
         }
     }
 
@@ -104,6 +120,8 @@ impl EngineConfig {
             deopt_on_probe: false,
             max_call_depth: 10_000,
             backend: CodeBackend::VirtualIsa,
+            compile_workers: 1,
+            gc_threshold: 0,
         }
     }
 
@@ -121,6 +139,8 @@ impl EngineConfig {
             deopt_on_probe: false,
             max_call_depth: 10_000,
             backend: CodeBackend::VirtualIsa,
+            compile_workers: 1,
+            gc_threshold: 0,
         }
     }
 
@@ -149,6 +169,51 @@ impl EngineConfig {
         self
     }
 
+    /// Shards eager (instantiate-time) compilation across `workers` threads
+    /// (see [`EngineConfig::compile_workers`]).
+    pub fn with_compile_workers(mut self, workers: usize) -> EngineConfig {
+        self.compile_workers = workers.max(1);
+        self
+    }
+
+    /// Sets the host GC heap's collection threshold (see
+    /// [`EngineConfig::gc_threshold`]).
+    pub fn with_gc_threshold(mut self, threshold: usize) -> EngineConfig {
+        self.gc_threshold = threshold;
+        self
+    }
+
+    /// A stable fingerprint of the *compiler-options* axes that affect the
+    /// code the compiling tiers emit: the tier policy and each
+    /// [`CompilerOptions`] feature axis. Labels (the configuration and
+    /// options names) and execution-only knobs (cost model, call-depth
+    /// limit, laziness, tier-up threshold, GC threshold, worker count) are
+    /// deliberately excluded — configurations differing only in those
+    /// produce byte-identical code and may share a cache entry. The
+    /// [`EngineConfig::backend`] is *not* folded in either: it is its own
+    /// axis of the cache key (see [`crate::cache::CacheKey`]), so pair this
+    /// fingerprint with the backend when keying anything by it.
+    pub fn compile_fingerprint(&self) -> u64 {
+        let mut h = Fnv64::new();
+        match &self.tier {
+            TierPolicy::InterpreterOnly => {
+                h.write_u8(0);
+            }
+            TierPolicy::BaselineOnly(options) => {
+                h.write_u8(1);
+                fold_options(&mut h, options);
+            }
+            TierPolicy::OptimizingOnly => {
+                h.write_u8(2);
+            }
+            TierPolicy::Tiered { baseline, .. } => {
+                h.write_u8(3);
+                fold_options(&mut h, baseline);
+            }
+        }
+        h.finish()
+    }
+
     /// The baseline compiler options of this configuration, if any tier uses
     /// the baseline compiler.
     pub fn baseline_options(&self) -> Option<&CompilerOptions> {
@@ -158,6 +223,33 @@ impl EngineConfig {
             _ => None,
         }
     }
+}
+
+/// Folds every semantic [`CompilerOptions`] axis (not the display name) into
+/// a fingerprint.
+fn fold_options(h: &mut Fnv64, options: &CompilerOptions) {
+    h.write_bool(options.register_allocation)
+        .write_bool(options.multi_register)
+        .write_bool(options.track_constants)
+        .write_bool(options.constant_folding)
+        .write_bool(options.instruction_selection)
+        .write_u8(match options.tagging {
+            TagStrategy::None => 0,
+            TagStrategy::Eager => 1,
+            TagStrategy::EagerOperandsOnly => 2,
+            TagStrategy::EagerLocalsOnly => 3,
+            TagStrategy::OnDemand => 4,
+            TagStrategy::Lazy => 5,
+            TagStrategy::Stackmaps => 6,
+        })
+        .write_bool(options.multi_value)
+        .write_u8(match options.probe_mode {
+            ProbeMode::Runtime => 0,
+            ProbeMode::Optimized => 1,
+        })
+        .write_bool(options.extra_lowering_pass)
+        .write_bool(options.copy_and_patch)
+        .write_bool(options.debug_metadata);
 }
 
 #[cfg(test)]
@@ -195,5 +287,46 @@ mod tests {
         assert_eq!(d.backend, CodeBackend::VirtualIsa);
         let x = EngineConfig::default().with_backend(CodeBackend::X64);
         assert_eq!(x.backend, CodeBackend::X64);
+    }
+
+    #[test]
+    fn pipeline_knobs_default_off_and_build() {
+        let d = EngineConfig::default();
+        assert_eq!(d.compile_workers, 1);
+        assert_eq!(d.gc_threshold, 0);
+        let c = EngineConfig::default().with_compile_workers(8).with_gc_threshold(64);
+        assert_eq!(c.compile_workers, 8);
+        assert_eq!(c.gc_threshold, 64);
+        assert_eq!(
+            EngineConfig::default().with_compile_workers(0).compile_workers,
+            1,
+            "at least one worker"
+        );
+    }
+
+    #[test]
+    fn compile_fingerprint_tracks_code_affecting_axes_only() {
+        let base = EngineConfig::baseline("a", CompilerOptions::allopt());
+        let fp = base.compile_fingerprint();
+        // Non-semantic differences keep the fingerprint.
+        assert_eq!(fp, EngineConfig::baseline("z", CompilerOptions::allopt()).compile_fingerprint());
+        assert_eq!(fp, base.clone().with_lazy_compile(true).compile_fingerprint());
+        assert_eq!(fp, base.clone().with_compile_workers(8).compile_fingerprint());
+        assert_eq!(fp, base.clone().with_gc_threshold(10).compile_fingerprint());
+        // The backend is deliberately NOT part of this fingerprint — it is a
+        // separate axis of the cache key.
+        assert_eq!(fp, base.clone().with_backend(CodeBackend::X64).compile_fingerprint());
+        // Code-affecting differences change it.
+        assert_ne!(fp, EngineConfig::baseline("a", CompilerOptions::nok()).compile_fingerprint());
+        assert_ne!(fp, EngineConfig::interpreter("a").compile_fingerprint());
+        assert_ne!(fp, EngineConfig::optimizing("a").compile_fingerprint());
+        // Tiered with the same baseline options differs only by tier tag.
+        let tiered = EngineConfig::tiered("a", 10, CompilerOptions::allopt());
+        assert_ne!(fp, tiered.compile_fingerprint());
+        assert_eq!(
+            tiered.compile_fingerprint(),
+            EngineConfig::tiered("b", 99, CompilerOptions::allopt()).compile_fingerprint(),
+            "the tier-up threshold does not affect emitted code"
+        );
     }
 }

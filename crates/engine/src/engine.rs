@@ -8,25 +8,31 @@
 //! each other freely (tier-up happens at function entry once a function gets
 //! hot; tier-down to the interpreter can happen when a probe fires in JIT
 //! code).
+//!
+//! Compilation itself lives in [`crate::pipeline`]: every instance holds an
+//! immutable, shareable [`CompiledModule`] artifact behind an [`Arc`], while
+//! the instance keeps only mutable runtime state. An engine can additionally
+//! be wired to a [`CodeCache`] (shared artifacts across instantiations) and
+//! a [`BackgroundCompiler`] (off-thread tier-up).
 
+use crate::cache::{CacheKey, CodeCache};
 use crate::config::{EngineConfig, TierPolicy};
 use crate::gc::{scan_roots_via_stackmaps, scan_roots_via_tags, Heap, StackmapFrame};
 use crate::monitor::Instrumentation;
-use interp::interp::{prepare, InterpExit, Interpreter, PreparedFunction};
+use crate::pipeline::{self, BackgroundCompiler, CompiledArtifact, CompiledModule};
+use interp::interp::{InterpExit, Interpreter};
 use interp::probe::{FrameAccessor, ProbeSink};
 use machine::cost::CycleCounter;
 use machine::cpu::{Cpu, CpuExit, CpuState, ExecContext, ProbeExit};
 use machine::inst::TrapCode;
-use machine::masm::CodeBackend;
-use machine::x64_masm::X64Masm;
 use machine::memory::{LinearMemory, Table};
 use machine::values::{GlobalSlot, ValueStack, ValueTag, WasmValue};
-use spc::{CompiledFunction, ProbeSites, SinglePassCompiler};
+use spc::CompiledFunction;
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 use wasm::module::{ConstExpr, ImportKind, Module};
-use wasm::validate::{validate, ModuleInfo};
 
 /// A host (imported) function.
 pub type HostFunc = Box<dyn FnMut(&mut Heap, &[WasmValue]) -> Result<Vec<WasmValue>, TrapCode>>;
@@ -96,8 +102,24 @@ pub struct RunMetrics {
     /// Wall-clock time spent in instantiation (validation, preparation,
     /// eager compilation, segment initialization).
     pub setup_wall: Duration,
-    /// Wall-clock time spent compiling (eager and lazy).
+    /// Time spent compiling eagerly at instantiation time, summed over the
+    /// per-function compile durations. With one compile worker (the
+    /// default) this is wall-clock time inside instantiation; with more it
+    /// is aggregate compile CPU time across the workers, which can exceed
+    /// [`RunMetrics::setup_wall`] while the elapsed compilation wall-clock
+    /// (part of `setup_wall`) shrinks.
     pub compile_wall: Duration,
+    /// Wall-clock time spent compiling after instantiation: lazy first-call
+    /// compiles, tier-up compiles, and background compiles performed on this
+    /// instance's behalf (accounted when the published code is first
+    /// observed). Kept separate from [`RunMetrics::compile_wall`] so the
+    /// deferred-compilation confounder is visible; sum the two via
+    /// [`RunMetrics::total_compile_wall`] when only the total matters.
+    pub lazy_compile_wall: Duration,
+    /// True if instantiation reused a shared artifact from the engine's
+    /// [`CodeCache`] instead of validating, preparing, and compiling — the
+    /// observable form of a warm instantiation.
+    pub cache_hit: bool,
     /// Bytes of Wasm function bodies compiled.
     pub compiled_wasm_bytes: u64,
     /// Bytes of machine code produced by the configured
@@ -116,14 +138,38 @@ pub struct RunMetrics {
     pub tag_stores_emitted: u64,
 }
 
+impl RunMetrics {
+    /// Total wall-clock compile time attributed to this instance, eager plus
+    /// deferred (lazy / tier-up / background).
+    pub fn total_compile_wall(&self) -> Duration {
+        self.compile_wall + self.lazy_compile_wall
+    }
+}
+
+/// Whether a compilation ran at instantiation time or after it, which
+/// decides the [`RunMetrics`] bucket its wall-clock time lands in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CompileTiming {
+    Eager,
+    Deferred,
+}
+
 /// One live, runnable instance of a module under a specific engine
 /// configuration.
+///
+/// The instance owns only *mutable runtime state* — value stack, linear
+/// memory, globals, tables, heap, call counts, instrumentation data, and
+/// metrics. Everything immutable (the module, validation output, sidetables,
+/// and compiled code) lives in the shared [`CompiledModule`] artifact, so
+/// many instances of the same module can share one copy of the compiled
+/// code across threads.
 pub struct Instance {
-    module: Module,
-    info: ModuleInfo,
-    prepared: Vec<PreparedFunction>,
-    compiled: Vec<Option<CompiledFunction>>,
+    artifact: Arc<CompiledModule>,
     call_counts: Vec<u32>,
+    /// Functions this instance has handed to the background compiler and
+    /// not yet observed published (used to attribute the off-thread compile
+    /// time to this instance's metrics exactly once).
+    background_pending: Vec<bool>,
     memory: Option<LinearMemory>,
     globals: Vec<GlobalSlot>,
     tables: Vec<Table>,
@@ -140,8 +186,8 @@ pub struct Instance {
 impl fmt::Debug for Instance {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Instance")
-            .field("funcs", &self.module.num_funcs())
-            .field("compiled", &self.compiled.iter().filter(|c| c.is_some()).count())
+            .field("funcs", &self.module().num_funcs())
+            .field("compiled", &self.artifact.compiled_count())
             .field("metrics", &self.metrics)
             .finish()
     }
@@ -150,12 +196,17 @@ impl fmt::Debug for Instance {
 impl Instance {
     /// The instantiated module.
     pub fn module(&self) -> &Module {
-        &self.module
+        self.artifact.module()
+    }
+
+    /// The shared compilation artifact this instance executes from.
+    pub fn artifact(&self) -> &Arc<CompiledModule> {
+        &self.artifact
     }
 
     /// The compiled code for a defined function, if it has been compiled.
     pub fn compiled_code(&self, defined_index: u32) -> Option<&CompiledFunction> {
-        self.compiled.get(defined_index as usize)?.as_ref()
+        self.artifact.code(defined_index)
     }
 
     /// The number of times each defined function has been called.
@@ -186,20 +237,58 @@ struct Activation {
 
 /// The engine: a configuration plus the machinery to instantiate and run
 /// modules under it.
+///
+/// Engines are cheap to clone; clones share the attached [`CodeCache`] and
+/// [`BackgroundCompiler`] (both behind [`Arc`]s), which is how a serving
+/// setup gives every worker thread its own engine handle over one shared
+/// cache and compile pool.
 #[derive(Debug, Clone, Default)]
 pub struct Engine {
     config: EngineConfig,
+    cache: Option<Arc<CodeCache>>,
+    background: Option<Arc<BackgroundCompiler>>,
 }
 
 impl Engine {
     /// Creates an engine with the given configuration.
     pub fn new(config: EngineConfig) -> Engine {
-        Engine { config }
+        Engine {
+            config,
+            cache: None,
+            background: None,
+        }
+    }
+
+    /// Attaches a shared code cache: instantiations look up the
+    /// (content-hash, options-fingerprint, backend, instrumentation) key and
+    /// reuse the whole compiled artifact on a hit, skipping validation,
+    /// preparation, and compilation.
+    pub fn with_code_cache(mut self, cache: Arc<CodeCache>) -> Engine {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Attaches a background compile pool: lazy and tier-up compilations are
+    /// enqueued there and execution continues in the interpreter until the
+    /// compiled code is published into the shared artifact.
+    pub fn with_background_compiler(mut self, pool: Arc<BackgroundCompiler>) -> Engine {
+        self.background = Some(pool);
+        self
     }
 
     /// The engine's configuration.
     pub fn config(&self) -> &EngineConfig {
         &self.config
+    }
+
+    /// The attached code cache, if any.
+    pub fn code_cache(&self) -> Option<&Arc<CodeCache>> {
+        self.cache.as_ref()
+    }
+
+    /// The attached background compile pool, if any.
+    pub fn background_compiler(&self) -> Option<&Arc<BackgroundCompiler>> {
+        self.background.as_ref()
     }
 
     /// Instantiates a module: validates, prepares, optionally compiles
@@ -217,17 +306,28 @@ impl Engine {
         instrumentation: Instrumentation,
     ) -> Result<Instance, EngineError> {
         let setup_start = Instant::now();
-        let info = validate(module).map_err(EngineError::Validate)?;
 
-        // Prepare every defined function (sidetables, frame metadata).
-        let mut prepared = Vec::with_capacity(module.funcs.len());
-        for defined in 0..module.funcs.len() as u32 {
-            let func_index = module.defined_to_func_index(defined);
-            let p = prepare(module, func_index, &info.funcs[defined as usize]).map_err(|e| {
-                EngineError::Instantiate(format!("prepare failed: {e}"))
-            })?;
-            prepared.push(p);
-        }
+        // Obtain the shared artifact: from the code cache when attached (a
+        // hit skips validation, preparation, and all compilation), freshly
+        // built otherwise.
+        let mut cache_hit = false;
+        let artifact: Arc<CompiledModule> = match &self.cache {
+            Some(cache) => {
+                let key = CacheKey::for_instantiation(&self.config, module, &instrumentation);
+                match cache.lookup(&key) {
+                    Some(shared) => {
+                        cache_hit = true;
+                        shared
+                    }
+                    None => {
+                        let built = Arc::new(CompiledModule::build(module.clone())?);
+                        cache.insert(key, Arc::clone(&built));
+                        built
+                    }
+                }
+            }
+            None => Arc::new(CompiledModule::build(module.clone())?),
+        };
 
         // Resolve host imports.
         let mut imports = imports;
@@ -294,29 +394,43 @@ impl Engine {
             })?;
         }
 
+        let num_defined = module.funcs.len();
         let mut instance = Instance {
-            module: module.clone(),
-            info,
-            prepared,
-            compiled: vec![None; module.funcs.len()],
-            call_counts: vec![0; module.funcs.len()],
+            artifact,
+            call_counts: vec![0; num_defined],
+            background_pending: vec![false; num_defined],
             memory,
             globals,
             tables,
             values: ValueStack::default(),
-            heap: Heap::with_threshold(0),
+            heap: Heap::with_threshold(self.config.gc_threshold),
             instrumentation,
             host_funcs,
-            metrics: RunMetrics::default(),
+            metrics: RunMetrics {
+                cache_hit,
+                ..RunMetrics::default()
+            },
         };
 
-        // Eager compilation.
+        // Eager compilation, sharded across the configured worker count.
+        // Slots already published into a cached artifact are skipped, so a
+        // warm instantiation compiles nothing and only the instance that
+        // actually compiled a function accounts its time.
         let needs_eager = !self.config.lazy_compile
             && !matches!(self.config.tier, TierPolicy::InterpreterOnly);
         if needs_eager {
-            for defined in 0..module.funcs.len() as u32 {
-                self.ensure_compiled(&mut instance, defined)
-                    .map_err(EngineError::Compile)?;
+            let published = pipeline::compile_eager(
+                &self.config,
+                &instance.artifact,
+                &instance.instrumentation,
+            )
+            .map_err(EngineError::Compile)?;
+            for defined in published {
+                let compiled = instance
+                    .artifact
+                    .artifact(defined)
+                    .expect("published function has an artifact");
+                account_compile(&mut instance.metrics, compiled, CompileTiming::Eager);
             }
         }
         instance.metrics.setup_wall = setup_start.elapsed();
@@ -341,7 +455,7 @@ impl Engine {
         args: &[WasmValue],
     ) -> Result<Vec<WasmValue>, TrapCode> {
         let func_index = instance
-            .module
+            .module()
             .exported_func(name)
             .ok_or(TrapCode::HostError)?;
         self.call(instance, func_index, args)
@@ -358,11 +472,11 @@ impl Engine {
         func_index: u32,
         args: &[WasmValue],
     ) -> Result<Vec<WasmValue>, TrapCode> {
-        if instance.module.is_imported_func(func_index) {
+        if instance.module().is_imported_func(func_index) {
             return Err(TrapCode::HostError);
         }
         let num_results = instance
-            .module
+            .module()
             .func_type(func_index)
             .map(|t| t.results.clone())
             .ok_or(TrapCode::HostError)?;
@@ -388,97 +502,95 @@ impl Engine {
 
     // ---- Internal machinery -------------------------------------------------
 
+    /// Compiles `defined` in the execution thread unless it is already
+    /// published, attributing newly-published work to this instance's
+    /// deferred-compile metrics.
     fn ensure_compiled(
         &self,
         instance: &mut Instance,
         defined: u32,
     ) -> Result<(), spc::CompileError> {
-        if instance.compiled[defined as usize].is_some() {
+        if instance.artifact.artifact(defined).is_some() {
+            self.observe_published(instance, defined);
             return Ok(());
         }
-        let func_index = instance.module.defined_to_func_index(defined);
+        let func_index = instance.artifact.module().defined_to_func_index(defined);
         let probes = instance.instrumentation.sites_for(func_index);
-        let start = Instant::now();
-        let compiled = self.compile_one(instance, func_index, defined, &probes)?;
-        // The compile-time metric covers exactly the work that produced the
-        // executable artifact; the backend size probe below is measured
-        // separately so an x86-64-backend run stays comparable.
-        let elapsed = start.elapsed();
-        // Backend selection: with the x86-64 backend the same single-pass
-        // translation is emitted again as real machine bytes, so the
-        // code-size metric reports actual encodings. Execution still runs
-        // the virtual-ISA code — the simulator cannot execute raw bytes.
-        // Only tiers that install baseline code are probed: the optimizing
-        // tier's slot promotion is a virtual-ISA-only pass, so an x86-64
-        // size for it would describe code the engine never produced.
-        let machine_bytes = match (self.config.backend, self.config.baseline_options()) {
-            (CodeBackend::X64, Some(options)) => {
-                let info = &instance.info.funcs[defined as usize];
-                let x64 = SinglePassCompiler::new(options.clone()).compile_with(
-                    X64Masm::new(),
-                    &instance.module,
-                    func_index,
-                    info,
-                    &probes,
-                )?;
-                x64.code.code_size() as u64
-            }
-            _ => compiled.stats.code_size_bytes as u64,
-        };
-        instance.metrics.compile_wall += elapsed;
-        instance.metrics.compiled_wasm_bytes += compiled.stats.wasm_bytes as u64;
-        instance.metrics.compiled_machine_bytes += machine_bytes;
-        instance.metrics.tag_stores_emitted += compiled.stats.tag_stores as u64;
-        instance.metrics.functions_compiled += 1;
-        instance.compiled[defined as usize] = Some(compiled);
+        let compiled = pipeline::compile_function(
+            &self.config,
+            instance.artifact.module(),
+            func_index,
+            instance.artifact.func_info(defined),
+            &probes,
+        )?;
+        if instance.artifact.publish(defined, compiled) {
+            let published = instance
+                .artifact
+                .artifact(defined)
+                .expect("just published");
+            account_compile(&mut instance.metrics, published, CompileTiming::Deferred);
+        } else {
+            // A background worker (or another instance sharing the artifact)
+            // won the publication race with byte-identical code.
+            self.observe_published(instance, defined);
+        }
         Ok(())
     }
 
-    fn compile_one(
-        &self,
-        instance: &Instance,
-        func_index: u32,
-        defined: u32,
-        probes: &ProbeSites,
-    ) -> Result<CompiledFunction, spc::CompileError> {
-        let info = &instance.info.funcs[defined as usize];
-        match &self.config.tier {
-            TierPolicy::OptimizingOnly => {
-                optc::OptimizingCompiler::default().compile(&instance.module, func_index, info, probes)
-            }
-            TierPolicy::BaselineOnly(options) | TierPolicy::Tiered { baseline: options, .. } => {
-                SinglePassCompiler::new(options.clone()).compile(
-                    &instance.module,
-                    func_index,
-                    info,
-                    probes,
-                )
-            }
-            TierPolicy::InterpreterOnly => {
-                // Interpreter-only engines never compile; this is unreachable
-                // in practice but harmless.
-                SinglePassCompiler::default().compile(&instance.module, func_index, info, probes)
-            }
+    /// Accounts a background compilation into this instance's metrics the
+    /// first time its published result is observed at a call boundary.
+    fn observe_published(&self, instance: &mut Instance, defined: u32) {
+        if !instance.background_pending[defined as usize] {
+            return;
+        }
+        instance.background_pending[defined as usize] = false;
+        if let Some(compiled) = instance.artifact.artifact(defined) {
+            account_compile(&mut instance.metrics, compiled, CompileTiming::Deferred);
         }
     }
 
     /// Decides the tier for a new activation of `defined`, compiling lazily
-    /// or on tier-up as needed.
+    /// or on tier-up as needed. With a background pool attached, deferred
+    /// compilations are enqueued off-thread and the function keeps running
+    /// in the interpreter until the compiled code is published.
     fn choose_tier(&self, instance: &mut Instance, defined: u32) -> Result<bool, TrapCode> {
         instance.call_counts[defined as usize] =
             instance.call_counts[defined as usize].saturating_add(1);
-        let use_jit = match &self.config.tier {
+        let want_jit = match &self.config.tier {
             TierPolicy::InterpreterOnly => false,
             TierPolicy::BaselineOnly(_) | TierPolicy::OptimizingOnly => true,
             TierPolicy::Tiered { threshold, .. } => {
                 instance.call_counts[defined as usize] > *threshold
             }
         };
-        if use_jit {
-            self.ensure_compiled(instance, defined)
-                .map_err(|_| TrapCode::HostError)?;
+        if !want_jit {
+            return Ok(false);
         }
-        Ok(use_jit)
+        if instance.artifact.artifact(defined).is_some() {
+            self.observe_published(instance, defined);
+            return Ok(true);
+        }
+        if let Some(pool) = &self.background {
+            if !instance.background_pending[defined as usize] {
+                let func_index = instance.artifact.module().defined_to_func_index(defined);
+                let probes = instance.instrumentation.sites_for(func_index);
+                if pool.enqueue(
+                    Arc::clone(&instance.artifact),
+                    defined,
+                    probes,
+                    self.config.clone(),
+                ) {
+                    instance.background_pending[defined as usize] = true;
+                }
+            }
+            // Every call boundary is a tier boundary: keep interpreting and
+            // pick up the JIT code once a later call observes the published
+            // slot.
+            return Ok(false);
+        }
+        self.ensure_compiled(instance, defined)
+            .map_err(|_| TrapCode::HostError)?;
+        Ok(true)
     }
 
     fn push_frame(
@@ -490,18 +602,22 @@ impl Engine {
         depth: usize,
     ) -> Result<Activation, TrapCode> {
         let defined = func_index
-            .checked_sub(instance.module.num_imported_funcs())
+            .checked_sub(instance.module().num_imported_funcs())
             .ok_or(TrapCode::HostError)?;
         if depth >= self.config.max_call_depth {
             return Err(TrapCode::StackOverflow);
         }
         let use_jit = self.choose_tier(instance, defined)?;
-        let prepared = &instance.prepared[defined as usize];
+        // The artifact is immutable and behind an `Arc`, so a cheap handle
+        // clone sidesteps simultaneous-borrow gymnastics with the mutable
+        // value stack below.
+        let artifact = Arc::clone(&instance.artifact);
+        let prepared = artifact.prepared(defined);
         let num_params = prepared.num_params as usize;
         let num_results = prepared.num_results;
         let frame_slots = if use_jit {
-            instance.compiled[defined as usize]
-                .as_ref()
+            artifact
+                .code(defined)
                 .map(|c| c.frame_slots)
                 .unwrap_or(prepared.frame_slots())
         } else {
@@ -524,15 +640,13 @@ impl Engine {
             // Ensure parameter tags are present even if the caller's tier
             // does not store tags (e.g. a notags baseline configuration):
             // the callee's locals have static types.
-            let local_types = prepared.local_types.clone();
-            for (i, ty) in local_types.iter().enumerate().take(num_params) {
+            for (i, ty) in prepared.local_types.iter().enumerate().take(num_params) {
                 instance
                     .values
                     .set_tag(frame_base + i, ValueTag::for_type(*ty));
             }
         }
-        let local_types = prepared.local_types.clone();
-        for (i, ty) in local_types.iter().enumerate().skip(num_params) {
+        for (i, ty) in prepared.local_types.iter().enumerate().skip(num_params) {
             instance
                 .values
                 .write_value(frame_base + i, WasmValue::default_for(*ty));
@@ -552,7 +666,7 @@ impl Engine {
         let sp = if use_jit {
             frame_base + frame_slots as usize
         } else {
-            frame_base + local_types.len()
+            frame_base + prepared.num_locals() as usize
         };
         instance.values.set_sp(sp);
         instance.metrics.calls_executed += 1;
@@ -579,15 +693,16 @@ impl Engine {
         let mut stack: Vec<Activation> = Vec::new();
         let root = self.push_frame(instance, func_index, frame_base, Some(args), 0)?;
         stack.push(root);
+        // An owned handle to the shared artifact lets the executor borrow
+        // module/code immutably while the instance's runtime state is
+        // borrowed mutably.
+        let artifact = Arc::clone(&instance.artifact);
 
         while let Some(act) = stack.last_mut() {
-            let defined = act.defined_index as usize;
+            let defined = act.defined_index;
             // Run the top frame until it exits.
             let exit = {
                 let Instance {
-                    module,
-                    prepared,
-                    compiled,
                     memory,
                     globals,
                     tables,
@@ -605,8 +720,8 @@ impl Engine {
                 match &mut act.tier {
                     FrameTier::Interp { ip } => {
                         let exit = interp.run(
-                            module,
-                            &prepared[defined],
+                            artifact.module(),
+                            artifact.prepared(defined),
                             *ip,
                             &mut ctx,
                             instrumentation,
@@ -615,8 +730,8 @@ impl Engine {
                         UnifiedExit::from_interp(exit)
                     }
                     FrameTier::Jit { pc, cpu: cpu_state } => {
-                        let code = compiled[defined]
-                            .as_ref()
+                        let code = artifact
+                            .code(defined)
                             .expect("JIT frame has compiled code");
                         let exit = cpu.run(cpu_state, &code.code, *pc, &mut ctx, cycles);
                         UnifiedExit::from_cpu(exit)
@@ -657,8 +772,8 @@ impl Engine {
                 } => {
                     // Record where to resume the caller.
                     let (caller_base, caller_defined, nargs_from_sig) = {
-                        let sig = instance
-                            .module
+                        let sig = artifact
+                            .module()
                             .func_type(callee)
                             .ok_or(TrapCode::HostError)?;
                         (act.frame_base, act.defined_index, sig.params.len())
@@ -668,8 +783,8 @@ impl Engine {
                         FrameTier::Jit { pc, .. } => *pc = resume,
                     }
                     let callee_base = if jit_caller {
-                        let site = instance.compiled[caller_defined as usize]
-                            .as_ref()
+                        let site = artifact
+                            .code(caller_defined)
                             .and_then(|c| c.call_sites.get(&(resume - 1)))
                             .copied()
                             .ok_or(TrapCode::HostError)?;
@@ -680,12 +795,12 @@ impl Engine {
                     cycles.charge(self.config.cost.call);
                     self.maybe_collect(instance, &stack);
 
-                    if instance.module.is_imported_func(callee) {
+                    if artifact.module().is_imported_func(callee) {
                         self.call_host(instance, callee, callee_base, cycles)?;
                         // Restore the caller's stack pointer.
                         let parent = stack.last().expect("caller");
-                        let nresults = instance
-                            .module
+                        let nresults = artifact
+                            .module()
                             .func_type(callee)
                             .map(|t| t.results.len())
                             .unwrap_or(0);
@@ -726,13 +841,13 @@ impl Engine {
                     let callee = table
                         .get(entry_index)?
                         .ok_or(TrapCode::NullTableEntry)?;
-                    let expected = instance
-                        .module
+                    let expected = artifact
+                        .module()
                         .types
                         .get(type_index as usize)
                         .ok_or(TrapCode::IndirectCallTypeMismatch)?;
-                    let actual = instance
-                        .module
+                    let actual = artifact
+                        .module()
                         .func_type(callee)
                         .ok_or(TrapCode::IndirectCallTypeMismatch)?;
                     if expected != actual {
@@ -741,8 +856,8 @@ impl Engine {
                     let nargs = actual.params.len();
                     let nresults = actual.results.len();
                     let callee_base = if jit_caller {
-                        let site = instance.compiled[caller_defined as usize]
-                            .as_ref()
+                        let site = artifact
+                            .code(caller_defined)
                             .and_then(|c| c.call_sites.get(&(resume - 1)))
                             .copied()
                             .ok_or(TrapCode::HostError)?;
@@ -752,7 +867,7 @@ impl Engine {
                     };
                     cycles.charge(self.config.cost.call_indirect);
                     self.maybe_collect(instance, &stack);
-                    if instance.module.is_imported_func(callee) {
+                    if artifact.module().is_imported_func(callee) {
                         self.call_host(instance, callee, callee_base, cycles)?;
                         let parent = stack.last().expect("caller");
                         match parent.tier {
@@ -788,11 +903,12 @@ impl Engine {
         exit: ProbeExit,
         resume: usize,
     ) -> Result<(), TrapCode> {
-        let defined = act.defined_index as usize;
+        let defined = act.defined_index;
         let func_index = act.func_index;
         let (offset, operand_height) = {
-            let compiled = instance.compiled[defined]
-                .as_ref()
+            let compiled = instance
+                .artifact
+                .code(defined)
                 .expect("probe fired in compiled code");
             compiled
                 .probe_sites
@@ -819,7 +935,7 @@ impl Engine {
                     // so the interpreter can take over in place. The probe is
                     // NOT fired here — the interpreter will fire it when it
                     // re-executes the probed instruction.
-                    let num_locals = instance.prepared[defined].num_locals() as usize;
+                    let num_locals = instance.artifact.prepared(defined).num_locals() as usize;
                     instance
                         .values
                         .set_sp(act.frame_base + num_locals + operand_height as usize);
@@ -828,7 +944,7 @@ impl Engine {
                     };
                     return Ok(());
                 }
-                let num_locals = instance.prepared[defined].num_locals() as usize;
+                let num_locals = instance.artifact.prepared(defined).num_locals() as usize;
                 let sp_before = instance.values.sp();
                 instance
                     .values
@@ -860,7 +976,7 @@ impl Engine {
     ) -> Result<(), TrapCode> {
         cycles.charge(self.config.cost.host_call);
         let sig = instance
-            .module
+            .module()
             .func_type(callee)
             .cloned()
             .ok_or(TrapCode::HostError)?;
@@ -911,7 +1027,7 @@ impl Engine {
             let mut frames = Vec::new();
             for act in stack {
                 if let FrameTier::Jit { pc, .. } = &act.tier {
-                    if let Some(compiled) = instance.compiled[act.defined_index as usize].as_ref() {
+                    if let Some(compiled) = instance.artifact.code(act.defined_index) {
                         // The frame is paused at the call instruction before
                         // its resume point.
                         if *pc > 0 {
@@ -939,6 +1055,19 @@ impl Engine {
             roots
         }
     }
+}
+
+/// Attributes one published compilation to an instance's metrics, in the
+/// bucket matching when it ran.
+fn account_compile(metrics: &mut RunMetrics, compiled: &CompiledArtifact, timing: CompileTiming) {
+    match timing {
+        CompileTiming::Eager => metrics.compile_wall += compiled.compile_wall,
+        CompileTiming::Deferred => metrics.lazy_compile_wall += compiled.compile_wall,
+    }
+    metrics.compiled_wasm_bytes += compiled.function.stats.wasm_bytes as u64;
+    metrics.compiled_machine_bytes += compiled.machine_bytes;
+    metrics.tag_stores_emitted += compiled.function.stats.tag_stores as u64;
+    metrics.functions_compiled += 1;
 }
 
 fn global_roots(globals: &[GlobalSlot]) -> Vec<u32> {

@@ -8,7 +8,13 @@
 //! value stack, linear memory, globals, tables, the host GC [`gc::Heap`],
 //! attached [`monitor::Instrumentation`], and [`RunMetrics`] recording setup
 //! time, compile time, and executed cycles — the raw measurements behind the
-//! paper's figures.
+//! paper's figures. The immutable side of an instance — module, validation
+//! output, sidetables, and compiled code — lives in a shared
+//! [`pipeline::CompiledModule`] artifact: eager compilation can shard across
+//! worker threads ([`EngineConfig::compile_workers`]), tier-up can run on a
+//! [`pipeline::BackgroundCompiler`] while the interpreter keeps executing,
+//! and a [`cache::CodeCache`] lets repeated instantiations of the same
+//! module skip compilation entirely.
 //!
 //! # Examples
 //!
@@ -41,13 +47,17 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod config;
 pub mod engine;
 pub mod gc;
 pub mod monitor;
+pub mod pipeline;
 
+pub use cache::{CacheKey, CodeCache};
 pub use config::{EngineConfig, TierPolicy};
 pub use machine::masm::CodeBackend;
 pub use engine::{Engine, EngineError, HostFunc, Imports, Instance, RunMetrics};
 pub use gc::{Heap, HostObject};
 pub use monitor::{BranchMonitor, BranchProfile, Instrumentation};
+pub use pipeline::{BackgroundCompiler, CompiledArtifact, CompiledModule};

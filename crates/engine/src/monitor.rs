@@ -195,6 +195,41 @@ impl Instrumentation {
         self.branch.total_observations() + self.counters.iter().sum::<u64>()
     }
 
+    /// A stable fingerprint of the probe sites this instrumentation attaches
+    /// — the part that is baked into generated code and therefore belongs in
+    /// the code-cache key. Monitors with the same sites but different
+    /// accumulated data fingerprint equal (the data lives outside the code);
+    /// iteration order is normalized by sorting, so the value is independent
+    /// of `HashMap` ordering.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = wasm::hash::Fnv64::new();
+        let mut funcs: Vec<u32> = self.sites.keys().copied().collect();
+        funcs.sort_unstable();
+        for func in funcs {
+            h.write_u32(func);
+            let sites = &self.sites[&func];
+            let mut entries: Vec<(u32, ProbeSite)> =
+                sites.iter().map(|(&offset, &site)| (offset, site)).collect();
+            entries.sort_unstable_by_key(|(offset, _)| *offset);
+            for (offset, site) in entries {
+                h.write_u32(offset);
+                h.write_u32(site.probe_id);
+                match site.kind {
+                    ProbeKind::Generic => {
+                        h.write_u8(0);
+                    }
+                    ProbeKind::Counter { counter_id } => {
+                        h.write_u8(1).write_u32(counter_id);
+                    }
+                    ProbeKind::TopOfStack => {
+                        h.write_u8(2);
+                    }
+                }
+            }
+        }
+        h.finish()
+    }
+
     /// Routes a value-carrying probe firing (used for JIT `ProbeTosValue`
     /// exits and interpreter firings alike).
     pub fn record_value(&mut self, func: u32, offset: u32, value: WasmValue) {
@@ -331,6 +366,26 @@ mod tests {
         instr.increment_counter(0);
         assert_eq!(instr.counters(), &[2]);
         assert_eq!(instr.total_firings(), 2);
+    }
+
+    #[test]
+    fn fingerprint_reflects_sites_not_data() {
+        let module = branchy_module();
+        let a = Instrumentation::branch_monitor(&module);
+        let mut b = Instrumentation::branch_monitor(&module);
+        assert_eq!(a.fingerprint(), b.fingerprint(), "same sites, same fingerprint");
+        b.fire_with_value(0, 4, WasmValue::I32(1));
+        assert_eq!(
+            a.fingerprint(),
+            b.fingerprint(),
+            "accumulated monitor data is not part of the generated code"
+        );
+        assert_ne!(a.fingerprint(), Instrumentation::none().fingerprint());
+        assert_ne!(
+            a.fingerprint(),
+            Instrumentation::function_counters(&module).fingerprint(),
+            "different probe kinds fingerprint differently"
+        );
     }
 
     #[test]

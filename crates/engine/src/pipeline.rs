@@ -1,0 +1,606 @@
+//! The compilation pipeline: shared compiled-module artifacts, parallel
+//! eager compilation, and background (off-thread) tier-up.
+//!
+//! The paper's central observation is that single-pass baseline compilation
+//! is cheap, *per-function-independent* work. This module exploits that
+//! independence the way production engines do:
+//!
+//! * [`CompiledModule`] is the immutable compilation artifact of one module
+//!   under one engine configuration — validation output, per-function
+//!   sidetables, and one atomically-published code slot per defined
+//!   function. It is `Send + Sync` and held by every [`Instance`] behind an
+//!   [`Arc`], so any number of instances (and threads) share one copy of the
+//!   compiled code. The mutable runtime state (value stack, memory, globals,
+//!   heap, metrics) stays in the instance.
+//! * [`compile_eager`] shards instantiate-time compilation across a
+//!   configurable worker pool ([`EngineConfig::compile_workers`]). Each
+//!   function's compilation reads only immutable inputs, so the output is
+//!   byte-identical to the serial path at any worker count (differentially
+//!   tested in `tests/parallel_determinism.rs`).
+//! * [`BackgroundCompiler`] is a persistent worker pool for tier-up and lazy
+//!   compilation: the engine enqueues a function, keeps interpreting, and
+//!   the finished code is published into the shared artifact's
+//!   [`OnceLock`] slot. Because every call boundary is already a tier
+//!   boundary in this engine, publication needs no code patching — the next
+//!   activation of the function simply observes the filled slot and runs the
+//!   JIT code.
+//!
+//! [`Instance`]: crate::engine::Instance
+//! [`EngineConfig::compile_workers`]: crate::config::EngineConfig
+
+use crate::config::{EngineConfig, TierPolicy};
+use crate::engine::EngineError;
+use interp::interp::{prepare, PreparedFunction};
+use machine::masm::CodeBackend;
+use machine::x64_masm::{X64Code, X64Masm};
+use spc::{CompileError, CompiledFunction, ProbeSites, SinglePassCompiler};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+use wasm::module::Module;
+use wasm::validate::{validate, FuncInfo, ModuleInfo};
+
+use crate::monitor::Instrumentation;
+
+/// The finished compilation of one function plus the bookkeeping the engine
+/// publishes alongside it.
+#[derive(Debug, Clone)]
+pub struct CompiledArtifact {
+    /// The executable virtual-ISA code and its engine metadata.
+    pub function: CompiledFunction,
+    /// Machine-code size in bytes as measured by the configured backend
+    /// (real encodings under [`CodeBackend::X64`], the virtual ISA's
+    /// per-instruction estimate otherwise).
+    pub machine_bytes: u64,
+    /// Wall-clock time this function took to compile, wherever the
+    /// compilation ran (instantiate-time worker, background worker, or the
+    /// execution thread on a lazy first call).
+    pub compile_wall: Duration,
+    /// The real x86-64 encoding of the function, kept when the configuration
+    /// selects [`CodeBackend::X64`] so code-size metrics and determinism
+    /// tests can inspect actual bytes.
+    pub x64_code: Option<X64Code>,
+}
+
+/// One per-function publication slot: empty until the first compilation of
+/// the function completes, then filled exactly once for the artifact's
+/// lifetime.
+type Slot = OnceLock<CompiledArtifact>;
+
+/// The immutable, shareable compilation artifact of one module: everything
+/// about a module that does not change as instances run.
+///
+/// Construction validates the module and prepares every defined function
+/// (sidetables, frame metadata). Code slots start empty and are filled by
+/// eager, lazy, or background compilation; publication is atomic and
+/// idempotent (first writer wins — and every writer produces identical
+/// bytes, since compilation is a pure function of the slot's immutable
+/// inputs).
+pub struct CompiledModule {
+    module: Module,
+    info: ModuleInfo,
+    prepared: Vec<PreparedFunction>,
+    slots: Vec<Slot>,
+}
+
+impl fmt::Debug for CompiledModule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CompiledModule")
+            .field("funcs", &self.slots.len())
+            .field("compiled", &self.compiled_count())
+            .finish()
+    }
+}
+
+impl CompiledModule {
+    /// Validates `module` and prepares every defined function, producing an
+    /// artifact with all code slots empty.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Validate`] if validation fails and
+    /// [`EngineError::Instantiate`] if sidetable preparation fails.
+    pub fn build(module: Module) -> Result<CompiledModule, EngineError> {
+        let info = validate(&module).map_err(EngineError::Validate)?;
+        let mut prepared = Vec::with_capacity(module.funcs.len());
+        for defined in 0..module.funcs.len() as u32 {
+            let func_index = module.defined_to_func_index(defined);
+            let p = prepare(&module, func_index, &info.funcs[defined as usize])
+                .map_err(|e| EngineError::Instantiate(format!("prepare failed: {e}")))?;
+            prepared.push(p);
+        }
+        let slots = (0..module.funcs.len()).map(|_| Slot::new()).collect();
+        Ok(CompiledModule {
+            module,
+            info,
+            prepared,
+            slots,
+        })
+    }
+
+    /// The module this artifact was compiled from.
+    pub fn module(&self) -> &Module {
+        &self.module
+    }
+
+    /// The validation output for the whole module.
+    pub fn info(&self) -> &ModuleInfo {
+        &self.info
+    }
+
+    /// The validation metadata of one defined function.
+    pub fn func_info(&self, defined: u32) -> &FuncInfo {
+        &self.info.funcs[defined as usize]
+    }
+
+    /// The prepared (sidetable + frame layout) form of one defined function.
+    pub fn prepared(&self, defined: u32) -> &PreparedFunction {
+        &self.prepared[defined as usize]
+    }
+
+    /// The number of defined functions.
+    pub fn num_defined(&self) -> u32 {
+        self.slots.len() as u32
+    }
+
+    /// The published artifact of a defined function, if compiled.
+    pub fn artifact(&self, defined: u32) -> Option<&CompiledArtifact> {
+        self.slots.get(defined as usize)?.get()
+    }
+
+    /// The published executable code of a defined function, if compiled.
+    pub fn code(&self, defined: u32) -> Option<&CompiledFunction> {
+        self.artifact(defined).map(|a| &a.function)
+    }
+
+    /// Atomically publishes the compilation of `defined`. Returns `true` if
+    /// this call installed the artifact and `false` if another compilation
+    /// won the race (the artifact is dropped; both are byte-identical).
+    pub fn publish(&self, defined: u32, artifact: CompiledArtifact) -> bool {
+        self.slots[defined as usize].set(artifact).is_ok()
+    }
+
+    /// How many defined functions have published code.
+    pub fn compiled_count(&self) -> usize {
+        self.slots.iter().filter(|s| s.get().is_some()).count()
+    }
+
+    /// Total wall-clock compile time published into this artifact so far,
+    /// across every thread that contributed.
+    pub fn total_compile_wall(&self) -> Duration {
+        self.slots
+            .iter()
+            .filter_map(|s| s.get())
+            .map(|a| a.compile_wall)
+            .sum()
+    }
+}
+
+/// Compiles one defined function under `config` — the single pure step the
+/// whole pipeline is built from. Reads only immutable inputs, so it can run
+/// on any thread; the result is deterministic in (module, function, options,
+/// probes, backend).
+///
+/// # Errors
+///
+/// Returns the compiler's error for invalid or unsupported input.
+pub fn compile_function(
+    config: &EngineConfig,
+    module: &Module,
+    func_index: u32,
+    info: &FuncInfo,
+    probes: &ProbeSites,
+) -> Result<CompiledArtifact, CompileError> {
+    let start = Instant::now();
+    let function = match &config.tier {
+        TierPolicy::OptimizingOnly => {
+            optc::OptimizingCompiler::default().compile(module, func_index, info, probes)?
+        }
+        TierPolicy::BaselineOnly(options) | TierPolicy::Tiered { baseline: options, .. } => {
+            SinglePassCompiler::new(options.clone()).compile(module, func_index, info, probes)?
+        }
+        TierPolicy::InterpreterOnly => {
+            // Interpreter-only engines never compile; this is unreachable in
+            // practice but harmless.
+            SinglePassCompiler::default().compile(module, func_index, info, probes)?
+        }
+    };
+    // The compile-time metric covers exactly the work that produced the
+    // executable artifact; the backend size probe below is measured
+    // separately so an x86-64-backend run stays comparable.
+    let compile_wall = start.elapsed();
+    // Backend selection: with the x86-64 backend the same single-pass
+    // translation is emitted again as real machine bytes, so the code-size
+    // metric reports actual encodings. Execution still runs the virtual-ISA
+    // code — the simulator cannot execute raw bytes. Only tiers that install
+    // baseline code are probed: the optimizing tier's slot promotion is a
+    // virtual-ISA-only pass, so an x86-64 size for it would describe code
+    // the engine never produced.
+    let (machine_bytes, x64_code) = match (config.backend, config.baseline_options()) {
+        (CodeBackend::X64, Some(options)) => {
+            let x64 = SinglePassCompiler::new(options.clone()).compile_with(
+                X64Masm::new(),
+                module,
+                func_index,
+                info,
+                probes,
+            )?;
+            (x64.code.code_size() as u64, Some(x64.code))
+        }
+        _ => (function.stats.code_size_bytes as u64, None),
+    };
+    Ok(CompiledArtifact {
+        function,
+        machine_bytes,
+        compile_wall,
+        x64_code,
+    })
+}
+
+/// Compiles `defined` into its slot unless it is already published. Returns
+/// whether this call published new code.
+fn compile_slot(
+    config: &EngineConfig,
+    artifact: &CompiledModule,
+    instrumentation: &Instrumentation,
+    defined: u32,
+) -> Result<bool, CompileError> {
+    if artifact.artifact(defined).is_some() {
+        return Ok(false);
+    }
+    let func_index = artifact.module().defined_to_func_index(defined);
+    let probes = instrumentation.sites_for(func_index);
+    let compiled = compile_function(
+        config,
+        artifact.module(),
+        func_index,
+        artifact.func_info(defined),
+        &probes,
+    )?;
+    Ok(artifact.publish(defined, compiled))
+}
+
+/// Eagerly compiles every uncompiled function of `artifact`, sharding the
+/// work across [`EngineConfig::compile_workers`] threads (worker `w` takes
+/// defined indices `w, w + N, w + 2N, …`). Already-published slots — a warm
+/// code-cache hit — are skipped, which is what makes repeated instantiation
+/// under a shared cache compile exactly once.
+///
+/// Returns the defined indices this call published, in ascending order, so
+/// the caller can attribute their compile time to its metrics.
+///
+/// # Errors
+///
+/// Returns the compile error of the lowest-indexed failing function — the
+/// same error the serial path would report first, independent of worker
+/// count.
+///
+/// [`EngineConfig::compile_workers`]: crate::config::EngineConfig
+pub fn compile_eager(
+    config: &EngineConfig,
+    artifact: &CompiledModule,
+    instrumentation: &Instrumentation,
+) -> Result<Vec<u32>, CompileError> {
+    let num_defined = artifact.num_defined();
+    let workers = config
+        .compile_workers
+        .max(1)
+        .min(num_defined.max(1) as usize);
+    if workers <= 1 {
+        let mut published = Vec::new();
+        for defined in 0..num_defined {
+            if compile_slot(config, artifact, instrumentation, defined)? {
+                published.push(defined);
+            }
+        }
+        return Ok(published);
+    }
+    let results: Vec<Result<Vec<u32>, (u32, CompileError)>> = thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                scope.spawn(move || {
+                    let mut published = Vec::new();
+                    let mut defined = w as u32;
+                    while defined < num_defined {
+                        match compile_slot(config, artifact, instrumentation, defined) {
+                            Ok(true) => published.push(defined),
+                            Ok(false) => {}
+                            Err(e) => return Err((defined, e)),
+                        }
+                        defined += workers as u32;
+                    }
+                    Ok(published)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("compile worker panicked"))
+            .collect()
+    });
+    let mut published = Vec::new();
+    let mut first_error: Option<(u32, CompileError)> = None;
+    for result in results {
+        match result {
+            Ok(indices) => published.extend(indices),
+            Err((defined, e)) => {
+                if first_error.as_ref().is_none_or(|(d, _)| defined < *d) {
+                    first_error = Some((defined, e));
+                }
+            }
+        }
+    }
+    if let Some((_, e)) = first_error {
+        return Err(e);
+    }
+    published.sort_unstable();
+    Ok(published)
+}
+
+/// A unit of background compilation: one function of one shared artifact.
+struct CompileJob {
+    artifact: Arc<CompiledModule>,
+    defined: u32,
+    probes: ProbeSites,
+    config: EngineConfig,
+}
+
+/// Counters shared between the pool's handle and its worker threads.
+#[derive(Debug, Default)]
+struct PoolCounters {
+    queued: AtomicU64,
+    completed: AtomicU64,
+    compiled: AtomicU64,
+}
+
+/// A persistent pool of background compile workers.
+///
+/// The engine enqueues tier-up / lazy-compile requests here and keeps
+/// executing in the interpreter; workers compile on their own threads and
+/// publish results atomically into the shared [`CompiledModule`]. A failed
+/// background compilation is swallowed (the counter still advances): the
+/// function simply stays interpreted, which is always a correct tier.
+///
+/// Dropping the pool closes the queue and joins the workers.
+pub struct BackgroundCompiler {
+    sender: Mutex<Option<Sender<CompileJob>>>,
+    workers: Vec<JoinHandle<()>>,
+    counters: Arc<PoolCounters>,
+}
+
+impl fmt::Debug for BackgroundCompiler {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BackgroundCompiler")
+            .field("workers", &self.workers.len())
+            .field("queued", &self.counters.queued.load(Ordering::SeqCst))
+            .field("completed", &self.counters.completed.load(Ordering::SeqCst))
+            .finish()
+    }
+}
+
+impl BackgroundCompiler {
+    /// Starts a pool with `workers` compile threads (at least one).
+    pub fn new(workers: usize) -> BackgroundCompiler {
+        let (sender, receiver) = channel::<CompileJob>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let counters = Arc::new(PoolCounters::default());
+        let workers = (0..workers.max(1))
+            .map(|_| {
+                let receiver = Arc::clone(&receiver);
+                let counters = Arc::clone(&counters);
+                thread::spawn(move || worker_loop(&receiver, &counters))
+            })
+            .collect();
+        BackgroundCompiler {
+            sender: Mutex::new(Some(sender)),
+            workers,
+            counters,
+        }
+    }
+
+    /// Enqueues the compilation of `defined` in `artifact`. Returns `false`
+    /// if the pool has already been shut down.
+    pub fn enqueue(
+        &self,
+        artifact: Arc<CompiledModule>,
+        defined: u32,
+        probes: ProbeSites,
+        config: EngineConfig,
+    ) -> bool {
+        let sender = self.sender.lock().expect("pool sender poisoned");
+        match sender.as_ref() {
+            Some(s) => {
+                self.counters.queued.fetch_add(1, Ordering::SeqCst);
+                s.send(CompileJob {
+                    artifact,
+                    defined,
+                    probes,
+                    config,
+                })
+                .is_ok()
+            }
+            None => false,
+        }
+    }
+
+    /// Jobs enqueued over the pool's lifetime.
+    pub fn jobs_queued(&self) -> u64 {
+        self.counters.queued.load(Ordering::SeqCst)
+    }
+
+    /// Jobs fully processed (compiled, skipped, or failed).
+    pub fn jobs_completed(&self) -> u64 {
+        self.counters.completed.load(Ordering::SeqCst)
+    }
+
+    /// Functions this pool actually compiled and published (excludes jobs
+    /// whose slot was already filled when the worker got to them).
+    pub fn functions_compiled(&self) -> u64 {
+        self.counters.compiled.load(Ordering::SeqCst)
+    }
+
+    /// Blocks until every job enqueued so far has been processed. Intended
+    /// for tests and benchmarks; the engine itself never waits — that is the
+    /// point of the background queue.
+    pub fn wait_idle(&self) {
+        while self.jobs_completed() < self.jobs_queued() {
+            thread::yield_now();
+            thread::sleep(Duration::from_micros(50));
+        }
+    }
+}
+
+impl Drop for BackgroundCompiler {
+    fn drop(&mut self) {
+        // Closing the channel ends every worker's receive loop.
+        *self.sender.lock().expect("pool sender poisoned") = None;
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn worker_loop(receiver: &Mutex<Receiver<CompileJob>>, counters: &PoolCounters) {
+    loop {
+        // Hold the lock only to receive; compilation runs unlocked so other
+        // workers can pick up jobs concurrently.
+        let job = match receiver.lock() {
+            Ok(rx) => rx.recv(),
+            Err(_) => return,
+        };
+        let Ok(job) = job else { return };
+        if job.artifact.artifact(job.defined).is_none() {
+            let func_index = job.artifact.module().defined_to_func_index(job.defined);
+            let result = compile_function(
+                &job.config,
+                job.artifact.module(),
+                func_index,
+                job.artifact.func_info(job.defined),
+                &job.probes,
+            );
+            if let Ok(compiled) = result {
+                if job.artifact.publish(job.defined, compiled) {
+                    counters.compiled.fetch_add(1, Ordering::SeqCst);
+                }
+            }
+        }
+        counters.completed.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spc::CompilerOptions;
+    use wasm::builder::{CodeBuilder, ModuleBuilder};
+    use wasm::opcode::Opcode;
+    use wasm::types::{FuncType, ValueType};
+
+    /// The artifact chain the pipeline shares across threads must be
+    /// `Send + Sync`; this is the audit the subsystem's design rests on.
+    #[test]
+    fn artifact_chain_is_send_and_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<Module>();
+        check::<ModuleInfo>();
+        check::<PreparedFunction>();
+        check::<CompiledFunction>();
+        check::<CompiledArtifact>();
+        check::<CompiledModule>();
+        check::<Arc<CompiledModule>>();
+        check::<EngineConfig>();
+        check::<Instrumentation>();
+        check::<BackgroundCompiler>();
+        check::<crate::cache::CodeCache>();
+    }
+
+    fn small_module(funcs: u32) -> Module {
+        let mut b = ModuleBuilder::new();
+        for i in 0..funcs {
+            let mut c = CodeBuilder::new();
+            c.local_get(0).i32_const(i as i32 + 1).op(Opcode::I32Add);
+            b.add_func(
+                FuncType::new(vec![ValueType::I32], vec![ValueType::I32]),
+                vec![],
+                c.finish(),
+            );
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn build_prepares_every_function_with_empty_slots() {
+        let artifact = CompiledModule::build(small_module(3)).unwrap();
+        assert_eq!(artifact.num_defined(), 3);
+        assert_eq!(artifact.compiled_count(), 0);
+        assert!(artifact.code(0).is_none());
+        assert_eq!(artifact.prepared(1).num_params, 1);
+        assert_eq!(artifact.total_compile_wall(), Duration::ZERO);
+    }
+
+    #[test]
+    fn publish_is_first_writer_wins() {
+        let config = EngineConfig::baseline("t", CompilerOptions::allopt());
+        let artifact = CompiledModule::build(small_module(1)).unwrap();
+        let instrumentation = Instrumentation::none();
+        assert!(compile_slot(&config, &artifact, &instrumentation, 0).unwrap());
+        assert!(
+            !compile_slot(&config, &artifact, &instrumentation, 0).unwrap(),
+            "second compile of the same slot publishes nothing"
+        );
+        assert_eq!(artifact.compiled_count(), 1);
+        assert!(artifact.total_compile_wall() > Duration::ZERO);
+    }
+
+    #[test]
+    fn eager_compilation_is_identical_at_any_worker_count() {
+        let module = small_module(7);
+        let config = EngineConfig::baseline("t", CompilerOptions::allopt());
+        let serial = CompiledModule::build(module.clone()).unwrap();
+        let published =
+            compile_eager(&config, &serial, &Instrumentation::none()).unwrap();
+        assert_eq!(published, vec![0, 1, 2, 3, 4, 5, 6]);
+        for workers in [2, 3, 8, 64] {
+            let config = config.clone().with_compile_workers(workers);
+            let parallel = CompiledModule::build(module.clone()).unwrap();
+            let published =
+                compile_eager(&config, &parallel, &Instrumentation::none()).unwrap();
+            assert_eq!(published, vec![0, 1, 2, 3, 4, 5, 6], "{workers} workers");
+            for defined in 0..7 {
+                assert_eq!(
+                    serial.code(defined).unwrap().code,
+                    parallel.code(defined).unwrap().code,
+                    "function {defined} must be byte-identical at {workers} workers"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn background_pool_compiles_and_publishes() {
+        let config = EngineConfig::tiered("bg", 1, CompilerOptions::allopt());
+        let artifact = Arc::new(CompiledModule::build(small_module(2)).unwrap());
+        let pool = BackgroundCompiler::new(2);
+        for defined in 0..2 {
+            assert!(pool.enqueue(
+                Arc::clone(&artifact),
+                defined,
+                ProbeSites::none(),
+                config.clone()
+            ));
+        }
+        pool.wait_idle();
+        assert_eq!(pool.jobs_queued(), 2);
+        assert_eq!(pool.jobs_completed(), 2);
+        assert_eq!(pool.functions_compiled(), 2);
+        assert_eq!(artifact.compiled_count(), 2);
+        // Re-enqueueing an already-compiled function completes without
+        // recompiling.
+        assert!(pool.enqueue(artifact.clone(), 0, ProbeSites::none(), config));
+        pool.wait_idle();
+        assert_eq!(pool.functions_compiled(), 2);
+    }
+}

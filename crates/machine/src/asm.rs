@@ -15,7 +15,11 @@ use crate::inst::{Label, MachInst};
 use std::fmt;
 
 /// A finished, immutable sequence of machine instructions plus metadata.
-#[derive(Debug, Clone, Default)]
+///
+/// Equality compares everything — instructions, label targets, source map,
+/// and size — so two buffers are `==` exactly when they are byte-identical
+/// artifacts; the parallel compile pipeline's determinism tests rely on this.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct CodeBuffer {
     insts: Vec<MachInst>,
     label_targets: Vec<usize>,

@@ -40,7 +40,7 @@ use crate::values::ValueTag;
 /// x86-64 backend emits real machine bytes (for code-size figures and
 /// encoding validation) but cannot run them here, because the offline
 /// environment provides no way to map executable pages.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
 pub enum CodeBackend {
     /// Emit virtual-ISA instructions into a [`CodeBuffer`] (executable by
     /// the simulator). The default.

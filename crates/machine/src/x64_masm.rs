@@ -170,7 +170,10 @@ pub struct RuntimeRef {
 }
 
 /// Finished x86-64 machine code plus the metadata the engine needs.
-#[derive(Debug, Clone, Default)]
+///
+/// Equality compares the encoded bytes and all metadata, so `==` means
+/// byte-identical output — what the pipeline's determinism tests check.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct X64Code {
     bytes: Vec<u8>,
     label_targets: Vec<usize>,

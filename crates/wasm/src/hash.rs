@@ -1,0 +1,116 @@
+//! Stable, dependency-free content hashing (FNV-1a, 64-bit).
+//!
+//! The engine's code cache keys compiled artifacts by module *content*, so
+//! the hash must be stable across processes and runs — unlike
+//! [`std::collections::hash_map::RandomState`], which is seeded per process.
+//! FNV-1a is the classic fit for this: tiny, allocation-free, and fast on the
+//! short byte strings (encoded modules, option fingerprints) hashed here.
+//! It is not cryptographic; cache keys additionally carry the inputs that
+//! produced them, and collisions only cost a spurious cache hit between
+//! modules an adversary deliberately constructed.
+
+/// The FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// The FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Hashes a byte string with FNV-1a (64-bit) in one call.
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
+    h.write(bytes);
+    h.finish()
+}
+
+/// An incremental FNV-1a 64-bit hasher for building fingerprints out of
+/// heterogeneous fields.
+///
+/// Multi-byte integers are folded in little-endian order; every `write_*`
+/// helper is equivalent to `write(&value.to_le_bytes())`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fnv64 {
+    state: u64,
+}
+
+impl Default for Fnv64 {
+    fn default() -> Fnv64 {
+        Fnv64::new()
+    }
+}
+
+impl Fnv64 {
+    /// Creates a hasher at the FNV offset basis.
+    pub fn new() -> Fnv64 {
+        Fnv64 { state: FNV_OFFSET }
+    }
+
+    /// Folds a byte string into the state.
+    pub fn write(&mut self, bytes: &[u8]) -> &mut Fnv64 {
+        for &b in bytes {
+            self.state ^= b as u64;
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+        self
+    }
+
+    /// Folds one byte into the state.
+    pub fn write_u8(&mut self, v: u8) -> &mut Fnv64 {
+        self.write(&[v])
+    }
+
+    /// Folds a `u32` into the state (little-endian).
+    pub fn write_u32(&mut self, v: u32) -> &mut Fnv64 {
+        self.write(&v.to_le_bytes())
+    }
+
+    /// Folds a `u64` into the state (little-endian).
+    pub fn write_u64(&mut self, v: u64) -> &mut Fnv64 {
+        self.write(&v.to_le_bytes())
+    }
+
+    /// Folds a boolean into the state as one byte.
+    pub fn write_bool(&mut self, v: bool) -> &mut Fnv64 {
+        self.write_u8(v as u8)
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_known_fnv1a_vectors() {
+        // Reference values from the FNV specification / common test suites.
+        assert_eq!(fnv1a_64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a_64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a_64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn incremental_equals_oneshot() {
+        let mut h = Fnv64::new();
+        h.write(b"foo").write(b"bar");
+        assert_eq!(h.finish(), fnv1a_64(b"foobar"));
+    }
+
+    #[test]
+    fn helpers_fold_little_endian_bytes() {
+        let mut a = Fnv64::new();
+        a.write_u32(0x0403_0201).write_u64(5).write_u8(9).write_bool(true);
+        let mut b = Fnv64::new();
+        b.write(&[1, 2, 3, 4]);
+        b.write(&5u64.to_le_bytes());
+        b.write(&[9, 1]);
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn different_inputs_differ() {
+        assert_ne!(fnv1a_64(b"module-a"), fnv1a_64(b"module-b"));
+        assert_ne!(Fnv64::new().write_u32(1).finish(), Fnv64::new().write_u32(2).finish());
+    }
+}

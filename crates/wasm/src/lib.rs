@@ -10,6 +10,8 @@
 //!   as raw bytecode so execution tiers can work *in place*;
 //! * [`builder`] — programmatic construction of modules and bodies;
 //! * [`decode`] / [`encode`] — the `.wasm` binary format;
+//! * [`hash`] — stable FNV-1a content hashing behind
+//!   [`module::Module::content_hash`], the engine's code-cache key primitive;
 //! * [`validate`] — the forward abstract-interpretation validator whose
 //!   algorithm the single-pass compiler reuses.
 //!
@@ -47,6 +49,7 @@
 pub mod builder;
 pub mod decode;
 pub mod encode;
+pub mod hash;
 pub mod leb;
 pub mod module;
 pub mod opcode;

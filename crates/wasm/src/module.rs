@@ -198,6 +198,19 @@ impl Module {
         Module::default()
     }
 
+    /// A stable 64-bit hash of the module's *content*: FNV-1a over the
+    /// module's binary-format encoding (see [`crate::encode::encode`]).
+    ///
+    /// Two modules hash equal exactly when they encode to the same bytes, so
+    /// the hash is independent of how the in-memory value was produced
+    /// (decoded, built programmatically, or cloned) and stable across
+    /// processes — the property the engine's keyed code cache needs. The
+    /// encoding pass makes this O(module size); callers that key caches
+    /// should hash once and reuse the value.
+    pub fn content_hash(&self) -> u64 {
+        crate::hash::fnv1a_64(&crate::encode::encode(self))
+    }
+
     /// The number of imported functions (they occupy the first indices of the
     /// function index space).
     pub fn num_imported_funcs(&self) -> u32 {
@@ -393,6 +406,31 @@ impl Module {
 mod tests {
     use super::*;
     use crate::types::Limits;
+
+    #[test]
+    fn content_hash_is_stable_and_clone_invariant() {
+        let m = test_module();
+        let h = m.content_hash();
+        assert_eq!(h, m.content_hash(), "hashing is deterministic");
+        assert_eq!(h, m.clone().content_hash(), "clones hash identically");
+        // The hash is exactly FNV-1a over the encoding, so a decode/encode
+        // round trip preserves it.
+        let decoded = crate::decode::decode(&crate::encode::encode(&m)).unwrap();
+        assert_eq!(h, decoded.content_hash());
+        assert_eq!(h, crate::hash::fnv1a_64(&crate::encode::encode(&m)));
+    }
+
+    #[test]
+    fn content_hash_distinguishes_modules() {
+        let a = test_module();
+        let mut b = test_module();
+        b.funcs[0].code = vec![0x01, 0x0B];
+        let mut c = test_module();
+        c.globals[0].init = ConstExpr::I32(8);
+        assert_ne!(a.content_hash(), b.content_hash(), "code change changes the hash");
+        assert_ne!(a.content_hash(), c.content_hash(), "global init change changes the hash");
+        assert_ne!(Module::new().content_hash(), a.content_hash());
+    }
 
     fn test_module() -> Module {
         let mut m = Module::new();

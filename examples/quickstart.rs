@@ -82,7 +82,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             engine.config().name,
             result[0],
             instance.metrics.exec_cycles,
-            instance.metrics.compile_wall.as_micros(),
+            instance.metrics.total_compile_wall().as_micros(),
         );
     }
     Ok(())

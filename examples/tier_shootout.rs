@@ -56,6 +56,6 @@ fn run(
     engine.call_export(&mut instance, BenchmarkItem::ENTRY, &[])?;
     Ok((
         instance.metrics.exec_cycles,
-        instance.metrics.compile_wall.as_micros(),
+        instance.metrics.total_compile_wall().as_micros(),
     ))
 }

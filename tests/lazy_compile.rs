@@ -50,6 +50,7 @@ fn lazy_compile_defers_compilation_to_first_call() {
     // Nothing is compiled at instantiation under a lazy configuration.
     assert_eq!(instance.metrics.functions_compiled, 0);
     assert_eq!(instance.metrics.compile_wall.as_nanos(), 0);
+    assert_eq!(instance.metrics.lazy_compile_wall.as_nanos(), 0);
     assert_eq!(instance.metrics.compiled_wasm_bytes, 0);
     for defined in 0..3 {
         assert!(
@@ -74,17 +75,27 @@ fn lazy_compile_defers_compilation_to_first_call() {
         "the cold function stays uncompiled"
     );
 
-    // The deferred compile time shows up in the metrics, outside setup.
-    assert!(instance.metrics.compile_wall.as_nanos() > 0);
+    // The deferred compile time shows up in the metrics, outside setup and
+    // outside the eager-compile bucket: lazy work is accounted separately.
+    assert_eq!(
+        instance.metrics.compile_wall.as_nanos(),
+        0,
+        "a lazy configuration never compiles eagerly"
+    );
+    assert!(instance.metrics.lazy_compile_wall.as_nanos() > 0);
+    assert_eq!(
+        instance.metrics.total_compile_wall(),
+        instance.metrics.lazy_compile_wall
+    );
     assert!(instance.metrics.compiled_wasm_bytes > 0);
 
     // A second call does not recompile anything.
-    let compile_wall_after_first = instance.metrics.compile_wall;
+    let compile_wall_after_first = instance.metrics.lazy_compile_wall;
     engine
         .call_export(&mut instance, "main", &[])
         .expect("main runs again");
     assert_eq!(instance.metrics.functions_compiled, 2);
-    assert_eq!(instance.metrics.compile_wall, compile_wall_after_first);
+    assert_eq!(instance.metrics.lazy_compile_wall, compile_wall_after_first);
 }
 
 #[test]
@@ -98,6 +109,11 @@ fn eager_configuration_compiles_everything_at_instantiation() {
         .expect("instantiates");
     assert_eq!(instance.metrics.functions_compiled, 3);
     assert!(instance.metrics.compile_wall.as_nanos() > 0);
+    assert_eq!(
+        instance.metrics.lazy_compile_wall.as_nanos(),
+        0,
+        "an eager configuration has no deferred compiles"
+    );
     assert!(
         instance.metrics.setup_wall >= instance.metrics.compile_wall,
         "eager compilation happens inside instantiation"

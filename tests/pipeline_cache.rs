@@ -1,0 +1,252 @@
+//! End-to-end tests for the compilation-pipeline subsystem: the keyed code
+//! cache (shared compiled modules across instantiations), multi-worker
+//! eager compilation through the engine, background tier-up, and the
+//! `EngineConfig`-plumbed GC heap threshold.
+
+use engine::{
+    BackgroundCompiler, CodeCache, Engine, EngineConfig, Imports, Instrumentation,
+};
+use machine::values::WasmValue;
+use spc::{CompilerOptions, TagStrategy};
+use std::sync::Arc;
+use std::time::Duration;
+use suites::Scale;
+use wasm::builder::{CodeBuilder, ModuleBuilder};
+use wasm::opcode::Opcode;
+use wasm::types::{BlockType, FuncType, ValueType};
+use wasm::Module;
+
+/// fib(n), the classic tier-up workload.
+fn fib_module() -> Module {
+    let mut b = ModuleBuilder::new();
+    let mut c = CodeBuilder::new();
+    c.local_get(0)
+        .i32_const(2)
+        .op(Opcode::I32LtS)
+        .if_(BlockType::Empty)
+        .local_get(0)
+        .return_()
+        .end()
+        .local_get(0)
+        .i32_const(1)
+        .op(Opcode::I32Sub)
+        .call(0)
+        .local_get(0)
+        .i32_const(2)
+        .op(Opcode::I32Sub)
+        .call(0)
+        .op(Opcode::I32Add);
+    let f = b.add_func(
+        FuncType::new(vec![ValueType::I32], vec![ValueType::I32]),
+        vec![],
+        c.finish(),
+    );
+    b.export_func("fib", f);
+    b.finish()
+}
+
+#[test]
+fn warm_instantiation_compiles_exactly_once_and_shares_the_artifact() {
+    let module = fib_module();
+    let cache = Arc::new(CodeCache::new());
+    let engine = Engine::new(EngineConfig::baseline("cached", CompilerOptions::allopt()))
+        .with_code_cache(Arc::clone(&cache));
+
+    // Cold: miss, full compile.
+    let mut cold = engine
+        .instantiate(&module, Imports::new(), Instrumentation::none())
+        .unwrap();
+    assert!(!cold.metrics.cache_hit);
+    assert_eq!(cold.metrics.functions_compiled, 1);
+    assert!(cold.metrics.compile_wall > Duration::ZERO);
+    assert_eq!((cache.hits(), cache.misses()), (0, 1));
+
+    // Warm: hit, zero compiles, the very same artifact.
+    let mut warm = engine
+        .instantiate(&module, Imports::new(), Instrumentation::none())
+        .unwrap();
+    assert!(warm.metrics.cache_hit);
+    assert_eq!(
+        warm.metrics.functions_compiled, 0,
+        "the same module under the same config compiles exactly once"
+    );
+    assert_eq!(warm.metrics.total_compile_wall(), Duration::ZERO);
+    assert_eq!((cache.hits(), cache.misses()), (1, 1));
+    assert_eq!(cache.len(), 1);
+    assert!(
+        Arc::ptr_eq(cold.artifact(), warm.artifact()),
+        "both instances execute one shared copy of the compiled code"
+    );
+
+    // Both instances run, independently and correctly.
+    let a = engine.call_export(&mut cold, "fib", &[WasmValue::I32(12)]).unwrap();
+    let b = engine.call_export(&mut warm, "fib", &[WasmValue::I32(12)]).unwrap();
+    assert_eq!(a, vec![WasmValue::I32(144)]);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn cache_distinguishes_configurations_and_instrumentation() {
+    let module = fib_module();
+    let cache = Arc::new(CodeCache::new());
+    let allopt = Engine::new(EngineConfig::baseline("a", CompilerOptions::allopt()))
+        .with_code_cache(Arc::clone(&cache));
+    let notags = Engine::new(EngineConfig::baseline(
+        "b",
+        CompilerOptions::with_tagging(TagStrategy::None, "notags"),
+    ))
+    .with_code_cache(Arc::clone(&cache));
+
+    allopt
+        .instantiate(&module, Imports::new(), Instrumentation::none())
+        .unwrap();
+    let i2 = notags
+        .instantiate(&module, Imports::new(), Instrumentation::none())
+        .unwrap();
+    assert!(!i2.metrics.cache_hit, "different options fingerprint differently");
+    assert_eq!(cache.len(), 2);
+
+    // Instrumentation is baked into code, so probed instantiations get
+    // their own entry…
+    let probed = allopt
+        .instantiate(&module, Imports::new(), Instrumentation::branch_monitor(&module))
+        .unwrap();
+    assert!(!probed.metrics.cache_hit);
+    assert_eq!(cache.len(), 3);
+    // …and an identically-probed one shares it.
+    let probed_again = allopt
+        .instantiate(&module, Imports::new(), Instrumentation::branch_monitor(&module))
+        .unwrap();
+    assert!(probed_again.metrics.cache_hit);
+}
+
+#[test]
+fn multi_worker_instantiation_runs_all_suites_correctly() {
+    // The engine-level parallel path: instantiate with a worker pool and
+    // check results and metrics against the serial path, per suite item.
+    let serial = Engine::new(EngineConfig::baseline("w1", CompilerOptions::allopt()));
+    let parallel = Engine::new(
+        EngineConfig::baseline("w4", CompilerOptions::allopt()).with_compile_workers(4),
+    );
+    for suite in suites::all_suites(Scale::Test) {
+        for item in &suite.items {
+            let mut a = serial
+                .instantiate(&item.module, Imports::new(), Instrumentation::none())
+                .unwrap();
+            let mut b = parallel
+                .instantiate(&item.module, Imports::new(), Instrumentation::none())
+                .unwrap();
+            assert_eq!(a.metrics.functions_compiled, b.metrics.functions_compiled);
+            assert_eq!(a.metrics.compiled_machine_bytes, b.metrics.compiled_machine_bytes);
+            assert_eq!(a.metrics.compiled_wasm_bytes, b.metrics.compiled_wasm_bytes);
+            assert_eq!(a.metrics.tag_stores_emitted, b.metrics.tag_stores_emitted);
+            let ra = serial.call_export(&mut a, "main", &[]).unwrap();
+            let rb = parallel.call_export(&mut b, "main", &[]).unwrap();
+            assert_eq!(ra, rb, "{}/{}", suite.name, item.name);
+            assert_eq!(a.metrics.exec_cycles, b.metrics.exec_cycles);
+        }
+    }
+}
+
+#[test]
+fn background_tier_up_publishes_while_the_interpreter_keeps_running() {
+    let module = fib_module();
+    let pool = Arc::new(BackgroundCompiler::new(2));
+    let engine = Engine::new(EngineConfig::tiered("bg-tiered", 3, CompilerOptions::allopt()))
+        .with_background_compiler(Arc::clone(&pool));
+    let mut instance = engine
+        .instantiate(&module, Imports::new(), Instrumentation::none())
+        .unwrap();
+
+    // The recursive workload crosses the threshold mid-run; with a
+    // background pool the engine enqueues the compile and keeps
+    // interpreting instead of blocking, so the run completes either way.
+    let r = engine.call_export(&mut instance, "fib", &[WasmValue::I32(12)]).unwrap();
+    assert_eq!(r, vec![WasmValue::I32(144)]);
+    assert!(pool.jobs_queued() >= 1, "the hot function was enqueued");
+    assert_eq!(
+        instance.metrics.compile_wall,
+        Duration::ZERO,
+        "nothing compiles eagerly under the tiered config"
+    );
+
+    // Once the background compile lands, the next call observes the
+    // published slot, switches to JIT code, and attributes the off-thread
+    // compile time to this instance's deferred bucket.
+    pool.wait_idle();
+    assert_eq!(pool.functions_compiled(), 1);
+    let r = engine.call_export(&mut instance, "fib", &[WasmValue::I32(12)]).unwrap();
+    assert_eq!(r, vec![WasmValue::I32(144)]);
+    assert!(instance.compiled_code(0).is_some(), "published into the shared artifact");
+    assert_eq!(instance.metrics.functions_compiled, 1);
+    assert!(instance.metrics.lazy_compile_wall > Duration::ZERO);
+
+    // The interpreter and the JIT agree, as always.
+    let jit = engine.call_export(&mut instance, "fib", &[WasmValue::I32(15)]).unwrap();
+    assert_eq!(jit, vec![WasmValue::I32(610)]);
+}
+
+/// A module whose exported `churn` allocates `n` short-lived host objects
+/// through an imported allocator, then reports the live count.
+fn alloc_module() -> Module {
+    let mut b = ModuleBuilder::new();
+    let alloc = b.import_func(
+        "host",
+        "alloc",
+        FuncType::new(vec![ValueType::I32], vec![ValueType::ExternRef]),
+    );
+    let live = b.import_func("host", "live", FuncType::new(vec![], vec![ValueType::I32]));
+    let mut c = CodeBuilder::new();
+    // for i in 0..8 { drop(alloc(i)) } — every allocation is garbage by the
+    // next call site; then ask the host how many objects survived.
+    for i in 0..8 {
+        c.i32_const(i).call(alloc).drop_();
+    }
+    c.call(live);
+    let f = b.add_func(FuncType::new(vec![], vec![ValueType::I32]), vec![], c.finish());
+    b.export_func("churn", f);
+    b.finish()
+}
+
+fn run_churn(config: EngineConfig) -> (u64, i32) {
+    let imports = Imports::new()
+        .func("host", "alloc", |heap, args| {
+            Ok(vec![WasmValue::ExternRef(Some(
+                heap.alloc(args[0].unwrap_i32() as u64),
+            ))])
+        })
+        .func("host", "live", |heap, _| {
+            Ok(vec![WasmValue::I32(heap.live_count() as i32)])
+        });
+    let engine = Engine::new(config);
+    let mut instance = engine
+        .instantiate(&alloc_module(), imports, Instrumentation::none())
+        .unwrap();
+    let live = engine.call_export(&mut instance, "churn", &[]).unwrap()[0];
+    (
+        instance.heap.collections(),
+        match live {
+            WasmValue::I32(v) => v,
+            _ => -1,
+        },
+    )
+}
+
+#[test]
+fn gc_threshold_flows_from_config_and_defers_collection() {
+    let base = EngineConfig::baseline("gc", CompilerOptions::allopt());
+    // Threshold 0 (the default): collection is never requested.
+    let (collections, live) = run_churn(base.clone());
+    assert_eq!(collections, 0);
+    assert_eq!(live, 8, "nothing was ever reclaimed");
+    // A threshold higher than the allocation count also defers every
+    // collection.
+    let (collections, live) = run_churn(base.clone().with_gc_threshold(100));
+    assert_eq!(collections, 0, "a high threshold defers collection");
+    assert_eq!(live, 8);
+    // A low threshold kicks in once enough objects are live and reclaims
+    // the garbage.
+    let (collections, live) = run_churn(base.with_gc_threshold(3));
+    assert!(collections > 0, "a low threshold triggers collection");
+    assert!(live < 8, "short-lived allocations were reclaimed");
+}
