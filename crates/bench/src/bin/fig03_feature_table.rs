@@ -10,8 +10,8 @@ fn main() {
         "WebAssembly baseline compilers used in this study",
     );
     println!(
-        "{:<14} {:<8} {:<6} {:<22} {}",
-        "Name", "Language", "Year", "Features", "Description"
+        "{:<14} {:<8} {:<6} {:<22} Description",
+        "Name", "Language", "Year", "Features"
     );
     println!("{:-<90}", "");
     for profile in spc::all_profiles() {

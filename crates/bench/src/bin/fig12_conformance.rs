@@ -1,0 +1,76 @@
+//! FIG 12 (beyond the paper): the conformance matrix.
+//!
+//! Runs the checked-in conformance corpus (`crates/conform/scripts/*.wast`)
+//! under every tier×backend configuration and prints the assertion counts as
+//! a script×configuration matrix, followed by an opcode-coverage summary for
+//! the exhaustive every-opcode module. This is the reproduction's analogue
+//! of running the engine against the upstream spec test suite: the table
+//! going green is what licenses every later tiering/OSR/backend PR to
+//! refactor freely.
+//!
+//! The process exits non-zero if any assertion fails anywhere, so CI can run
+//! it as a gate.
+
+use conform::runner::{all_configs, run_script};
+
+fn main() {
+    println!("FIG 12 (beyond the paper): conformance corpus × tier/backend matrix");
+    let corpus = conform::load_corpus();
+    let configs = all_configs();
+
+    print!("{:<24}", "script");
+    for config in &configs {
+        print!(" | {:>13}", config.name);
+    }
+    println!();
+    print!("{:-<24}", "");
+    for _ in &configs {
+        print!("-+-{:-<13}", "");
+    }
+    println!();
+
+    let mut total_passed = 0usize;
+    let mut all_failures: Vec<String> = Vec::new();
+    for script in &corpus {
+        print!("{:<24}", script.name);
+        for config in &configs {
+            let outcome = run_script(script, config);
+            total_passed += outcome.passed;
+            let cell = if outcome.is_pass() {
+                format!("{} ok", outcome.passed)
+            } else {
+                format!("{} FAIL", outcome.failures.len())
+            };
+            all_failures.extend(outcome.failures);
+            print!(" | {cell:>13}");
+        }
+        println!();
+    }
+
+    let census = conform::coverage::opcode_census(&conform::coverage::exhaustive_module());
+    let missing = conform::coverage::missing_opcodes(&census);
+    println!(
+        "\n{} scripts x {} configurations: {} assertions passed, {} failed",
+        corpus.len(),
+        configs.len(),
+        total_passed,
+        all_failures.len()
+    );
+    println!(
+        "exhaustive module: {}/{} opcodes covered",
+        wasm::Opcode::ALL.len() - missing.len(),
+        wasm::Opcode::ALL.len()
+    );
+
+    if !all_failures.is_empty() {
+        eprintln!("\nfailures:");
+        for f in &all_failures {
+            eprintln!("  {f}");
+        }
+        std::process::exit(1);
+    }
+    if !missing.is_empty() {
+        eprintln!("\nuncovered opcodes: {missing:?}");
+        std::process::exit(1);
+    }
+}

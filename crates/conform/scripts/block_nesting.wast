@@ -1,0 +1,33 @@
+;; Nested blocks with results, and br escaping through multiple levels.
+(module
+  (func (export "nested") (result i32)
+    block (result i32)
+      block (result i32)
+        block (result i32)
+          i32.const 1
+        end
+        i32.const 2
+        i32.add
+      end
+      i32.const 4
+      i32.add
+    end)
+  (func (export "escape") (param i32) (result i32)
+    block $outer (result i32)
+      block $inner
+        local.get 0
+        i32.eqz
+        br_if $inner
+        i32.const 21
+        br $outer
+      end
+      i32.const 99
+    end)
+  (func (export "folded") (param i32) (result i32)
+    (block (result i32)
+      (i32.add (local.get 0) (i32.const 10)))))
+
+(assert_return (invoke "nested") (i32.const 7))
+(assert_return (invoke "escape" (i32.const 1)) (i32.const 21))
+(assert_return (invoke "escape" (i32.const 0)) (i32.const 99))
+(assert_return (invoke "folded" (i32.const 32)) (i32.const 42))

@@ -1,0 +1,46 @@
+;; br / br_if across multiple nesting depths, with and without values.
+(module
+  (func (export "depth2") (result i32)
+    block $a (result i32)
+      block $b
+        block $c
+          i32.const 11
+          br $a
+        end
+      end
+      i32.const 0
+    end)
+  (func (export "cond_depth") (param i32) (result i32)
+    block $a (result i32)
+      block $b
+        local.get 0
+        br_if $b
+        i32.const 10
+        br $a
+      end
+      i32.const 20
+      br $a
+    end)
+  (func (export "from_loop") (param i32) (result i32)
+    block $exit (result i32)
+      loop $l
+        local.get 0
+        i32.const 100
+        i32.gt_s
+        if
+          local.get 0
+          br $exit
+        end
+        local.get 0
+        local.get 0
+        i32.add
+        local.set 0
+        br $l
+      end
+      unreachable
+    end))
+
+(assert_return (invoke "depth2") (i32.const 11))
+(assert_return (invoke "cond_depth" (i32.const 0)) (i32.const 10))
+(assert_return (invoke "cond_depth" (i32.const 1)) (i32.const 20))
+(assert_return (invoke "from_loop" (i32.const 3)) (i32.const 192))

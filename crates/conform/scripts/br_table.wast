@@ -1,0 +1,28 @@
+;; br_table: in-range selectors, clamped defaults, negative indices.
+(module
+  (func (export "switch") (param i32) (result i32)
+    block $default
+      block $two
+        block $one
+          block $zero
+            local.get 0
+            br_table $zero $one $two $default
+          end
+          i32.const 100
+          return
+        end
+        i32.const 101
+        return
+      end
+      i32.const 102
+      return
+    end
+    i32.const 103))
+
+(assert_return (invoke "switch" (i32.const 0)) (i32.const 100))
+(assert_return (invoke "switch" (i32.const 1)) (i32.const 101))
+(assert_return (invoke "switch" (i32.const 2)) (i32.const 102))
+(assert_return (invoke "switch" (i32.const 3)) (i32.const 103))
+(assert_return (invoke "switch" (i32.const 1000)) (i32.const 103))
+;; Negative selectors are unsigned-huge and take the default.
+(assert_return (invoke "switch" (i32.const -1)) (i32.const 103))

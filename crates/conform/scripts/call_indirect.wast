@@ -1,0 +1,33 @@
+;; call_indirect: table dispatch and its three trap causes.
+(module
+  (type $binop (func (param i32 i32) (result i32)))
+  (type $nullary (func (result i32)))
+  (table 10 funcref)
+  (elem (offset (i32.const 0)) func $add $sub $mul $answer)
+  (func $add (type $binop) local.get 0 local.get 1 i32.add)
+  (func $sub (type $binop) local.get 0 local.get 1 i32.sub)
+  (func $mul (type $binop) local.get 0 local.get 1 i32.mul)
+  (func $answer (type $nullary) i32.const 42)
+  (func (export "dispatch") (param $which i32) (param $a i32) (param $b i32) (result i32)
+    local.get $a
+    local.get $b
+    local.get $which
+    call_indirect (type $binop))
+  (func (export "constant") (param $which i32) (result i32)
+    local.get $which
+    call_indirect (type $nullary)))
+
+(assert_return (invoke "dispatch" (i32.const 0) (i32.const 30) (i32.const 12)) (i32.const 42))
+(assert_return (invoke "dispatch" (i32.const 1) (i32.const 50) (i32.const 8)) (i32.const 42))
+(assert_return (invoke "dispatch" (i32.const 2) (i32.const 6) (i32.const 7)) (i32.const 42))
+(assert_return (invoke "constant" (i32.const 3)) (i32.const 42))
+;; Signature mismatch: slot 3 holds a nullary function.
+(assert_trap
+  (invoke "dispatch" (i32.const 3) (i32.const 1) (i32.const 2))
+  "indirect call type mismatch")
+(assert_trap (invoke "constant" (i32.const 0)) "indirect call type mismatch")
+;; Uninitialized slot.
+(assert_trap (invoke "constant" (i32.const 7)) "uninitialized element")
+;; Out of table bounds.
+(assert_trap (invoke "constant" (i32.const 10)) "undefined element")
+(assert_trap (invoke "constant" (i32.const -1)) "undefined element")

@@ -1,0 +1,63 @@
+;; Direct calls: recursion, mutual recursion, and argument passing.
+(module
+  (func $fib (export "fib") (param i32) (result i32)
+    local.get 0
+    i32.const 2
+    i32.lt_s
+    if (result i32)
+      local.get 0
+    else
+      local.get 0
+      i32.const 1
+      i32.sub
+      call $fib
+      local.get 0
+      i32.const 2
+      i32.sub
+      call $fib
+      i32.add
+    end)
+  (func $is_even (export "is_even") (param i32) (result i32)
+    local.get 0
+    i32.eqz
+    if (result i32)
+      i32.const 1
+    else
+      local.get 0
+      i32.const 1
+      i32.sub
+      call $is_odd
+    end)
+  (func $is_odd (export "is_odd") (param i32) (result i32)
+    local.get 0
+    i32.eqz
+    if (result i32)
+      i32.const 0
+    else
+      local.get 0
+      i32.const 1
+      i32.sub
+      call $is_even
+    end)
+  (func $mix (param i32 i64 f64) (result i64)
+    local.get 1
+    local.get 0
+    i64.extend_i32_s
+    i64.add
+    local.get 2
+    i64.trunc_f64_s
+    i64.add)
+  (func (export "mix3") (result i64)
+    i32.const 1
+    i64.const 2
+    f64.const 3.5
+    call $mix))
+
+(assert_return (invoke "fib" (i32.const 0)) (i32.const 0))
+(assert_return (invoke "fib" (i32.const 1)) (i32.const 1))
+(assert_return (invoke "fib" (i32.const 10)) (i32.const 55))
+(assert_return (invoke "fib" (i32.const 15)) (i32.const 610))
+(assert_return (invoke "is_even" (i32.const 10)) (i32.const 1))
+(assert_return (invoke "is_even" (i32.const 7)) (i32.const 0))
+(assert_return (invoke "is_odd" (i32.const 9)) (i32.const 1))
+(assert_return (invoke "mix3") (i64.const 6))

@@ -1,0 +1,25 @@
+;; Integer/float conversions that do not trap.
+(module
+  (func (export "wrap") (param i64) (result i32) local.get 0 i32.wrap_i64)
+  (func (export "extend_s") (param i32) (result i64) local.get 0 i64.extend_i32_s)
+  (func (export "extend_u") (param i32) (result i64) local.get 0 i64.extend_i32_u)
+  (func (export "trunc_s32") (param f32) (result i32) local.get 0 i32.trunc_f32_s)
+  (func (export "trunc_u64") (param f64) (result i64) local.get 0 i64.trunc_f64_u)
+  (func (export "conv_s") (param i32) (result f64) local.get 0 f64.convert_i32_s)
+  (func (export "conv_u") (param i32) (result f64) local.get 0 f64.convert_i32_u)
+  (func (export "conv64_u") (param i64) (result f32) local.get 0 f32.convert_i64_u))
+
+(assert_return (invoke "wrap" (i64.const 0x100000005)) (i32.const 5))
+(assert_return (invoke "wrap" (i64.const -1)) (i32.const -1))
+(assert_return (invoke "extend_s" (i32.const -3)) (i64.const -3))
+(assert_return (invoke "extend_u" (i32.const -3)) (i64.const 0xFFFFFFFD))
+(assert_return (invoke "trunc_s32" (f32.const -3.9)) (i32.const -3))
+(assert_return (invoke "trunc_s32" (f32.const 3.9)) (i32.const 3))
+(assert_return (invoke "trunc_u64" (f64.const 1e15)) (i64.const 1000000000000000))
+;; trunc_u of a fraction just below zero truncates to 0, not a trap.
+(assert_return (invoke "trunc_u64" (f64.const -0.9)) (i64.const 0))
+(assert_return (invoke "conv_s" (i32.const -2)) (f64.const -2.0))
+(assert_return (invoke "conv_u" (i32.const -2)) (f64.const 4294967294.0))
+;; u64 -> f32 rounds: 2^32-1 becomes 2^32.
+(assert_return (invoke "conv64_u" (i64.const 0xFFFFFFFF)) (f32.const 4294967296.0))
+(assert_return (invoke "conv64_u" (i64.const -1)) (f32.const 0x1p+64))

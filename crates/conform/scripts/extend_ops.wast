@@ -1,0 +1,17 @@
+;; Sign-extension operators (the paper's SE feature bit).
+(module
+  (func (export "e8_32") (param i32) (result i32) local.get 0 i32.extend8_s)
+  (func (export "e16_32") (param i32) (result i32) local.get 0 i32.extend16_s)
+  (func (export "e8_64") (param i64) (result i64) local.get 0 i64.extend8_s)
+  (func (export "e16_64") (param i64) (result i64) local.get 0 i64.extend16_s)
+  (func (export "e32_64") (param i64) (result i64) local.get 0 i64.extend32_s))
+
+(assert_return (invoke "e8_32" (i32.const 0x7F)) (i32.const 127))
+(assert_return (invoke "e8_32" (i32.const 0x80)) (i32.const -128))
+(assert_return (invoke "e8_32" (i32.const 0x17F)) (i32.const 127))
+(assert_return (invoke "e16_32" (i32.const 0x8000)) (i32.const -32768))
+(assert_return (invoke "e16_32" (i32.const 0x7FFF)) (i32.const 32767))
+(assert_return (invoke "e8_64" (i64.const 0x80)) (i64.const -128))
+(assert_return (invoke "e16_64" (i64.const 0x8000)) (i64.const -32768))
+(assert_return (invoke "e32_64" (i64.const 0x80000000)) (i64.const -2147483648))
+(assert_return (invoke "e32_64" (i64.const 0x7FFFFFFF)) (i64.const 2147483647))

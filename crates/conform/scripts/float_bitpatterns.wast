@@ -1,0 +1,26 @@
+;; Bit-exact float plumbing: reinterpretation, promote/demote, NaN payloads.
+(module
+  (func (export "bits32") (param f32) (result i32) local.get 0 i32.reinterpret_f32)
+  (func (export "from_bits32") (param i32) (result f32) local.get 0 f32.reinterpret_i32)
+  (func (export "bits64") (param f64) (result i64) local.get 0 i64.reinterpret_f64)
+  (func (export "from_bits64") (param i64) (result f64) local.get 0 f64.reinterpret_i64)
+  (func (export "promote") (param f32) (result f64) local.get 0 f64.promote_f32)
+  (func (export "demote") (param f64) (result f32) local.get 0 f32.demote_f64))
+
+(assert_return (invoke "bits32" (f32.const 1.0)) (i32.const 0x3F800000))
+(assert_return (invoke "bits32" (f32.const -0.0)) (i32.const 0x80000000))
+(assert_return (invoke "bits32" (f32.const inf)) (i32.const 0x7F800000))
+(assert_return (invoke "from_bits32" (i32.const 0x40490FDB)) (f32.const 0x1.921fb6p+1))
+(assert_return (invoke "bits64" (f64.const 2.0)) (i64.const 0x4000000000000000))
+(assert_return (invoke "bits64" (f64.const -inf)) (i64.const 0xFFF0000000000000))
+(assert_return (invoke "from_bits64" (i64.const 1)) (f64.const 0x0.0000000000001p-1022))
+;; Reinterpretation carries NaN payloads through untouched.
+(assert_return (invoke "from_bits32" (i32.const 0x7FC00001)) (f32.const nan:arithmetic))
+(assert_return (invoke "bits32" (f32.const nan:0x200000)) (i32.const 0x7FA00000))
+(assert_return (invoke "promote" (f32.const 0.25)) (f64.const 0.25))
+(assert_return (invoke "promote" (f32.const -inf)) (f64.const -inf))
+(assert_return (invoke "demote" (f64.const 0.25)) (f32.const 0.25))
+(assert_return (invoke "demote" (f64.const 1e308)) (f32.const inf))
+(assert_return (invoke "demote" (f64.const -1e308)) (f32.const -inf))
+;; The f64 value nearest to pi demotes to the f32 value nearest to pi.
+(assert_return (invoke "demote" (f64.const 0x1.921fb54442d18p+1)) (f32.const 0x1.921fb6p+1))

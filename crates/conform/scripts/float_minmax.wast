@@ -1,0 +1,24 @@
+;; min/max: NaN propagation and the signed-zero rules.
+(module
+  (func (export "min32") (param f32 f32) (result f32) local.get 0 local.get 1 f32.min)
+  (func (export "max32") (param f32 f32) (result f32) local.get 0 local.get 1 f32.max)
+  (func (export "min64") (param f64 f64) (result f64) local.get 0 local.get 1 f64.min)
+  (func (export "max64") (param f64 f64) (result f64) local.get 0 local.get 1 f64.max))
+
+(assert_return (invoke "min32" (f32.const 1.0) (f32.const 2.0)) (f32.const 1.0))
+(assert_return (invoke "max32" (f32.const 1.0) (f32.const 2.0)) (f32.const 2.0))
+(assert_return (invoke "min32" (f32.const -1.0) (f32.const 1.0)) (f32.const -1.0))
+;; min(-0, 0) = -0; max(-0, 0) = 0.
+(assert_return (invoke "min32" (f32.const -0.0) (f32.const 0.0)) (f32.const -0.0))
+(assert_return (invoke "min32" (f32.const 0.0) (f32.const -0.0)) (f32.const -0.0))
+(assert_return (invoke "max32" (f32.const -0.0) (f32.const 0.0)) (f32.const 0.0))
+(assert_return (invoke "max32" (f32.const 0.0) (f32.const -0.0)) (f32.const 0.0))
+;; NaN wins over any number, on either side.
+(assert_return (invoke "min32" (f32.const nan) (f32.const 1.0)) (f32.const nan:arithmetic))
+(assert_return (invoke "max32" (f32.const 1.0) (f32.const nan)) (f32.const nan:arithmetic))
+(assert_return (invoke "min64" (f64.const -0.0) (f64.const 0.0)) (f64.const -0.0))
+(assert_return (invoke "max64" (f64.const -0.0) (f64.const 0.0)) (f64.const 0.0))
+(assert_return (invoke "min64" (f64.const nan) (f64.const -inf)) (f64.const nan:arithmetic))
+(assert_return (invoke "max64" (f64.const nan) (f64.const inf)) (f64.const nan:arithmetic))
+(assert_return (invoke "min64" (f64.const -inf) (f64.const 1.0)) (f64.const -inf))
+(assert_return (invoke "max64" (f64.const inf) (f64.const 1.0)) (f64.const inf))

@@ -1,0 +1,24 @@
+;; ceil/floor/trunc/nearest, including round-ties-to-even.
+(module
+  (func (export "ceil") (param f64) (result f64) local.get 0 f64.ceil)
+  (func (export "floor") (param f64) (result f64) local.get 0 f64.floor)
+  (func (export "trunc") (param f64) (result f64) local.get 0 f64.trunc)
+  (func (export "nearest") (param f64) (result f64) local.get 0 f64.nearest)
+  (func (export "nearest32") (param f32) (result f32) local.get 0 f32.nearest))
+
+(assert_return (invoke "ceil" (f64.const 1.25)) (f64.const 2.0))
+(assert_return (invoke "ceil" (f64.const -1.25)) (f64.const -1.0))
+(assert_return (invoke "floor" (f64.const 1.75)) (f64.const 1.0))
+(assert_return (invoke "floor" (f64.const -1.25)) (f64.const -2.0))
+(assert_return (invoke "trunc" (f64.const 1.75)) (f64.const 1.0))
+(assert_return (invoke "trunc" (f64.const -1.75)) (f64.const -1.0))
+;; Ties round to even.
+(assert_return (invoke "nearest" (f64.const 2.5)) (f64.const 2.0))
+(assert_return (invoke "nearest" (f64.const 3.5)) (f64.const 4.0))
+(assert_return (invoke "nearest" (f64.const -2.5)) (f64.const -2.0))
+(assert_return (invoke "nearest" (f64.const 4.75)) (f64.const 5.0))
+(assert_return (invoke "nearest32" (f32.const 0.5)) (f32.const 0.0))
+(assert_return (invoke "nearest32" (f32.const 1.5)) (f32.const 2.0))
+;; Rounding preserves the sign of zero.
+(assert_return (invoke "ceil" (f64.const -0.25)) (f64.const -0.0))
+(assert_return (invoke "nearest" (f64.const -0.0)) (f64.const -0.0))

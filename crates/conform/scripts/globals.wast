@@ -1,0 +1,46 @@
+;; Globals: initialization, mutation, all value types, cross-call state.
+(module
+  (global $gi (mut i32) (i32.const 10))
+  (global $gl (mut i64) (i64.const -20))
+  (global $gf (mut f32) (f32.const 1.5))
+  (global $gd (mut f64) (f64.const -2.5))
+  (global $const i32 (i32.const 1000))
+  (func (export "get_i") (result i32) global.get $gi)
+  (func (export "get_l") (result i64) global.get $gl)
+  (func (export "get_f") (result f32) global.get $gf)
+  (func (export "get_d") (result f64) global.get $gd)
+  (func (export "get_const") (result i32) global.get $const)
+  (func (export "bump") (result i32)
+    global.get $gi
+    i32.const 1
+    i32.add
+    global.set $gi
+    global.get $gi)
+  (func (export "set_all") (param i32 i64 f32 f64)
+    local.get 0
+    global.set $gi
+    local.get 1
+    global.set $gl
+    local.get 2
+    global.set $gf
+    local.get 3
+    global.set $gd))
+
+(assert_return (invoke "get_i") (i32.const 10))
+(assert_return (invoke "get_l") (i64.const -20))
+(assert_return (invoke "get_f") (f32.const 1.5))
+(assert_return (invoke "get_d") (f64.const -2.5))
+(assert_return (invoke "get_const") (i32.const 1000))
+;; State persists across invokes on the same instance.
+(assert_return (invoke "bump") (i32.const 11))
+(assert_return (invoke "bump") (i32.const 12))
+(invoke "set_all" (i32.const 5) (i64.const 6) (f32.const 7.5) (f64.const 8.25))
+(assert_return (invoke "get_i") (i32.const 5))
+(assert_return (invoke "get_l") (i64.const 6))
+(assert_return (invoke "get_f") (f32.const 7.5))
+(assert_return (invoke "get_d") (f64.const 8.25))
+;; A fresh module resets the globals.
+(module
+  (global $g (mut i32) (i32.const 77))
+  (func (export "read") (result i32) global.get $g))
+(assert_return (invoke "read") (i32.const 77))

@@ -1,0 +1,24 @@
+;; i32 add/sub/mul wrapping semantics.
+(module
+  (func (export "add") (param i32 i32) (result i32)
+    local.get 0
+    local.get 1
+    i32.add)
+  (func (export "sub") (param i32 i32) (result i32)
+    local.get 0
+    local.get 1
+    i32.sub)
+  (func (export "mul") (param i32 i32) (result i32)
+    local.get 0
+    local.get 1
+    i32.mul))
+
+(assert_return (invoke "add" (i32.const 1) (i32.const 2)) (i32.const 3))
+(assert_return (invoke "add" (i32.const 2147483647) (i32.const 1)) (i32.const -2147483648))
+(assert_return (invoke "add" (i32.const -1) (i32.const 1)) (i32.const 0))
+(assert_return (invoke "add" (i32.const 0x80000000) (i32.const 0x80000000)) (i32.const 0))
+(assert_return (invoke "sub" (i32.const 0) (i32.const 1)) (i32.const -1))
+(assert_return (invoke "sub" (i32.const -2147483648) (i32.const 1)) (i32.const 2147483647))
+(assert_return (invoke "mul" (i32.const 65536) (i32.const 65536)) (i32.const 0))
+(assert_return (invoke "mul" (i32.const 0x10000001) (i32.const 16)) (i32.const 16))
+(assert_return (invoke "mul" (i32.const -1) (i32.const -1)) (i32.const 1))

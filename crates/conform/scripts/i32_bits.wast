@@ -1,0 +1,35 @@
+;; i32 bit counting, shifts (with count masking), and rotates.
+(module
+  (func (export "clz") (param i32) (result i32) local.get 0 i32.clz)
+  (func (export "ctz") (param i32) (result i32) local.get 0 i32.ctz)
+  (func (export "popcnt") (param i32) (result i32) local.get 0 i32.popcnt)
+  (func (export "shl") (param i32 i32) (result i32) local.get 0 local.get 1 i32.shl)
+  (func (export "shr_s") (param i32 i32) (result i32) local.get 0 local.get 1 i32.shr_s)
+  (func (export "shr_u") (param i32 i32) (result i32) local.get 0 local.get 1 i32.shr_u)
+  (func (export "rotl") (param i32 i32) (result i32) local.get 0 local.get 1 i32.rotl)
+  (func (export "rotr") (param i32 i32) (result i32) local.get 0 local.get 1 i32.rotr)
+  (func (export "logic") (param i32 i32) (result i32)
+    local.get 0
+    local.get 1
+    i32.and
+    local.get 0
+    local.get 1
+    i32.or
+    i32.xor))
+
+(assert_return (invoke "clz" (i32.const 1)) (i32.const 31))
+(assert_return (invoke "clz" (i32.const 0)) (i32.const 32))
+(assert_return (invoke "clz" (i32.const -1)) (i32.const 0))
+(assert_return (invoke "ctz" (i32.const 0x10000)) (i32.const 16))
+(assert_return (invoke "ctz" (i32.const 0)) (i32.const 32))
+(assert_return (invoke "popcnt" (i32.const -1)) (i32.const 32))
+(assert_return (invoke "popcnt" (i32.const 0xF0F)) (i32.const 8))
+;; Shift counts are masked mod 32.
+(assert_return (invoke "shl" (i32.const 1) (i32.const 33)) (i32.const 2))
+(assert_return (invoke "shr_u" (i32.const -1) (i32.const 1)) (i32.const 0x7FFFFFFF))
+(assert_return (invoke "shr_s" (i32.const -8) (i32.const 1)) (i32.const -4))
+(assert_return (invoke "shr_s" (i32.const -1) (i32.const 32)) (i32.const -1))
+(assert_return (invoke "rotl" (i32.const 0x80000001) (i32.const 1)) (i32.const 3))
+(assert_return (invoke "rotr" (i32.const 1) (i32.const 1)) (i32.const 0x80000000))
+;; (a and b) xor (a or b) == a xor b.
+(assert_return (invoke "logic" (i32.const 12) (i32.const 10)) (i32.const 6))

@@ -1,0 +1,34 @@
+;; i32 division and remainder: truncation, signedness, and the two traps.
+(module
+  (func (export "div_s") (param i32 i32) (result i32)
+    local.get 0
+    local.get 1
+    i32.div_s)
+  (func (export "div_u") (param i32 i32) (result i32)
+    local.get 0
+    local.get 1
+    i32.div_u)
+  (func (export "rem_s") (param i32 i32) (result i32)
+    local.get 0
+    local.get 1
+    i32.rem_s)
+  (func (export "rem_u") (param i32 i32) (result i32)
+    local.get 0
+    local.get 1
+    i32.rem_u))
+
+(assert_return (invoke "div_s" (i32.const 7) (i32.const 2)) (i32.const 3))
+(assert_return (invoke "div_s" (i32.const -7) (i32.const 2)) (i32.const -3))
+(assert_return (invoke "div_s" (i32.const 7) (i32.const -2)) (i32.const -3))
+(assert_return (invoke "div_u" (i32.const 7) (i32.const 2)) (i32.const 3))
+(assert_return (invoke "div_u" (i32.const -1) (i32.const 2)) (i32.const 2147483647))
+(assert_return (invoke "rem_s" (i32.const 7) (i32.const 3)) (i32.const 1))
+(assert_return (invoke "rem_s" (i32.const -7) (i32.const 3)) (i32.const -1))
+(assert_return (invoke "rem_u" (i32.const -1) (i32.const 10)) (i32.const 5))
+;; rem_s of MIN by -1 is defined (0); div_s of the same pair traps.
+(assert_return (invoke "rem_s" (i32.const -2147483648) (i32.const -1)) (i32.const 0))
+(assert_trap (invoke "div_s" (i32.const -2147483648) (i32.const -1)) "integer overflow")
+(assert_trap (invoke "div_s" (i32.const 1) (i32.const 0)) "integer divide by zero")
+(assert_trap (invoke "div_u" (i32.const 1) (i32.const 0)) "integer divide by zero")
+(assert_trap (invoke "rem_s" (i32.const 1) (i32.const 0)) "integer divide by zero")
+(assert_trap (invoke "rem_u" (i32.const 1) (i32.const 0)) "integer divide by zero")

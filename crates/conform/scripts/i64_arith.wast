@@ -1,0 +1,29 @@
+;; i64 add/sub/mul wrapping at 64 bits.
+(module
+  (func (export "add") (param i64 i64) (result i64)
+    local.get 0
+    local.get 1
+    i64.add)
+  (func (export "sub") (param i64 i64) (result i64)
+    local.get 0
+    local.get 1
+    i64.sub)
+  (func (export "mul") (param i64 i64) (result i64)
+    local.get 0
+    local.get 1
+    i64.mul))
+
+(assert_return (invoke "add" (i64.const 1) (i64.const 2)) (i64.const 3))
+(assert_return
+  (invoke "add" (i64.const 9223372036854775807) (i64.const 1))
+  (i64.const -9223372036854775808))
+(assert_return (invoke "add" (i64.const -1) (i64.const 1)) (i64.const 0))
+(assert_return (invoke "sub" (i64.const 0) (i64.const 1)) (i64.const -1))
+(assert_return
+  (invoke "sub" (i64.const -9223372036854775808) (i64.const 1))
+  (i64.const 9223372036854775807))
+(assert_return (invoke "mul" (i64.const 0x100000000) (i64.const 0x100000000)) (i64.const 0))
+(assert_return (invoke "mul" (i64.const -1) (i64.const -1)) (i64.const 1))
+(assert_return
+  (invoke "mul" (i64.const 0x0123456789ABCDEF) (i64.const 16))
+  (i64.const 0x123456789ABCDEF0))

@@ -1,0 +1,22 @@
+;; i64 bit counting, shifts, and rotates at 64-bit width.
+(module
+  (func (export "clz") (param i64) (result i64) local.get 0 i64.clz)
+  (func (export "ctz") (param i64) (result i64) local.get 0 i64.ctz)
+  (func (export "popcnt") (param i64) (result i64) local.get 0 i64.popcnt)
+  (func (export "shl") (param i64 i64) (result i64) local.get 0 local.get 1 i64.shl)
+  (func (export "shr_s") (param i64 i64) (result i64) local.get 0 local.get 1 i64.shr_s)
+  (func (export "shr_u") (param i64 i64) (result i64) local.get 0 local.get 1 i64.shr_u)
+  (func (export "rotl") (param i64 i64) (result i64) local.get 0 local.get 1 i64.rotl)
+  (func (export "rotr") (param i64 i64) (result i64) local.get 0 local.get 1 i64.rotr))
+
+(assert_return (invoke "clz" (i64.const 1)) (i64.const 63))
+(assert_return (invoke "clz" (i64.const 0)) (i64.const 64))
+(assert_return (invoke "ctz" (i64.const 0x100000000)) (i64.const 32))
+(assert_return (invoke "ctz" (i64.const 0)) (i64.const 64))
+(assert_return (invoke "popcnt" (i64.const -1)) (i64.const 64))
+;; Shift counts are masked mod 64.
+(assert_return (invoke "shl" (i64.const 1) (i64.const 65)) (i64.const 2))
+(assert_return (invoke "shr_u" (i64.const -1) (i64.const 1)) (i64.const 0x7FFFFFFFFFFFFFFF))
+(assert_return (invoke "shr_s" (i64.const -8) (i64.const 1)) (i64.const -4))
+(assert_return (invoke "rotr" (i64.const 1) (i64.const 1)) (i64.const 0x8000000000000000))
+(assert_return (invoke "rotl" (i64.const 0x8000000000000001) (i64.const 1)) (i64.const 3))

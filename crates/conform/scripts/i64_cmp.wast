@@ -1,0 +1,20 @@
+;; i64 comparisons around the 64-bit sign boundary.
+(module
+  (func (export "lt_s") (param i64 i64) (result i32) local.get 0 local.get 1 i64.lt_s)
+  (func (export "lt_u") (param i64 i64) (result i32) local.get 0 local.get 1 i64.lt_u)
+  (func (export "gt_s") (param i64 i64) (result i32) local.get 0 local.get 1 i64.gt_s)
+  (func (export "gt_u") (param i64 i64) (result i32) local.get 0 local.get 1 i64.gt_u)
+  (func (export "eqz") (param i64) (result i32) local.get 0 i64.eqz))
+
+(assert_return (invoke "lt_s" (i64.const -1) (i64.const 0)) (i32.const 1))
+(assert_return (invoke "lt_u" (i64.const -1) (i64.const 0)) (i32.const 0))
+(assert_return
+  (invoke "lt_s" (i64.const -9223372036854775808) (i64.const 9223372036854775807))
+  (i32.const 1))
+(assert_return
+  (invoke "lt_u" (i64.const -9223372036854775808) (i64.const 9223372036854775807))
+  (i32.const 0))
+(assert_return (invoke "gt_s" (i64.const 1) (i64.const -1)) (i32.const 1))
+(assert_return (invoke "gt_u" (i64.const 1) (i64.const -1)) (i32.const 0))
+(assert_return (invoke "eqz" (i64.const 0)) (i32.const 1))
+(assert_return (invoke "eqz" (i64.const 0x100000000)) (i32.const 0))

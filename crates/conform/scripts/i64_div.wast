@@ -1,0 +1,33 @@
+;; i64 division and remainder edge cases.
+(module
+  (func (export "div_s") (param i64 i64) (result i64)
+    local.get 0
+    local.get 1
+    i64.div_s)
+  (func (export "div_u") (param i64 i64) (result i64)
+    local.get 0
+    local.get 1
+    i64.div_u)
+  (func (export "rem_s") (param i64 i64) (result i64)
+    local.get 0
+    local.get 1
+    i64.rem_s)
+  (func (export "rem_u") (param i64 i64) (result i64)
+    local.get 0
+    local.get 1
+    i64.rem_u))
+
+(assert_return (invoke "div_s" (i64.const -9) (i64.const 2)) (i64.const -4))
+(assert_return (invoke "div_u" (i64.const -1) (i64.const 2)) (i64.const 9223372036854775807))
+(assert_return (invoke "rem_s" (i64.const -9) (i64.const 4)) (i64.const -1))
+(assert_return (invoke "rem_u" (i64.const -1) (i64.const 10)) (i64.const 5))
+(assert_return
+  (invoke "rem_s" (i64.const -9223372036854775808) (i64.const -1))
+  (i64.const 0))
+(assert_trap
+  (invoke "div_s" (i64.const -9223372036854775808) (i64.const -1))
+  "integer overflow")
+(assert_trap (invoke "div_s" (i64.const 1) (i64.const 0)) "integer divide by zero")
+(assert_trap (invoke "div_u" (i64.const 1) (i64.const 0)) "integer divide by zero")
+(assert_trap (invoke "rem_s" (i64.const 1) (i64.const 0)) "integer divide by zero")
+(assert_trap (invoke "rem_u" (i64.const 1) (i64.const 0)) "integer divide by zero")

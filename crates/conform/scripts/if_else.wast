@@ -1,0 +1,52 @@
+;; if/else: value-producing arms, missing else, folded form, nesting.
+(module
+  (func (export "abs") (param i32) (result i32)
+    local.get 0
+    i32.const 0
+    i32.lt_s
+    if (result i32)
+      i32.const 0
+      local.get 0
+      i32.sub
+    else
+      local.get 0
+    end)
+  (func (export "clamp01") (param i32) (result i32)
+    local.get 0
+    i32.const 0
+    i32.lt_s
+    if (result i32)
+      i32.const 0
+    else
+      local.get 0
+      i32.const 1
+      i32.gt_s
+      if (result i32)
+        i32.const 1
+      else
+        local.get 0
+      end
+    end)
+  (func (export "side") (param i32) (result i32) (local $r i32)
+    i32.const 7
+    local.set $r
+    local.get 0
+    if
+      i32.const 13
+      local.set $r
+    end
+    local.get $r)
+  (func (export "max") (param i32 i32) (result i32)
+    (if (result i32) (i32.gt_s (local.get 0) (local.get 1))
+      (then (local.get 0))
+      (else (local.get 1)))))
+
+(assert_return (invoke "abs" (i32.const -5)) (i32.const 5))
+(assert_return (invoke "abs" (i32.const 5)) (i32.const 5))
+(assert_return (invoke "clamp01" (i32.const -3)) (i32.const 0))
+(assert_return (invoke "clamp01" (i32.const 0)) (i32.const 0))
+(assert_return (invoke "clamp01" (i32.const 5)) (i32.const 1))
+(assert_return (invoke "side" (i32.const 0)) (i32.const 7))
+(assert_return (invoke "side" (i32.const 1)) (i32.const 13))
+(assert_return (invoke "max" (i32.const -1) (i32.const 1)) (i32.const 1))
+(assert_return (invoke "max" (i32.const 3) (i32.const 2)) (i32.const 3))

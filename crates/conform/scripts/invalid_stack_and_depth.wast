@@ -1,0 +1,36 @@
+;; Validator error paths: stack underflow at end, mid-body underflow,
+;; branch depths, and module-level rules.
+(assert_invalid
+  (module (func (result i32) nop))
+  "underflow")
+(assert_invalid
+  (module (func i32.add drop))
+  "underflow")
+(assert_invalid
+  (module (func (result i32) i32.const 1 i32.add))
+  "underflow")
+(assert_invalid
+  (module (func drop))
+  "underflow")
+(assert_invalid
+  (module (func br 2))
+  "depth")
+(assert_invalid
+  (module (func block br 5 end))
+  "depth")
+(assert_invalid
+  (module (func block i32.const 1 br_if 3 end))
+  "depth")
+;; Block results must be on the stack at end.
+(assert_invalid
+  (module (func block (result i32) end drop))
+  "underflow")
+;; Module-level checks surface through the same validator.
+(assert_invalid
+  (module (func $f (param i32) nop) (start $f))
+  "start function")
+(assert_invalid
+  (module
+    (func (export "dup") (result i32) i32.const 1)
+    (func (export "dup") (result i32) i32.const 2))
+  "duplicate export")

@@ -1,0 +1,30 @@
+;; Validator error paths: unknown locals, globals, functions, and immutability.
+(assert_invalid
+  (module (func (result i32) local.get 3))
+  "unknown local")
+(assert_invalid
+  (module (func (param i32) local.get 1 drop))
+  "unknown local")
+(assert_invalid
+  (module (func i32.const 1 local.set 0))
+  "unknown local")
+(assert_invalid
+  (module (func (result i32) global.get 0))
+  "unknown global")
+(assert_invalid
+  (module (func i32.const 1 global.set 5))
+  "unknown global")
+(assert_invalid
+  (module (func call 9))
+  "unknown function")
+(assert_invalid
+  (module
+    (global $g i32 (i32.const 1))
+    (func i32.const 2 global.set $g))
+  "immutable")
+(assert_invalid
+  (module (func i32.const 0 i32.load drop))
+  "no memory")
+(assert_invalid
+  (module (memory 1) (func i32.const 0 i32.load align=8 drop))
+  "alignment")

@@ -1,0 +1,34 @@
+;; Locals: zero defaults, set/tee, every type, many locals.
+(module
+  (func (export "defaults") (result i32)
+    (local i32 i64 f32 f64)
+    local.get 0
+    local.get 1
+    i32.wrap_i64
+    i32.add
+    local.get 2
+    i32.trunc_f32_s
+    i32.add
+    local.get 3
+    i32.trunc_f64_s
+    i32.add)
+  (func (export "tee_chain") (param i32) (result i32)
+    (local $a i32) (local $b i32)
+    local.get 0
+    local.tee $a
+    local.tee $b
+    local.get $a
+    i32.add
+    local.get $b
+    i32.add)
+  (func (export "shadowing") (param $x i32) (result i32)
+    (local $y i32)
+    local.get $x
+    i32.const 2
+    i32.mul
+    local.set $y
+    local.get $y))
+
+(assert_return (invoke "defaults") (i32.const 0))
+(assert_return (invoke "tee_chain" (i32.const 5)) (i32.const 15))
+(assert_return (invoke "shadowing" (i32.const 21)) (i32.const 42))

@@ -1,0 +1,46 @@
+;; Loops: backedge branches, loop-carried locals, nested loops.
+(module
+  ;; sum(n) = 1 + 2 + ... + n
+  (func (export "sum") (param $n i32) (result i32) (local $acc i32)
+    block $done
+      loop $top
+        local.get $n
+        i32.eqz
+        br_if $done
+        local.get $acc
+        local.get $n
+        i32.add
+        local.set $acc
+        local.get $n
+        i32.const 1
+        i32.sub
+        local.set $n
+        br $top
+      end
+    end
+    local.get $acc)
+  ;; mul_by_add(a, b) = a * b via nested counting loops
+  (func (export "mul_by_add") (param $a i32) (param $b i32) (result i32) (local $acc i32)
+    block $done
+      loop $outer
+        local.get $a
+        i32.eqz
+        br_if $done
+        local.get $acc
+        local.get $b
+        i32.add
+        local.set $acc
+        local.get $a
+        i32.const 1
+        i32.sub
+        local.set $a
+        br $outer
+      end
+    end
+    local.get $acc))
+
+(assert_return (invoke "sum" (i32.const 0)) (i32.const 0))
+(assert_return (invoke "sum" (i32.const 1)) (i32.const 1))
+(assert_return (invoke "sum" (i32.const 100)) (i32.const 5050))
+(assert_return (invoke "mul_by_add" (i32.const 7) (i32.const 6)) (i32.const 42))
+(assert_return (invoke "mul_by_add" (i32.const 0) (i32.const 9)) (i32.const 0))

@@ -1,0 +1,27 @@
+;; Memory bounds checks: end-of-page edges, offset overflow, all widths.
+(module
+  (memory 1)
+  (func (export "load_at") (param i32) (result i32) local.get 0 i32.load)
+  (func (export "load8_at") (param i32) (result i32) local.get 0 i32.load8_u)
+  (func (export "load64_at") (param i32) (result i64) local.get 0 i64.load)
+  (func (export "store_at") (param i32 i32) local.get 0 local.get 1 i32.store)
+  (func (export "load_far") (param i32) (result i32) local.get 0 i32.load offset=0xFFFFFFFC)
+  (func (export "store8_at") (param i32 i32) local.get 0 local.get 1 i32.store8))
+
+;; The last in-bounds accesses of a 64 KiB page.
+(assert_return (invoke "load_at" (i32.const 65532)) (i32.const 0))
+(assert_return (invoke "load8_at" (i32.const 65535)) (i32.const 0))
+(assert_return (invoke "load64_at" (i32.const 65528)) (i64.const 0))
+;; One byte past the edge traps.
+(assert_trap (invoke "load_at" (i32.const 65533)) "out of bounds memory access")
+(assert_trap (invoke "load_at" (i32.const 65536)) "out of bounds memory access")
+(assert_trap (invoke "load8_at" (i32.const 65536)) "out of bounds memory access")
+(assert_trap (invoke "load64_at" (i32.const 65529)) "out of bounds memory access")
+(assert_trap (invoke "store_at" (i32.const 65533) (i32.const 0)) "out of bounds memory access")
+(assert_trap (invoke "store8_at" (i32.const 65536) (i32.const 0)) "out of bounds memory access")
+;; Negative addresses are unsigned-huge.
+(assert_trap (invoke "load_at" (i32.const -4)) "out of bounds memory access")
+;; addr + offset overflows past the page: the effective address is computed
+;; in 64 bits, so this must trap rather than wrap.
+(assert_trap (invoke "load_far" (i32.const 8)) "out of bounds memory access")
+(assert_trap (invoke "load_far" (i32.const -1)) "out of bounds memory access")

@@ -1,0 +1,45 @@
+;; Little-endian layout, observed through data segments and reassembly.
+(module
+  (memory 1)
+  (data (offset (i32.const 0)) "\01\02\03\04\05\06\07\08")
+  (data (offset (i32.const 16)) "\80\FF")
+  (func (export "word") (result i32) i32.const 0 i32.load)
+  (func (export "dword") (result i64) i32.const 0 i64.load)
+  (func (export "hi_word") (result i32) i32.const 4 i32.load)
+  (func (export "byte0") (result i32) i32.const 0 i32.load8_u)
+  (func (export "byte3") (result i32) i32.const 3 i32.load8_u)
+  (func (export "signed_byte") (result i32) i32.const 16 i32.load8_s)
+  (func (export "u16") (result i32) i32.const 16 i32.load16_u)
+  (func (export "s16") (result i32) i32.const 16 i32.load16_s)
+  (func (export "store_then_bytes") (param i32) (result i32)
+    i32.const 32
+    local.get 0
+    i32.store
+    ;; reassemble from individual bytes: b0 | b1<<8 | b2<<16 | b3<<24
+    i32.const 32
+    i32.load8_u
+    i32.const 33
+    i32.load8_u
+    i32.const 8
+    i32.shl
+    i32.or
+    i32.const 34
+    i32.load8_u
+    i32.const 16
+    i32.shl
+    i32.or
+    i32.const 35
+    i32.load8_u
+    i32.const 24
+    i32.shl
+    i32.or))
+
+(assert_return (invoke "word") (i32.const 0x04030201))
+(assert_return (invoke "dword") (i64.const 0x0807060504030201))
+(assert_return (invoke "hi_word") (i32.const 0x08070605))
+(assert_return (invoke "byte0") (i32.const 1))
+(assert_return (invoke "byte3") (i32.const 4))
+(assert_return (invoke "signed_byte") (i32.const -128))
+(assert_return (invoke "u16") (i32.const 0xFF80))
+(assert_return (invoke "s16") (i32.const -128))
+(assert_return (invoke "store_then_bytes" (i32.const 0x7BCDEF01)) (i32.const 0x7BCDEF01))

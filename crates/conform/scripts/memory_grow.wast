@@ -1,0 +1,23 @@
+;; memory.size / memory.grow: growth, limits, and newly zeroed pages.
+(module
+  (memory 1 3)
+  (func (export "size") (result i32) memory.size)
+  (func (export "grow") (param i32) (result i32) local.get 0 memory.grow)
+  (func (export "probe") (param i32) (result i32) local.get 0 i32.load))
+
+(assert_return (invoke "size") (i32.const 1))
+;; Growing by 0 succeeds and reports the current size.
+(assert_return (invoke "grow" (i32.const 0)) (i32.const 1))
+;; Out of bounds before growth...
+(assert_trap (invoke "probe" (i32.const 65536)) "out of bounds memory access")
+;; ...grow one page (returns the old size)...
+(assert_return (invoke "grow" (i32.const 1)) (i32.const 1))
+(assert_return (invoke "size") (i32.const 2))
+;; ...and the same address is now readable and zeroed.
+(assert_return (invoke "probe" (i32.const 65536)) (i32.const 0))
+;; Growing past the declared max fails with -1 and changes nothing.
+(assert_return (invoke "grow" (i32.const 5)) (i32.const -1))
+(assert_return (invoke "size") (i32.const 2))
+(assert_return (invoke "grow" (i32.const 1)) (i32.const 2))
+(assert_return (invoke "size") (i32.const 3))
+(assert_return (invoke "grow" (i32.const 1)) (i32.const -1))

@@ -1,0 +1,77 @@
+;; Memory loads/stores: all widths, sign extension, offsets, unaligned access.
+(module
+  (memory (export "mem") 1)
+  (func (export "rt_i32") (param $addr i32) (param $v i32) (result i32)
+    local.get $addr
+    local.get $v
+    i32.store
+    local.get $addr
+    i32.load)
+  (func (export "rt_i64") (param $addr i32) (param $v i64) (result i64)
+    local.get $addr
+    local.get $v
+    i64.store
+    local.get $addr
+    i64.load)
+  (func (export "rt_f32") (param $addr i32) (param $v f32) (result f32)
+    local.get $addr
+    local.get $v
+    f32.store
+    local.get $addr
+    f32.load)
+  (func (export "rt_f64") (param $addr i32) (param $v f64) (result f64)
+    local.get $addr
+    local.get $v
+    f64.store
+    local.get $addr
+    f64.load)
+  (func (export "narrow8") (param $v i32) (result i32)
+    i32.const 100
+    local.get $v
+    i32.store8
+    i32.const 100
+    i32.load8_s)
+  (func (export "narrow8u") (param $v i32) (result i32)
+    i32.const 100
+    local.get $v
+    i32.store8
+    i32.const 100
+    i32.load8_u)
+  (func (export "narrow16") (param $v i32) (result i32)
+    i32.const 104
+    local.get $v
+    i32.store16
+    i32.const 104
+    i32.load16_s)
+  (func (export "wide32") (param $v i64) (result i64)
+    i32.const 112
+    local.get $v
+    i64.store32
+    i32.const 112
+    i64.load32_u)
+  (func (export "with_offset") (param $v i32) (result i32)
+    i32.const 0
+    local.get $v
+    i32.store offset=200
+    i32.const 100
+    i32.load offset=100)
+  (func (export "unaligned") (param $v i32) (result i32)
+    i32.const 33
+    local.get $v
+    i32.store align=1
+    i32.const 33
+    i32.load align=1))
+
+(assert_return (invoke "rt_i32" (i32.const 0) (i32.const -123456)) (i32.const -123456))
+(assert_return (invoke "rt_i64" (i32.const 8) (i64.const 0x0102030405060708)) (i64.const 0x0102030405060708))
+(assert_return (invoke "rt_f32" (i32.const 16) (f32.const -1.5)) (f32.const -1.5))
+(assert_return (invoke "rt_f64" (i32.const 24) (f64.const 6.25)) (f64.const 6.25))
+;; Stores truncate; signed loads extend.
+(assert_return (invoke "narrow8" (i32.const 0x180)) (i32.const -128))
+(assert_return (invoke "narrow8u" (i32.const 0x180)) (i32.const 128))
+(assert_return (invoke "narrow16" (i32.const 0x18000)) (i32.const -32768))
+(assert_return (invoke "wide32" (i64.const 0x1FFFFFFFF)) (i64.const 0xFFFFFFFF))
+;; A constant offset addresses the same byte as base+offset.
+(assert_return (invoke "with_offset" (i32.const 77)) (i32.const 77))
+;; Unaligned accesses are permitted (alignment is only a hint).
+(assert_return (invoke "unaligned" (i32.const 0x12345678)) (i32.const 0x12345678))

@@ -1,0 +1,31 @@
+;; Multi-value: multiple function results and multi-result blocks.
+(module
+  (func (export "pair") (result i32 i32)
+    i32.const 1
+    i32.const 2)
+  (func (export "swap") (param i32 i32) (result i32 i32)
+    local.get 1
+    local.get 0)
+  (func (export "divmod") (param i32 i32) (result i32 i32)
+    local.get 0
+    local.get 1
+    i32.div_u
+    local.get 0
+    local.get 1
+    i32.rem_u)
+  (func (export "block_pair") (result i32)
+    block (result i32 i32)
+      i32.const 30
+      i32.const 12
+    end
+    i32.add)
+  (func (export "mixed") (result i32 i64 f64)
+    i32.const 1
+    i64.const -2
+    f64.const 0.5))
+
+(assert_return (invoke "pair") (i32.const 1) (i32.const 2))
+(assert_return (invoke "swap" (i32.const 7) (i32.const 9)) (i32.const 9) (i32.const 7))
+(assert_return (invoke "divmod" (i32.const 17) (i32.const 5)) (i32.const 3) (i32.const 2))
+(assert_return (invoke "block_pair") (i32.const 42))
+(assert_return (invoke "mixed") (i32.const 1) (i64.const -2) (f64.const 0.5))

@@ -1,0 +1,37 @@
+;; select: untyped on every numeric type, plus the typed form.
+(module
+  (func (export "sel_i32") (param i32 i32 i32) (result i32)
+    local.get 0
+    local.get 1
+    local.get 2
+    select)
+  (func (export "sel_i64") (param i64 i64 i32) (result i64)
+    local.get 0
+    local.get 1
+    local.get 2
+    select)
+  (func (export "sel_f64") (param f64 f64 i32) (result f64)
+    local.get 0
+    local.get 1
+    local.get 2
+    select)
+  (func (export "sel_t") (param i64 i64 i32) (result i64)
+    local.get 0
+    local.get 1
+    local.get 2
+    select (result i64))
+  (func (export "folded") (param i32) (result i32)
+    (select (i32.const 1) (i32.const 2) (local.get 0))))
+
+;; Non-zero picks the first operand; zero picks the second.
+(assert_return (invoke "sel_i32" (i32.const 10) (i32.const 20) (i32.const 1)) (i32.const 10))
+(assert_return (invoke "sel_i32" (i32.const 10) (i32.const 20) (i32.const 0)) (i32.const 20))
+(assert_return (invoke "sel_i32" (i32.const 10) (i32.const 20) (i32.const -7)) (i32.const 10))
+(assert_return (invoke "sel_i64" (i64.const -1) (i64.const 1) (i32.const 1)) (i64.const -1))
+(assert_return (invoke "sel_i64" (i64.const -1) (i64.const 1) (i32.const 0)) (i64.const 1))
+(assert_return (invoke "sel_f64" (f64.const -0.0) (f64.const 0.5) (i32.const 1)) (f64.const -0.0))
+(assert_return (invoke "sel_f64" (f64.const -0.0) (f64.const 0.5) (i32.const 0)) (f64.const 0.5))
+(assert_return (invoke "sel_t" (i64.const 5) (i64.const 6) (i32.const 0)) (i64.const 6))
+(assert_return (invoke "sel_t" (i64.const 5) (i64.const 6) (i32.const 2)) (i64.const 5))
+(assert_return (invoke "folded" (i32.const 1)) (i32.const 1))
+(assert_return (invoke "folded" (i32.const 0)) (i32.const 2))

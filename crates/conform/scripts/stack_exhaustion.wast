@@ -1,0 +1,17 @@
+;; Unbounded recursion must produce a stack-exhaustion trap, not a crash,
+;; and the instance must remain usable afterwards.
+(module
+  (func $spin (export "spin") (result i32)
+    call $spin)
+  (func $mutual_a (export "mutual") (result i32)
+    call $mutual_b)
+  (func $mutual_b (result i32)
+    call $mutual_a)
+  (func (export "ok") (result i32) i32.const 99))
+
+(assert_trap (invoke "spin") "call stack exhausted")
+(assert_trap (invoke "mutual") "call stack exhausted")
+;; The trap unwound cleanly: the same instance still runs.
+(assert_return (invoke "ok") (i32.const 99))
+(assert_trap (invoke "spin") "call stack exhausted")
+(assert_return (invoke "ok") (i32.const 99))

@@ -1,0 +1,26 @@
+;; Float-to-int truncation traps: NaN and out-of-range inputs.
+(module
+  (func (export "i32_f32_s") (param f32) (result i32) local.get 0 i32.trunc_f32_s)
+  (func (export "i32_f32_u") (param f32) (result i32) local.get 0 i32.trunc_f32_u)
+  (func (export "i32_f64_s") (param f64) (result i32) local.get 0 i32.trunc_f64_s)
+  (func (export "i64_f64_s") (param f64) (result i64) local.get 0 i64.trunc_f64_s)
+  (func (export "i64_f64_u") (param f64) (result i64) local.get 0 i64.trunc_f64_u))
+
+;; In-range boundaries succeed.
+(assert_return (invoke "i32_f64_s" (f64.const 2147483647.0)) (i32.const 2147483647))
+(assert_return (invoke "i32_f64_s" (f64.const -2147483648.0)) (i32.const -2147483648))
+(assert_return (invoke "i64_f64_u" (f64.const 0.0)) (i64.const 0))
+;; NaN is an invalid conversion.
+(assert_trap (invoke "i32_f32_s" (f32.const nan)) "invalid conversion to integer")
+(assert_trap (invoke "i64_f64_s" (f64.const nan)) "invalid conversion to integer")
+;; Out-of-range magnitudes overflow.
+(assert_trap (invoke "i32_f64_s" (f64.const 2147483648.0)) "integer overflow")
+(assert_trap (invoke "i32_f64_s" (f64.const -2147483649.0)) "integer overflow")
+(assert_trap (invoke "i32_f32_s" (f32.const 3e9)) "integer overflow")
+(assert_trap (invoke "i32_f32_u" (f32.const -1.0)) "integer overflow")
+(assert_trap (invoke "i32_f32_u" (f32.const 5e9)) "integer overflow")
+(assert_trap (invoke "i64_f64_s" (f64.const 1e19)) "integer overflow")
+(assert_trap (invoke "i64_f64_u" (f64.const -1.0)) "integer overflow")
+(assert_trap (invoke "i64_f64_u" (f64.const 2e19)) "integer overflow")
+(assert_trap (invoke "i32_f32_s" (f32.const inf)) "integer overflow")
+(assert_trap (invoke "i32_f32_u" (f32.const -inf)) "integer overflow")

@@ -1,0 +1,20 @@
+;; unreachable: traps when executed, inert on untaken paths.
+(module
+  (func (export "boom") unreachable)
+  (func (export "boom_value") (result i32) unreachable)
+  (func (export "guarded") (param i32) (result i32)
+    local.get 0
+    if
+      unreachable
+    end
+    i32.const 7)
+  (func (export "after_return") (result i32)
+    i32.const 3
+    return
+    unreachable))
+
+(assert_trap (invoke "boom") "unreachable")
+(assert_trap (invoke "boom_value") "unreachable")
+(assert_return (invoke "guarded" (i32.const 0)) (i32.const 7))
+(assert_trap (invoke "guarded" (i32.const 1)) "unreachable")
+(assert_return (invoke "after_return") (i32.const 3))

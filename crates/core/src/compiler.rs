@@ -9,7 +9,7 @@
 //! All emission flows through the [`Masm`] macro-assembler trait, which
 //! separates this translation strategy from target encoding: the same
 //! compiler drives both the virtual-ISA
-//! [`Assembler`](machine::asm::Assembler) (whose [`CodeBuffer`] the CPU
+//! [`machine::asm::Assembler`] (whose [`CodeBuffer`] the CPU
 //! simulator executes) and the x86-64 backend
 //! ([`machine::x64_masm::X64Masm`]), which emits real machine bytes. This is
 //! the structure every production baseline compiler surveyed by the paper

@@ -123,7 +123,7 @@ pub struct RunMetrics {
     /// Bytes of Wasm function bodies compiled.
     pub compiled_wasm_bytes: u64,
     /// Bytes of machine code produced by the configured
-    /// [`CodeBackend`]: the virtual ISA's per-instruction estimate, or real
+    /// [`crate::CodeBackend`]: the virtual ISA's per-instruction estimate, or real
     /// encoded bytes when the x86-64 backend is selected.
     pub compiled_machine_bytes: u64,
     /// Functions compiled.

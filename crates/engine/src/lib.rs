@@ -53,6 +53,7 @@ pub mod engine;
 pub mod gc;
 pub mod monitor;
 pub mod pipeline;
+pub mod trap;
 
 pub use cache::{CacheKey, CodeCache};
 pub use config::{EngineConfig, TierPolicy};
@@ -61,3 +62,4 @@ pub use engine::{Engine, EngineError, HostFunc, Imports, Instance, RunMetrics};
 pub use gc::{Heap, HostObject};
 pub use monitor::{BranchMonitor, BranchProfile, Instrumentation};
 pub use pipeline::{BackgroundCompiler, CompiledArtifact, CompiledModule};
+pub use trap::TrapReason;

@@ -1,0 +1,143 @@
+//! Structured trap reasons with spec-style messages.
+//!
+//! The execution tiers report traps as [`TrapCode`]s — a tier-internal enum
+//! shared by the interpreter and the CPU simulator so cross-tier differential
+//! tests can compare exactly. [`TrapReason`] is the *engine-surface*
+//! classification of those codes: each reason carries the canonical message
+//! the upstream specification test suite uses in `assert_trap`, so the
+//! conformance runner (and any embedder) can match on the cause of a trap
+//! structurally instead of scraping `Display` strings.
+
+use machine::inst::TrapCode;
+use std::fmt;
+
+/// Why execution trapped, in the vocabulary of the Wasm specification's
+/// assertion scripts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TrapReason {
+    /// The `unreachable` instruction executed.
+    Unreachable,
+    /// A linear-memory access was out of bounds.
+    OutOfBoundsMemory,
+    /// Integer division or remainder by zero.
+    DivisionByZero,
+    /// Signed division overflow or a float-to-int conversion out of range.
+    IntegerOverflow,
+    /// A float-to-int conversion of NaN.
+    InvalidConversion,
+    /// A `call_indirect` index outside the table.
+    OutOfBoundsTable,
+    /// A `call_indirect` through a null table entry.
+    UninitializedElement,
+    /// A `call_indirect` whose callee signature mismatched.
+    IndirectCallMismatch,
+    /// The call stack was exhausted.
+    StackExhaustion,
+    /// A host function or embedder API reported an error.
+    Host,
+}
+
+impl TrapReason {
+    /// Every reason, in a stable order.
+    pub const ALL: [TrapReason; 10] = [
+        TrapReason::Unreachable,
+        TrapReason::OutOfBoundsMemory,
+        TrapReason::DivisionByZero,
+        TrapReason::IntegerOverflow,
+        TrapReason::InvalidConversion,
+        TrapReason::OutOfBoundsTable,
+        TrapReason::UninitializedElement,
+        TrapReason::IndirectCallMismatch,
+        TrapReason::StackExhaustion,
+        TrapReason::Host,
+    ];
+
+    /// The canonical message the spec test suite's `assert_trap` uses for
+    /// this reason.
+    pub fn wast_message(self) -> &'static str {
+        match self {
+            TrapReason::Unreachable => "unreachable",
+            TrapReason::OutOfBoundsMemory => "out of bounds memory access",
+            TrapReason::DivisionByZero => "integer divide by zero",
+            TrapReason::IntegerOverflow => "integer overflow",
+            TrapReason::InvalidConversion => "invalid conversion to integer",
+            TrapReason::OutOfBoundsTable => "undefined element",
+            TrapReason::UninitializedElement => "uninitialized element",
+            TrapReason::IndirectCallMismatch => "indirect call type mismatch",
+            TrapReason::StackExhaustion => "call stack exhausted",
+            TrapReason::Host => "host error",
+        }
+    }
+
+    /// True if `expected` (an `assert_trap` message) names this reason.
+    ///
+    /// Spec scripts sometimes abbreviate or extend the canonical message
+    /// ("integer divide by zero" vs "divide by zero"), so matching accepts
+    /// either string being a prefix of the other.
+    pub fn matches_wast(self, expected: &str) -> bool {
+        let canonical = self.wast_message();
+        canonical.starts_with(expected) || expected.starts_with(canonical)
+    }
+}
+
+impl From<TrapCode> for TrapReason {
+    fn from(code: TrapCode) -> TrapReason {
+        match code {
+            TrapCode::Unreachable => TrapReason::Unreachable,
+            TrapCode::MemoryOutOfBounds => TrapReason::OutOfBoundsMemory,
+            TrapCode::DivisionByZero => TrapReason::DivisionByZero,
+            TrapCode::IntegerOverflow => TrapReason::IntegerOverflow,
+            TrapCode::InvalidConversionToInteger => TrapReason::InvalidConversion,
+            TrapCode::TableOutOfBounds => TrapReason::OutOfBoundsTable,
+            TrapCode::NullTableEntry => TrapReason::UninitializedElement,
+            TrapCode::IndirectCallTypeMismatch => TrapReason::IndirectCallMismatch,
+            TrapCode::StackOverflow => TrapReason::StackExhaustion,
+            TrapCode::HostError => TrapReason::Host,
+        }
+    }
+}
+
+impl fmt::Display for TrapReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.wast_message())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_trap_code_maps_to_a_reason() {
+        let codes = [
+            TrapCode::Unreachable,
+            TrapCode::MemoryOutOfBounds,
+            TrapCode::DivisionByZero,
+            TrapCode::IntegerOverflow,
+            TrapCode::InvalidConversionToInteger,
+            TrapCode::TableOutOfBounds,
+            TrapCode::NullTableEntry,
+            TrapCode::IndirectCallTypeMismatch,
+            TrapCode::StackOverflow,
+            TrapCode::HostError,
+        ];
+        let mut seen = std::collections::HashSet::new();
+        for code in codes {
+            seen.insert(TrapReason::from(code));
+        }
+        assert_eq!(seen.len(), TrapReason::ALL.len(), "the mapping is a bijection");
+    }
+
+    #[test]
+    fn wast_messages_are_unique_and_match() {
+        let mut seen = std::collections::HashSet::new();
+        for reason in TrapReason::ALL {
+            assert!(seen.insert(reason.wast_message()));
+            assert!(reason.matches_wast(reason.wast_message()));
+        }
+        assert!(TrapReason::DivisionByZero.matches_wast("integer divide by zero"));
+        assert!(TrapReason::DivisionByZero.matches_wast("integer divide"));
+        assert!(!TrapReason::DivisionByZero.matches_wast("integer overflow"));
+        assert!(!TrapReason::Unreachable.matches_wast("out of bounds memory access"));
+    }
+}

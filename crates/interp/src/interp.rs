@@ -2,7 +2,7 @@
 //!
 //! The interpreter executes the original bytecode directly — no rewriting —
 //! using the explicit tagged value stack for locals and operands and the
-//! per-function [`Sidetable`](crate::sidetable::Sidetable) for control
+//! per-function [`crate::sidetable::Sidetable`] for control
 //! transfers. Every push writes both the value and its tag, every operand is
 //! read from memory, and every instruction pays a dispatch cost: exactly the
 //! per-instruction work the paper's baseline compilers eliminate, charged

@@ -13,10 +13,10 @@
 //! the operations the single-pass compiler in `crates/core` needs, and no
 //! more. Two backends implement it:
 //!
-//! * the virtual-ISA [`Assembler`](crate::asm::Assembler), which produces a
-//!   [`CodeBuffer`](crate::asm::CodeBuffer) of [`MachInst`]s executed by the
+//! * the virtual-ISA [`crate::asm::Assembler`], which produces a
+//!   [`crate::asm::CodeBuffer`] of [`MachInst`]s executed by the
 //!   CPU simulator — the measurement path; and
-//! * [`X64Masm`](crate::x64_masm::X64Masm), which expands the same
+//! * [`crate::x64_masm::X64Masm`], which expands the same
 //!   operations into real x86-64 machine bytes with its own label patching,
 //!   source map, and runtime relocations — the demonstration that the
 //!   emission side of the design is conventional.
@@ -47,7 +47,7 @@ pub enum CodeBackend {
     #[default]
     VirtualIsa,
     /// Emit real x86-64 machine bytes through
-    /// [`X64Masm`](crate::x64_masm::X64Masm).
+    /// [`crate::x64_masm::X64Masm`].
     X64,
 }
 

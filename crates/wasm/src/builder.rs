@@ -208,6 +208,16 @@ impl CodeBuilder {
         self
     }
 
+    /// Appends a typed `select` with explicit result types.
+    pub fn select_t(&mut self, types: &[ValueType]) -> &mut Self {
+        self.w.write_u8(Opcode::SelectT.to_byte());
+        self.w.write_u32_leb(types.len() as u32);
+        for &t in types {
+            self.w.write_u8(t.to_byte());
+        }
+        self
+    }
+
     /// Appends `unreachable`.
     pub fn unreachable(&mut self) -> &mut Self {
         self.w.write_u8(Opcode::Unreachable.to_byte());

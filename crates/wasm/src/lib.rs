@@ -13,7 +13,9 @@
 //! * [`hash`] — stable FNV-1a content hashing behind
 //!   [`module::Module::content_hash`], the engine's code-cache key primitive;
 //! * [`validate`] — the forward abstract-interpretation validator whose
-//!   algorithm the single-pass compiler reuses.
+//!   algorithm the single-pass compiler reuses;
+//! * [`wat`] — the text-format frontend (`.wat` → [`module::Module`]) and the
+//!   canonical printer whose output round-trips byte-identically.
 //!
 //! # Examples
 //!
@@ -56,6 +58,7 @@ pub mod opcode;
 pub mod reader;
 pub mod types;
 pub mod validate;
+pub mod wat;
 pub mod writer;
 
 pub use module::Module;

@@ -1,0 +1,272 @@
+//! Tokenizer for the WebAssembly text format.
+//!
+//! Produces parentheses, atoms (keywords, numbers, `$identifiers`), and
+//! string literals (as raw bytes, since data segments may contain arbitrary
+//! byte escapes). Line comments (`;; …`) and nestable block comments
+//! (`(; … ;)`) are skipped.
+
+use super::WatError;
+
+/// One lexical token, tagged with its byte offset in the source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// A keyword, number, or `$identifier`.
+    Atom(String),
+    /// A string literal, unescaped to raw bytes.
+    Str(Vec<u8>),
+}
+
+/// Tokenizes WAT source into `(token, byte_offset)` pairs.
+///
+/// # Errors
+///
+/// Returns a [`WatError`] for unterminated strings or comments and malformed
+/// escapes.
+pub fn tokenize(src: &str) -> Result<Vec<(Token, usize)>, WatError> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+            b';' => {
+                if bytes.get(i + 1) == Some(&b';') {
+                    while i < bytes.len() && bytes[i] != b'\n' {
+                        i += 1;
+                    }
+                } else {
+                    return Err(WatError::new("stray `;` (use `;;` for comments)", i));
+                }
+            }
+            b'(' => {
+                if bytes.get(i + 1) == Some(&b';') {
+                    i = skip_block_comment(bytes, i)?;
+                } else {
+                    out.push((Token::LParen, i));
+                    i += 1;
+                }
+            }
+            b')' => {
+                out.push((Token::RParen, i));
+                i += 1;
+            }
+            b'"' => {
+                let (s, next) = lex_string(bytes, i)?;
+                out.push((Token::Str(s), i));
+                i = next;
+            }
+            _ => {
+                let start = i;
+                while i < bytes.len() && !is_atom_end(bytes[i]) {
+                    i += 1;
+                }
+                if i == start {
+                    return Err(WatError::new(
+                        format!("unexpected byte {:#04x}", bytes[i]),
+                        i,
+                    ));
+                }
+                let text = std::str::from_utf8(&bytes[start..i])
+                    .map_err(|_| WatError::new("atom is not valid UTF-8", start))?;
+                out.push((Token::Atom(text.to_string()), start));
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn is_atom_end(b: u8) -> bool {
+    matches!(b, b' ' | b'\t' | b'\r' | b'\n' | b'(' | b')' | b'"' | b';')
+}
+
+fn skip_block_comment(bytes: &[u8], start: usize) -> Result<usize, WatError> {
+    // `bytes[start..start+2]` is `(;`. Block comments nest.
+    let mut depth = 1;
+    let mut i = start + 2;
+    while i < bytes.len() {
+        if bytes[i] == b'(' && bytes.get(i + 1) == Some(&b';') {
+            depth += 1;
+            i += 2;
+        } else if bytes[i] == b';' && bytes.get(i + 1) == Some(&b')') {
+            depth -= 1;
+            i += 2;
+            if depth == 0 {
+                return Ok(i);
+            }
+        } else {
+            i += 1;
+        }
+    }
+    Err(WatError::new("unterminated block comment", start))
+}
+
+fn lex_string(bytes: &[u8], start: usize) -> Result<(Vec<u8>, usize), WatError> {
+    let mut out = Vec::new();
+    let mut i = start + 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'"' => return Ok((out, i + 1)),
+            b'\\' => {
+                let esc = *bytes
+                    .get(i + 1)
+                    .ok_or_else(|| WatError::new("unterminated escape", i))?;
+                match esc {
+                    b'n' => {
+                        out.push(b'\n');
+                        i += 2;
+                    }
+                    b't' => {
+                        out.push(b'\t');
+                        i += 2;
+                    }
+                    b'r' => {
+                        out.push(b'\r');
+                        i += 2;
+                    }
+                    b'"' | b'\'' | b'\\' => {
+                        out.push(esc);
+                        i += 2;
+                    }
+                    b'u' => {
+                        // \u{hex} — a Unicode scalar, emitted as UTF-8.
+                        if bytes.get(i + 2) != Some(&b'{') {
+                            return Err(WatError::new("expected `{` after \\u", i));
+                        }
+                        let close = bytes[i + 3..]
+                            .iter()
+                            .position(|&b| b == b'}')
+                            .ok_or_else(|| WatError::new("unterminated \\u{...}", i))?;
+                        let digits = std::str::from_utf8(&bytes[i + 3..i + 3 + close])
+                            .map_err(|_| WatError::new("bad \\u{...} digits", i))?
+                            .replace('_', "");
+                        let v = u32::from_str_radix(&digits, 16)
+                            .map_err(|_| WatError::new("bad \\u{...} digits", i))?;
+                        let c = char::from_u32(v)
+                            .ok_or_else(|| WatError::new("\\u{...} is not a scalar value", i))?;
+                        let mut buf = [0u8; 4];
+                        out.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
+                        i += 3 + close + 1;
+                    }
+                    _ => {
+                        // Two hex digits.
+                        let hi = hex_digit(esc)
+                            .ok_or_else(|| WatError::new("invalid string escape", i))?;
+                        let lo = bytes
+                            .get(i + 2)
+                            .copied()
+                            .and_then(hex_digit)
+                            .ok_or_else(|| WatError::new("invalid hex escape", i))?;
+                        out.push(hi * 16 + lo);
+                        i += 3;
+                    }
+                }
+            }
+            other => {
+                out.push(other);
+                i += 1;
+            }
+        }
+    }
+    Err(WatError::new("unterminated string literal", start))
+}
+
+fn hex_digit(b: u8) -> Option<u8> {
+    match b {
+        b'0'..=b'9' => Some(b - b'0'),
+        b'a'..=b'f' => Some(b - b'a' + 10),
+        b'A'..=b'F' => Some(b - b'A' + 10),
+        _ => None,
+    }
+}
+
+/// Escapes raw bytes into a WAT string literal body (without the quotes).
+///
+/// Printable ASCII passes through; quotes, backslashes, and everything else
+/// become `\hh` (or the named escapes), so the printer's output re-lexes to
+/// exactly the same bytes.
+pub fn escape_string(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len());
+    for &b in bytes {
+        match b {
+            b'"' => out.push_str("\\\""),
+            b'\\' => out.push_str("\\\\"),
+            b'\n' => out.push_str("\\n"),
+            b'\t' => out.push_str("\\t"),
+            b'\r' => out.push_str("\\r"),
+            0x20..=0x7E => out.push(b as char),
+            _ => out.push_str(&format!("\\{b:02x}")),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn atoms(src: &str) -> Vec<Token> {
+        tokenize(src).unwrap().into_iter().map(|(t, _)| t).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            atoms("(module $m)"),
+            vec![
+                Token::LParen,
+                Token::Atom("module".into()),
+                Token::Atom("$m".into()),
+                Token::RParen,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            atoms(";; line\n(a (; nested (; inner ;) ;) b)"),
+            vec![
+                Token::LParen,
+                Token::Atom("a".into()),
+                Token::Atom("b".into()),
+                Token::RParen,
+            ]
+        );
+        assert!(tokenize("(; unterminated").is_err());
+    }
+
+    #[test]
+    fn strings_unescape_to_bytes() {
+        assert_eq!(
+            atoms(r#""a\n\t\"\\\00\ff""#),
+            vec![Token::Str(vec![b'a', b'\n', b'\t', b'"', b'\\', 0x00, 0xFF])]
+        );
+        assert_eq!(atoms(r#""\u{1F600}""#), vec![Token::Str("😀".as_bytes().to_vec())]);
+        assert!(tokenize("\"open").is_err());
+        assert!(tokenize(r#""\zz""#).is_err());
+    }
+
+    #[test]
+    fn escape_string_roundtrip() {
+        let cases: &[&[u8]] = &[b"hello", b"a\"b\\c", &[0, 1, 0xFF, b'\n'], b""];
+        for &case in cases {
+            let escaped = escape_string(case);
+            let src = format!("\"{escaped}\"");
+            assert_eq!(atoms(&src), vec![Token::Str(case.to_vec())], "{escaped}");
+        }
+    }
+
+    #[test]
+    fn numbers_and_offsets() {
+        let toks = tokenize("i32.const -0x1_0 offset=4").unwrap();
+        assert_eq!(toks[0].0, Token::Atom("i32.const".into()));
+        assert_eq!(toks[1].0, Token::Atom("-0x1_0".into()));
+        assert_eq!(toks[2].0, Token::Atom("offset=4".into()));
+        assert_eq!(toks[2].1, 17);
+    }
+}

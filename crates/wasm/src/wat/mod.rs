@@ -1,0 +1,115 @@
+//! The WebAssembly text format (WAT) frontend and printer.
+//!
+//! This module gives the engine a second, human-writable frontend next to the
+//! binary decoder: `.wat` source is lexed ([`lexer`]), parsed into
+//! s-expressions ([`sexpr`]), and lowered ([`lower`]) into exactly the same
+//! in-memory [`Module`] the binary decoder produces, so everything downstream
+//! (validator, interpreter, compilers, encoder) is exercised identically from
+//! either format. The inverse direction — [`print::print_module`] — emits
+//! canonical flat WAT whose re-parse re-encodes byte-identically, which is the
+//! round-trip property the conformance fuzzer checks for every generated
+//! module.
+//!
+//! Supported surface: the full opcode/type set the validator accepts
+//! (including `br_table`, `call_indirect`, typed `select`, reference
+//! instructions, and multi-value signatures), symbolic `$names` for every
+//! index space (types, functions, tables, memories, globals, locals, labels),
+//! folded instruction expressions, inline imports/exports, and the standard
+//! literal forms for integers (decimal/hex, underscores) and floats (decimal,
+//! hex-float, `inf`, `nan`, `nan:0x…`) with exact, bit-preserving semantics
+//! ([`num`]).
+//!
+//! # Examples
+//!
+//! Parse a module, validate it, and round-trip it through the printer:
+//!
+//! ```
+//! let module = wasm::wat::parse_module(
+//!     r#"(module
+//!          (func (export "add") (param i32 i32) (result i32)
+//!            local.get 0
+//!            local.get 1
+//!            i32.add))"#,
+//! ).unwrap();
+//! wasm::validate::validate(&module).unwrap();
+//! assert_eq!(module.exported_func("add"), Some(0));
+//!
+//! // Round trip: print and re-parse, encodings are byte-identical.
+//! let text = wasm::wat::print::print_module(&module);
+//! let reparsed = wasm::wat::parse_module(&text).unwrap();
+//! assert_eq!(wasm::encode::encode(&module), wasm::encode::encode(&reparsed));
+//! ```
+
+pub mod lexer;
+pub mod lower;
+pub mod num;
+pub mod print;
+pub mod sexpr;
+
+use crate::module::Module;
+use std::fmt;
+
+/// An error produced while lexing, parsing, or lowering WAT text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WatError {
+    /// Human-readable description of what went wrong.
+    pub message: String,
+    /// Byte offset into the source text where the error was detected.
+    pub offset: usize,
+}
+
+impl WatError {
+    /// Creates an error at `offset`.
+    pub fn new(message: impl Into<String>, offset: usize) -> WatError {
+        WatError {
+            message: message.into(),
+            offset,
+        }
+    }
+
+    /// Renders the error with a `line:column` location computed from `src`.
+    pub fn describe(&self, src: &str) -> String {
+        let upto = &src[..self.offset.min(src.len())];
+        let line = upto.bytes().filter(|&b| b == b'\n').count() + 1;
+        let col = upto.len() - upto.rfind('\n').map(|i| i + 1).unwrap_or(0) + 1;
+        format!("{}:{}: {}", line, col, self.message)
+    }
+}
+
+impl fmt::Display for WatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "wat error at offset {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for WatError {}
+
+/// Parses WAT source containing a single `(module ...)` into a [`Module`].
+///
+/// A bare sequence of module fields (without the `(module)` wrapper) is also
+/// accepted, matching the text-format abbreviation.
+///
+/// # Errors
+///
+/// Returns a [`WatError`] if the text fails to lex, parse, or lower.
+pub fn parse_module(src: &str) -> Result<Module, WatError> {
+    let exprs = sexpr::parse_all(src)?;
+    match exprs.as_slice() {
+        [e] if e.keyword() == Some("module") => lower::module_from_sexpr(e),
+        [] => Err(WatError::new("empty input", 0)),
+        _ => {
+            // Bare field sequence: wrap in an implicit module.
+            let offset = exprs[0].offset();
+            let wrapped = sexpr::Sexpr::List {
+                items: std::iter::once(sexpr::Sexpr::Atom {
+                    text: "module".to_string(),
+                    offset,
+                })
+                .chain(exprs)
+                .collect(),
+                offset,
+            };
+            lower::module_from_sexpr(&wrapped)
+        }
+    }
+}

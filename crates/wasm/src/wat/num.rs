@@ -1,0 +1,439 @@
+//! Exact parsing and printing of WAT numeric literals.
+//!
+//! Integers accept sign, decimal or `0x` hex, and `_` separators, with the
+//! spec's "signed or unsigned interpretation" range rule. Floats accept
+//! decimal (delegated to Rust's correctly-rounded parser), hex-float
+//! (`0x1.8p+1`, parsed exactly with round-to-nearest-even), `inf`, `nan`, and
+//! `nan:0xPAYLOAD`. The printers emit hex-float / `nan:0x…` forms whose
+//! re-parse reproduces the original bit pattern exactly — the property the
+//! WAT round-trip tests rely on.
+
+/// Parses an integer literal into its 64-bit two's-complement bit pattern,
+/// checking the range for `bits`-wide (32 or 64) values: the value must fit
+/// either the signed or the unsigned interpretation.
+pub fn parse_int(text: &str, bits: u32) -> Result<u64, String> {
+    let (negative, rest) = match text.as_bytes().first() {
+        Some(b'-') => (true, &text[1..]),
+        Some(b'+') => (false, &text[1..]),
+        _ => (false, text),
+    };
+    let cleaned = rest.replace('_', "");
+    let (digits, radix) = match cleaned.strip_prefix("0x").or_else(|| cleaned.strip_prefix("0X")) {
+        Some(hex) => (hex, 16),
+        None => (cleaned.as_str(), 10),
+    };
+    if digits.is_empty() {
+        return Err(format!("empty integer literal `{text}`"));
+    }
+    let magnitude = u128::from_str_radix(digits, radix)
+        .map_err(|_| format!("invalid integer literal `{text}`"))?;
+    let (smin, umax): (u128, u128) = match bits {
+        32 => (1 << 31, u32::MAX as u128),
+        64 => (1 << 63, u64::MAX as u128),
+        _ => unreachable!("only 32- and 64-bit integers exist"),
+    };
+    if negative {
+        if magnitude > smin {
+            return Err(format!("integer literal `{text}` out of range"));
+        }
+        Ok((magnitude as u64).wrapping_neg() & mask(bits))
+    } else {
+        if magnitude > umax {
+            return Err(format!("integer literal `{text}` out of range"));
+        }
+        Ok(magnitude as u64)
+    }
+}
+
+fn mask(bits: u32) -> u64 {
+    if bits == 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    }
+}
+
+/// Parses an `f32` literal into its bit pattern.
+pub fn parse_f32(text: &str) -> Result<u32, String> {
+    parse_float(text, 24, 127).map(|bits| bits as u32)
+}
+
+/// Parses an `f64` literal into its bit pattern.
+pub fn parse_f64(text: &str) -> Result<u64, String> {
+    parse_float(text, 53, 1023)
+}
+
+/// Parses a float literal into a `sig_bits`-significand IEEE bit pattern
+/// (24/127 for f32, 53/1023 for f64), returned right-aligned in a u64.
+fn parse_float(text: &str, sig_bits: u32, bias: i32) -> Result<u64, String> {
+    let total_bits = if sig_bits == 24 { 32 } else { 64 };
+    let sign_bit = 1u64 << (total_bits - 1);
+    let frac_bits = sig_bits - 1;
+    let exp_all_ones = ((1u64 << (total_bits - sig_bits)) - 1) << frac_bits;
+
+    let (negative, rest) = match text.as_bytes().first() {
+        Some(b'-') => (true, &text[1..]),
+        Some(b'+') => (false, &text[1..]),
+        _ => (false, text),
+    };
+    let sign = if negative { sign_bit } else { 0 };
+    let cleaned = rest.replace('_', "");
+
+    if cleaned == "inf" {
+        return Ok(sign | exp_all_ones);
+    }
+    if cleaned == "nan" {
+        // Canonical NaN: quiet bit set, rest of the payload zero.
+        return Ok(sign | exp_all_ones | (1u64 << (frac_bits - 1)));
+    }
+    if let Some(payload) = cleaned.strip_prefix("nan:0x").or_else(|| cleaned.strip_prefix("nan:0X"))
+    {
+        let p = u64::from_str_radix(payload, 16)
+            .map_err(|_| format!("invalid nan payload `{text}`"))?;
+        if p == 0 || p >> frac_bits != 0 {
+            return Err(format!("nan payload `{text}` out of range"));
+        }
+        return Ok(sign | exp_all_ones | p);
+    }
+    if let Some(hex) = cleaned.strip_prefix("0x").or_else(|| cleaned.strip_prefix("0X")) {
+        return parse_hex_float(hex, sig_bits, bias, total_bits).map(|m| sign | m);
+    }
+
+    // Decimal: Rust's parser is correctly rounded. Normalize `1.` / `.5`
+    // endings it rejects.
+    let mut dec = cleaned.clone();
+    if dec.ends_with('.') {
+        dec.push('0');
+    }
+    if dec.starts_with('.') {
+        dec.insert(0, '0');
+    }
+    let dec = dec.replace(".e", ".0e").replace(".E", ".0E");
+    if sig_bits == 24 {
+        let v: f32 = dec
+            .parse()
+            .map_err(|_| format!("invalid float literal `{text}`"))?;
+        if v.is_nan() || (v.is_infinite() && !cleaned.contains("inf")) {
+            return Err(format!("float literal `{text}` out of range"));
+        }
+        Ok(sign | v.abs().to_bits() as u64)
+    } else {
+        let v: f64 = dec
+            .parse()
+            .map_err(|_| format!("invalid float literal `{text}`"))?;
+        if v.is_nan() || (v.is_infinite() && !cleaned.contains("inf")) {
+            return Err(format!("float literal `{text}` out of range"));
+        }
+        Ok(sign | v.abs().to_bits())
+    }
+}
+
+/// Exact hex-float parsing: `hex` is the part after `0x`, in the form
+/// `H*.H* [pP][+-]D+`. Rounds to nearest, ties to even.
+fn parse_hex_float(hex: &str, sig_bits: u32, bias: i32, total_bits: u32) -> Result<u64, String> {
+    let frac_bits = sig_bits - 1;
+    let exp_all_ones = ((1u64 << (total_bits - sig_bits)) - 1) << frac_bits;
+
+    // Split the binary exponent suffix.
+    let (mantissa_part, exp_part) = match hex.find(['p', 'P']) {
+        Some(i) => (&hex[..i], Some(&hex[i + 1..])),
+        None => (hex, None),
+    };
+    let p: i64 = match exp_part {
+        Some(e) => e
+            .parse()
+            .map_err(|_| format!("invalid hex-float exponent `{hex}`"))?,
+        None => 0,
+    };
+    let (int_part, frac_part) = match mantissa_part.find('.') {
+        Some(i) => (&mantissa_part[..i], &mantissa_part[i + 1..]),
+        None => (mantissa_part, ""),
+    };
+    if int_part.is_empty() && frac_part.is_empty() {
+        return Err(format!("hex float `{hex}` has no digits"));
+    }
+
+    // Accumulate the significand into a u128, tracking a binary exponent for
+    // digits that no longer fit and a sticky bit for truncated precision.
+    let mut m: u128 = 0;
+    let mut e2: i64 = p;
+    let mut sticky = false;
+    for &(digits, fractional) in &[(int_part, false), (frac_part, true)] {
+        for ch in digits.chars() {
+            let d = ch
+                .to_digit(16)
+                .ok_or_else(|| format!("invalid hex digit `{ch}`"))? as u128;
+            if m >> 120 == 0 {
+                m = m * 16 + d;
+                if fractional {
+                    e2 -= 4;
+                }
+            } else {
+                // Digit does not fit: integer digits scale the exponent,
+                // fractional digits only affect the sticky bit.
+                if !fractional {
+                    e2 += 4;
+                }
+                sticky |= d != 0;
+            }
+        }
+    }
+    if m == 0 {
+        return Ok(0);
+    }
+
+    // Position of the most significant bit and the value's unbiased exponent.
+    let bl = 128 - m.leading_zeros() as i64;
+    let exp = bl - 1 + e2;
+    if exp > bias as i64 {
+        return Err("hex float overflows to infinity".to_string());
+    }
+
+    // Number of significand bits representable at this magnitude (subnormals
+    // lose precision below the minimum exponent).
+    let width = if exp >= 1 - bias as i64 {
+        sig_bits as i64
+    } else {
+        sig_bits as i64 - ((1 - bias as i64) - exp)
+    };
+    if width <= 0 {
+        // Smaller than half the minimum subnormal rounds to zero; exactly
+        // half with anything extra rounds up to the minimum subnormal.
+        let rounds_up = width == 0 && (m != 1 << (bl - 1) || sticky);
+        return Ok(if rounds_up { 1 } else { 0 });
+    }
+
+    let drop = bl - width;
+    let mut kept = if drop > 0 {
+        let kept = (m >> drop) as u64;
+        let round_bit = (m >> (drop - 1)) & 1 == 1;
+        let lower_sticky = sticky || (m & ((1u128 << (drop - 1)) - 1)) != 0;
+        let round_up = round_bit && (lower_sticky || kept & 1 == 1);
+        kept + round_up as u64
+    } else {
+        (m as u64) << (-drop)
+    };
+    let _ = exp_all_ones;
+
+    if exp < 1 - bias as i64 {
+        // Subnormal domain: the bits field is the significand itself. A
+        // rounding carry out of the top (`kept == 1 << width`) lands exactly
+        // on the next representable value — including the minimum normal
+        // when `width == frac_bits` — by IEEE bit-pattern continuity.
+        debug_assert!(kept >> sig_bits == 0);
+        return Ok(kept);
+    }
+
+    // Normal domain: `width == sig_bits`, renormalize a rounding carry.
+    let mut exp = exp;
+    if kept >> sig_bits != 0 {
+        kept >>= 1;
+        exp += 1;
+        if exp > bias as i64 {
+            return Err("hex float overflows to infinity".to_string());
+        }
+    }
+    debug_assert!(kept >> frac_bits == 1);
+    let biased = (exp + bias as i64) as u64;
+    Ok((biased << frac_bits) | (kept & ((1u64 << frac_bits) - 1)))
+}
+
+/// Prints an `f32` bit pattern as a literal that parses back bit-exactly.
+pub fn print_f32(bits: u32) -> String {
+    print_float(bits as u64, 24, 127, 32)
+}
+
+/// Prints an `f64` bit pattern as a literal that parses back bit-exactly.
+pub fn print_f64(bits: u64) -> String {
+    print_float(bits, 53, 1023, 64)
+}
+
+fn print_float(bits: u64, sig_bits: u32, bias: i32, total_bits: u32) -> String {
+    let frac_bits = sig_bits - 1;
+    let sign = if bits >> (total_bits - 1) & 1 == 1 { "-" } else { "" };
+    let exp_field = (bits >> frac_bits) & ((1u64 << (total_bits - sig_bits)) - 1);
+    let frac = bits & ((1u64 << frac_bits) - 1);
+    let exp_max = (1u64 << (total_bits - sig_bits)) - 1;
+
+    if exp_field == exp_max {
+        if frac == 0 {
+            return format!("{sign}inf");
+        }
+        if frac == 1 << (frac_bits - 1) {
+            return format!("{sign}nan");
+        }
+        return format!("{sign}nan:0x{frac:x}");
+    }
+    if exp_field == 0 && frac == 0 {
+        return format!("{sign}0x0p+0");
+    }
+
+    // Hex digits of the fraction: pad the fraction to a whole number of
+    // nibbles (f64: 52 bits = 13 digits; f32: 23 bits -> shift to 24 = 6).
+    let nibbles = frac_bits.div_ceil(4);
+    let shifted = frac << (nibbles * 4 - frac_bits);
+    let mut digits = format!("{shifted:0width$x}", width = nibbles as usize);
+    while digits.ends_with('0') {
+        digits.pop();
+    }
+
+    let (lead, exp) = if exp_field == 0 {
+        ("0", 1 - bias) // subnormal: 0.fraction × 2^(1−bias)
+    } else {
+        ("1", exp_field as i32 - bias)
+    };
+    let frac_str = if digits.is_empty() {
+        String::new()
+    } else {
+        format!(".{digits}")
+    };
+    format!("{sign}0x{lead}{frac_str}p{exp:+}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integers_parse_with_sign_and_radix() {
+        assert_eq!(parse_int("42", 32).unwrap(), 42);
+        assert_eq!(parse_int("-1", 32).unwrap(), 0xFFFF_FFFF);
+        assert_eq!(parse_int("0xff", 32).unwrap(), 255);
+        assert_eq!(parse_int("-0x80000000", 32).unwrap(), 0x8000_0000);
+        assert_eq!(parse_int("4294967295", 32).unwrap(), u32::MAX as u64);
+        assert_eq!(parse_int("1_000", 32).unwrap(), 1000);
+        assert_eq!(parse_int("-9223372036854775808", 64).unwrap(), 1 << 63);
+        assert_eq!(parse_int("18446744073709551615", 64).unwrap(), u64::MAX);
+        assert!(parse_int("4294967296", 32).is_err());
+        assert!(parse_int("-2147483649", 32).is_err());
+        assert!(parse_int("xyz", 32).is_err());
+        assert!(parse_int("", 32).is_err());
+    }
+
+    #[test]
+    fn float_special_values() {
+        assert_eq!(parse_f32("inf").unwrap(), f32::INFINITY.to_bits());
+        assert_eq!(parse_f32("-inf").unwrap(), f32::NEG_INFINITY.to_bits());
+        assert_eq!(parse_f32("nan").unwrap(), 0x7FC0_0000);
+        assert_eq!(parse_f32("-nan").unwrap(), 0xFFC0_0000);
+        assert_eq!(parse_f32("nan:0x200000").unwrap(), 0x7FA0_0000);
+        assert_eq!(parse_f64("nan").unwrap(), 0x7FF8_0000_0000_0000);
+        assert!(parse_f32("nan:0x0").is_err());
+        assert!(parse_f32("nan:0x800000").is_err());
+    }
+
+    #[test]
+    fn decimal_floats_match_rust_parsing() {
+        assert_eq!(parse_f64("1.5").unwrap(), 1.5f64.to_bits());
+        assert_eq!(parse_f64("-0.1").unwrap(), (-0.1f64).to_bits());
+        assert_eq!(parse_f64("1e10").unwrap(), 1e10f64.to_bits());
+        assert_eq!(parse_f64("-0").unwrap(), (-0.0f64).to_bits());
+        assert_eq!(parse_f32("3.25").unwrap(), 3.25f32.to_bits());
+        assert_eq!(parse_f64("2.").unwrap(), 2.0f64.to_bits());
+    }
+
+    #[test]
+    fn hex_floats_parse_exactly() {
+        assert_eq!(parse_f64("0x1p+0").unwrap(), 1.0f64.to_bits());
+        assert_eq!(parse_f64("0x1.8p+1").unwrap(), 3.0f64.to_bits());
+        assert_eq!(parse_f64("0x1.fp3").unwrap(), 15.5f64.to_bits());
+        assert_eq!(parse_f64("-0x1p-1").unwrap(), (-0.5f64).to_bits());
+        assert_eq!(parse_f64("0x0p+0").unwrap(), 0);
+        assert_eq!(parse_f64("0x.8p1").unwrap(), 1.0f64.to_bits());
+        // Max finite and min subnormal.
+        assert_eq!(
+            parse_f64("0x1.fffffffffffffp+1023").unwrap(),
+            f64::MAX.to_bits()
+        );
+        assert_eq!(parse_f64("0x1p-1074").unwrap(), 1);
+        assert_eq!(parse_f32("0x1p-149").unwrap(), 1);
+        // Overflow and rounding.
+        assert!(parse_f64("0x1p+1024").is_err());
+        assert_eq!(parse_f64("0x1p-1076").unwrap(), 0, "underflow to zero");
+        assert_eq!(
+            parse_f64("0x1.00000000000008p+0").unwrap(),
+            1.0f64.to_bits(),
+            "round to even"
+        );
+        assert_eq!(
+            parse_f64("0x1.000000000000081p+0").unwrap(),
+            1.0f64.to_bits() + 1,
+            "sticky bit rounds up"
+        );
+        assert_eq!(
+            parse_f64("0x1.00000000000018p+0").unwrap(),
+            1.0f64.to_bits() + 2,
+            "ties to even rounds odd up"
+        );
+        // Subnormal boundary: the max subnormal is exact, and rounding up
+        // from just below the min normal carries into the min normal.
+        assert_eq!(
+            parse_f64("0x1.ffffffffffffep-1023").unwrap(),
+            0xF_FFFF_FFFF_FFFF,
+            "max subnormal"
+        );
+        assert_eq!(
+            parse_f64("0x1.fffffffffffffp-1023").unwrap(),
+            0x0010_0000_0000_0000,
+            "carry promotes to the min normal"
+        );
+    }
+
+    #[test]
+    fn print_parse_roundtrip_f64() {
+        let cases = [
+            0u64,
+            (-0.0f64).to_bits(),
+            1.0f64.to_bits(),
+            (-1.5f64).to_bits(),
+            f64::MAX.to_bits(),
+            f64::MIN_POSITIVE.to_bits(),
+            1,               // min subnormal
+            0xF_FFFF_FFFF_FFFF, // max subnormal
+            f64::INFINITY.to_bits(),
+            f64::NEG_INFINITY.to_bits(),
+            0x7FF8_0000_0000_0000, // canonical nan
+            0x7FF8_0000_0000_0001, // nan with payload
+            0xFFF0_0000_0000_0001, // -nan with small payload
+            std::f64::consts::PI.to_bits(),
+            0x0010_0000_0000_0001,
+        ];
+        for bits in cases {
+            let text = print_f64(bits);
+            assert_eq!(parse_f64(&text).unwrap(), bits, "{text}");
+        }
+    }
+
+    #[test]
+    fn print_parse_roundtrip_f32() {
+        let cases = [
+            0u32,
+            (-0.0f32).to_bits(),
+            1.0f32.to_bits(),
+            0.1f32.to_bits(),
+            f32::MAX.to_bits(),
+            f32::MIN_POSITIVE.to_bits(),
+            1,
+            0x7F_FFFF,
+            f32::INFINITY.to_bits(),
+            0x7FC0_0000,
+            0x7F80_0001,
+            0xFF80_0001,
+        ];
+        for bits in cases {
+            let text = print_f32(bits);
+            assert_eq!(parse_f32(&text).unwrap(), bits, "{text}");
+        }
+    }
+
+    #[test]
+    fn exhaustive_f32_print_parse_roundtrip_samples() {
+        // A dense deterministic sweep over f32 bit patterns.
+        let mut bits = 0u32;
+        while bits < 0xFF80_0000 {
+            let text = print_f32(bits);
+            assert_eq!(parse_f32(&text).unwrap(), bits, "bits {bits:#x} -> {text}");
+            bits = bits.wrapping_add(0x01F4_3219);
+        }
+    }
+}

@@ -1,0 +1,287 @@
+//! Printing a [`Module`] back to canonical WAT text.
+//!
+//! The printer emits a flat (non-folded) form designed so that re-parsing its
+//! output re-encodes **byte-identically**: every type is printed explicitly
+//! and referenced by index, every local group becomes its own `(local …)`
+//! field, float constants use the exact hex-float / `nan:0x…` literals from
+//! [`super::num`], and memory arguments print their alignment only when it
+//! differs from the natural one (mirroring the parser's defaults). Custom
+//! sections have no text representation and are skipped.
+
+use super::lexer::escape_string;
+use super::num;
+use crate::module::{ConstExpr, Module};
+use crate::opcode::{ImmediateKind, Opcode};
+use crate::reader::BytecodeReader;
+use crate::types::{BlockType, ExternalKind, FuncType, GlobalType, Limits, ValueType};
+use std::fmt::Write as _;
+
+/// Prints a module as WAT text.
+pub fn print_module(m: &Module) -> String {
+    let mut out = String::new();
+    out.push_str("(module\n");
+    for ty in &m.types {
+        let _ = writeln!(out, "  (type (func{}))", signature(ty));
+    }
+    for import in &m.imports {
+        let desc = match &import.kind {
+            crate::module::ImportKind::Func(t) => format!("(func (type {t}))"),
+            crate::module::ImportKind::Table(t) => {
+                format!("(table {} {})", limits(&t.limits), ref_type(t.element))
+            }
+            crate::module::ImportKind::Memory(t) => format!("(memory {})", limits(&t.limits)),
+            crate::module::ImportKind::Global(t) => format!("(global {})", global_type(t)),
+        };
+        let _ = writeln!(
+            out,
+            "  (import \"{}\" \"{}\" {desc})",
+            escape_string(import.module.as_bytes()),
+            escape_string(import.name.as_bytes()),
+        );
+    }
+    for table in &m.tables {
+        let _ = writeln!(out, "  (table {} {})", limits(&table.limits), ref_type(table.element));
+    }
+    for memory in &m.memories {
+        let _ = writeln!(out, "  (memory {})", limits(&memory.limits));
+    }
+    for global in &m.globals {
+        let _ = writeln!(
+            out,
+            "  (global {} {})",
+            global_type(&global.ty),
+            const_expr(&global.init)
+        );
+    }
+    for func in &m.funcs {
+        let _ = writeln!(out, "  (func (type {})", func.type_index);
+        for &(count, ty) in &func.locals {
+            let types = vec![ty.mnemonic(); count as usize].join(" ");
+            let _ = writeln!(out, "    (local {types})");
+        }
+        print_body(&mut out, &func.code);
+        out.push_str("  )\n");
+    }
+    for export in &m.exports {
+        let kind = match export.kind {
+            ExternalKind::Func => "func",
+            ExternalKind::Table => "table",
+            ExternalKind::Memory => "memory",
+            ExternalKind::Global => "global",
+        };
+        let _ = writeln!(
+            out,
+            "  (export \"{}\" ({kind} {}))",
+            escape_string(export.name.as_bytes()),
+            export.index
+        );
+    }
+    if let Some(start) = m.start {
+        let _ = writeln!(out, "  (start {start})");
+    }
+    for elem in &m.elems {
+        let funcs = elem
+            .func_indices
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join(" ");
+        let sep = if funcs.is_empty() { "" } else { " " };
+        let _ = writeln!(
+            out,
+            "  (elem (table {}) (offset {}) func{sep}{funcs})",
+            elem.table_index,
+            const_expr(&elem.offset)
+        );
+    }
+    for data in &m.data {
+        let _ = writeln!(
+            out,
+            "  (data (memory {}) (offset {}) \"{}\")",
+            data.memory_index,
+            const_expr(&data.offset),
+            escape_string(&data.bytes)
+        );
+    }
+    out.push_str(")\n");
+    out
+}
+
+/// Disassembles body bytecode into flat instructions, indenting nested
+/// structured constructs. The terminating `end` of the body is not printed —
+/// the parser re-appends it.
+fn print_body(out: &mut String, code: &[u8]) {
+    let mut r = BytecodeReader::new(code);
+    let mut depth: usize = 0;
+    while !r.is_at_end() {
+        let Ok(op) = r.read_opcode() else {
+            // Unknown byte: not printable as WAT; emit a comment so the
+            // output at least lexes (such bodies only arise from invalid
+            // modules, which the round-trip tests never print).
+            let _ = writeln!(out, "    ;; <unprintable byte>");
+            return;
+        };
+        if op == Opcode::End {
+            if depth == 0 {
+                // The function body's terminating `end`.
+                debug_assert!(r.is_at_end(), "code continues past the body's final end");
+                return;
+            }
+            depth -= 1;
+        }
+        if op == Opcode::Else {
+            let _ = write!(out, "    {}", "  ".repeat(depth.saturating_sub(1)));
+        } else {
+            let _ = write!(out, "    {}", "  ".repeat(depth));
+        }
+        print_instruction(out, op, &mut r);
+        out.push('\n');
+        if op.opens_block() {
+            depth += 1;
+        }
+    }
+}
+
+fn print_instruction(out: &mut String, op: Opcode, r: &mut BytecodeReader<'_>) {
+    if op == Opcode::SelectT {
+        let types = r.read_select_types().unwrap_or_default();
+        let list = types.iter().map(|t| t.mnemonic()).collect::<Vec<_>>().join(" ");
+        let _ = write!(out, "select (result {list})");
+        return;
+    }
+    let _ = write!(out, "{}", op.mnemonic());
+    match op.immediate_kind() {
+        ImmediateKind::None => {}
+        ImmediateKind::BlockType => {
+            if let Ok(bt) = r.read_block_type() {
+                match bt {
+                    BlockType::Empty => {}
+                    BlockType::Value(t) => {
+                        let _ = write!(out, " (result {t})");
+                    }
+                    BlockType::Func(i) => {
+                        let _ = write!(out, " (type {i})");
+                    }
+                }
+            }
+        }
+        ImmediateKind::LabelIndex
+        | ImmediateKind::FuncIndex
+        | ImmediateKind::LocalIndex
+        | ImmediateKind::GlobalIndex => {
+            if let Ok(i) = r.read_index() {
+                let _ = write!(out, " {i}");
+            }
+        }
+        ImmediateKind::BranchTable => {
+            if let Ok((targets, default)) = r.read_branch_table() {
+                for t in targets {
+                    let _ = write!(out, " {t}");
+                }
+                let _ = write!(out, " {default}");
+            }
+        }
+        ImmediateKind::CallIndirect => {
+            if let Ok((type_index, table_index)) = r.read_call_indirect() {
+                if table_index != 0 {
+                    let _ = write!(out, " {table_index}");
+                }
+                let _ = write!(out, " (type {type_index})");
+            }
+        }
+        ImmediateKind::MemArg => {
+            if let Ok(memarg) = r.read_memarg() {
+                if memarg.offset != 0 {
+                    let _ = write!(out, " offset={}", memarg.offset);
+                }
+                let natural = op.access_width().unwrap_or(1).trailing_zeros();
+                if memarg.align != natural {
+                    let _ = write!(out, " align={}", 1u32 << memarg.align.min(31));
+                }
+            }
+        }
+        ImmediateKind::MemoryIndex => {
+            let _ = r.read_memory_index();
+        }
+        ImmediateKind::I32Const => {
+            if let Ok(v) = r.read_i32() {
+                let _ = write!(out, " {v}");
+            }
+        }
+        ImmediateKind::I64Const => {
+            if let Ok(v) = r.read_i64() {
+                let _ = write!(out, " {v}");
+            }
+        }
+        ImmediateKind::F32Const => {
+            if let Ok(v) = r.read_f32() {
+                let _ = write!(out, " {}", num::print_f32(v.to_bits()));
+            }
+        }
+        ImmediateKind::F64Const => {
+            if let Ok(v) = r.read_f64() {
+                let _ = write!(out, " {}", num::print_f64(v.to_bits()));
+            }
+        }
+        ImmediateKind::RefType => {
+            if let Ok(t) = r.read_ref_type() {
+                let _ = write!(out, " {}", ref_heap_type(t));
+            }
+        }
+        ImmediateKind::SelectTyped => unreachable!("handled above"),
+    }
+}
+
+fn signature(ty: &FuncType) -> String {
+    let mut s = String::new();
+    if !ty.params.is_empty() {
+        let params = ty.params.iter().map(|t| t.mnemonic()).collect::<Vec<_>>().join(" ");
+        let _ = write!(s, " (param {params})");
+    }
+    if !ty.results.is_empty() {
+        let results = ty.results.iter().map(|t| t.mnemonic()).collect::<Vec<_>>().join(" ");
+        let _ = write!(s, " (result {results})");
+    }
+    s
+}
+
+fn limits(l: &Limits) -> String {
+    match l.max {
+        Some(max) => format!("{} {max}", l.min),
+        None => format!("{}", l.min),
+    }
+}
+
+fn global_type(g: &GlobalType) -> String {
+    if g.mutable {
+        format!("(mut {})", g.value_type)
+    } else {
+        g.value_type.to_string()
+    }
+}
+
+fn ref_type(t: ValueType) -> &'static str {
+    match t {
+        ValueType::ExternRef => "externref",
+        _ => "funcref",
+    }
+}
+
+fn ref_heap_type(t: ValueType) -> &'static str {
+    match t {
+        ValueType::ExternRef => "extern",
+        _ => "func",
+    }
+}
+
+fn const_expr(e: &ConstExpr) -> String {
+    match *e {
+        ConstExpr::I32(v) => format!("(i32.const {v})"),
+        ConstExpr::I64(v) => format!("(i64.const {v})"),
+        ConstExpr::F32(v) => format!("(f32.const {})", num::print_f32(v.to_bits())),
+        ConstExpr::F64(v) => format!("(f64.const {})", num::print_f64(v.to_bits())),
+        ConstExpr::RefNull(t) => format!("(ref.null {})", ref_heap_type(t)),
+        ConstExpr::RefFunc(f) => format!("(ref.func {f})"),
+        ConstExpr::GlobalGet(g) => format!("(global.get {g})"),
+    }
+}

@@ -1,0 +1,88 @@
+//! Shared helpers for the workspace-level integration tests.
+//!
+//! Before this module existed, the instantiate-and-call pattern and the fib
+//! workload were copy-pasted across `differential.rs`, `lazy_compile.rs`,
+//! `pipeline_cache.rs`, and `tiering_and_gc.rs`, and each file hand-rolled
+//! its own configuration list. The canonical tier×backend matrix lives in
+//! `conform::runner::all_configs` (the conformance corpus runs under exactly
+//! the same configurations); this module re-exports it alongside the shared
+//! run helpers.
+
+// Integration tests compile this module independently, and each uses a
+// different subset of the helpers.
+#![allow(dead_code)]
+
+use engine::{Engine, EngineConfig, Imports, Instrumentation};
+use machine::inst::TrapCode;
+use machine::values::WasmValue;
+use wasm::builder::{CodeBuilder, ModuleBuilder};
+use wasm::opcode::Opcode;
+use wasm::types::{BlockType, FuncType, ValueType};
+use wasm::Module;
+
+/// The canonical tier×backend configuration matrix: interpreter, baseline
+/// eager/lazy on the virtual-ISA and x64 backends, and the tiered engine.
+pub fn all_tier_backend_configs() -> Vec<EngineConfig> {
+    conform::runner::all_configs()
+}
+
+/// Instantiates `module` under `config` (no imports, no instrumentation) and
+/// calls the export `name`.
+///
+/// # Panics
+///
+/// Panics if instantiation fails — tests pass known-good modules.
+pub fn run_export(
+    config: EngineConfig,
+    module: &Module,
+    name: &str,
+    args: &[WasmValue],
+) -> Result<Vec<WasmValue>, TrapCode> {
+    let engine = Engine::new(config);
+    let mut instance = engine
+        .instantiate(module, Imports::new(), Instrumentation::none())
+        .expect("module instantiates");
+    engine.call_export(&mut instance, name, args)
+}
+
+/// Like [`run_export`] but returns only the first result, as most benchmark
+/// entry points produce a single checksum.
+pub fn run_export_checksum(
+    config: EngineConfig,
+    module: &Module,
+    name: &str,
+    args: &[WasmValue],
+) -> Result<WasmValue, TrapCode> {
+    run_export(config, module, name, args).map(|r| r[0])
+}
+
+/// fib(n) with recursive calls — the classic tier-up workload shared by the
+/// tiering, pipeline, and cache tests.
+pub fn fib_module() -> Module {
+    let mut b = ModuleBuilder::new();
+    let mut c = CodeBuilder::new();
+    // if n < 2 return n; else return fib(n-1) + fib(n-2)
+    c.local_get(0)
+        .i32_const(2)
+        .op(Opcode::I32LtS)
+        .if_(BlockType::Empty)
+        .local_get(0)
+        .return_()
+        .end()
+        .local_get(0)
+        .i32_const(1)
+        .op(Opcode::I32Sub)
+        .call(0)
+        .local_get(0)
+        .i32_const(2)
+        .op(Opcode::I32Sub)
+        .call(0)
+        .op(Opcode::I32Add);
+    let f = b.add_func(
+        FuncType::new(vec![ValueType::I32], vec![ValueType::I32]),
+        vec![],
+        c.finish(),
+    );
+    b.export_func("fib", f);
+    b.finish()
+}

@@ -6,23 +6,16 @@
 //! configuration. All of them must produce exactly the same checksum — the
 //! strongest end-to-end statement that the compilers are semantics-preserving.
 
+mod common;
+
 use engine::{Engine, EngineConfig, Imports, Instrumentation};
 use machine::values::WasmValue;
 use spc::CompilerOptions;
 use suites::{all_suites, BenchmarkItem, Scale};
 
 fn run_item(config: EngineConfig, item: &BenchmarkItem) -> Result<WasmValue, String> {
-    let engine = Engine::new(config);
-    let mut instance = engine
-        .instantiate(&item.module, Imports::new(), Instrumentation::none())
-        .map_err(|e| format!("{}/{}: instantiate: {e}", item.suite, item.name))?;
-    let results = engine
-        .call_export(&mut instance, BenchmarkItem::ENTRY, &[])
-        .map_err(|e| format!("{}/{}: trap: {e}", item.suite, item.name))?;
-    results
-        .first()
-        .copied()
-        .ok_or_else(|| format!("{}/{}: no result", item.suite, item.name))
+    common::run_export_checksum(config, &item.module, BenchmarkItem::ENTRY, &[])
+        .map_err(|e| format!("{}/{}: trap: {e}", item.suite, item.name))
 }
 
 fn reference_results() -> Vec<(String, WasmValue)> {
@@ -101,6 +94,30 @@ fn tiered_engine_matches_interpreter() {
     check_config_against_interpreter("tiered", || {
         EngineConfig::tiered("tiered", 1, CompilerOptions::allopt())
     });
+}
+
+#[test]
+fn tier_backend_matrix_agrees_on_all_suite_items() {
+    // The same matrix the conformance corpus runs under: interpreter,
+    // eager/lazy baseline on both masm backends, and the tiered engine.
+    let reference = reference_results();
+    for config in common::all_tier_backend_configs() {
+        let name = config.name.clone();
+        let mut index = 0;
+        for suite in all_suites(Scale::Test) {
+            for item in &suite.items {
+                let expected = &reference[index];
+                index += 1;
+                let got =
+                    run_item(config.clone(), item).unwrap_or_else(|e| panic!("[{name}] {e}"));
+                assert_eq!(
+                    &got, &expected.1,
+                    "[{name}] {} disagrees with the interpreter",
+                    expected.0
+                );
+            }
+        }
+    }
 }
 
 #[test]

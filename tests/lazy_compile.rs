@@ -2,6 +2,8 @@
 //! functions are compiled at their first call rather than at instantiation,
 //! and the run metrics attribute the deferred compile time accordingly.
 
+mod common;
+
 use engine::{Engine, EngineConfig, Imports, Instrumentation};
 use machine::values::WasmValue;
 use spc::CompilerOptions;
@@ -96,6 +98,19 @@ fn lazy_compile_defers_compilation_to_first_call() {
         .expect("main runs again");
     assert_eq!(instance.metrics.functions_compiled, 2);
     assert_eq!(instance.metrics.lazy_compile_wall, compile_wall_after_first);
+}
+
+#[test]
+fn lazy_and_eager_agree_across_the_tier_backend_matrix() {
+    // The deferred-compilation confounder must never change results: every
+    // configuration in the shared matrix computes the same value.
+    let module = three_function_module();
+    for config in common::all_tier_backend_configs() {
+        let name = config.name.clone();
+        let r = common::run_export(config, &module, "main", &[])
+            .unwrap_or_else(|e| panic!("[{name}] trap: {e}"));
+        assert_eq!(r, vec![WasmValue::I32(42)], "[{name}]");
+    }
 }
 
 #[test]

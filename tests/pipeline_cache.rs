@@ -3,6 +3,9 @@
 //! eager compilation through the engine, background tier-up, and the
 //! `EngineConfig`-plumbed GC heap threshold.
 
+mod common;
+
+use common::fib_module;
 use engine::{
     BackgroundCompiler, CodeCache, Engine, EngineConfig, Imports, Instrumentation,
 };
@@ -12,38 +15,8 @@ use std::sync::Arc;
 use std::time::Duration;
 use suites::Scale;
 use wasm::builder::{CodeBuilder, ModuleBuilder};
-use wasm::opcode::Opcode;
-use wasm::types::{BlockType, FuncType, ValueType};
+use wasm::types::{FuncType, ValueType};
 use wasm::Module;
-
-/// fib(n), the classic tier-up workload.
-fn fib_module() -> Module {
-    let mut b = ModuleBuilder::new();
-    let mut c = CodeBuilder::new();
-    c.local_get(0)
-        .i32_const(2)
-        .op(Opcode::I32LtS)
-        .if_(BlockType::Empty)
-        .local_get(0)
-        .return_()
-        .end()
-        .local_get(0)
-        .i32_const(1)
-        .op(Opcode::I32Sub)
-        .call(0)
-        .local_get(0)
-        .i32_const(2)
-        .op(Opcode::I32Sub)
-        .call(0)
-        .op(Opcode::I32Add);
-    let f = b.add_func(
-        FuncType::new(vec![ValueType::I32], vec![ValueType::I32]),
-        vec![],
-        c.finish(),
-    );
-    b.export_func("fib", f);
-    b.finish()
-}
 
 #[test]
 fn warm_instantiation_compiles_exactly_once_and_shares_the_artifact() {

@@ -1,45 +1,210 @@
-//! Property-based differential testing: randomly generated straight-line
-//! arithmetic functions must produce identical results (including identical
-//! traps) in the interpreter and in baseline-compiled code under every
-//! optimization configuration.
+//! Coverage-guided property-based differential testing.
+//!
+//! Randomly generated programs must (1) validate, (2) round-trip
+//! encode → decode → WAT-print → WAT-parse → re-encode **byte-identically**,
+//! and (3) produce identical results — including identical traps — under
+//! every tier×backend configuration. The generator's reach is *accounted
+//! for*: [`generator_registry`] declares the opcodes it can emit, a census
+//! proves the corpus actually emits them, and together with the conformance
+//! crate's exhaustive module the census covers the engine's entire
+//! implemented opcode set (see `opcode_coverage_is_complete`).
 
-use engine::{Engine, EngineConfig, Imports, Instrumentation};
+mod common;
+
+use engine::EngineConfig;
 use machine::values::WasmValue;
 use machine::TrapCode;
 use proptest::prelude::*;
 use spc::CompilerOptions;
 use wasm::builder::{CodeBuilder, ModuleBuilder};
 use wasm::opcode::Opcode;
-use wasm::types::{FuncType, ValueType};
+use wasm::types::{BlockType, FuncType, Limits, ValueType};
 
-/// One step of a generated program: an operation applied to the accumulator
-/// (local 2) and either a constant or one of the two parameters.
+/// One step of a generated program. Every step consumes the single i32 on
+/// the stack and leaves exactly one i32, so every generated program
+/// validates by construction.
 #[derive(Debug, Clone)]
 enum Step {
     Const(i32),
     Param(u8),
     Binop(u8),
     Unop(u8),
+    Cmp(u8),
     StoreLocal,
     LoadLocal,
+    I64Round(u8, i64),
+    F32Round(u8),
+    F64Round(u8),
+    Mem(u8, u16),
+    If(i32),
+    Block(i32),
+    BrTable,
+    Call,
+    Select(i32),
 }
+
+const BINOPS: [Opcode; 12] = [
+    Opcode::I32Add,
+    Opcode::I32Sub,
+    Opcode::I32Mul,
+    Opcode::I32And,
+    Opcode::I32Or,
+    Opcode::I32Xor,
+    Opcode::I32Shl,
+    Opcode::I32ShrS,
+    Opcode::I32ShrU,
+    Opcode::I32Rotl,
+    Opcode::I32DivS,
+    Opcode::I32RemU,
+];
+const UNOPS: [Opcode; 6] = [
+    Opcode::I32Eqz,
+    Opcode::I32Clz,
+    Opcode::I32Ctz,
+    Opcode::I32Popcnt,
+    Opcode::I32Extend8S,
+    Opcode::I32Extend16S,
+];
+const CMPS: [Opcode; 10] = [
+    Opcode::I32Eq,
+    Opcode::I32Ne,
+    Opcode::I32LtS,
+    Opcode::I32LtU,
+    Opcode::I32GtS,
+    Opcode::I32GtU,
+    Opcode::I32LeS,
+    Opcode::I32LeU,
+    Opcode::I32GeS,
+    Opcode::I32GeU,
+];
+const I64OPS: [Opcode; 8] = [
+    Opcode::I64Add,
+    Opcode::I64Mul,
+    Opcode::I64Xor,
+    Opcode::I64Rotl,
+    Opcode::I64ShrU,
+    Opcode::I64Sub,
+    Opcode::I64Or,
+    Opcode::I64And,
+];
+const F32OPS: [Opcode; 6] = [
+    Opcode::F32Add,
+    Opcode::F32Sub,
+    Opcode::F32Mul,
+    Opcode::F32Abs,
+    Opcode::F32Neg,
+    Opcode::F32Sqrt,
+];
+const F64OPS: [Opcode; 8] = [
+    Opcode::F64Add,
+    Opcode::F64Sub,
+    Opcode::F64Mul,
+    Opcode::F64Div,
+    Opcode::F64Min,
+    Opcode::F64Max,
+    Opcode::F64Floor,
+    Opcode::F64Nearest,
+];
+/// (store, load) pairs used by `Step::Mem`.
+const MEMOPS: [(Opcode, Opcode); 4] = [
+    (Opcode::I32Store, Opcode::I32Load),
+    (Opcode::I32Store8, Opcode::I32Load8U),
+    (Opcode::I32Store16, Opcode::I32Load16S),
+    (Opcode::I32Store, Opcode::I32Load16U),
+];
 
 fn step_strategy() -> impl Strategy<Value = Step> {
     prop_oneof![
         any::<i32>().prop_map(Step::Const),
         (0u8..2).prop_map(Step::Param),
         (0u8..12).prop_map(Step::Binop),
-        (0u8..4).prop_map(Step::Unop),
+        (0u8..6).prop_map(Step::Unop),
+        (0u8..10).prop_map(Step::Cmp),
         Just(Step::StoreLocal),
         Just(Step::LoadLocal),
+        (0u8..8).prop_map(|i| Step::I64Round(i, 0x9E3779B97F4A7C15u64 as i64)),
+        (0u8..6).prop_map(Step::F32Round),
+        (0u8..8).prop_map(Step::F64Round),
+        any::<u32>().prop_map(|v| Step::Mem((v >> 16) as u8, v as u16)),
+        any::<i32>().prop_map(Step::If),
+        any::<i32>().prop_map(Step::Block),
+        Just(Step::BrTable),
+        Just(Step::Call),
+        any::<i32>().prop_map(Step::Select),
     ]
 }
 
+/// Every opcode the generator can emit, for coverage accounting.
+fn generator_registry() -> Vec<Opcode> {
+    let mut ops = vec![
+        // Frame plumbing emitted by the steps and function scaffolding.
+        Opcode::LocalGet,
+        Opcode::LocalSet,
+        Opcode::LocalTee,
+        Opcode::I32Const,
+        Opcode::I64Const,
+        Opcode::F32Const,
+        Opcode::F64Const,
+        Opcode::End,
+        Opcode::Block,
+        Opcode::If,
+        Opcode::Else,
+        Opcode::Br,
+        Opcode::BrIf,
+        Opcode::BrTable,
+        Opcode::Call,
+        Opcode::Drop,
+        Opcode::Select,
+        Opcode::Return,
+        // Conversions used by the typed rounds.
+        Opcode::I64ExtendI32S,
+        Opcode::I32WrapI64,
+        Opcode::F32ConvertI32S,
+        Opcode::I32ReinterpretF32,
+        Opcode::F64ConvertI32S,
+        Opcode::I64ReinterpretF64,
+    ];
+    ops.extend(BINOPS);
+    ops.extend(UNOPS);
+    ops.extend(CMPS);
+    ops.extend(I64OPS);
+    ops.extend(F32OPS);
+    ops.extend(F64OPS);
+    for (s, l) in MEMOPS {
+        ops.push(s);
+        ops.push(l);
+    }
+    ops.sort_by_key(|op| op.to_byte());
+    ops.dedup();
+    ops
+}
+
 /// Builds a module whose exported `f(i32, i32) -> i32` applies the steps to a
-/// running accumulator. The generated code always leaves exactly one i32 on
-/// the stack between steps, so it always validates.
+/// running accumulator (local 2 is scratch). The module always validates.
 fn build_program(steps: &[Step]) -> wasm::Module {
     let mut b = ModuleBuilder::new();
+    b.add_memory(Limits::at_least(1));
+    // A trap-free helper for Step::Call: h(x) = (x * 3) xor 0x5A5A5A5A, via
+    // an early return on zero so `return` stays in the generated opcode set.
+    let helper = {
+        let mut c = CodeBuilder::new();
+        c.local_get(0)
+            .if_(BlockType::Empty)
+            .else_()
+            .i32_const(0)
+            .return_()
+            .end()
+            .local_get(0)
+            .i32_const(3)
+            .op(Opcode::I32Mul)
+            .i32_const(0x5A5A5A5A)
+            .op(Opcode::I32Xor);
+        b.add_func(
+            FuncType::new(vec![ValueType::I32], vec![ValueType::I32]),
+            vec![],
+            c.finish(),
+        )
+    };
     let mut c = CodeBuilder::new();
     c.local_get(0);
     for step in steps {
@@ -51,36 +216,100 @@ fn build_program(steps: &[Step]) -> wasm::Module {
                 c.local_get(u32::from(*p)).op(Opcode::I32Xor);
             }
             Step::Binop(which) => {
-                let op = [
-                    Opcode::I32Add,
-                    Opcode::I32Sub,
-                    Opcode::I32Mul,
-                    Opcode::I32And,
-                    Opcode::I32Or,
-                    Opcode::I32Xor,
-                    Opcode::I32Shl,
-                    Opcode::I32ShrS,
-                    Opcode::I32ShrU,
-                    Opcode::I32Rotl,
-                    Opcode::I32DivS,
-                    Opcode::I32RemU,
-                ][usize::from(*which) % 12];
-                c.local_get(1).op(op);
+                c.local_get(1).op(BINOPS[usize::from(*which) % BINOPS.len()]);
             }
             Step::Unop(which) => {
-                let op = [
-                    Opcode::I32Eqz,
-                    Opcode::I32Clz,
-                    Opcode::I32Ctz,
-                    Opcode::I32Popcnt,
-                ][usize::from(*which) % 4];
-                c.op(op);
+                c.op(UNOPS[usize::from(*which) % UNOPS.len()]);
+            }
+            Step::Cmp(which) => {
+                c.local_get(1).op(CMPS[usize::from(*which) % CMPS.len()]);
             }
             Step::StoreLocal => {
                 c.local_tee(2);
             }
             Step::LoadLocal => {
                 c.drop_().local_get(2);
+            }
+            Step::I64Round(which, k) => {
+                // Widen, mix at 64 bits, narrow back — bit-exact.
+                c.op(Opcode::I64ExtendI32S)
+                    .i64_const(*k)
+                    .op(I64OPS[usize::from(*which) % I64OPS.len()])
+                    .op(Opcode::I32WrapI64);
+            }
+            Step::F32Round(which) => {
+                let op = F32OPS[usize::from(*which) % F32OPS.len()];
+                c.op(Opcode::F32ConvertI32S);
+                if matches!(op, Opcode::F32Add | Opcode::F32Sub | Opcode::F32Mul) {
+                    c.f32_const(1.5);
+                }
+                c.op(op).op(Opcode::I32ReinterpretF32);
+            }
+            Step::F64Round(which) => {
+                let op = F64OPS[usize::from(*which) % F64OPS.len()];
+                c.op(Opcode::F64ConvertI32S);
+                if !matches!(op, Opcode::F64Floor | Opcode::F64Nearest) {
+                    c.f64_const(-2.5);
+                }
+                c.op(op).op(Opcode::I64ReinterpretF64).op(Opcode::I32WrapI64);
+            }
+            Step::Mem(which, addr) => {
+                let (store, load) = MEMOPS[usize::from(*which) % MEMOPS.len()];
+                let addr = u32::from(*addr) % 60_000;
+                c.local_set(2)
+                    .i32_const(addr as i32)
+                    .local_get(2)
+                    .mem(store, 0, 0)
+                    .i32_const(addr as i32)
+                    .mem(load, 0, 4)
+                    .local_get(2)
+                    .op(Opcode::I32Add);
+            }
+            Step::If(k) => {
+                c.local_tee(2)
+                    .if_(BlockType::Value(ValueType::I32))
+                    .i32_const(*k)
+                    .else_()
+                    .local_get(2)
+                    .i32_const(1)
+                    .op(Opcode::I32Or)
+                    .end();
+            }
+            Step::Block(k) => {
+                c.local_set(2)
+                    .block(BlockType::Value(ValueType::I32))
+                    .local_get(2)
+                    .local_get(2)
+                    .br_if(0)
+                    .drop_()
+                    .i32_const(*k)
+                    .end();
+            }
+            Step::BrTable => {
+                c.local_set(2)
+                    .block(BlockType::Value(ValueType::I32))
+                    .block(BlockType::Empty)
+                    .block(BlockType::Empty)
+                    .local_get(2)
+                    .i32_const(3)
+                    .op(Opcode::I32And)
+                    .br_table(&[0, 1], 1)
+                    .end()
+                    .local_get(2)
+                    .i32_const(7)
+                    .op(Opcode::I32Add)
+                    .br(1)
+                    .end()
+                    .local_get(2)
+                    .i32_const(11)
+                    .op(Opcode::I32Xor)
+                    .end();
+            }
+            Step::Call => {
+                c.call(helper);
+            }
+            Step::Select(k) => {
+                c.i32_const(*k).local_get(1).select();
             }
         }
     }
@@ -99,13 +328,7 @@ fn run(
     a: i32,
     b: i32,
 ) -> Result<WasmValue, TrapCode> {
-    let engine = Engine::new(config);
-    let mut instance = engine
-        .instantiate(module, Imports::new(), Instrumentation::none())
-        .expect("generated module instantiates");
-    engine
-        .call_export(&mut instance, "f", &[WasmValue::I32(a), WasmValue::I32(b)])
-        .map(|r| r[0])
+    common::run_export_checksum(config, module, "f", &[WasmValue::I32(a), WasmValue::I32(b)])
 }
 
 proptest! {
@@ -141,6 +364,40 @@ proptest! {
     }
 
     #[test]
+    fn generated_programs_roundtrip_and_agree_across_the_matrix(
+        steps in proptest::collection::vec(step_strategy(), 1..40),
+        a in any::<i32>(),
+        b in any::<i32>(),
+    ) {
+        let module = build_program(&steps);
+        wasm::validate::validate(&module).expect("generated program validates");
+
+        // encode → decode → WAT-print → WAT-parse → re-encode, byte-identical.
+        let bytes = wasm::encode::encode(&module);
+        let decoded = wasm::decode::decode(&bytes).expect("decodes");
+        let text = wasm::wat::print::print_module(&decoded);
+        let reparsed = match wasm::wat::parse_module(&text) {
+            Ok(m) => m,
+            Err(e) => return Err(format!("{}\n{text}", e.describe(&text))),
+        };
+        prop_assert_eq!(
+            &bytes,
+            &wasm::encode::encode(&reparsed),
+            "WAT round trip must be byte-identical:\n{}",
+            text
+        );
+
+        // The whole tier×backend matrix agrees, traps included, and the
+        // re-parsed module behaves identically to the original.
+        let reference = run(EngineConfig::interpreter("int"), &module, a, b);
+        for config in common::all_tier_backend_configs() {
+            let name = config.name.clone();
+            let got = run(config, &reparsed, a, b);
+            prop_assert_eq!(&got, &reference, "configuration {} diverges", name);
+        }
+    }
+
+    #[test]
     fn generated_programs_compile_identically_on_both_masm_backends(
         steps in proptest::collection::vec(step_strategy(), 1..40),
         a in any::<i32>(),
@@ -150,11 +407,19 @@ proptest! {
         let info = wasm::validate::validate(&module).expect("generated program validates");
         let compiler = spc::SinglePassCompiler::new(CompilerOptions::allopt());
         let probes = spc::ProbeSites::none();
+        let defined: u32 = 1; // index of `f` in the defined-function space
+        let func_index = module.num_imported_funcs() + defined;
         let virt = compiler
-            .compile(&module, 0, &info.funcs[0], &probes)
+            .compile(&module, func_index, &info.funcs[defined as usize], &probes)
             .expect("virtual-ISA backend compiles");
         let x64 = compiler
-            .compile_with(machine::x64_masm::X64Masm::new(), &module, 0, &info.funcs[0], &probes)
+            .compile_with(
+                machine::x64_masm::X64Masm::new(),
+                &module,
+                func_index,
+                &info.funcs[defined as usize],
+                &probes,
+            )
             .expect("x86-64 backend compiles");
 
         // Backend-independent structure agrees: macro-op count, labels, and
@@ -171,5 +436,67 @@ proptest! {
         let reference = run(EngineConfig::interpreter("int"), &module, a, b);
         let jit = run(EngineConfig::baseline("allopt", CompilerOptions::allopt()), &module, a, b);
         prop_assert_eq!(jit, reference);
+    }
+}
+
+/// Coverage accounting: the generated corpus provably exercises everything
+/// [`generator_registry`] declares, and together with the conformance
+/// crate's exhaustive module it covers the engine's whole opcode set.
+#[test]
+fn opcode_coverage_is_complete() {
+    use proptest::test_runner::TestRng;
+
+    let mut census = std::collections::BTreeMap::new();
+    let mut rng = TestRng::deterministic();
+    let strategy = proptest::collection::vec(step_strategy(), 1..40);
+    for _ in 0..128 {
+        let steps = strategy.generate(&mut rng);
+        let module = build_program(&steps);
+        for (byte, count) in conform::coverage::opcode_census(&module) {
+            *census.entry(byte).or_insert(0u32) += count;
+        }
+    }
+
+    // The generator emits everything it claims to emit.
+    let missing_from_registry: Vec<Opcode> = generator_registry()
+        .into_iter()
+        .filter(|op| !census.contains_key(&op.to_byte()))
+        .collect();
+    assert!(
+        missing_from_registry.is_empty(),
+        "generator registry opcodes never emitted: {missing_from_registry:?}"
+    );
+
+    // Together with the exhaustive conformance module, the corpus covers the
+    // engine's entire implemented opcode set.
+    for (byte, count) in conform::coverage::opcode_census(&conform::coverage::exhaustive_module()) {
+        *census.entry(byte).or_insert(0) += count;
+    }
+    let missing = conform::coverage::missing_opcodes(&census);
+    assert!(missing.is_empty(), "opcodes never exercised: {missing:?}");
+}
+
+/// The exhaustive module itself satisfies the fuzzer's round-trip and
+/// cross-matrix invariants.
+#[test]
+fn exhaustive_module_satisfies_the_fuzz_invariants() {
+    let module = conform::coverage::exhaustive_module();
+    wasm::validate::validate(&module).expect("validates");
+    let bytes = wasm::encode::encode(&module);
+    let decoded = wasm::decode::decode(&bytes).expect("decodes");
+    let text = wasm::wat::print::print_module(&decoded);
+    let reparsed =
+        wasm::wat::parse_module(&text).unwrap_or_else(|e| panic!("{}", e.describe(&text)));
+    assert_eq!(bytes, wasm::encode::encode(&reparsed));
+
+    let mut results = Vec::new();
+    for config in common::all_tier_backend_configs() {
+        let name = config.name.clone();
+        let r = common::run_export_checksum(config, &reparsed, "main", &[])
+            .unwrap_or_else(|e| panic!("[{name}] trap: {e}"));
+        results.push((name, r));
+    }
+    for (name, value) in &results {
+        assert_eq!(value, &results[0].1, "{name} diverges");
     }
 }

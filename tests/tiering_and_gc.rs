@@ -1,44 +1,15 @@
 //! Integration tests for tier transfer (Fig. 2's frame compatibility) and
 //! garbage collection with tags vs. stackmaps (Section IV-C).
 
-use engine::{Engine, EngineConfig, Heap, Imports, Instrumentation};
+mod common;
+
+use common::fib_module;
+use engine::{Engine, EngineConfig, Heap, Imports, Instrumentation, TrapReason};
 use machine::values::WasmValue;
 use spc::{CompilerOptions, TagStrategy};
 use wasm::builder::{CodeBuilder, ModuleBuilder};
 use wasm::module::ConstExpr;
-use wasm::opcode::Opcode;
-use wasm::types::{BlockType, FuncType, GlobalType, ValueType};
-
-/// fib(n) with recursive calls: exercises deep cross-frame calls.
-fn fib_module() -> wasm::Module {
-    let mut b = ModuleBuilder::new();
-    let mut c = CodeBuilder::new();
-    // if n < 2 return n; else return fib(n-1) + fib(n-2)
-    c.local_get(0)
-        .i32_const(2)
-        .op(Opcode::I32LtS)
-        .if_(BlockType::Empty)
-        .local_get(0)
-        .return_()
-        .end()
-        .local_get(0)
-        .i32_const(1)
-        .op(Opcode::I32Sub)
-        .call(0)
-        .local_get(0)
-        .i32_const(2)
-        .op(Opcode::I32Sub)
-        .call(0)
-        .op(Opcode::I32Add);
-    let f = b.add_func(
-        FuncType::new(vec![ValueType::I32], vec![ValueType::I32]),
-        vec![],
-        c.finish(),
-    );
-    assert_eq!(f, 0);
-    b.export_func("fib", f);
-    b.finish()
-}
+use wasm::types::{FuncType, GlobalType, ValueType};
 
 #[test]
 fn recursive_calls_agree_across_tiers() {
@@ -89,7 +60,7 @@ fn tiered_engine_compiles_only_hot_functions() {
 
 #[test]
 fn stack_overflow_is_a_trap_not_a_crash() {
-    // Infinite recursion must produce a StackOverflow trap.
+    // Infinite recursion must produce a structured stack-exhaustion trap.
     let mut b = ModuleBuilder::new();
     let mut c = CodeBuilder::new();
     c.local_get(0).call(0);
@@ -104,14 +75,63 @@ fn stack_overflow_is_a_trap_not_a_crash() {
         EngineConfig::interpreter("int"),
         EngineConfig::baseline("jit", CompilerOptions::allopt()),
     ] {
-        let engine = Engine::new(config);
-        let mut instance = engine
-            .instantiate(&module, Imports::new(), Instrumentation::none())
-            .unwrap();
-        let err = engine
-            .call_export(&mut instance, "loop_forever", &[WasmValue::I32(0)])
+        let err = common::run_export(config, &module, "loop_forever", &[WasmValue::I32(0)])
             .unwrap_err();
         assert_eq!(err, machine::TrapCode::StackOverflow);
+        assert_eq!(TrapReason::from(err), TrapReason::StackExhaustion);
+        assert_eq!(TrapReason::from(err).wast_message(), "call stack exhausted");
+    }
+}
+
+/// Every trap cause surfaces as the same structured [`TrapReason`] from every
+/// tier×backend configuration — the engine result carries the cause, not a
+/// string to scrape.
+#[test]
+fn trap_reasons_are_structured_and_tier_independent() {
+    let module = wasm::wat::parse_module(
+        r#"(module
+             (memory 1)
+             (table 2 funcref)
+             (func (export "div0") (result i32)
+               i32.const 1
+               i32.const 0
+               i32.div_s)
+             (func (export "overflow") (result i32)
+               i32.const -2147483648
+               i32.const -1
+               i32.div_s)
+             (func (export "oob") (result i32)
+               i32.const 65536
+               i32.load)
+             (func (export "boom") unreachable)
+             (func (export "badconv") (result i32)
+               f32.const nan
+               i32.trunc_f32_s)
+             (func (export "nullcall")
+               i32.const 0
+               call_indirect))"#,
+    )
+    .expect("parses");
+    wasm::validate::validate(&module).expect("validates");
+    let cases: &[(&str, TrapReason)] = &[
+        ("div0", TrapReason::DivisionByZero),
+        ("overflow", TrapReason::IntegerOverflow),
+        ("oob", TrapReason::OutOfBoundsMemory),
+        ("boom", TrapReason::Unreachable),
+        ("badconv", TrapReason::InvalidConversion),
+        ("nullcall", TrapReason::UninitializedElement),
+    ];
+    for config in common::all_tier_backend_configs() {
+        for (export, expected) in cases {
+            let err = common::run_export(config.clone(), &module, export, &[])
+                .expect_err("must trap");
+            assert_eq!(
+                TrapReason::from(err),
+                *expected,
+                "[{}] {export}",
+                config.name
+            );
+        }
     }
 }
 

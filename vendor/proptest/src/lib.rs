@@ -3,14 +3,16 @@
 //!
 //! The build environment for this repository has no access to crates.io, so
 //! this vendored crate implements exactly the surface the workspace's tests
-//! use: the [`Strategy`] trait with `prop_map`, [`strategy::Just`], integer
+//! use: the [`strategy::Strategy`] trait with `prop_map`,
+//! [`strategy::Just`], integer
 //! ranges and [`arbitrary`] (`any::<T>()`) as strategies,
 //! [`collection::vec`], and the [`proptest!`], [`prop_oneof!`], and
 //! [`prop_assert_eq!`] macros.
 //!
 //! Differences from real proptest: generation is driven by a deterministic
-//! splitmix64 PRNG (override the seed with `PROPTEST_SEED`), and failing
-//! cases are reported without shrinking.
+//! splitmix64 PRNG (override the seed with `PROPTEST_SEED`, the per-test
+//! case count with `PROPTEST_CASES`), and failing cases are reported without
+//! shrinking.
 
 #![warn(missing_docs)]
 
@@ -200,7 +202,7 @@ pub mod collection {
     use crate::test_runner::TestRng;
     use core::ops::Range;
 
-    /// Strategy returned by [`vec`].
+    /// Strategy returned by [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         len: Range<usize>,
@@ -236,6 +238,16 @@ pub mod test_runner {
         /// A config running `cases` random cases.
         pub fn with_cases(cases: u32) -> Self {
             ProptestConfig { cases }
+        }
+
+        /// The effective case count: the configured value, unless the
+        /// `PROPTEST_CASES` environment variable overrides it (the CI fuzz
+        /// smoke job raises the count this way without a rebuild).
+        pub fn effective_cases(&self) -> u32 {
+            std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(self.cases)
         }
     }
 
@@ -312,7 +324,7 @@ macro_rules! proptest {
             fn $name() {
                 let config = $config;
                 let mut rng = $crate::test_runner::TestRng::deterministic();
-                for case in 0..config.cases {
+                for case in 0..config.effective_cases() {
                     $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
                     let run = || -> Result<(), String> {
                         $body
