@@ -3,9 +3,17 @@
 //! [`all_configs`] is the canonical tier×backend matrix every conformance
 //! artifact runs under: the in-place interpreter, the baseline compiler
 //! eagerly and lazily, each on the virtual-ISA and x86-64 macro-assembler
-//! backends, plus the tiered configuration. A script passes only when every
-//! assertion holds under every configuration — the strongest statement that
-//! the decoder, text frontend, validator, and all execution tiers agree.
+//! backends, the two-tier (interpreter → baseline) configuration, and the
+//! three-tier configuration that promotes hot functions through the
+//! SSA-based optimizing compiler — on both backends. Eight configurations
+//! in all. A script passes only when every assertion holds under every
+//! configuration — the strongest statement that the decoder, text frontend,
+//! validator, and all execution tiers agree.
+//!
+//! The three-tier configurations use low thresholds (baseline after 1 call,
+//! optimizing after 2) so repeated `assert_return`s in a script exercise
+//! every promotion boundary: the same invocation runs interpreted, then
+//! baseline-compiled, then optimized, and must agree each time.
 
 use crate::script::{Action, Command, ModuleForm, Script};
 use engine::{Engine, EngineConfig, Imports, Instance, Instrumentation, TrapReason};
@@ -28,6 +36,10 @@ pub fn all_configs() -> Vec<EngineConfig> {
             .with_lazy_compile(true)
             .with_backend(CodeBackend::X64),
         EngineConfig::tiered("conf-tiered", 2, CompilerOptions::allopt()),
+        EngineConfig::tiered("conf-opt", 1, CompilerOptions::allopt()).with_opt_tier(2),
+        EngineConfig::tiered("conf-opt-x64", 1, CompilerOptions::allopt())
+            .with_opt_tier(2)
+            .with_backend(CodeBackend::X64),
     ]
 }
 

@@ -50,6 +50,11 @@ pub struct CacheKey {
     pub backend: CodeBackend,
     /// [`Instrumentation::fingerprint`] of the attached instrumentation.
     pub instrumentation_fingerprint: u64,
+    /// [`EngineConfig::opt_fingerprint`] — the optimizing-tier axis. `0`
+    /// for configurations without an optimizing tier, the optimizing
+    /// pipeline's fingerprint otherwise, so baseline-only and opt-enabled
+    /// artifacts never alias.
+    pub opt_fingerprint: u64,
 }
 
 impl CacheKey {
@@ -65,6 +70,7 @@ impl CacheKey {
             options_fingerprint: config.compile_fingerprint(),
             backend: config.backend,
             instrumentation_fingerprint: instrumentation.fingerprint(),
+            opt_fingerprint: config.opt_fingerprint(),
         }
     }
 }
@@ -186,6 +192,9 @@ mod tests {
         // Different backend.
         let x64 = base.clone().with_backend(CodeBackend::X64);
         assert_ne!(k, key(&x64, &m1));
+        // The optimizing tier is its own key axis.
+        let opt = base.clone().with_opt_tier(4);
+        assert_ne!(k, key(&opt, &m1), "opt-enabled artifacts never alias baseline ones");
         // Different instrumentation.
         let probed = CacheKey::for_instantiation(&base, &m1, &Instrumentation::branch_monitor(&m1));
         assert_ne!(k, probed);

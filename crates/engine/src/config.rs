@@ -20,14 +20,33 @@ pub enum TierPolicy {
     BaselineOnly(CompilerOptions),
     /// Execute everything in optimizing-compiled code.
     OptimizingOnly,
-    /// Start in the interpreter and tier up a function to baseline code once
-    /// it has been called `threshold` times.
+    /// Start in the interpreter, tier up a function to baseline code once it
+    /// has been called `threshold` times, and — when `opt_threshold` is set
+    /// — promote it again to the optimizing tier once it has been called
+    /// that many times.
     Tiered {
-        /// Number of calls before a function is compiled.
+        /// Number of calls before a function is baseline-compiled.
         threshold: u32,
+        /// Number of calls before a function is promoted to the optimizing
+        /// tier (`None` disables the third tier).
+        opt_threshold: Option<u32>,
         /// Baseline compiler configuration used for hot functions.
         baseline: CompilerOptions,
     },
+}
+
+impl TierPolicy {
+    /// True if this policy can ever run optimizing-compiled code.
+    pub fn uses_opt_tier(&self) -> bool {
+        matches!(
+            self,
+            TierPolicy::OptimizingOnly
+                | TierPolicy::Tiered {
+                    opt_threshold: Some(_),
+                    ..
+                }
+        )
+    }
 }
 
 /// A complete engine configuration.
@@ -131,6 +150,7 @@ impl EngineConfig {
             name: name.to_string(),
             tier: TierPolicy::Tiered {
                 threshold,
+                opt_threshold: None,
                 baseline,
             },
             cost: CostModel::default(),
@@ -142,6 +162,34 @@ impl EngineConfig {
             compile_workers: 1,
             gc_threshold: 0,
         }
+    }
+
+    /// Adds the optimizing tier on top of this configuration: functions
+    /// called more than `opt_threshold` times are recompiled by the
+    /// SSA-based optimizing compiler (`crates/optc`) and promoted at their
+    /// next activation. A [`EngineConfig::tiered`] configuration becomes
+    /// three-tier (interpreter → baseline → optimizing); a baseline
+    /// configuration becomes baseline-then-optimizing. Interpreter-only and
+    /// optimizing-only configurations are unchanged.
+    pub fn with_opt_tier(mut self, opt_threshold: u32) -> EngineConfig {
+        self.tier = match self.tier {
+            TierPolicy::Tiered {
+                threshold,
+                baseline,
+                ..
+            } => TierPolicy::Tiered {
+                threshold,
+                opt_threshold: Some(opt_threshold),
+                baseline,
+            },
+            TierPolicy::BaselineOnly(baseline) => TierPolicy::Tiered {
+                threshold: 0,
+                opt_threshold: Some(opt_threshold),
+                baseline,
+            },
+            other => other,
+        };
+        self
     }
 
     /// Marks this configuration as compiling lazily at first call.
@@ -212,6 +260,21 @@ impl EngineConfig {
             }
         }
         h.finish()
+    }
+
+    /// A stable fingerprint of the optimizing-tier axis: `0` when this
+    /// configuration never runs the optimizing compiler, the optimizing
+    /// pipeline's own fingerprint otherwise. Its own [`crate::cache::CacheKey`]
+    /// field, so artifacts built with and without the optimizing tier never
+    /// alias (their opt code slots differ). The promotion *threshold* is
+    /// deliberately excluded: it decides when code is produced, not what
+    /// code.
+    pub fn opt_fingerprint(&self) -> u64 {
+        if self.tier.uses_opt_tier() {
+            optc::OptimizingCompiler::pipeline_fingerprint()
+        } else {
+            0
+        }
     }
 
     /// The baseline compiler options of this configuration, if any tier uses
@@ -328,5 +391,61 @@ mod tests {
             EngineConfig::tiered("b", 99, CompilerOptions::allopt()).compile_fingerprint(),
             "the tier-up threshold does not affect emitted code"
         );
+    }
+
+    #[test]
+    fn with_opt_tier_extends_tiered_and_baseline_policies() {
+        let t = EngineConfig::tiered("t", 2, CompilerOptions::allopt()).with_opt_tier(5);
+        match &t.tier {
+            TierPolicy::Tiered {
+                threshold,
+                opt_threshold,
+                ..
+            } => {
+                assert_eq!(*threshold, 2);
+                assert_eq!(*opt_threshold, Some(5));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(t.tier.uses_opt_tier());
+
+        let b = EngineConfig::baseline("b", CompilerOptions::allopt()).with_opt_tier(3);
+        match &b.tier {
+            TierPolicy::Tiered {
+                threshold,
+                opt_threshold,
+                ..
+            } => {
+                assert_eq!(*threshold, 0, "baseline from the first call");
+                assert_eq!(*opt_threshold, Some(3));
+            }
+            other => panic!("{other:?}"),
+        }
+
+        let i = EngineConfig::interpreter("i").with_opt_tier(3);
+        assert_eq!(i.tier, TierPolicy::InterpreterOnly, "interpreter unchanged");
+        assert!(!EngineConfig::tiered("t", 2, CompilerOptions::allopt())
+            .tier
+            .uses_opt_tier());
+        assert!(EngineConfig::optimizing("o").tier.uses_opt_tier());
+    }
+
+    #[test]
+    fn opt_fingerprint_separates_the_opt_axis() {
+        let plain = EngineConfig::tiered("t", 2, CompilerOptions::allopt());
+        let with_opt = plain.clone().with_opt_tier(5);
+        assert_eq!(plain.opt_fingerprint(), 0);
+        assert_ne!(with_opt.opt_fingerprint(), 0);
+        assert_eq!(
+            with_opt.opt_fingerprint(),
+            plain.clone().with_opt_tier(99).opt_fingerprint(),
+            "the promotion threshold does not affect emitted code"
+        );
+        assert_eq!(
+            with_opt.opt_fingerprint(),
+            EngineConfig::optimizing("o").opt_fingerprint()
+        );
+        // The baseline axis is unchanged by adding the optimizing tier.
+        assert_eq!(plain.compile_fingerprint(), with_opt.compile_fingerprint());
     }
 }

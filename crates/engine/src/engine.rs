@@ -19,7 +19,7 @@ use crate::cache::{CacheKey, CodeCache};
 use crate::config::{EngineConfig, TierPolicy};
 use crate::gc::{scan_roots_via_stackmaps, scan_roots_via_tags, Heap, StackmapFrame};
 use crate::monitor::Instrumentation;
-use crate::pipeline::{self, BackgroundCompiler, CompiledArtifact, CompiledModule};
+use crate::pipeline::{self, BackgroundCompiler, CompileTier, CompiledArtifact, CompiledModule};
 use interp::interp::{InterpExit, Interpreter};
 use interp::probe::{FrameAccessor, ProbeSink};
 use machine::cost::CycleCounter;
@@ -109,13 +109,21 @@ pub struct RunMetrics {
     /// [`RunMetrics::setup_wall`] while the elapsed compilation wall-clock
     /// (part of `setup_wall`) shrinks.
     pub compile_wall: Duration,
-    /// Wall-clock time spent compiling after instantiation: lazy first-call
-    /// compiles, tier-up compiles, and background compiles performed on this
-    /// instance's behalf (accounted when the published code is first
-    /// observed). Kept separate from [`RunMetrics::compile_wall`] so the
-    /// deferred-compilation confounder is visible; sum the two via
-    /// [`RunMetrics::total_compile_wall`] when only the total matters.
+    /// Wall-clock time spent compiling after instantiation in the *baseline*
+    /// tier: lazy first-call compiles, tier-up compiles, and background
+    /// compiles performed on this instance's behalf (accounted when the
+    /// published code is first observed). Kept separate from
+    /// [`RunMetrics::compile_wall`] so the deferred-compilation confounder is
+    /// visible; sum everything via [`RunMetrics::total_compile_wall`] when
+    /// only the total matters.
     pub lazy_compile_wall: Duration,
+    /// Wall-clock time spent in the optimizing compiler on this instance's
+    /// behalf — eager (optimizing-only configurations) and tier-up promotion
+    /// compiles alike. The optimizing tier is expected to be an order of
+    /// magnitude slower to run than the baseline compiler; this bucket makes
+    /// that cost visible next to the cycles it buys
+    /// ([`RunMetrics::opt_exec_cycles`]).
+    pub opt_compile_wall: Duration,
     /// True if instantiation reused a shared artifact from the engine's
     /// [`CodeCache`] instead of validating, preparing, and compiling — the
     /// observable form of a warm instantiation.
@@ -130,6 +138,13 @@ pub struct RunMetrics {
     pub functions_compiled: u32,
     /// Simulated cycles of execution ("main execution time").
     pub exec_cycles: u64,
+    /// The subset of [`RunMetrics::exec_cycles`] spent executing
+    /// optimizing-tier code.
+    pub opt_exec_cycles: u64,
+    /// Functions whose code was installed *after* instantiation on this
+    /// instance's behalf: lazy first-call compiles, interpreter→baseline
+    /// tier-ups, and baseline→optimizing promotions each count once.
+    pub tiered_up_functions: u32,
     /// Number of Wasm calls executed.
     pub calls_executed: u64,
     /// Garbage collections performed.
@@ -140,9 +155,9 @@ pub struct RunMetrics {
 
 impl RunMetrics {
     /// Total wall-clock compile time attributed to this instance, eager plus
-    /// deferred (lazy / tier-up / background).
+    /// deferred (lazy / tier-up / background) plus the optimizing tier.
     pub fn total_compile_wall(&self) -> Duration {
-        self.compile_wall + self.lazy_compile_wall
+        self.compile_wall + self.lazy_compile_wall + self.opt_compile_wall
     }
 }
 
@@ -167,9 +182,10 @@ pub struct Instance {
     artifact: Arc<CompiledModule>,
     call_counts: Vec<u32>,
     /// Functions this instance has handed to the background compiler and
-    /// not yet observed published (used to attribute the off-thread compile
-    /// time to this instance's metrics exactly once).
-    background_pending: Vec<bool>,
+    /// not yet observed published, per tier (`[baseline, opt]`; used to
+    /// attribute the off-thread compile time to this instance's metrics
+    /// exactly once).
+    background_pending: Vec<[bool; 2]>,
     memory: Option<LinearMemory>,
     globals: Vec<GlobalSlot>,
     tables: Vec<Table>,
@@ -221,9 +237,33 @@ impl Instance {
 }
 
 enum FrameTier {
-    Interp { ip: usize },
-    // The register file is boxed so interpreter activations stay small.
-    Jit { pc: usize, cpu: Box<CpuState> },
+    Interp {
+        ip: usize,
+    },
+    // The register file is boxed so interpreter activations stay small. The
+    // compile tier is pinned per activation: a frame keeps running the code
+    // it started in even if a higher tier publishes mid-activation.
+    Jit {
+        pc: usize,
+        cpu: Box<CpuState>,
+        tier: CompileTier,
+    },
+}
+
+impl FrameTier {
+    fn jit_tier(&self) -> Option<CompileTier> {
+        match self {
+            FrameTier::Interp { .. } => None,
+            FrameTier::Jit { tier, .. } => Some(*tier),
+        }
+    }
+}
+
+fn tier_index(tier: CompileTier) -> usize {
+    match tier {
+        CompileTier::Baseline => 0,
+        CompileTier::Opt => 1,
+    }
 }
 
 struct Activation {
@@ -398,7 +438,7 @@ impl Engine {
         let mut instance = Instance {
             artifact,
             call_counts: vec![0; num_defined],
-            background_pending: vec![false; num_defined],
+            background_pending: vec![[false; 2]; num_defined],
             memory,
             globals,
             tables,
@@ -425,12 +465,13 @@ impl Engine {
                 &instance.instrumentation,
             )
             .map_err(EngineError::Compile)?;
+            let tier = pipeline::eager_tier(&self.config);
             for defined in published {
                 let compiled = instance
                     .artifact
-                    .artifact(defined)
+                    .artifact_for(defined, tier)
                     .expect("published function has an artifact");
-                account_compile(&mut instance.metrics, compiled, CompileTiming::Eager);
+                account_compile(&mut instance.metrics, compiled, CompileTiming::Eager, tier);
             }
         }
         instance.metrics.setup_wall = setup_start.elapsed();
@@ -502,95 +543,152 @@ impl Engine {
 
     // ---- Internal machinery -------------------------------------------------
 
-    /// Compiles `defined` in the execution thread unless it is already
-    /// published, attributing newly-published work to this instance's
-    /// deferred-compile metrics.
+    /// Compiles `defined` for `tier` in the execution thread unless it is
+    /// already published, attributing newly-published work to this
+    /// instance's deferred-compile metrics.
     fn ensure_compiled(
         &self,
         instance: &mut Instance,
         defined: u32,
+        tier: CompileTier,
     ) -> Result<(), spc::CompileError> {
-        if instance.artifact.artifact(defined).is_some() {
-            self.observe_published(instance, defined);
+        if instance.artifact.artifact_for(defined, tier).is_some() {
+            self.observe_published(instance, defined, tier);
             return Ok(());
         }
         let func_index = instance.artifact.module().defined_to_func_index(defined);
         let probes = instance.instrumentation.sites_for(func_index);
+        let profile = match tier {
+            CompileTier::Opt => Some(instance.instrumentation.func_profile(func_index)),
+            CompileTier::Baseline => None,
+        };
         let compiled = pipeline::compile_function(
             &self.config,
+            tier,
             instance.artifact.module(),
             func_index,
             instance.artifact.func_info(defined),
             &probes,
+            profile.as_ref(),
         )?;
-        if instance.artifact.publish(defined, compiled) {
+        if instance.artifact.publish_for(defined, tier, compiled) {
             let published = instance
                 .artifact
-                .artifact(defined)
+                .artifact_for(defined, tier)
                 .expect("just published");
-            account_compile(&mut instance.metrics, published, CompileTiming::Deferred);
+            account_compile(&mut instance.metrics, published, CompileTiming::Deferred, tier);
         } else {
             // A background worker (or another instance sharing the artifact)
-            // won the publication race with byte-identical code.
-            self.observe_published(instance, defined);
+            // won the publication race.
+            self.observe_published(instance, defined, tier);
         }
         Ok(())
     }
 
     /// Accounts a background compilation into this instance's metrics the
     /// first time its published result is observed at a call boundary.
-    fn observe_published(&self, instance: &mut Instance, defined: u32) {
-        if !instance.background_pending[defined as usize] {
+    fn observe_published(&self, instance: &mut Instance, defined: u32, tier: CompileTier) {
+        if !instance.background_pending[defined as usize][tier_index(tier)] {
             return;
         }
-        instance.background_pending[defined as usize] = false;
-        if let Some(compiled) = instance.artifact.artifact(defined) {
-            account_compile(&mut instance.metrics, compiled, CompileTiming::Deferred);
+        instance.background_pending[defined as usize][tier_index(tier)] = false;
+        if let Some(compiled) = instance.artifact.artifact_for(defined, tier) {
+            account_compile(&mut instance.metrics, compiled, CompileTiming::Deferred, tier);
+        }
+    }
+
+    /// Hands the compilation of `defined` for `tier` to the background pool
+    /// (at most once per tier), snapshotting the branch profile for
+    /// optimizing-tier jobs.
+    fn enqueue_background(
+        &self,
+        pool: &BackgroundCompiler,
+        instance: &mut Instance,
+        defined: u32,
+        tier: CompileTier,
+    ) {
+        if instance.background_pending[defined as usize][tier_index(tier)] {
+            return;
+        }
+        let func_index = instance.artifact.module().defined_to_func_index(defined);
+        let probes = instance.instrumentation.sites_for(func_index);
+        let profile = match tier {
+            CompileTier::Opt => Some(instance.instrumentation.func_profile(func_index)),
+            CompileTier::Baseline => None,
+        };
+        if pool.enqueue_tier(
+            Arc::clone(&instance.artifact),
+            defined,
+            probes,
+            self.config.clone(),
+            tier,
+            profile,
+        ) {
+            instance.background_pending[defined as usize][tier_index(tier)] = true;
         }
     }
 
     /// Decides the tier for a new activation of `defined`, compiling lazily
-    /// or on tier-up as needed. With a background pool attached, deferred
-    /// compilations are enqueued off-thread and the function keeps running
-    /// in the interpreter until the compiled code is published.
-    fn choose_tier(&self, instance: &mut Instance, defined: u32) -> Result<bool, TrapCode> {
+    /// or on tier-up / promotion as needed. With a background pool attached,
+    /// deferred compilations are enqueued off-thread and the function keeps
+    /// running in the best already-published tier until the new code lands.
+    fn choose_tier(
+        &self,
+        instance: &mut Instance,
+        defined: u32,
+    ) -> Result<Option<CompileTier>, TrapCode> {
         instance.call_counts[defined as usize] =
             instance.call_counts[defined as usize].saturating_add(1);
-        let want_jit = match &self.config.tier {
-            TierPolicy::InterpreterOnly => false,
-            TierPolicy::BaselineOnly(_) | TierPolicy::OptimizingOnly => true,
-            TierPolicy::Tiered { threshold, .. } => {
-                instance.call_counts[defined as usize] > *threshold
-            }
-        };
-        if !want_jit {
-            return Ok(false);
-        }
-        if instance.artifact.artifact(defined).is_some() {
-            self.observe_published(instance, defined);
-            return Ok(true);
-        }
-        if let Some(pool) = &self.background {
-            if !instance.background_pending[defined as usize] {
-                let func_index = instance.artifact.module().defined_to_func_index(defined);
-                let probes = instance.instrumentation.sites_for(func_index);
-                if pool.enqueue(
-                    Arc::clone(&instance.artifact),
-                    defined,
-                    probes,
-                    self.config.clone(),
-                ) {
-                    instance.background_pending[defined as usize] = true;
+        let want: Option<CompileTier> = match &self.config.tier {
+            TierPolicy::InterpreterOnly => None,
+            TierPolicy::BaselineOnly(_) => Some(CompileTier::Baseline),
+            TierPolicy::OptimizingOnly => Some(CompileTier::Opt),
+            TierPolicy::Tiered {
+                threshold,
+                opt_threshold,
+                ..
+            } => {
+                let calls = instance.call_counts[defined as usize];
+                match opt_threshold {
+                    Some(ot) if calls > *ot => Some(CompileTier::Opt),
+                    _ if calls > *threshold => Some(CompileTier::Baseline),
+                    _ => None,
                 }
             }
-            // Every call boundary is a tier boundary: keep interpreting and
-            // pick up the JIT code once a later call observes the published
-            // slot.
-            return Ok(false);
+        };
+        let Some(want_tier) = want else {
+            return Ok(None);
+        };
+        if instance.artifact.artifact_for(defined, want_tier).is_some() {
+            self.observe_published(instance, defined, want_tier);
+            if want_tier == CompileTier::Opt {
+                // A baseline compile this instance requested may have been
+                // superseded by the promotion without ever being activated;
+                // settle its pending observation so the work is accounted.
+                self.observe_published(instance, defined, CompileTier::Baseline);
+            }
+            return Ok(Some(want_tier));
         }
-        self.ensure_compiled(instance, defined)
+        if let Some(pool) = &self.background {
+            let pool = Arc::clone(pool);
+            self.enqueue_background(&pool, instance, defined, want_tier);
+            // Every call boundary is a tier boundary: keep running in the
+            // best tier already published and pick up the new code once a
+            // later call observes the filled slot.
+            if want_tier == CompileTier::Opt
+                && instance
+                    .artifact
+                    .artifact_for(defined, CompileTier::Baseline)
+                    .is_some()
+            {
+                self.observe_published(instance, defined, CompileTier::Baseline);
+                return Ok(Some(CompileTier::Baseline));
+            }
+            return Ok(None);
+        }
+        self.ensure_compiled(instance, defined, want_tier)
             .map_err(|_| TrapCode::HostError)?;
-        Ok(true)
+        Ok(Some(want_tier))
     }
 
     fn push_frame(
@@ -607,7 +705,7 @@ impl Engine {
         if depth >= self.config.max_call_depth {
             return Err(TrapCode::StackOverflow);
         }
-        let use_jit = self.choose_tier(instance, defined)?;
+        let jit_tier = self.choose_tier(instance, defined)?;
         // The artifact is immutable and behind an `Arc`, so a cheap handle
         // clone sidesteps simultaneous-borrow gymnastics with the mutable
         // value stack below.
@@ -615,13 +713,12 @@ impl Engine {
         let prepared = artifact.prepared(defined);
         let num_params = prepared.num_params as usize;
         let num_results = prepared.num_results;
-        let frame_slots = if use_jit {
-            artifact
-                .code(defined)
+        let frame_slots = match jit_tier {
+            Some(tier) => artifact
+                .code_for(defined, tier)
                 .map(|c| c.frame_slots)
-                .unwrap_or(prepared.frame_slots())
-        } else {
-            prepared.frame_slots()
+                .unwrap_or(prepared.frame_slots()),
+            None => prepared.frame_slots(),
         };
         if instance.values.capacity() < frame_base + frame_slots as usize {
             return Err(TrapCode::StackOverflow);
@@ -652,18 +749,18 @@ impl Engine {
                 .write_value(frame_base + i, WasmValue::default_for(*ty));
         }
 
-        let tier = if use_jit {
-            FrameTier::Jit {
+        let tier = match jit_tier {
+            Some(tier) => FrameTier::Jit {
                 pc: 0,
                 cpu: Box::new(CpuState::new()),
-            }
-        } else {
-            FrameTier::Interp { ip: 0 }
+                tier,
+            },
+            None => FrameTier::Interp { ip: 0 },
         };
         // The value-stack pointer covers the locals for interpreter frames
         // (operands are pushed as it executes) and the whole frame for JIT
         // frames (slots are addressed statically).
-        let sp = if use_jit {
+        let sp = if jit_tier.is_some() {
             frame_base + frame_slots as usize
         } else {
             frame_base + prepared.num_locals() as usize
@@ -700,7 +797,10 @@ impl Engine {
 
         while let Some(act) = stack.last_mut() {
             let defined = act.defined_index;
-            // Run the top frame until it exits.
+            // Run the top frame until it exits, attributing the cycles of
+            // optimizing-tier frames to their own metrics bucket.
+            let cycles_before = cycles.total();
+            let frame_tier = act.tier.jit_tier();
             let exit = {
                 let Instance {
                     memory,
@@ -729,15 +829,18 @@ impl Engine {
                         );
                         UnifiedExit::from_interp(exit)
                     }
-                    FrameTier::Jit { pc, cpu: cpu_state } => {
+                    FrameTier::Jit { pc, cpu: cpu_state, tier } => {
                         let code = artifact
-                            .code(defined)
+                            .code_for(defined, *tier)
                             .expect("JIT frame has compiled code");
                         let exit = cpu.run(cpu_state, &code.code, *pc, &mut ctx, cycles);
                         UnifiedExit::from_cpu(exit)
                     }
                 }
             };
+            if frame_tier == Some(CompileTier::Opt) {
+                instance.metrics.opt_exec_cycles += cycles.total() - cycles_before;
+            }
 
             match exit {
                 UnifiedExit::Return => {
@@ -771,6 +874,7 @@ impl Engine {
                     jit_caller,
                 } => {
                     // Record where to resume the caller.
+                    let caller_tier = act.tier.jit_tier();
                     let (caller_base, caller_defined, nargs_from_sig) = {
                         let sig = artifact
                             .module()
@@ -783,8 +887,9 @@ impl Engine {
                         FrameTier::Jit { pc, .. } => *pc = resume,
                     }
                     let callee_base = if jit_caller {
+                        let tier = caller_tier.expect("JIT caller has a tier");
                         let site = artifact
-                            .code(caller_defined)
+                            .code_for(caller_defined, tier)
                             .and_then(|c| c.call_sites.get(&(resume - 1)))
                             .copied()
                             .ok_or(TrapCode::HostError)?;
@@ -834,6 +939,7 @@ impl Engine {
                     }
                     let caller_base = act.frame_base;
                     let caller_defined = act.defined_index;
+                    let caller_tier = act.tier.jit_tier();
                     let table = instance
                         .tables
                         .get(table_index as usize)
@@ -856,8 +962,9 @@ impl Engine {
                     let nargs = actual.params.len();
                     let nresults = actual.results.len();
                     let callee_base = if jit_caller {
+                        let tier = caller_tier.expect("JIT caller has a tier");
                         let site = artifact
-                            .code(caller_defined)
+                            .code_for(caller_defined, tier)
                             .and_then(|c| c.call_sites.get(&(resume - 1)))
                             .copied()
                             .ok_or(TrapCode::HostError)?;
@@ -905,10 +1012,11 @@ impl Engine {
     ) -> Result<(), TrapCode> {
         let defined = act.defined_index;
         let func_index = act.func_index;
+        let tier = act.tier.jit_tier().expect("probe fired in compiled code");
         let (offset, operand_height) = {
             let compiled = instance
                 .artifact
-                .code(defined)
+                .code_for(defined, tier)
                 .expect("probe fired in compiled code");
             compiled
                 .probe_sites
@@ -1026,10 +1134,13 @@ impl Engine {
         if uses_stackmaps {
             let mut frames = Vec::new();
             for act in stack {
-                if let FrameTier::Jit { pc, .. } = &act.tier {
-                    if let Some(compiled) = instance.artifact.code(act.defined_index) {
+                if let FrameTier::Jit { pc, tier, .. } = &act.tier {
+                    if let Some(compiled) = instance.artifact.code_for(act.defined_index, *tier) {
                         // The frame is paused at the call instruction before
-                        // its resume point.
+                        // its resume point. Optimizing-tier frames publish
+                        // their references through tagged slots instead of
+                        // stackmaps; their (empty) tables contribute nothing
+                        // here and the tag scan below picks the roots up.
                         if *pc > 0 {
                             frames.push(StackmapFrame {
                                 compiled,
@@ -1058,11 +1169,24 @@ impl Engine {
 }
 
 /// Attributes one published compilation to an instance's metrics, in the
-/// bucket matching when it ran.
-fn account_compile(metrics: &mut RunMetrics, compiled: &CompiledArtifact, timing: CompileTiming) {
-    match timing {
-        CompileTiming::Eager => metrics.compile_wall += compiled.compile_wall,
-        CompileTiming::Deferred => metrics.lazy_compile_wall += compiled.compile_wall,
+/// bucket matching when and in which tier it ran.
+fn account_compile(
+    metrics: &mut RunMetrics,
+    compiled: &CompiledArtifact,
+    timing: CompileTiming,
+    tier: CompileTier,
+) {
+    match (tier, timing) {
+        (CompileTier::Opt, _) => metrics.opt_compile_wall += compiled.compile_wall,
+        (CompileTier::Baseline, CompileTiming::Eager) => {
+            metrics.compile_wall += compiled.compile_wall
+        }
+        (CompileTier::Baseline, CompileTiming::Deferred) => {
+            metrics.lazy_compile_wall += compiled.compile_wall
+        }
+    }
+    if timing == CompileTiming::Deferred {
+        metrics.tiered_up_functions += 1;
     }
     metrics.compiled_wasm_bytes += compiled.function.stats.wasm_bytes as u64;
     metrics.compiled_machine_bytes += compiled.machine_bytes;

@@ -185,6 +185,27 @@ impl Instrumentation {
         &self.branch
     }
 
+    /// Exports the branch profile of one function for the optimizing tier
+    /// (see [`interp::profile`]): every site the branch monitor has observed
+    /// in `func_index`, as taken/not-taken counts keyed by bytecode offset.
+    /// Empty when no branch monitor is attached — the optimizing tier then
+    /// lays blocks out in bytecode order.
+    ///
+    /// The scan is linear in the module's total observed branch sites; it
+    /// runs once per optimizing-tier promotion (at most once per function
+    /// per instance), so the aggregate cost is bounded by
+    /// `functions × sites` per instance lifetime.
+    pub fn func_profile(&self, func_index: u32) -> interp::profile::FuncProfile {
+        let mut profile = interp::profile::FuncProfile::empty();
+        for (&(func, offset), counts) in &self.branch.counts {
+            if func == func_index {
+                profile.record(offset, true, counts.taken);
+                profile.record(offset, false, counts.not_taken);
+            }
+        }
+        profile
+    }
+
     /// The counter values of a counter monitor.
     pub fn counters(&self) -> &[u64] {
         &self.counters

@@ -31,6 +31,7 @@
 use crate::config::{EngineConfig, TierPolicy};
 use crate::engine::EngineError;
 use interp::interp::{prepare, PreparedFunction};
+use interp::profile::FuncProfile;
 use machine::masm::CodeBackend;
 use machine::x64_masm::{X64Code, X64Masm};
 use spc::{CompileError, CompiledFunction, ProbeSites, SinglePassCompiler};
@@ -70,6 +71,25 @@ pub struct CompiledArtifact {
 /// lifetime.
 type Slot = OnceLock<CompiledArtifact>;
 
+/// Which compiler produces a compilation artifact. Each tier has its own
+/// publication slot per function, so a module can hold baseline and
+/// optimized code side by side and the engine picks per activation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompileTier {
+    /// The single-pass baseline compiler.
+    Baseline,
+    /// The SSA-based optimizing compiler (`crates/optc`).
+    Opt,
+}
+
+/// The tier eager (instantiate-time) compilation fills under `config`.
+pub fn eager_tier(config: &EngineConfig) -> CompileTier {
+    match config.tier {
+        TierPolicy::OptimizingOnly => CompileTier::Opt,
+        _ => CompileTier::Baseline,
+    }
+}
+
 /// The immutable, shareable compilation artifact of one module: everything
 /// about a module that does not change as instances run.
 ///
@@ -84,6 +104,7 @@ pub struct CompiledModule {
     info: ModuleInfo,
     prepared: Vec<PreparedFunction>,
     slots: Vec<Slot>,
+    opt_slots: Vec<Slot>,
 }
 
 impl fmt::Debug for CompiledModule {
@@ -91,6 +112,7 @@ impl fmt::Debug for CompiledModule {
         f.debug_struct("CompiledModule")
             .field("funcs", &self.slots.len())
             .field("compiled", &self.compiled_count())
+            .field("opt_compiled", &self.opt_compiled_count())
             .finish()
     }
 }
@@ -113,11 +135,13 @@ impl CompiledModule {
             prepared.push(p);
         }
         let slots = (0..module.funcs.len()).map(|_| Slot::new()).collect();
+        let opt_slots = (0..module.funcs.len()).map(|_| Slot::new()).collect();
         Ok(CompiledModule {
             module,
             info,
             prepared,
             slots,
+            opt_slots,
         })
     }
 
@@ -146,87 +170,141 @@ impl CompiledModule {
         self.slots.len() as u32
     }
 
-    /// The published artifact of a defined function, if compiled.
-    pub fn artifact(&self, defined: u32) -> Option<&CompiledArtifact> {
-        self.slots.get(defined as usize)?.get()
+    fn slots_for(&self, tier: CompileTier) -> &[Slot] {
+        match tier {
+            CompileTier::Baseline => &self.slots,
+            CompileTier::Opt => &self.opt_slots,
+        }
     }
 
-    /// The published executable code of a defined function, if compiled.
+    /// The published baseline artifact of a defined function, if compiled.
+    pub fn artifact(&self, defined: u32) -> Option<&CompiledArtifact> {
+        self.artifact_for(defined, CompileTier::Baseline)
+    }
+
+    /// The published artifact of a defined function in `tier`, if compiled.
+    pub fn artifact_for(&self, defined: u32, tier: CompileTier) -> Option<&CompiledArtifact> {
+        self.slots_for(tier).get(defined as usize)?.get()
+    }
+
+    /// The published executable baseline code of a defined function.
     pub fn code(&self, defined: u32) -> Option<&CompiledFunction> {
         self.artifact(defined).map(|a| &a.function)
     }
 
-    /// Atomically publishes the compilation of `defined`. Returns `true` if
-    /// this call installed the artifact and `false` if another compilation
-    /// won the race (the artifact is dropped; both are byte-identical).
-    pub fn publish(&self, defined: u32, artifact: CompiledArtifact) -> bool {
-        self.slots[defined as usize].set(artifact).is_ok()
+    /// The published executable code of a defined function in `tier`.
+    pub fn code_for(&self, defined: u32, tier: CompileTier) -> Option<&CompiledFunction> {
+        self.artifact_for(defined, tier).map(|a| &a.function)
     }
 
-    /// How many defined functions have published code.
+    /// Atomically publishes a baseline compilation of `defined`. Returns
+    /// `true` if this call installed the artifact and `false` if another
+    /// compilation won the race (the artifact is dropped; both are
+    /// byte-identical).
+    pub fn publish(&self, defined: u32, artifact: CompiledArtifact) -> bool {
+        self.publish_for(defined, CompileTier::Baseline, artifact)
+    }
+
+    /// Atomically publishes a compilation of `defined` in `tier`. First
+    /// writer wins; for the optimizing tier, racing artifacts may differ in
+    /// block layout (profiles are per-instance) but never in semantics.
+    pub fn publish_for(&self, defined: u32, tier: CompileTier, artifact: CompiledArtifact) -> bool {
+        self.slots_for(tier)[defined as usize].set(artifact).is_ok()
+    }
+
+    /// How many defined functions have published code in any tier.
     pub fn compiled_count(&self) -> usize {
-        self.slots.iter().filter(|s| s.get().is_some()).count()
+        self.slots
+            .iter()
+            .zip(&self.opt_slots)
+            .filter(|(b, o)| b.get().is_some() || o.get().is_some())
+            .count()
+    }
+
+    /// How many defined functions have published optimizing-tier code.
+    pub fn opt_compiled_count(&self) -> usize {
+        self.opt_slots.iter().filter(|s| s.get().is_some()).count()
     }
 
     /// Total wall-clock compile time published into this artifact so far,
-    /// across every thread that contributed.
+    /// across every thread and tier that contributed.
     pub fn total_compile_wall(&self) -> Duration {
         self.slots
             .iter()
+            .chain(&self.opt_slots)
             .filter_map(|s| s.get())
             .map(|a| a.compile_wall)
             .sum()
     }
 }
 
-/// Compiles one defined function under `config` — the single pure step the
-/// whole pipeline is built from. Reads only immutable inputs, so it can run
-/// on any thread; the result is deterministic in (module, function, options,
-/// probes, backend).
+/// The optimizing compiler for `config`, lowering probes the way the
+/// configuration's baseline tier does so instrumentation counts stay
+/// tier-independent.
+fn opt_compiler(config: &EngineConfig) -> optc::OptimizingCompiler {
+    match config.baseline_options() {
+        Some(options) => optc::OptimizingCompiler::new(options.probe_mode),
+        None => optc::OptimizingCompiler::default(),
+    }
+}
+
+/// Compiles one defined function under `config` in `tier` — the single pure
+/// step the whole pipeline is built from. Reads only immutable inputs, so it
+/// can run on any thread; the result is deterministic in (module, function,
+/// options, probes, backend, tier, profile). `profile` feeds the optimizing
+/// tier's block layout and is ignored by the baseline tier.
 ///
 /// # Errors
 ///
 /// Returns the compiler's error for invalid or unsupported input.
 pub fn compile_function(
     config: &EngineConfig,
+    tier: CompileTier,
     module: &Module,
     func_index: u32,
     info: &FuncInfo,
     probes: &ProbeSites,
+    profile: Option<&FuncProfile>,
 ) -> Result<CompiledArtifact, CompileError> {
     let start = Instant::now();
-    let function = match &config.tier {
-        TierPolicy::OptimizingOnly => {
-            optc::OptimizingCompiler::default().compile(module, func_index, info, probes)?
+    let function = match tier {
+        CompileTier::Opt => {
+            opt_compiler(config).compile(module, func_index, info, probes, profile)?
         }
-        TierPolicy::BaselineOnly(options) | TierPolicy::Tiered { baseline: options, .. } => {
-            SinglePassCompiler::new(options.clone()).compile(module, func_index, info, probes)?
-        }
-        TierPolicy::InterpreterOnly => {
-            // Interpreter-only engines never compile; this is unreachable in
-            // practice but harmless.
-            SinglePassCompiler::default().compile(module, func_index, info, probes)?
+        CompileTier::Baseline => {
+            let options = config.baseline_options().cloned().unwrap_or_default();
+            SinglePassCompiler::new(options).compile(module, func_index, info, probes)?
         }
     };
     // The compile-time metric covers exactly the work that produced the
     // executable artifact; the backend size probe below is measured
     // separately so an x86-64-backend run stays comparable.
     let compile_wall = start.elapsed();
-    // Backend selection: with the x86-64 backend the same single-pass
-    // translation is emitted again as real machine bytes, so the code-size
-    // metric reports actual encodings. Execution still runs the virtual-ISA
-    // code — the simulator cannot execute raw bytes. Only tiers that install
-    // baseline code are probed: the optimizing tier's slot promotion is a
-    // virtual-ISA-only pass, so an x86-64 size for it would describe code
-    // the engine never produced.
-    let (machine_bytes, x64_code) = match (config.backend, config.baseline_options()) {
-        (CodeBackend::X64, Some(options)) => {
-            let x64 = SinglePassCompiler::new(options.clone()).compile_with(
+    // Backend selection: with the x86-64 backend the same translation is
+    // emitted again as real machine bytes, so the code-size metric reports
+    // actual encodings. Execution still runs the virtual-ISA code — the
+    // simulator cannot execute raw bytes. Both tiers emit through the
+    // `Masm` trait, so the optimizing tier's x86-64 size is real too.
+    let (machine_bytes, x64_code) = match (config.backend, tier) {
+        (CodeBackend::X64, CompileTier::Baseline) => {
+            let options = config.baseline_options().cloned().unwrap_or_default();
+            let x64 = SinglePassCompiler::new(options).compile_with(
                 X64Masm::new(),
                 module,
                 func_index,
                 info,
                 probes,
+            )?;
+            (x64.code.code_size() as u64, Some(x64.code))
+        }
+        (CodeBackend::X64, CompileTier::Opt) => {
+            let x64 = opt_compiler(config).compile_with(
+                X64Masm::new(),
+                module,
+                func_index,
+                info,
+                probes,
+                profile,
             )?;
             (x64.code.code_size() as u64, Some(x64.code))
         }
@@ -240,27 +318,30 @@ pub fn compile_function(
     })
 }
 
-/// Compiles `defined` into its slot unless it is already published. Returns
-/// whether this call published new code.
+/// Compiles `defined` into its `tier` slot unless it is already published.
+/// Returns whether this call published new code.
 fn compile_slot(
     config: &EngineConfig,
     artifact: &CompiledModule,
     instrumentation: &Instrumentation,
     defined: u32,
+    tier: CompileTier,
 ) -> Result<bool, CompileError> {
-    if artifact.artifact(defined).is_some() {
+    if artifact.artifact_for(defined, tier).is_some() {
         return Ok(false);
     }
     let func_index = artifact.module().defined_to_func_index(defined);
     let probes = instrumentation.sites_for(func_index);
     let compiled = compile_function(
         config,
+        tier,
         artifact.module(),
         func_index,
         artifact.func_info(defined),
         &probes,
+        None,
     )?;
-    Ok(artifact.publish(defined, compiled))
+    Ok(artifact.publish_for(defined, tier, compiled))
 }
 
 /// Eagerly compiles every uncompiled function of `artifact`, sharding the
@@ -285,6 +366,7 @@ pub fn compile_eager(
     instrumentation: &Instrumentation,
 ) -> Result<Vec<u32>, CompileError> {
     let num_defined = artifact.num_defined();
+    let tier = eager_tier(config);
     let workers = config
         .compile_workers
         .max(1)
@@ -292,7 +374,7 @@ pub fn compile_eager(
     if workers <= 1 {
         let mut published = Vec::new();
         for defined in 0..num_defined {
-            if compile_slot(config, artifact, instrumentation, defined)? {
+            if compile_slot(config, artifact, instrumentation, defined, tier)? {
                 published.push(defined);
             }
         }
@@ -305,7 +387,7 @@ pub fn compile_eager(
                     let mut published = Vec::new();
                     let mut defined = w as u32;
                     while defined < num_defined {
-                        match compile_slot(config, artifact, instrumentation, defined) {
+                        match compile_slot(config, artifact, instrumentation, defined, tier) {
                             Ok(true) => published.push(defined),
                             Ok(false) => {}
                             Err(e) => return Err((defined, e)),
@@ -346,6 +428,9 @@ struct CompileJob {
     defined: u32,
     probes: ProbeSites,
     config: EngineConfig,
+    tier: CompileTier,
+    /// Branch profile snapshot taken at enqueue time (optimizing tier only).
+    profile: Option<FuncProfile>,
 }
 
 /// Counters shared between the pool's handle and its worker threads.
@@ -401,14 +486,29 @@ impl BackgroundCompiler {
         }
     }
 
-    /// Enqueues the compilation of `defined` in `artifact`. Returns `false`
-    /// if the pool has already been shut down.
+    /// Enqueues the baseline compilation of `defined` in `artifact`. Returns
+    /// `false` if the pool has already been shut down.
     pub fn enqueue(
         &self,
         artifact: Arc<CompiledModule>,
         defined: u32,
         probes: ProbeSites,
         config: EngineConfig,
+    ) -> bool {
+        self.enqueue_tier(artifact, defined, probes, config, CompileTier::Baseline, None)
+    }
+
+    /// Enqueues the compilation of `defined` in `artifact` for `tier`, with
+    /// an optional branch-profile snapshot for the optimizing tier. Returns
+    /// `false` if the pool has already been shut down.
+    pub fn enqueue_tier(
+        &self,
+        artifact: Arc<CompiledModule>,
+        defined: u32,
+        probes: ProbeSites,
+        config: EngineConfig,
+        tier: CompileTier,
+        profile: Option<FuncProfile>,
     ) -> bool {
         let sender = self.sender.lock().expect("pool sender poisoned");
         match sender.as_ref() {
@@ -419,6 +519,8 @@ impl BackgroundCompiler {
                     defined,
                     probes,
                     config,
+                    tier,
+                    profile,
                 })
                 .is_ok()
             }
@@ -472,17 +574,19 @@ fn worker_loop(receiver: &Mutex<Receiver<CompileJob>>, counters: &PoolCounters) 
             Err(_) => return,
         };
         let Ok(job) = job else { return };
-        if job.artifact.artifact(job.defined).is_none() {
+        if job.artifact.artifact_for(job.defined, job.tier).is_none() {
             let func_index = job.artifact.module().defined_to_func_index(job.defined);
             let result = compile_function(
                 &job.config,
+                job.tier,
                 job.artifact.module(),
                 func_index,
                 job.artifact.func_info(job.defined),
                 &job.probes,
+                job.profile.as_ref(),
             );
             if let Ok(compiled) = result {
-                if job.artifact.publish(job.defined, compiled) {
+                if job.artifact.publish_for(job.defined, job.tier, compiled) {
                     counters.compiled.fetch_add(1, Ordering::SeqCst);
                 }
             }
@@ -546,9 +650,9 @@ mod tests {
         let config = EngineConfig::baseline("t", CompilerOptions::allopt());
         let artifact = CompiledModule::build(small_module(1)).unwrap();
         let instrumentation = Instrumentation::none();
-        assert!(compile_slot(&config, &artifact, &instrumentation, 0).unwrap());
+        assert!(compile_slot(&config, &artifact, &instrumentation, 0, CompileTier::Baseline).unwrap());
         assert!(
-            !compile_slot(&config, &artifact, &instrumentation, 0).unwrap(),
+            !compile_slot(&config, &artifact, &instrumentation, 0, CompileTier::Baseline).unwrap(),
             "second compile of the same slot publishes nothing"
         );
         assert_eq!(artifact.compiled_count(), 1);

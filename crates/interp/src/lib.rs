@@ -5,6 +5,8 @@
 //!   using a per-function [`sidetable`] for control transfers.
 //! * [`probe`] — the instrumentation interface (probes, frame accessors)
 //!   shared by the interpreter and JIT-compiled code.
+//! * [`profile`] — execution profiles the lower tiers export to the
+//!   optimizing tier (branch bias for profile-guided block layout).
 //!
 //! The interpreter is a resumable frame executor: the engine drives calls
 //! and returns so execution can cross tiers at any call boundary.
@@ -13,8 +15,10 @@
 
 pub mod interp;
 pub mod probe;
+pub mod profile;
 pub mod sidetable;
 
 pub use interp::{prepare, InterpExit, Interpreter, PreparedFunction};
 pub use probe::{FrameAccessor, NoProbes, ProbeSink};
+pub use profile::{BranchSummary, FuncProfile};
 pub use sidetable::{BranchEntry, Sidetable};

@@ -1,0 +1,114 @@
+//! Execution profiles exported by the lower tiers for the optimizing tier.
+//!
+//! Production engines feed their optimizing compiler with profiles collected
+//! while the code still runs in the interpreter or the baseline tier. This
+//! reproduction does the same: the engine's branch monitor accumulates
+//! per-site taken/not-taken counts (through the probe interface both tiers
+//! share), and exports them per function as a [`FuncProfile`] when a
+//! function is promoted to the optimizing tier. The profile lives in this
+//! crate — below both the engine and the optimizing compiler in the
+//! dependency graph — so `optc` can consume what the engine's monitors
+//! produce without either depending on the other.
+//!
+//! A profile is always advisory: an empty profile (the common case when no
+//! instrumentation is attached) simply leaves the optimizing tier's block
+//! layout in bytecode order, and a stale profile can only misplace blocks,
+//! never change semantics.
+
+use std::collections::HashMap;
+
+/// Taken / not-taken counts of one conditional branch site.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BranchSummary {
+    /// Times the condition was true (the branch was taken).
+    pub taken: u64,
+    /// Times the condition was false.
+    pub not_taken: u64,
+}
+
+impl BranchSummary {
+    /// True if the site was observed to be mostly taken. `None` when the
+    /// site was never observed or is perfectly balanced.
+    pub fn bias(&self) -> Option<bool> {
+        match self.taken.cmp(&self.not_taken) {
+            std::cmp::Ordering::Greater => Some(true),
+            std::cmp::Ordering::Less => Some(false),
+            std::cmp::Ordering::Equal => None,
+        }
+    }
+
+    /// Total observations of the site.
+    pub fn total(&self) -> u64 {
+        self.taken + self.not_taken
+    }
+}
+
+/// The branch profile of one function, keyed by the bytecode offset of the
+/// conditional branch (`br_if`, `if`, or `br_table`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FuncProfile {
+    sites: HashMap<u32, BranchSummary>,
+}
+
+impl FuncProfile {
+    /// An empty profile (no observations; layout falls back to bytecode
+    /// order).
+    pub fn empty() -> FuncProfile {
+        FuncProfile::default()
+    }
+
+    /// Records `count` observations of the branch at `offset` with the given
+    /// outcome.
+    pub fn record(&mut self, offset: u32, taken: bool, count: u64) {
+        let site = self.sites.entry(offset).or_default();
+        if taken {
+            site.taken += count;
+        } else {
+            site.not_taken += count;
+        }
+    }
+
+    /// The summary of the branch at `offset`, if observed.
+    pub fn site(&self, offset: u32) -> Option<&BranchSummary> {
+        self.sites.get(&offset)
+    }
+
+    /// The observed bias of the branch at `offset` (see
+    /// [`BranchSummary::bias`]).
+    pub fn bias(&self, offset: u32) -> Option<bool> {
+        self.sites.get(&offset).and_then(|s| s.bias())
+    }
+
+    /// True if the profile has no observations at all.
+    pub fn is_empty(&self) -> bool {
+        self.sites.is_empty()
+    }
+
+    /// Number of observed branch sites.
+    pub fn len(&self) -> usize {
+        self.sites.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bias_reflects_counts() {
+        let mut p = FuncProfile::empty();
+        assert!(p.is_empty());
+        assert_eq!(p.bias(4), None);
+        p.record(4, true, 10);
+        p.record(4, false, 3);
+        p.record(9, false, 1);
+        p.record(12, true, 2);
+        p.record(12, false, 2);
+        assert_eq!(p.bias(4), Some(true));
+        assert_eq!(p.bias(9), Some(false));
+        assert_eq!(p.bias(12), None, "balanced sites have no bias");
+        assert_eq!(p.site(4).unwrap().total(), 13);
+        assert_eq!(p.len(), 3);
+        assert!(!p.is_empty());
+    }
+}

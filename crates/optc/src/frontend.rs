@@ -1,0 +1,994 @@
+//! The wasm → SSA frontend.
+//!
+//! One forward pass over the validated bytecode builds the CFG and SSA form
+//! simultaneously, using the same control-stack discipline as validation and
+//! the interpreter's sidetable construction: every structured construct
+//! knows its merge point up front, so forward branches resolve immediately
+//! and only loop headers need (block-parameter) phis for values that might
+//! change around the back edge.
+//!
+//! Merge blocks conservatively take one parameter per local variable plus
+//! one per live operand-stack entry; the optimizer's trivial-parameter
+//! removal then deletes every parameter whose incoming arguments agree,
+//! which recovers precise SSA without any dominance computation here.
+//!
+//! Probe sites are lowered exactly as the baseline compiler lowers them
+//! (same kinds, same flush discipline at runtime/direct probes), so
+//! instrumentation observes identical firings from optimized code.
+
+use crate::ir::{Edge, FuncIr, Inst, Node, Terminator, ValueId};
+use machine::inst::{CmpOp, TrapCode, Width};
+use machine::lower::{classify, OpClass};
+use machine::values::NULL_REF_BITS;
+use spc::{CompileError, ProbeKind, ProbeMode, ProbeSites};
+use wasm::module::Module;
+use wasm::opcode::{OpSignature, Opcode};
+use wasm::reader::BytecodeReader;
+use wasm::types::{BlockType, ValueType};
+use wasm::validate::FuncInfo;
+
+use crate::ir::BlockId;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CtrlKind {
+    Func,
+    Block,
+    Loop,
+    If,
+    Else,
+}
+
+/// Where a branch at some depth lands.
+enum Dest {
+    /// Branching to the function label returns.
+    Return,
+    /// A jump to `target`, passing locals plus the operand stack up to
+    /// `base` plus the top `arity` values.
+    Edge {
+        target: BlockId,
+        base: usize,
+        arity: usize,
+    },
+}
+
+struct Frame {
+    kind: CtrlKind,
+    /// Created in unreachable code: owns no blocks, tracks nesting only.
+    dead: bool,
+    is_func: bool,
+    /// The merge (end) block. Meaningless when `dead` or `is_func`.
+    merge: BlockId,
+    /// The loop header, for `Loop` frames.
+    header: Option<BlockId>,
+    /// The else arm's block, for `If` frames.
+    else_block: Option<BlockId>,
+    else_taken: bool,
+    /// Operand-stack height below the construct's own values.
+    label_base: usize,
+    /// Number of block parameters.
+    num_params: usize,
+    /// Number of block results.
+    num_results: usize,
+    /// State at the `if` (after popping the condition), for the else arm.
+    snapshot: Option<(Vec<ValueId>, Vec<ValueId>)>,
+    unreachable: bool,
+}
+
+struct Builder<'a> {
+    module: &'a Module,
+    probes: &'a ProbeSites,
+    probe_mode: ProbeMode,
+    ir: FuncIr,
+    current: BlockId,
+    locals: Vec<ValueId>,
+    stack: Vec<ValueId>,
+    ctrl: Vec<Frame>,
+}
+
+/// Builds the SSA form of one validated function.
+///
+/// # Errors
+///
+/// Returns an error for malformed bodies (validation normally rejects these
+/// first).
+pub fn build(
+    module: &Module,
+    func_index: u32,
+    info: &FuncInfo,
+    probes: &ProbeSites,
+    probe_mode: ProbeMode,
+) -> Result<FuncIr, CompileError> {
+    let decl = module.func_decl(func_index).ok_or(CompileError {
+        offset: 0,
+        message: format!("function {func_index} has no body"),
+    })?;
+    let sig = module.func_type(func_index).ok_or(CompileError {
+        offset: 0,
+        message: format!("function {func_index} has no signature"),
+    })?;
+    let local_types = module
+        .func_local_types(func_index)
+        .expect("checked above: function has a body");
+    let num_params = sig.params.len();
+
+    let mut ir = FuncIr::new(
+        func_index,
+        local_types.clone(),
+        sig.results.clone(),
+        info.max_stack,
+    );
+    // Parameters are entry-block parameters (the engine wrote them into the
+    // frame's first slots); declared locals start as their default constants,
+    // which feeds the constant folder directly.
+    let entry = ir.entry();
+    let mut locals = Vec::with_capacity(local_types.len());
+    for (i, &ty) in local_types.iter().enumerate() {
+        if i < num_params {
+            locals.push(ir.add_param(entry, ty));
+        } else {
+            locals.push(ir.add_value(Node::Const(default_bits(ty)), ty));
+        }
+    }
+
+    let mut b = Builder {
+        module,
+        probes,
+        probe_mode,
+        ir,
+        current: entry,
+        locals,
+        stack: Vec::new(),
+        ctrl: Vec::new(),
+    };
+    b.ctrl.push(Frame {
+        kind: CtrlKind::Func,
+        dead: false,
+        is_func: true,
+        merge: entry,
+        header: None,
+        else_block: None,
+        else_taken: false,
+        label_base: 0,
+        num_params: 0,
+        num_results: sig.results.len(),
+        snapshot: None,
+        unreachable: false,
+    });
+    b.run(&decl.code)?;
+    Ok(b.ir)
+}
+
+/// Raw slot bits of a type's default value.
+fn default_bits(ty: ValueType) -> u64 {
+    if ty.is_reference() {
+        NULL_REF_BITS
+    } else {
+        0
+    }
+}
+
+impl<'a> Builder<'a> {
+    fn error(&self, offset: usize, message: impl Into<String>) -> CompileError {
+        CompileError {
+            offset,
+            message: message.into(),
+        }
+    }
+
+    fn unreachable_now(&self) -> bool {
+        self.ctrl.last().map(|f| f.unreachable).unwrap_or(false)
+    }
+
+    fn pop(&mut self) -> ValueId {
+        self.stack.pop().expect("validated stack is never empty here")
+    }
+
+    fn push(&mut self, v: ValueId) {
+        self.stack.push(v);
+    }
+
+    fn set_term(&mut self, term: Terminator) {
+        self.ir.blocks[self.current.index()].term = term;
+    }
+
+    fn push_inst(&mut self, inst: Inst) {
+        self.ir.blocks[self.current.index()].insts.push(inst);
+    }
+
+    fn def(&mut self, node: Node, ty: ValueType) -> ValueId {
+        let v = self.ir.add_value(node, ty);
+        self.push_inst(Inst::Def(v));
+        v
+    }
+
+    /// The edge arguments for a transfer to a merge point at `base` with
+    /// `arity` transferred values: current locals, the untouched stack below
+    /// `base`, and the top `arity` values.
+    fn edge_args(&self, base: usize, arity: usize) -> Vec<ValueId> {
+        let mut args = self.locals.clone();
+        args.extend_from_slice(&self.stack[..base]);
+        args.extend_from_slice(&self.stack[self.stack.len() - arity..]);
+        args
+    }
+
+    /// Creates a merge block with parameters for every local, the stack
+    /// below `base`, and `tys` transferred values.
+    fn make_merge(&mut self, base: usize, tys: &[ValueType]) -> BlockId {
+        let block = self.ir.add_block();
+        for i in 0..self.locals.len() {
+            let ty = self.ir.local_types[i];
+            self.ir.add_param(block, ty);
+        }
+        for p in 0..base {
+            let ty = self.ir.ty(self.stack[p]);
+            self.ir.add_param(block, ty);
+        }
+        for &ty in tys {
+            self.ir.add_param(block, ty);
+        }
+        block
+    }
+
+    /// Continues lowering at a merge block: locals and stack are its params.
+    fn adopt_merge_state(&mut self, block: BlockId) {
+        let params = self.ir.blocks[block.index()].params.clone();
+        let n = self.locals.len();
+        self.locals = params[..n].to_vec();
+        self.stack = params[n..].to_vec();
+        self.current = block;
+    }
+
+    fn branch_target(&self, depth: u32) -> Option<Dest> {
+        let len = self.ctrl.len();
+        if depth as usize >= len {
+            return None;
+        }
+        let frame = &self.ctrl[len - 1 - depth as usize];
+        if frame.is_func {
+            return Some(Dest::Return);
+        }
+        if frame.kind == CtrlKind::Loop {
+            Some(Dest::Edge {
+                target: frame.header.expect("loop has a header"),
+                base: frame.label_base,
+                arity: frame.num_params,
+            })
+        } else {
+            Some(Dest::Edge {
+                target: frame.merge,
+                base: frame.label_base,
+                arity: frame.num_results,
+            })
+        }
+    }
+
+    /// The edge for a resolved destination, materializing a dedicated
+    /// return block for branches to the function label.
+    fn dest_edge(&mut self, dest: &Dest) -> Edge {
+        match dest {
+            Dest::Return => {
+                let n = self.ir.result_types.len();
+                let results = self.stack[self.stack.len() - n..].to_vec();
+                let block = self.ir.add_block();
+                self.ir.blocks[block.index()].term = Terminator::Return(results);
+                Edge {
+                    target: block,
+                    args: vec![],
+                }
+            }
+            Dest::Edge {
+                target,
+                base,
+                arity,
+            } => Edge {
+                target: *target,
+                args: self.edge_args(*base, *arity),
+            },
+        }
+    }
+
+    fn mark_unreachable(&mut self) {
+        let base = self.ctrl.last().map(|f| f.label_base).unwrap_or(0);
+        self.stack.truncate(base);
+        if let Some(frame) = self.ctrl.last_mut() {
+            frame.unreachable = true;
+        }
+    }
+
+    fn emit_return(&mut self) {
+        let n = self.ir.result_types.len();
+        let results = self.stack[self.stack.len() - n..].to_vec();
+        self.set_term(Terminator::Return(results));
+    }
+
+    fn emit_probe(&mut self, site: spc::ProbeSite, offset: u32) {
+        let height = self.stack.len() as u32;
+        match (self.probe_mode, site.kind) {
+            (ProbeMode::Optimized, ProbeKind::Counter { counter_id }) => {
+                self.push_inst(Inst::ProbeCounter {
+                    counter_id,
+                    offset,
+                    height,
+                });
+            }
+            (ProbeMode::Optimized, ProbeKind::TopOfStack) => {
+                let value = self.stack.last().copied();
+                self.push_inst(Inst::ProbeTos {
+                    probe_id: site.probe_id,
+                    value,
+                    offset,
+                    height,
+                });
+            }
+            (ProbeMode::Optimized, ProbeKind::Generic) | (ProbeMode::Runtime, _) => {
+                // Observable frame: the interpreter layout must hold, for
+                // frame accessors and tier-down.
+                let mut flush = Vec::with_capacity(self.locals.len() + self.stack.len());
+                for (i, &v) in self.locals.iter().enumerate() {
+                    flush.push((i as u32, v));
+                }
+                let num_locals = self.locals.len() as u32;
+                for (p, &v) in self.stack.iter().enumerate() {
+                    flush.push((num_locals + p as u32, v));
+                }
+                self.ir.has_flush_probes = true;
+                self.push_inst(Inst::ProbeFlush {
+                    probe_id: site.probe_id,
+                    runtime: self.probe_mode == ProbeMode::Runtime,
+                    offset,
+                    height,
+                    flush,
+                });
+            }
+        }
+    }
+
+    fn run(&mut self, code: &[u8]) -> Result<(), CompileError> {
+        let mut reader = BytecodeReader::new(code);
+        while !self.ctrl.is_empty() {
+            if reader.is_at_end() {
+                return Err(self.error(code.len(), "body ended with open control constructs"));
+            }
+            let offset = reader.pc();
+            let op = reader
+                .read_opcode()
+                .map_err(|e| self.error(offset, e.to_string()))?;
+            if !self.unreachable_now() {
+                if let Some(site) = self.probes.get(offset as u32) {
+                    self.emit_probe(*site, offset as u32);
+                }
+            }
+            self.lower(op, offset, &mut reader)?;
+        }
+        if !reader.is_at_end() {
+            return Err(self.error(reader.pc(), "trailing bytes after final end"));
+        }
+        Ok(())
+    }
+
+    fn block_signature(
+        &self,
+        offset: usize,
+        bt: BlockType,
+    ) -> Result<(Vec<ValueType>, Vec<ValueType>), CompileError> {
+        bt.resolve(&self.module.types)
+            .ok_or_else(|| self.error(offset, "bad block type"))
+    }
+
+    fn lower(
+        &mut self,
+        op: Opcode,
+        offset: usize,
+        reader: &mut BytecodeReader<'_>,
+    ) -> Result<(), CompileError> {
+        // In unreachable code only track control nesting, like validation.
+        if self.unreachable_now()
+            && !matches!(
+                op,
+                Opcode::Block | Opcode::Loop | Opcode::If | Opcode::Else | Opcode::End
+            )
+        {
+            reader
+                .skip_immediates(op)
+                .map_err(|e| self.error(offset, e.to_string()))?;
+            return Ok(());
+        }
+
+        match op {
+            Opcode::Nop => {}
+            Opcode::Unreachable => {
+                self.set_term(Terminator::Trap(TrapCode::Unreachable));
+                self.mark_unreachable();
+            }
+            Opcode::Block | Opcode::Loop | Opcode::If => {
+                let bt = reader
+                    .read_block_type()
+                    .map_err(|e| self.error(offset, e.to_string()))?;
+                let (params, results) = self.block_signature(offset, bt)?;
+                let dead = self.unreachable_now();
+                if dead {
+                    self.ctrl.push(Frame {
+                        kind: match op {
+                            Opcode::Block => CtrlKind::Block,
+                            Opcode::Loop => CtrlKind::Loop,
+                            _ => CtrlKind::If,
+                        },
+                        dead: true,
+                        is_func: false,
+                        merge: self.current,
+                        header: None,
+                        else_block: None,
+                        else_taken: false,
+                        label_base: 0,
+                        num_params: params.len(),
+                        num_results: results.len(),
+                        snapshot: None,
+                        unreachable: true,
+                    });
+                    return Ok(());
+                }
+
+                let cond = if op == Opcode::If { Some(self.pop()) } else { None };
+                let base = self.stack.len() - params.len();
+                let merge = self.make_merge(base, &results);
+                let mut frame = Frame {
+                    kind: match op {
+                        Opcode::Block => CtrlKind::Block,
+                        Opcode::Loop => CtrlKind::Loop,
+                        _ => CtrlKind::If,
+                    },
+                    dead: false,
+                    is_func: false,
+                    merge,
+                    header: None,
+                    else_block: None,
+                    else_taken: false,
+                    label_base: base,
+                    num_params: params.len(),
+                    num_results: results.len(),
+                    snapshot: None,
+                    unreachable: false,
+                };
+                match op {
+                    Opcode::Loop => {
+                        let header = self.make_merge(base, &params);
+                        let args = self.edge_args(base, params.len());
+                        self.set_term(Terminator::Jump(Edge {
+                            target: header,
+                            args,
+                        }));
+                        self.adopt_merge_state(header);
+                        frame.header = Some(header);
+                    }
+                    Opcode::If => {
+                        frame.snapshot = Some((self.locals.clone(), self.stack.clone()));
+                        let then_block = self.ir.add_block();
+                        let else_block = self.ir.add_block();
+                        self.set_term(Terminator::Branch {
+                            cond: cond.expect("if pops a condition"),
+                            offset: offset as u32,
+                            natural_then: true,
+                            then_edge: Edge {
+                                target: then_block,
+                                args: vec![],
+                            },
+                            else_edge: Edge {
+                                target: else_block,
+                                args: vec![],
+                            },
+                        });
+                        self.current = then_block;
+                        frame.else_block = Some(else_block);
+                    }
+                    _ => {}
+                }
+                self.ctrl.push(frame);
+            }
+            Opcode::Else => {
+                let frame = self.ctrl.last_mut().expect("else inside an if");
+                if frame.dead {
+                    frame.kind = CtrlKind::Else;
+                    frame.else_taken = true;
+                    return Ok(());
+                }
+                let was_reachable = !frame.unreachable;
+                let (merge, base, num_results) =
+                    (frame.merge, frame.label_base, frame.num_results);
+                if was_reachable {
+                    let args = self.edge_args(base, num_results);
+                    self.set_term(Terminator::Jump(Edge {
+                        target: merge,
+                        args,
+                    }));
+                }
+                let frame = self.ctrl.last_mut().expect("else inside an if");
+                frame.kind = CtrlKind::Else;
+                frame.else_taken = true;
+                frame.unreachable = false;
+                let else_block = frame.else_block.expect("if created an else block");
+                let (snap_locals, snap_stack) =
+                    frame.snapshot.clone().expect("if saved a snapshot");
+                self.locals = snap_locals;
+                self.stack = snap_stack;
+                self.current = else_block;
+            }
+            Opcode::End => {
+                let frame = self.ctrl.pop().expect("end matches a construct");
+                if frame.dead {
+                    return Ok(());
+                }
+                let was_reachable = !frame.unreachable;
+                if frame.is_func {
+                    if was_reachable {
+                        self.emit_return();
+                    }
+                    return Ok(());
+                }
+                if was_reachable {
+                    let args = self.edge_args(frame.label_base, frame.num_results);
+                    self.set_term(Terminator::Jump(Edge {
+                        target: frame.merge,
+                        args,
+                    }));
+                }
+                // An `if` without an `else`: the false edge flows straight to
+                // the merge with the state captured at the `if` (validation
+                // guarantees params == results here).
+                if frame.kind == CtrlKind::If && !frame.else_taken {
+                    let else_block = frame.else_block.expect("if created an else block");
+                    let (snap_locals, snap_stack) =
+                        frame.snapshot.clone().expect("if saved a snapshot");
+                    let mut args = snap_locals;
+                    args.extend_from_slice(&snap_stack);
+                    self.ir.blocks[else_block.index()].term = Terminator::Jump(Edge {
+                        target: frame.merge,
+                        args,
+                    });
+                }
+                self.adopt_merge_state(frame.merge);
+            }
+            Opcode::Br => {
+                let depth = reader
+                    .read_index()
+                    .map_err(|e| self.error(offset, e.to_string()))?;
+                let dest = self
+                    .branch_target(depth)
+                    .ok_or_else(|| self.error(offset, "bad branch depth"))?;
+                match dest {
+                    Dest::Return => self.emit_return(),
+                    dest => {
+                        let edge = self.dest_edge(&dest);
+                        self.set_term(Terminator::Jump(edge));
+                    }
+                }
+                self.mark_unreachable();
+            }
+            Opcode::BrIf => {
+                let depth = reader
+                    .read_index()
+                    .map_err(|e| self.error(offset, e.to_string()))?;
+                let cond = self.pop();
+                let dest = self
+                    .branch_target(depth)
+                    .ok_or_else(|| self.error(offset, "bad branch depth"))?;
+                let then_edge = self.dest_edge(&dest);
+                let cont = self.ir.add_block();
+                self.set_term(Terminator::Branch {
+                    cond,
+                    offset: offset as u32,
+                    natural_then: false,
+                    then_edge,
+                    else_edge: Edge {
+                        target: cont,
+                        args: vec![],
+                    },
+                });
+                self.current = cont;
+            }
+            Opcode::BrTable => {
+                let (depths, default) = reader
+                    .read_branch_table()
+                    .map_err(|e| self.error(offset, e.to_string()))?;
+                let index = self.pop();
+                let mut targets = Vec::with_capacity(depths.len());
+                for depth in &depths {
+                    let dest = self
+                        .branch_target(*depth)
+                        .ok_or_else(|| self.error(offset, "bad branch depth"))?;
+                    targets.push(self.dest_edge(&dest));
+                }
+                let dest = self
+                    .branch_target(default)
+                    .ok_or_else(|| self.error(offset, "bad branch depth"))?;
+                let default = self.dest_edge(&dest);
+                self.set_term(Terminator::BrTable {
+                    index,
+                    targets,
+                    default,
+                });
+                self.mark_unreachable();
+            }
+            Opcode::Return => {
+                self.emit_return();
+                self.mark_unreachable();
+            }
+            Opcode::Call => {
+                let callee = reader
+                    .read_index()
+                    .map_err(|e| self.error(offset, e.to_string()))?;
+                let sig = self
+                    .module
+                    .func_type(callee)
+                    .cloned()
+                    .ok_or_else(|| self.error(offset, format!("unknown callee {callee}")))?;
+                let split = self.stack.len() - sig.params.len();
+                let args = self.stack.split_off(split);
+                let results: Vec<ValueId> = sig
+                    .results
+                    .iter()
+                    .map(|&ty| self.ir.add_value(Node::CallResult, ty))
+                    .collect();
+                self.push_inst(Inst::Call {
+                    offset: offset as u32,
+                    callee,
+                    args,
+                    results: results.clone(),
+                });
+                self.stack.extend(results);
+            }
+            Opcode::CallIndirect => {
+                let (type_index, table_index) = reader
+                    .read_call_indirect()
+                    .map_err(|e| self.error(offset, e.to_string()))?;
+                let sig = self
+                    .module
+                    .types
+                    .get(type_index as usize)
+                    .cloned()
+                    .ok_or_else(|| self.error(offset, format!("unknown type {type_index}")))?;
+                let index = self.pop();
+                let split = self.stack.len() - sig.params.len();
+                let args = self.stack.split_off(split);
+                let results: Vec<ValueId> = sig
+                    .results
+                    .iter()
+                    .map(|&ty| self.ir.add_value(Node::CallResult, ty))
+                    .collect();
+                self.push_inst(Inst::CallIndirect {
+                    offset: offset as u32,
+                    type_index,
+                    table_index,
+                    index,
+                    args,
+                    results: results.clone(),
+                });
+                self.stack.extend(results);
+            }
+            Opcode::Drop => {
+                self.pop();
+            }
+            Opcode::Select | Opcode::SelectT => {
+                if op == Opcode::SelectT {
+                    reader
+                        .read_select_types()
+                        .map_err(|e| self.error(offset, e.to_string()))?;
+                }
+                let cond = self.pop();
+                let if_false = self.pop();
+                let if_true = self.pop();
+                let ty = self.ir.ty(if_true);
+                let v = self.def(
+                    Node::Select {
+                        cond,
+                        if_true,
+                        if_false,
+                    },
+                    ty,
+                );
+                self.push(v);
+            }
+            Opcode::LocalGet => {
+                let index = reader
+                    .read_index()
+                    .map_err(|e| self.error(offset, e.to_string()))? as usize;
+                self.push(self.locals[index]);
+            }
+            Opcode::LocalSet | Opcode::LocalTee => {
+                let index = reader
+                    .read_index()
+                    .map_err(|e| self.error(offset, e.to_string()))? as usize;
+                let v = *self.stack.last().expect("validated");
+                self.locals[index] = v;
+                if op == Opcode::LocalSet {
+                    self.pop();
+                }
+            }
+            Opcode::GlobalGet => {
+                let index = reader
+                    .read_index()
+                    .map_err(|e| self.error(offset, e.to_string()))?;
+                let ty = self
+                    .module
+                    .global_type(index)
+                    .ok_or_else(|| self.error(offset, format!("unknown global {index}")))?
+                    .value_type;
+                let v = self.def(Node::GlobalGet { index }, ty);
+                self.push(v);
+            }
+            Opcode::GlobalSet => {
+                let index = reader
+                    .read_index()
+                    .map_err(|e| self.error(offset, e.to_string()))?;
+                let value = self.pop();
+                self.push_inst(Inst::GlobalSet { index, value });
+            }
+            Opcode::I32Const => {
+                let v = reader
+                    .read_i32()
+                    .map_err(|e| self.error(offset, e.to_string()))?;
+                let c = self.ir.add_value(Node::Const(v as u32 as u64), ValueType::I32);
+                self.push(c);
+            }
+            Opcode::I64Const => {
+                let v = reader
+                    .read_i64()
+                    .map_err(|e| self.error(offset, e.to_string()))?;
+                let c = self.ir.add_value(Node::Const(v as u64), ValueType::I64);
+                self.push(c);
+            }
+            Opcode::F32Const => {
+                let v = reader
+                    .read_f32()
+                    .map_err(|e| self.error(offset, e.to_string()))?;
+                let c = self
+                    .ir
+                    .add_value(Node::Const(v.to_bits() as u64), ValueType::F32);
+                self.push(c);
+            }
+            Opcode::F64Const => {
+                let v = reader
+                    .read_f64()
+                    .map_err(|e| self.error(offset, e.to_string()))?;
+                let c = self.ir.add_value(Node::Const(v.to_bits()), ValueType::F64);
+                self.push(c);
+            }
+            Opcode::RefNull => {
+                let ty = reader
+                    .read_ref_type()
+                    .map_err(|e| self.error(offset, e.to_string()))?;
+                let c = self.ir.add_value(Node::Const(NULL_REF_BITS), ty);
+                self.push(c);
+            }
+            Opcode::RefFunc => {
+                let index = reader
+                    .read_index()
+                    .map_err(|e| self.error(offset, e.to_string()))?;
+                let c = self
+                    .ir
+                    .add_value(Node::Const(index as u64), ValueType::FuncRef);
+                self.push(c);
+            }
+            Opcode::RefIsNull => {
+                let r = self.pop();
+                let null = self
+                    .ir
+                    .add_value(Node::Const(NULL_REF_BITS), ValueType::I64);
+                let v = self.def(
+                    Node::Op {
+                        class: OpClass::Cmp(CmpOp::Eq, Width::W64),
+                        args: [r, null],
+                    },
+                    ValueType::I32,
+                );
+                self.push(v);
+            }
+            Opcode::MemorySize => {
+                reader
+                    .read_memory_index()
+                    .map_err(|e| self.error(offset, e.to_string()))?;
+                let v = self.def(Node::MemorySize, ValueType::I32);
+                self.push(v);
+            }
+            Opcode::MemoryGrow => {
+                reader
+                    .read_memory_index()
+                    .map_err(|e| self.error(offset, e.to_string()))?;
+                let delta = self.pop();
+                let v = self.def(Node::MemoryGrow { delta }, ValueType::I32);
+                self.push(v);
+            }
+            _ if op.is_memory_access() => {
+                let memarg = reader
+                    .read_memarg()
+                    .map_err(|e| self.error(offset, e.to_string()))?;
+                let width = op.access_width().expect("memory access has a width");
+                match op.signature() {
+                    OpSignature::Load(result) => {
+                        let addr = self.pop();
+                        let signed = matches!(
+                            op,
+                            Opcode::I32Load8S
+                                | Opcode::I32Load16S
+                                | Opcode::I64Load8S
+                                | Opcode::I64Load16S
+                                | Opcode::I64Load32S
+                        );
+                        let dst_width = if result == ValueType::I32 || result == ValueType::F32 {
+                            Width::W32
+                        } else {
+                            Width::W64
+                        };
+                        let v = self.def(
+                            Node::MemLoad {
+                                addr,
+                                offset: memarg.offset,
+                                width,
+                                signed,
+                                dst_width,
+                            },
+                            result,
+                        );
+                        self.push(v);
+                    }
+                    OpSignature::Store(_) => {
+                        let value = self.pop();
+                        let addr = self.pop();
+                        self.push_inst(Inst::MemStore {
+                            value,
+                            addr,
+                            offset: memarg.offset,
+                            width,
+                        });
+                    }
+                    _ => unreachable!("memory access opcodes have load/store signatures"),
+                }
+            }
+            _ => {
+                let class = classify(op)
+                    .ok_or_else(|| self.error(offset, format!("unhandled opcode {op}")))?;
+                let mut args = [ValueId(0); 2];
+                if class.arity() == 2 {
+                    args[1] = self.pop();
+                    args[0] = self.pop();
+                } else {
+                    args[0] = self.pop();
+                    args[1] = args[0];
+                }
+                let v = self.def(Node::Op { class, args }, class.result_type());
+                self.push(v);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wasm::builder::{CodeBuilder, ModuleBuilder};
+    use wasm::types::FuncType;
+    use wasm::validate::validate;
+
+    fn build_ir(
+        params: Vec<ValueType>,
+        results: Vec<ValueType>,
+        locals: Vec<ValueType>,
+        code: CodeBuilder,
+    ) -> FuncIr {
+        let mut b = ModuleBuilder::new();
+        let f = b.add_func(FuncType::new(params, results), locals, code.finish());
+        let module = b.finish();
+        let info = validate(&module).unwrap();
+        build(
+            &module,
+            f,
+            &info.funcs[0],
+            &ProbeSites::none(),
+            ProbeMode::Optimized,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn straight_line_builds_one_block() {
+        let mut c = CodeBuilder::new();
+        c.local_get(0).i32_const(2).op(Opcode::I32Add);
+        let ir = build_ir(vec![ValueType::I32], vec![ValueType::I32], vec![], c);
+        assert_eq!(ir.reachable().iter().filter(|r| **r).count(), 1);
+        match &ir.blocks[0].term {
+            Terminator::Return(values) => assert_eq!(values.len(), 1),
+            other => panic!("expected return, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn loop_creates_a_header_with_params() {
+        let mut c = CodeBuilder::new();
+        c.block(BlockType::Empty)
+            .loop_(BlockType::Empty)
+            .local_get(0)
+            .op(Opcode::I32Eqz)
+            .br_if(1)
+            .local_get(0)
+            .i32_const(1)
+            .op(Opcode::I32Sub)
+            .local_set(0)
+            .br(0)
+            .end()
+            .end()
+            .local_get(0);
+        let ir = build_ir(vec![ValueType::I32], vec![ValueType::I32], vec![], c);
+        // The loop header has a parameter for the local.
+        let has_loop_params = ir
+            .blocks
+            .iter()
+            .enumerate()
+            .any(|(i, b)| i != 0 && !b.params.is_empty());
+        assert!(has_loop_params, "{}", ir.display());
+    }
+
+    #[test]
+    fn if_without_else_flows_to_merge() {
+        let mut c = CodeBuilder::new();
+        c.local_get(0)
+            .if_(BlockType::Empty)
+            .i32_const(7)
+            .local_set(0)
+            .end()
+            .local_get(0);
+        let ir = build_ir(vec![ValueType::I32], vec![ValueType::I32], vec![], c);
+        // Every reachable block is terminated (no placeholder traps except
+        // real ones).
+        let reach = ir.reachable();
+        for (i, block) in ir.blocks.iter().enumerate() {
+            if reach[i] {
+                if let Terminator::Trap(TrapCode::Unreachable) = &block.term {
+                    panic!("unterminated reachable block b{i}:\n{}", ir.display())
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dead_code_is_skipped() {
+        let mut c = CodeBuilder::new();
+        c.block(BlockType::Empty)
+            .br(0)
+            .i32_const(1)
+            .i32_const(2)
+            .op(Opcode::I32Add)
+            .drop_()
+            .end();
+        let ir = build_ir(vec![], vec![], vec![], c);
+        // The dead add was never lowered.
+        assert!(
+            !ir.nodes.iter().any(|n| matches!(
+                n,
+                Node::Op {
+                    class: OpClass::Alu(machine::inst::AluOp::Add, _),
+                    ..
+                }
+            )),
+            "{}",
+            ir.display()
+        );
+    }
+
+    #[test]
+    fn declared_locals_default_to_constants() {
+        let mut c = CodeBuilder::new();
+        c.local_get(1);
+        let ir = build_ir(
+            vec![ValueType::I32],
+            vec![ValueType::I64],
+            vec![ValueType::I64],
+            c,
+        );
+        match &ir.blocks[0].term {
+            Terminator::Return(values) => {
+                assert_eq!(ir.as_const(values[0]), Some(0));
+            }
+            other => panic!("expected return, got {other:?}"),
+        }
+    }
+}

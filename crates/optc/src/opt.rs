@@ -1,0 +1,592 @@
+//! The optimization pipeline: constant folding, branch folding, trivial
+//! block-parameter removal (copy propagation across merges), local common
+//! subexpression and redundant-load elimination, and dead-code elimination.
+//!
+//! All passes communicate through [`FuncIr::resolved`] aliasing: a pass that
+//! proves two values equal redirects one to the other, and later passes (and
+//! the emitter) read through [`FuncIr::resolve`]. Nothing ever rewrites use
+//! lists, which keeps every pass linear and simple.
+//!
+//! Semantics guardrails, shared with the baseline compiler and interpreter:
+//!
+//! * folding evaluates through the one
+//!   [`OpClass::evaluate`](machine::lower::OpClass::evaluate) table all
+//!   tiers use, so folded results are bit-identical to execution;
+//! * an operation whose folding would *trap* is left in place so the trap
+//!   still happens at runtime;
+//! * trapping operations (division, checked conversions, memory loads) are
+//!   never dead-code-eliminated — a dropped result does not drop the trap —
+//!   but two identical ones can share a result;
+//! * loads are only shared within a block and are invalidated by stores,
+//!   `memory.grow`, and calls; global reads likewise by writes and calls.
+
+use crate::ir::{Effect, FuncIr, Inst, Node, Terminator, ValueId};
+use std::collections::{HashMap, HashSet};
+
+/// Runs the full pass pipeline to a (bounded) fixpoint.
+pub fn optimize(ir: &mut FuncIr) {
+    // Each round enables the next: folding a branch exposes trivial params,
+    // removing params exposes constants, and so on. Three rounds reach the
+    // fixpoint on everything the test corpus contains; more never hurts
+    // correctness, only compile time.
+    for _ in 0..3 {
+        fold(ir);
+        let a = simplify_params(ir);
+        cse(ir);
+        let b = dce(ir);
+        if !a && !b {
+            break;
+        }
+    }
+}
+
+/// A node with all value operands resolved, for structural comparison.
+fn resolved_node(ir: &FuncIr, v: ValueId) -> Node {
+    let mut node = ir.nodes[ir.resolve(v).index()].clone();
+    match &mut node {
+        Node::Op { args, .. } => {
+            args[0] = ir.resolve(args[0]);
+            args[1] = ir.resolve(args[1]);
+        }
+        Node::Select {
+            cond,
+            if_true,
+            if_false,
+        } => {
+            *cond = ir.resolve(*cond);
+            *if_true = ir.resolve(*if_true);
+            *if_false = ir.resolve(*if_false);
+        }
+        Node::MemLoad { addr, .. } => *addr = ir.resolve(*addr),
+        Node::MemoryGrow { delta } => *delta = ir.resolve(*delta),
+        _ => {}
+    }
+    node
+}
+
+/// Constant folding over values and branch folding over terminators.
+#[allow(clippy::needless_range_loop)] // blocks are mutated while indexed
+pub fn fold(ir: &mut FuncIr) {
+    let reachable = ir.reachable();
+    for bi in 0..ir.blocks.len() {
+        if !reachable[bi] {
+            continue;
+        }
+        for ii in 0..ir.blocks[bi].insts.len() {
+            let Inst::Def(v) = ir.blocks[bi].insts[ii] else {
+                continue;
+            };
+            if ir.resolve(v) != v {
+                continue;
+            }
+            match resolved_node(ir, v) {
+                Node::Op { class, args } => {
+                    let arity = class.arity();
+                    let mut operands = [0u64; 2];
+                    let mut all_const = true;
+                    for (i, slot) in operands.iter_mut().enumerate().take(arity) {
+                        match ir.as_const(args[i]) {
+                            Some(bits) => *slot = bits,
+                            None => {
+                                all_const = false;
+                                break;
+                            }
+                        }
+                    }
+                    if all_const {
+                        // A folding that would trap stays in the code so the
+                        // trap happens during execution, like the baseline.
+                        if let Ok(bits) = class.evaluate(&operands[..arity]) {
+                            ir.nodes[v.index()] = Node::Const(bits);
+                        }
+                    }
+                }
+                Node::Select {
+                    cond,
+                    if_true,
+                    if_false,
+                } => {
+                    if let Some(c) = ir.as_const(cond) {
+                        ir.alias(v, if c != 0 { if_true } else { if_false });
+                    }
+                }
+                _ => {}
+            }
+        }
+        // Branch folding: a constant condition turns the conditional into a
+        // jump; the untaken side goes unreachable and is pruned from layout.
+        let folded = match &ir.blocks[bi].term {
+            Terminator::Branch {
+                cond,
+                then_edge,
+                else_edge,
+                ..
+            } => ir.as_const(*cond).map(|c| {
+                if c != 0 {
+                    then_edge.clone()
+                } else {
+                    else_edge.clone()
+                }
+            }),
+            _ => None,
+        };
+        if let Some(edge) = folded {
+            ir.blocks[bi].term = Terminator::Jump(edge);
+        }
+    }
+}
+
+/// Removes block parameters whose incoming arguments all resolve to the
+/// same value (trivial phis), aliasing the parameter to it. Returns whether
+/// anything changed.
+#[allow(clippy::needless_range_loop)] // blocks are mutated while indexed
+pub fn simplify_params(ir: &mut FuncIr) -> bool {
+    let mut changed = false;
+    loop {
+        let reachable = ir.reachable();
+        // Incoming resolved argument vectors per target block.
+        let mut incoming: HashMap<usize, Vec<Vec<ValueId>>> = HashMap::new();
+        for (bi, block) in ir.blocks.iter().enumerate() {
+            if !reachable[bi] {
+                continue;
+            }
+            block.term.for_each_edge(|e| {
+                let args = e.args.iter().map(|&a| ir.resolve(a)).collect();
+                incoming.entry(e.target.index()).or_default().push(args);
+            });
+        }
+        let mut round = false;
+        for bi in 0..ir.blocks.len() {
+            // The entry block's parameters are the function's ABI: never
+            // touched.
+            if !reachable[bi] || bi == ir.entry().index() {
+                continue;
+            }
+            let Some(edges) = incoming.get(&bi) else {
+                continue;
+            };
+            let params = ir.blocks[bi].params.clone();
+            for (pi, &p) in params.iter().enumerate() {
+                if ir.resolve(p) != p {
+                    continue;
+                }
+                // The unique incoming value, ignoring self-references
+                // (back edges passing the parameter to itself).
+                let mut unique: Option<ValueId> = None;
+                let mut trivial = true;
+                for args in edges {
+                    let a = args[pi];
+                    if a == p {
+                        continue;
+                    }
+                    match unique {
+                        None => unique = Some(a),
+                        Some(u) if u == a => {}
+                        Some(_) => {
+                            trivial = false;
+                            break;
+                        }
+                    }
+                }
+                if trivial {
+                    if let Some(u) = unique {
+                        ir.alias(p, u);
+                        round = true;
+                    }
+                }
+            }
+        }
+        if !round {
+            break;
+        }
+        changed = true;
+    }
+    changed
+}
+
+/// Local (per-block) value numbering: shares pure and trapping computations,
+/// redundant loads, global reads, and `memory.size` results, with store /
+/// grow / call invalidation.
+#[allow(clippy::needless_range_loop)] // blocks are mutated while indexed
+pub fn cse(ir: &mut FuncIr) {
+    let reachable = ir.reachable();
+    for bi in 0..ir.blocks.len() {
+        if !reachable[bi] {
+            continue;
+        }
+        // (node, value) pairs; linear scan keeps this dependency-free and
+        // blocks are small.
+        let mut available: Vec<(Node, ValueId)> = Vec::new();
+        let invalidate = |available: &mut Vec<(Node, ValueId)>, memory: bool, globals: Option<Option<u32>>| {
+            available.retain(|(n, _)| match n {
+                Node::MemLoad { .. } | Node::MemorySize => !memory,
+                Node::GlobalGet { index } => match globals {
+                    Some(None) => false,
+                    Some(Some(i)) => *index != i,
+                    None => true,
+                },
+                _ => true,
+            });
+        };
+        for ii in 0..ir.blocks[bi].insts.len() {
+            match ir.blocks[bi].insts[ii].clone() {
+                Inst::Def(v) => {
+                    if ir.resolve(v) != v {
+                        continue;
+                    }
+                    let node = resolved_node(ir, v);
+                    if node.effect() == Effect::Effectful {
+                        // memory.grow: kills loads and sizes, keeps globals.
+                        invalidate(&mut available, true, None);
+                        continue;
+                    }
+                    if matches!(node, Node::Const(_) | Node::Param { .. } | Node::CallResult) {
+                        continue;
+                    }
+                    if let Some((_, prev)) = available.iter().find(|(n, _)| *n == node) {
+                        ir.alias(v, *prev);
+                    } else {
+                        available.push((node, v));
+                    }
+                }
+                Inst::MemStore { .. } => invalidate(&mut available, true, None),
+                Inst::GlobalSet { index, .. } => {
+                    invalidate(&mut available, false, Some(Some(index)))
+                }
+                Inst::Call { .. } | Inst::CallIndirect { .. } => {
+                    invalidate(&mut available, true, Some(None))
+                }
+                Inst::ProbeCounter { .. } | Inst::ProbeTos { .. } | Inst::ProbeFlush { .. } => {}
+            }
+        }
+    }
+}
+
+/// Dead-code elimination: removes pure definitions nobody uses, then prunes
+/// dead and aliased block parameters together with their edge arguments.
+/// Returns whether anything changed.
+#[allow(clippy::needless_range_loop)] // blocks are mutated while indexed
+pub fn dce(ir: &mut FuncIr) -> bool {
+    let reachable = ir.reachable();
+
+    // Liveness over values: roots are required instructions and terminator
+    // operands; a live parameter makes its incoming edge arguments live.
+    let mut live: HashSet<ValueId> = HashSet::new();
+    let mut worklist: Vec<ValueId> = Vec::new();
+    let mark = |live: &mut HashSet<ValueId>, worklist: &mut Vec<ValueId>, v: ValueId| {
+        if live.insert(v) {
+            worklist.push(v);
+        }
+    };
+    // Incoming edges per block for param → arg propagation.
+    let mut incoming: HashMap<usize, Vec<Vec<ValueId>>> = HashMap::new();
+    for (bi, block) in ir.blocks.iter().enumerate() {
+        if !reachable[bi] {
+            continue;
+        }
+        block.term.for_each_edge(|e| {
+            incoming
+                .entry(e.target.index())
+                .or_default()
+                .push(e.args.clone());
+        });
+    }
+    for (bi, block) in ir.blocks.iter().enumerate() {
+        if !reachable[bi] {
+            continue;
+        }
+        for inst in &block.insts {
+            if inst.is_required(&ir.nodes) {
+                inst.for_each_use(&ir.nodes, |v| {
+                    mark(&mut live, &mut worklist, ir.resolve(v))
+                });
+                // Live calls keep their used results via the results' own
+                // uses; nothing to do here.
+            }
+        }
+        match &block.term {
+            Terminator::Branch { cond, .. } => mark(&mut live, &mut worklist, ir.resolve(*cond)),
+            Terminator::BrTable { index, .. } => {
+                mark(&mut live, &mut worklist, ir.resolve(*index))
+            }
+            Terminator::Return(values) => {
+                for &v in values {
+                    mark(&mut live, &mut worklist, ir.resolve(v));
+                }
+            }
+            Terminator::Jump(_) | Terminator::Trap(_) => {}
+        }
+    }
+    while let Some(v) = worklist.pop() {
+        match ir.nodes[v.index()].clone() {
+            Node::Param { block, index } => {
+                if let Some(edges) = incoming.get(&block.index()) {
+                    for args in edges {
+                        if let Some(&a) = args.get(index as usize) {
+                            mark(&mut live, &mut worklist, ir.resolve(a));
+                        }
+                    }
+                }
+            }
+            node => node.for_each_arg(|a| mark(&mut live, &mut worklist, ir.resolve(a))),
+        }
+    }
+
+    let mut changed = false;
+
+    // Drop aliased and dead pure definitions.
+    for bi in 0..ir.blocks.len() {
+        if !reachable[bi] {
+            continue;
+        }
+        let nodes = &ir.nodes;
+        let resolved = &ir.resolved;
+        let before = ir.blocks[bi].insts.len();
+        ir.blocks[bi].insts.retain(|inst| match inst {
+            Inst::Def(v) => {
+                if resolved[v.index()] != *v {
+                    return false;
+                }
+                match nodes[v.index()] {
+                    // Constants are rematerialized at use sites.
+                    Node::Const(_) => false,
+                    _ => live.contains(v) || nodes[v.index()].effect() != Effect::Pure,
+                }
+            }
+            _ => true,
+        });
+        changed |= ir.blocks[bi].insts.len() != before;
+    }
+
+    // Prune dead or aliased parameters and the matching edge arguments.
+    let mut keep: HashMap<usize, Vec<bool>> = HashMap::new();
+    for bi in 0..ir.blocks.len() {
+        if !reachable[bi] || bi == ir.entry().index() {
+            continue;
+        }
+        let mask: Vec<bool> = ir.blocks[bi]
+            .params
+            .iter()
+            .map(|&p| ir.resolve(p) == p && live.contains(&p))
+            .collect();
+        if mask.iter().any(|k| !k) {
+            keep.insert(bi, mask);
+        }
+    }
+    if !keep.is_empty() {
+        changed = true;
+        for (bi, mask) in &keep {
+            let mut kept = Vec::new();
+            for (i, &p) in ir.blocks[*bi].params.iter().enumerate() {
+                if mask[i] {
+                    kept.push(p);
+                }
+            }
+            // Re-index the surviving parameters.
+            for (new_index, &p) in kept.iter().enumerate() {
+                if let Node::Param { index, .. } = &mut ir.nodes[p.index()] {
+                    *index = new_index as u32;
+                }
+            }
+            ir.blocks[*bi].params = kept;
+        }
+        for bi in 0..ir.blocks.len() {
+            if !reachable[bi] {
+                continue;
+            }
+            ir.blocks[bi].term.for_each_edge_mut(|e| {
+                if let Some(mask) = keep.get(&e.target.index()) {
+                    let mut i = 0;
+                    e.args.retain(|_| {
+                        let k = mask[i];
+                        i += 1;
+                        k
+                    });
+                }
+            });
+        }
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frontend;
+    use machine::inst::AluOp;
+    use machine::lower::OpClass;
+    use spc::{ProbeMode, ProbeSites};
+    use wasm::builder::{CodeBuilder, ModuleBuilder};
+    use wasm::opcode::Opcode;
+    use wasm::types::{BlockType, FuncType, ValueType};
+    use wasm::validate::validate;
+
+    fn build_opt(
+        params: Vec<ValueType>,
+        results: Vec<ValueType>,
+        code: CodeBuilder,
+    ) -> FuncIr {
+        let mut b = ModuleBuilder::new();
+        b.add_memory(wasm::types::Limits::at_least(1));
+        let f = b.add_func(FuncType::new(params, results), vec![], code.finish());
+        let module = b.finish();
+        let info = validate(&module).unwrap();
+        let mut ir = frontend::build(
+            &module,
+            f,
+            &info.funcs[0],
+            &ProbeSites::none(),
+            ProbeMode::Optimized,
+        )
+        .unwrap();
+        optimize(&mut ir);
+        ir
+    }
+
+    fn count_ops(ir: &FuncIr, pred: impl Fn(&OpClass) -> bool) -> usize {
+        let reach = ir.reachable();
+        ir.blocks
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| reach[*i])
+            .flat_map(|(_, b)| &b.insts)
+            .filter(|inst| match inst {
+                Inst::Def(v) => matches!(ir.node(*v), Node::Op { class, .. } if pred(class)),
+                _ => false,
+            })
+            .count()
+    }
+
+    #[test]
+    fn constants_fold_to_a_single_return() {
+        let mut c = CodeBuilder::new();
+        c.i32_const(2).i32_const(3).op(Opcode::I32Mul).i32_const(4).op(Opcode::I32Add);
+        let ir = build_opt(vec![], vec![ValueType::I32], c);
+        assert_eq!(count_ops(&ir, |_| true), 0, "{}", ir.display());
+        match &ir.blocks[0].term {
+            Terminator::Return(values) => assert_eq!(ir.as_const(values[0]), Some(10)),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn trapping_fold_is_left_in_place() {
+        let mut c = CodeBuilder::new();
+        c.i32_const(1).i32_const(0).op(Opcode::I32DivS).drop_().i32_const(9);
+        let ir = build_opt(vec![], vec![ValueType::I32], c);
+        assert_eq!(
+            count_ops(&ir, |cl| matches!(cl, OpClass::Alu(AluOp::DivS, _))),
+            1,
+            "division by zero must survive folding AND dce:\n{}",
+            ir.display()
+        );
+    }
+
+    #[test]
+    fn dead_pure_code_is_removed() {
+        let mut c = CodeBuilder::new();
+        // add is dropped: pure, removable. The local.get survives as a value
+        // but has no instruction.
+        c.local_get(0).local_get(0).op(Opcode::I32Add).drop_().i32_const(5);
+        let ir = build_opt(vec![ValueType::I32], vec![ValueType::I32], c);
+        assert_eq!(count_ops(&ir, |_| true), 0, "{}", ir.display());
+    }
+
+    #[test]
+    fn redundant_loads_are_shared_within_a_block() {
+        let mut c = CodeBuilder::new();
+        c.local_get(0)
+            .mem(Opcode::I32Load, 2, 0)
+            .local_get(0)
+            .mem(Opcode::I32Load, 2, 0)
+            .op(Opcode::I32Add);
+        let ir = build_opt(vec![ValueType::I32], vec![ValueType::I32], c);
+        let loads = {
+            let reach = ir.reachable();
+            ir.blocks
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| reach[*i])
+                .flat_map(|(_, b)| &b.insts)
+                .filter(|inst| {
+                    matches!(inst, Inst::Def(v) if matches!(ir.node(*v), Node::MemLoad { .. })
+                        && ir.resolve(*v) == *v)
+                })
+                .count()
+        };
+        assert_eq!(loads, 1, "{}", ir.display());
+    }
+
+    #[test]
+    fn stores_invalidate_loads() {
+        let mut c = CodeBuilder::new();
+        c.local_get(0)
+            .mem(Opcode::I32Load, 2, 0)
+            .local_get(0)
+            .local_get(1)
+            .mem(Opcode::I32Store, 2, 0)
+            .local_get(0)
+            .mem(Opcode::I32Load, 2, 0)
+            .op(Opcode::I32Add);
+        let ir = build_opt(vec![ValueType::I32, ValueType::I32], vec![ValueType::I32], c);
+        let reach = ir.reachable();
+        let loads = ir
+            .blocks
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| reach[*i])
+            .flat_map(|(_, b)| &b.insts)
+            .filter(|inst| {
+                matches!(inst, Inst::Def(v) if matches!(ir.node(*v), Node::MemLoad { .. })
+                    && ir.resolve(*v) == *v)
+            })
+            .count();
+        assert_eq!(loads, 2, "the store kills the first load:\n{}", ir.display());
+    }
+
+    #[test]
+    fn constant_branches_fold_away() {
+        let mut c = CodeBuilder::new();
+        c.i32_const(1)
+            .if_(BlockType::Value(ValueType::I32))
+            .i32_const(11)
+            .else_()
+            .i32_const(22)
+            .end();
+        let ir = build_opt(vec![], vec![ValueType::I32], c);
+        let reach = ir.reachable();
+        for (bi, block) in ir.blocks.iter().enumerate() {
+            if reach[bi] {
+                assert!(
+                    !matches!(block.term, Terminator::Branch { .. }),
+                    "{}",
+                    ir.display()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trivial_params_vanish() {
+        // A block whose merge receives the same local from both arms.
+        let mut c = CodeBuilder::new();
+        c.local_get(0)
+            .if_(BlockType::Empty)
+            .nop()
+            .else_()
+            .nop()
+            .end()
+            .local_get(1);
+        let ir = build_opt(vec![ValueType::I32, ValueType::I32], vec![ValueType::I32], c);
+        let reach = ir.reachable();
+        for (bi, block) in ir.blocks.iter().enumerate() {
+            if reach[bi] && bi != 0 {
+                assert!(
+                    block.params.is_empty(),
+                    "all params are trivial here:\n{}",
+                    ir.display()
+                );
+            }
+        }
+    }
+}

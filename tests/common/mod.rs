@@ -21,7 +21,8 @@ use wasm::types::{BlockType, FuncType, ValueType};
 use wasm::Module;
 
 /// The canonical tier×backend configuration matrix: interpreter, baseline
-/// eager/lazy on the virtual-ISA and x64 backends, and the tiered engine.
+/// eager/lazy on the virtual-ISA and x64 backends, the tiered engine, and
+/// the three-tier (optimizing-promotion) engine on both backends.
 pub fn all_tier_backend_configs() -> Vec<EngineConfig> {
     conform::runner::all_configs()
 }

@@ -93,6 +93,95 @@ fn cache_distinguishes_configurations_and_instrumentation() {
     assert!(probed_again.metrics.cache_hit);
 }
 
+/// Baseline-only and opt-enabled configurations must never share a cached
+/// artifact: the optimizing tier's code slots are part of the artifact, so
+/// aliasing them would hand optimizing-tier code to an engine that never
+/// asked for it (and vice versa).
+#[test]
+fn cache_keys_separate_baseline_and_opt_artifacts() {
+    let module = fib_module();
+    let cache = Arc::new(CodeCache::new());
+    let tiered = EngineConfig::tiered("t", 2, CompilerOptions::allopt());
+    let with_opt = tiered.clone().with_opt_tier(4);
+    let plain_engine = Engine::new(tiered).with_code_cache(Arc::clone(&cache));
+    let opt_engine = Engine::new(with_opt.clone()).with_code_cache(Arc::clone(&cache));
+
+    let mut plain = plain_engine
+        .instantiate(&module, Imports::new(), Instrumentation::none())
+        .unwrap();
+    let mut opt = opt_engine
+        .instantiate(&module, Imports::new(), Instrumentation::none())
+        .unwrap();
+    assert!(!opt.metrics.cache_hit, "the opt axis is part of the key");
+    assert_eq!(cache.len(), 2, "two distinct artifacts");
+    assert!(
+        !Arc::ptr_eq(plain.artifact(), opt.artifact()),
+        "baseline and opt artifacts never alias"
+    );
+
+    // Drive both engines past every threshold; only the opt engine's
+    // artifact may ever hold optimizing-tier code.
+    for _ in 0..8 {
+        let a = plain_engine.call_export(&mut plain, "fib", &[WasmValue::I32(10)]).unwrap();
+        let b = opt_engine.call_export(&mut opt, "fib", &[WasmValue::I32(10)]).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a, vec![WasmValue::I32(55)]);
+    }
+    assert_eq!(plain.artifact().opt_compiled_count(), 0);
+    assert_eq!(opt.artifact().opt_compiled_count(), 1);
+
+    // A second opt-enabled engine over the same cache shares the opt
+    // artifact (including the already-promoted code).
+    let warm = Engine::new(with_opt)
+        .with_code_cache(Arc::clone(&cache))
+        .instantiate(&module, Imports::new(), Instrumentation::none())
+        .unwrap();
+    assert!(warm.metrics.cache_hit);
+    assert!(Arc::ptr_eq(warm.artifact(), opt.artifact()));
+    assert_eq!(cache.len(), 2);
+}
+
+/// The optimizing tier promotes through the background pool exactly like the
+/// baseline tier: the engine enqueues and keeps running in the best
+/// published tier; the promotion lands atomically and a later call picks it
+/// up.
+#[test]
+fn background_promotion_to_the_opt_tier_publishes_atomically() {
+    let module = fib_module();
+    let pool = Arc::new(BackgroundCompiler::new(2));
+    let config = EngineConfig::tiered("bg-opt", 1, CompilerOptions::allopt()).with_opt_tier(3);
+    let engine = Engine::new(config).with_background_compiler(Arc::clone(&pool));
+    let mut instance = engine
+        .instantiate(&module, Imports::new(), Instrumentation::none())
+        .unwrap();
+
+    // Cross both thresholds, waiting for the pool between calls so each
+    // promotion is observable at the next call boundary.
+    for n in 0..8 {
+        let r = engine.call_export(&mut instance, "fib", &[WasmValue::I32(10)]).unwrap();
+        assert_eq!(r, vec![WasmValue::I32(55)], "call {n}");
+        pool.wait_idle();
+    }
+    assert_eq!(
+        instance.artifact().opt_compiled_count(),
+        1,
+        "the hot function was promoted off-thread"
+    );
+    assert!(instance.compiled_code(0).is_some(), "baseline code also published");
+    assert_eq!(
+        pool.functions_compiled(),
+        2,
+        "one baseline compile and one optimizing promotion"
+    );
+    assert!(instance.metrics.opt_compile_wall > Duration::ZERO);
+    assert!(instance.metrics.tiered_up_functions >= 2, "{:?}", instance.metrics);
+
+    // And the optimized code agrees with everything else, of course.
+    let r = engine.call_export(&mut instance, "fib", &[WasmValue::I32(15)]).unwrap();
+    assert_eq!(r, vec![WasmValue::I32(610)]);
+    assert!(instance.metrics.opt_exec_cycles > 0);
+}
+
 #[test]
 fn multi_worker_instantiation_runs_all_suites_correctly() {
     // The engine-level parallel path: instantiate with a worker pool and

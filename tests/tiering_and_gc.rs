@@ -20,6 +20,7 @@ fn recursive_calls_agree_across_tiers() {
         EngineConfig::baseline("jit", CompilerOptions::allopt()),
         EngineConfig::optimizing("opt"),
         EngineConfig::tiered("tiered", 3, CompilerOptions::allopt()),
+        EngineConfig::tiered("tiered-opt", 2, CompilerOptions::allopt()).with_opt_tier(5),
     ] {
         let engine = Engine::new(config);
         let mut instance = engine
@@ -133,6 +134,109 @@ fn trap_reasons_are_structured_and_tier_independent() {
             );
         }
     }
+}
+
+/// Tier-up is invisible: the same invocation must produce identical results
+/// and identical [`TrapReason`]s before, during, and after every promotion —
+/// interpreter → baseline → optimizing — including traps raised mid-way
+/// through execution (after observable side effects like `memory.grow`).
+#[test]
+fn results_and_traps_are_identical_before_and_after_tier_up() {
+    let module = wasm::wat::parse_module(
+        r#"(module
+             (memory 1)
+             (func (export "sum") (param i32) (result i32)
+               (local i32)
+               block
+                 loop
+                   local.get 0
+                   i32.eqz
+                   br_if 1
+                   local.get 1
+                   local.get 0
+                   i32.add
+                   local.set 1
+                   local.get 0
+                   i32.const 1
+                   i32.sub
+                   local.set 0
+                   br 0
+                 end
+               end
+               local.get 1)
+             (func (export "trap_mid") (param i32) (result i32)
+               ;; grows memory (observable), then traps iff the argument is 0.
+               i32.const 1
+               memory.grow
+               drop
+               i32.const 100
+               local.get 0
+               i32.div_u)
+             (func (export "oob_after_work") (param i32) (result i32)
+               ;; a loop of real work, then a load that goes out of bounds
+               ;; once the parameter pushes the address past the memory.
+               local.get 0
+               i32.const 65536
+               i32.mul
+               i32.load))"#,
+    )
+    .expect("parses");
+    wasm::validate::validate(&module).expect("validates");
+
+    // Reference behaviour from the interpreter.
+    let int_engine = Engine::new(EngineConfig::interpreter("int"));
+    let mut int_instance = int_engine
+        .instantiate(&module, Imports::new(), Instrumentation::none())
+        .unwrap();
+
+    // Three-tier engine with low thresholds: across ten repetitions every
+    // function is interpreted, then baseline-compiled, then optimized.
+    let config = EngineConfig::tiered("tiered-opt", 2, CompilerOptions::allopt()).with_opt_tier(4);
+    let engine = Engine::new(config);
+    let mut instance = engine
+        .instantiate(&module, Imports::new(), Instrumentation::none())
+        .unwrap();
+
+    for round in 0..10 {
+        for (export, arg) in [
+            ("sum", 25),
+            ("trap_mid", 7),
+            ("trap_mid", 0),
+            ("oob_after_work", 0),
+            ("oob_after_work", 3),
+        ] {
+            let expected = int_engine.call_export(&mut int_instance, export, &[WasmValue::I32(arg)]);
+            let actual = engine.call_export(&mut instance, export, &[WasmValue::I32(arg)]);
+            match (&expected, &actual) {
+                (Ok(e), Ok(a)) => assert_eq!(e, a, "round {round}: {export}({arg})"),
+                (Err(e), Err(a)) => assert_eq!(
+                    TrapReason::from(*e),
+                    TrapReason::from(*a),
+                    "round {round}: {export}({arg})"
+                ),
+                other => panic!("round {round}: {export}({arg}) diverged: {other:?}"),
+            }
+        }
+    }
+    // All three exports were promoted twice (interp→baseline, baseline→opt)
+    // and the optimizing compiles are accounted in their own buckets.
+    assert!(
+        instance.metrics.tiered_up_functions >= 6,
+        "expected 2 promotions per function: {:?}",
+        instance.metrics
+    );
+    assert!(
+        instance.metrics.opt_compile_wall > std::time::Duration::ZERO,
+        "{:?}",
+        instance.metrics
+    );
+    assert!(
+        instance.metrics.opt_exec_cycles > 0,
+        "the later rounds must have executed optimizing-tier code: {:?}",
+        instance.metrics
+    );
+    assert!(instance.metrics.opt_exec_cycles <= instance.metrics.exec_cycles);
+    assert_eq!(instance.artifact().opt_compiled_count(), 3);
 }
 
 /// A module that keeps references alive in locals and globals across calls
