@@ -19,7 +19,7 @@
 //! Run with `--full` for paper-sized workloads; the default is the smoke
 //! scale used by CI.
 
-use bench::{print_header, scale_from_args, summarize};
+use bench::{print_header, scale_from_args, summarize, BenchReport};
 use engine::{CodeCache, Engine, EngineConfig, Imports, Instrumentation};
 use spc::CompilerOptions;
 use std::sync::Arc;
@@ -32,6 +32,7 @@ fn main() {
         "Parallel compile pipeline scaling and keyed code cache",
     );
     let suites = suites::all_suites(scale);
+    let mut report = BenchReport::new("fig11");
 
     // ---- Part 1: compile-throughput scaling over worker counts ----------
     println!("\n[1] eager-compile scaling over all {} modules:",
@@ -67,6 +68,10 @@ fn main() {
             wall.as_secs_f64() * 1e3,
             wasm_bytes as f64 / 1e6 / wall.as_secs_f64().max(1e-9),
             baseline.as_secs_f64() / wall.as_secs_f64().max(1e-9),
+        );
+        report.metric(
+            &format!("workers{workers}.compile_throughput_mb_s"),
+            wasm_bytes as f64 / 1e6 / wall.as_secs_f64().max(1e-9),
         );
         assert!(functions > 0, "scaling run compiled nothing");
     }
@@ -118,7 +123,13 @@ fn main() {
             warm.mean,
             cold.mean / warm.mean.max(1e-9),
         );
+        report.metric(&format!("{}.cold_instantiate_us", suite.name), cold.mean);
+        report.metric(&format!("{}.warm_instantiate_us", suite.name), warm.mean);
     }
+    report.metric("cache.entries", cache.len() as f64);
+    report.metric("cache.hits", cache.hits() as f64);
+    report.metric("cache.misses", cache.misses() as f64);
+    report.write();
     println!(
         "\ncache: {} unique modules, {} hits, {} misses \
          ({items_deduped} line items were byte-identical to an earlier one)",

@@ -22,7 +22,7 @@
 //! Checksums are cross-checked between every configuration, so this binary
 //! doubles as a whole-suite differential test for the optimizing tier.
 
-use bench::{measure_all, print_suite_table, summarize_by_suite, Instrument};
+use bench::{measure_all, print_suite_table, summarize_by_suite, BenchReport, Instrument};
 use engine::{CodeBackend, EngineConfig};
 use spc::CompilerOptions;
 
@@ -32,6 +32,7 @@ fn main() {
         "Figure 13 (beyond the paper)",
         "The optimizing tier: cycles, compile time, and code size vs interpreter and baseline",
     );
+    let mut report = BenchReport::new("fig13");
 
     let interp = measure_all(&EngineConfig::interpreter("int"), scale, Instrument::None);
     let baseline = measure_all(
@@ -105,8 +106,17 @@ fn main() {
         };
         let b = total(&baseline);
         let o = total(&opt);
+        let i: u64 = interp
+            .iter()
+            .filter(|m| m.suite == suite)
+            .map(|m| m.exec_cycles)
+            .sum();
         let reduction = 100.0 * (1.0 - o as f64 / b as f64);
         println!("  {suite:<10} baseline {b:>12} cycles | opt {o:>12} cycles | {reduction:>5.1}% fewer");
+        report.metric(&format!("{suite}.interp_cycles"), i as f64);
+        report.metric(&format!("{suite}.baseline_cycles"), b as f64);
+        report.metric(&format!("{suite}.opt_cycles"), o as f64);
+        report.metric(&format!("{suite}.opt_reduction_pct"), reduction);
         if o * 10 <= b * 8 {
             suites_with_win.push(suite);
         }
@@ -131,6 +141,13 @@ fn main() {
             sum_bytes(&b),
             sum_wall(&o),
             sum_bytes(&o),
+            sum_wall(&o) / sum_wall(&b).max(1e-9),
+        );
+        let tag = format!("{backend:?}").to_lowercase();
+        report.metric(&format!("{tag}.baseline_code_bytes"), sum_bytes(&b) as f64);
+        report.metric(&format!("{tag}.opt_code_bytes"), sum_bytes(&o) as f64);
+        report.metric(
+            &format!("{tag}.opt_compile_time_ratio"),
             sum_wall(&o) / sum_wall(&b).max(1e-9),
         );
     }
@@ -178,6 +195,20 @@ fn main() {
     );
 
     // ---- Verdict ---------------------------------------------------------
+    report.metric(
+        "layout_effect_pct",
+        100.0 * (profiled as f64 / unprofiled as f64 - 1.0),
+    );
+    report.metric("suites_with_20pct_win", suites_with_win.len() as f64);
+    report.metric(
+        "pass",
+        if checksum_mismatches == 0 && suites_with_win.len() >= 2 {
+            1.0
+        } else {
+            0.0
+        },
+    );
+    report.write();
     println!();
     if checksum_mismatches > 0 {
         println!("FAIL: {checksum_mismatches} checksum mismatches between tiers");

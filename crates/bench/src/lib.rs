@@ -39,6 +39,9 @@ pub struct ItemMeasurement {
     pub checksum: i32,
     /// Probe firings observed, when instrumentation was attached.
     pub probe_firings: u64,
+    /// Fuel consumed by the call when a budget was armed
+    /// ([`measure_item_fueled`]); zero for unmetered runs.
+    pub fuel_consumed: u64,
 }
 
 /// How to instrument a run.
@@ -61,6 +64,38 @@ pub fn measure_item(
     item: &BenchmarkItem,
     instrument: Instrument,
 ) -> ItemMeasurement {
+    measure_item_inner(config, item, instrument, None)
+}
+
+/// Like [`measure_item`] but arms a fuel budget before the call, so the
+/// interpreter's metering hook actually runs (a metering configuration with
+/// no fuel armed skips interpreter-side charging, while compiled code always
+/// executes its emitted check sequences — arming makes the comparison fair).
+///
+/// # Panics
+///
+/// Panics if `config` is not a metering configuration, or if the item runs
+/// out of fuel — overhead measurements need the full workload to complete.
+pub fn measure_item_fueled(
+    config: &EngineConfig,
+    item: &BenchmarkItem,
+    instrument: Instrument,
+    fuel: u64,
+) -> ItemMeasurement {
+    assert!(
+        config.metering,
+        "measure_item_fueled needs a metering configuration ({} is not)",
+        config.name
+    );
+    measure_item_inner(config, item, instrument, Some(fuel))
+}
+
+fn measure_item_inner(
+    config: &EngineConfig,
+    item: &BenchmarkItem,
+    instrument: Instrument,
+    fuel: Option<u64>,
+) -> ItemMeasurement {
     let engine = Engine::new(config.clone());
     let instrumentation = match instrument {
         Instrument::None => Instrumentation::none(),
@@ -69,6 +104,9 @@ pub fn measure_item(
     let mut instance = engine
         .instantiate(&item.module, Imports::new(), instrumentation)
         .unwrap_or_else(|e| panic!("{}/{} failed to instantiate under {}: {e}", item.suite, item.name, config.name));
+    if let Some(budget) = fuel {
+        instance.set_fuel(budget);
+    }
     let result = engine
         .call_export(&mut instance, BenchmarkItem::ENTRY, &[])
         .unwrap_or_else(|e| panic!("{}/{} trapped under {}: {e}", item.suite, item.name, config.name));
@@ -87,6 +125,7 @@ pub fn measure_item(
         module_bytes: item.encoded_size() as u64,
         checksum,
         probe_firings: instance.instrumentation.total_firings(),
+        fuel_consumed: instance.fuel_consumed().unwrap_or(0),
     }
 }
 
@@ -100,6 +139,24 @@ pub fn measure_all(
     for suite in suites::all_suites(scale) {
         for item in &suite.items {
             out.push(measure_item(config, item, instrument));
+        }
+    }
+    out
+}
+
+/// Runs every line item of every suite under `config` with `fuel` armed per
+/// item ([`measure_item_fueled`]); pass a budget far above any item's cost so
+/// the whole workload completes while metering stays active.
+pub fn measure_all_fueled(
+    config: &EngineConfig,
+    scale: Scale,
+    instrument: Instrument,
+    fuel: u64,
+) -> Vec<ItemMeasurement> {
+    let mut out = Vec::new();
+    for suite in suites::all_suites(scale) {
+        for item in &suite.items {
+            out.push(measure_item_fueled(config, item, instrument, fuel));
         }
     }
     out
@@ -199,6 +256,97 @@ pub fn print_suite_table(configs: &[String], rows: &[(&'static str, Vec<SuiteSum
     }
 }
 
+/// A machine-readable record of one figure gate's headline numbers.
+///
+/// Each `fig*` binary builds one of these alongside its human-readable table
+/// and writes it to `BENCH_<figure>.json` in the working directory, giving
+/// the repo a perf trajectory that CI runs can diff without scraping stdout.
+/// The workspace is offline (no serde), so the JSON is assembled by hand:
+/// a flat object of metric name to number, which is all a trend line needs.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    figure: String,
+    metrics: Vec<(String, f64)>,
+}
+
+impl BenchReport {
+    /// Starts a report for `figure` (used as the output file stem).
+    pub fn new(figure: &str) -> BenchReport {
+        BenchReport {
+            figure: figure.to_string(),
+            metrics: Vec::new(),
+        }
+    }
+
+    /// Records one named metric. Names use `suite.metric` dot-paths so the
+    /// flat object stays greppable; recording the same name twice keeps both
+    /// entries in order (the JSON is a trajectory log, not a map).
+    pub fn metric(&mut self, name: &str, value: f64) -> &mut BenchReport {
+        self.metrics.push((name.to_string(), value));
+        self
+    }
+
+    /// The report as a JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"figure\": \"{}\",\n", escape_json(&self.figure)));
+        out.push_str("  \"metrics\": {\n");
+        for (i, (name, value)) in self.metrics.iter().enumerate() {
+            let comma = if i + 1 < self.metrics.len() { "," } else { "" };
+            out.push_str(&format!(
+                "    \"{}\": {}{comma}\n",
+                escape_json(name),
+                format_json_number(*value)
+            ));
+        }
+        out.push_str("  }\n}\n");
+        out
+    }
+
+    /// Writes `BENCH_<figure>.json` into `dir` and returns its path.
+    pub fn write_to(&self, dir: &std::path::Path) -> std::io::Result<std::path::PathBuf> {
+        let path = dir.join(format!("BENCH_{}.json", self.figure));
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+
+    /// Writes `BENCH_<figure>.json` into the working directory, prints where
+    /// it went, and panics on I/O failure (the gates treat a missing report
+    /// as a failure, so there is no point soldiering on).
+    pub fn write(&self) {
+        let path = self
+            .write_to(std::path::Path::new("."))
+            .unwrap_or_else(|e| panic!("cannot write BENCH_{}.json: {e}", self.figure));
+        println!("report: {}", path.display());
+    }
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Integers print without a fraction; everything else keeps six decimals,
+/// and non-finite values (JSON has no spelling for them) become null.
+fn format_json_number(value: f64) -> String {
+    if !value.is_finite() {
+        "null".to_string()
+    } else if value.fract() == 0.0 && value.abs() < 9e15 {
+        format!("{}", value as i64)
+    } else {
+        format!("{value:.6}")
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -232,6 +380,48 @@ mod tests {
         assert_eq!(interp.compile_wall, Duration::ZERO);
         assert!(jit.compiled_wasm_bytes > 0);
         assert!(interp.module_bytes > 100);
+    }
+
+    #[test]
+    fn fueled_measurement_records_consumption_and_matches_checksum() {
+        let suite = suites::polybench::suite(Scale::Test);
+        let item = &suite.items[0];
+        let plain = measure_item(
+            &EngineConfig::baseline("spc", CompilerOptions::allopt()),
+            item,
+            Instrument::None,
+        );
+        let fueled = measure_item_fueled(
+            &EngineConfig::baseline("spc", CompilerOptions::allopt()).with_metering(),
+            item,
+            Instrument::None,
+            u64::MAX / 2,
+        );
+        assert_eq!(plain.checksum, fueled.checksum);
+        assert_eq!(plain.fuel_consumed, 0);
+        assert!(fueled.fuel_consumed > 0);
+        assert!(fueled.exec_cycles > plain.exec_cycles, "checks cost cycles");
+    }
+
+    #[test]
+    fn bench_report_renders_and_writes_json() {
+        let mut report = BenchReport::new("fig99_test");
+        report
+            .metric("polybench.cycles", 12345.0)
+            .metric("overhead_pct", 3.25)
+            .metric("bad", f64::NAN);
+        let json = report.to_json();
+        assert!(json.contains("\"figure\": \"fig99_test\""));
+        assert!(json.contains("\"polybench.cycles\": 12345,"));
+        assert!(json.contains("\"overhead_pct\": 3.250000,"));
+        assert!(json.contains("\"bad\": null\n"));
+        let dir = std::env::temp_dir();
+        let path = report.write_to(&dir).expect("writes");
+        assert_eq!(
+            std::fs::read_to_string(&path).expect("readable"),
+            json
+        );
+        std::fs::remove_file(path).ok();
     }
 
     #[test]

@@ -1,0 +1,63 @@
+;; Deterministic fuel metering: every configuration must consume the *same*
+;; fuel and trap at the same point when the budget runs out. The cost table
+;; (crates/wasm/src/fuel.rs) charges 1 unit per instruction, 5 for call,
+;; 6 for call_indirect, 100 for memory.grow, and 0 for the structural
+;; opcodes (block/loop/end/else/nop).
+(fuel 1000)
+(module
+  ;; 3 units: const + const + add.
+  (func (export "answer") (result i32)
+    i32.const 40
+    i32.const 2
+    i32.add)
+  ;; 8 units per full iteration, 3 for the exiting check, 1 for the final
+  ;; local.get: spin(n) costs 8*n + 4.
+  (func (export "spin") (param $n i32) (result i32)
+    block $done
+      loop $top
+        local.get $n
+        i32.eqz
+        br_if $done
+        local.get $n
+        i32.const 1
+        i32.sub
+        local.set $n
+        br $top
+      end
+    end
+    local.get $n)
+  ;; 20 units: three calls (5 + 1 in the callee each) and two adds.
+  (func $one (result i32)
+    i32.const 1)
+  (func (export "call3") (result i32)
+    call $one
+    call $one
+    i32.add
+    call $one
+    i32.add))
+
+;; Generous budget: everything completes, consumption recorded per action.
+(assert_return (invoke "answer") (i32.const 42))
+(assert_return (invoke "spin" (i32.const 10)) (i32.const 0))
+(assert_return (invoke "call3") (i32.const 3))
+
+;; Exact budgets succeed...
+(fuel 3)
+(assert_return (invoke "answer") (i32.const 42))
+(fuel 84)
+(assert_return (invoke "spin" (i32.const 10)) (i32.const 0))
+(fuel 20)
+(assert_return (invoke "call3") (i32.const 3))
+
+;; ...one unit less traps, in every tier, on both backends.
+(fuel 2)
+(assert_trap (invoke "answer") "all fuel consumed")
+(fuel 83)
+(assert_trap (invoke "spin" (i32.const 10)) "all fuel consumed")
+(fuel 19)
+(assert_trap (invoke "call3") "all fuel consumed")
+
+;; A long-running loop against a small budget: the standard runaway-tenant
+;; shape. spin(1000) would need 8004 units.
+(fuel 50)
+(assert_trap (invoke "spin" (i32.const 1000)) "all fuel consumed")

@@ -1,0 +1,46 @@
+;; Resource-limit behaviour every tier must agree on: memory.grow respects
+;; declared maxima bit-identically (returns -1, changes nothing), growth
+;; costs fuel at the metered rate, and deep recursion exhausts the call
+;; stack with the same trap reason everywhere. Tenant-imposed ceilings
+;; (EngineConfig::with_limits) tighten these bounds further; the
+;; multitenant conformance test re-runs this module under clamped configs.
+(fuel 100000)
+(module
+  (memory 1 2)
+  (func (export "size") (result i32)
+    memory.size)
+  (func (export "grow") (param i32) (result i32)
+    local.get 0
+    memory.grow)
+  (func $down (export "down") (param i32) (result i32)
+    local.get 0
+    i32.eqz
+    if (result i32)
+      i32.const 0
+    else
+      local.get 0
+      i32.const 1
+      i32.sub
+      call $down
+    end))
+
+(assert_return (invoke "size") (i32.const 1))
+;; Growing inside the declared max succeeds and costs 100 fuel per grow.
+(assert_return (invoke "grow" (i32.const 1)) (i32.const 1))
+(assert_return (invoke "size") (i32.const 2))
+;; Growing past the declared max fails with -1 in every configuration.
+(assert_return (invoke "grow" (i32.const 1)) (i32.const -1))
+(assert_return (invoke "size") (i32.const 2))
+;; A grow without the fuel for it traps before touching the memory:
+;; local.get (1) + memory.grow (100) needs 101 units.
+(fuel 100)
+(assert_trap (invoke "grow" (i32.const 0)) "all fuel consumed")
+(fuel 101)
+(assert_return (invoke "grow" (i32.const 0)) (i32.const 2))
+;; Recursion within the engine's depth budget completes...
+(fuel 100000)
+(assert_return (invoke "down" (i32.const 100)) (i32.const 0))
+;; ...and unbounded recursion exhausts the stack identically everywhere
+;; (the fuel budget here is deliberately too large to be the limiter).
+(fuel 10000000)
+(assert_trap (invoke "down" (i32.const 100000)) "call stack exhausted")

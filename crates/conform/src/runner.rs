@@ -50,6 +50,11 @@ pub struct Outcome {
     pub passed: usize,
     /// Human-readable descriptions of everything that failed.
     pub failures: Vec<String>,
+    /// Fuel consumed by each action executed while a `(fuel N)` budget was
+    /// armed, in script order. Deterministic metering means this vector is
+    /// identical across every configuration in [`all_configs`] — the
+    /// conformance tests assert exactly that.
+    pub fuel: Vec<u64>,
 }
 
 impl Outcome {
@@ -75,13 +80,39 @@ pub fn run_script_mutated(
     config: &EngineConfig,
     mutate: Option<&dyn Fn(&mut Module)>,
 ) -> Outcome {
+    // A script with a `(fuel N)` directive runs under the metering variant
+    // of the configuration: without check sequences in the compiled tiers,
+    // the budget would never be consumed.
+    let config = if script.uses_fuel() && !config.metering {
+        config.clone().with_metering()
+    } else {
+        config.clone()
+    };
+    let config = &config;
     let engine = Engine::new(config.clone());
     let mut outcome = Outcome::default();
     let mut current: Option<Instance> = None;
+    // The armed fuel budget: re-applied before every action so each action
+    // records its own consumption in `outcome.fuel`.
+    let mut budget: Option<u64> = None;
     let ctx = |offset: usize| format!("{}[{}] (+{offset})", script.name, config.name);
 
     for (command, offset) in &script.commands {
+        if let Some(b) = budget {
+            if let Some(instance) = current.as_mut() {
+                if matches!(
+                    command,
+                    Command::Invoke(_) | Command::AssertReturn { .. } | Command::AssertTrap { .. }
+                ) {
+                    instance.set_fuel(b);
+                }
+            }
+        }
         match command {
+            Command::Fuel(n) => {
+                budget = Some(*n);
+                outcome.passed += 1;
+            }
             Command::Module(form) => match build_module(form) {
                 Ok(mut module) => {
                     if let Some(f) = mutate {
@@ -195,6 +226,18 @@ pub fn run_script_mutated(
                     ctx(*offset)
                 )),
             },
+        }
+        // Record how much of the armed budget the action consumed; the trap
+        // case records the full budget (exhaustion clamps remaining to 0).
+        if budget.is_some()
+            && matches!(
+                command,
+                Command::Invoke(_) | Command::AssertReturn { .. } | Command::AssertTrap { .. }
+            )
+        {
+            if let Some(consumed) = current.as_ref().and_then(Instance::fuel_consumed) {
+                outcome.fuel.push(consumed);
+            }
         }
     }
     outcome

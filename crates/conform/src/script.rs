@@ -13,7 +13,9 @@
 //! * `(assert_invalid (module …) "message")` — the module must fail
 //!   validation with a message containing the given fragment;
 //! * `(assert_malformed (module quote|binary …) "message")` — the text must
-//!   fail to parse / the bytes must fail to decode.
+//!   fail to parse / the bytes must fail to decode;
+//! * `(fuel N)` — arm a fuel budget of `N` units, re-armed before every
+//!   later action (a reproduction extension for metering conformance).
 
 use machine::values::WasmValue;
 use wasm::wat::sexpr::{parse_all, Sexpr};
@@ -86,6 +88,11 @@ impl ExpectedValue {
 /// One script command.
 #[derive(Debug, Clone)]
 pub enum Command {
+    /// `(fuel N)`: arm a fuel budget of `N` units, re-armed before every
+    /// subsequent action so each records its own consumption. The runner
+    /// switches the engine configuration to metering when a script contains
+    /// this directive.
+    Fuel(u64),
     /// Instantiate a module; it becomes the target of later actions.
     Module(ModuleForm),
     /// Call an export, requiring it not to trap.
@@ -129,6 +136,16 @@ pub struct Script {
     pub commands: Vec<(Command, usize)>,
 }
 
+impl Script {
+    /// True when the script contains a `(fuel N)` directive, which makes the
+    /// runner execute it under a metering configuration.
+    pub fn uses_fuel(&self) -> bool {
+        self.commands
+            .iter()
+            .any(|(c, _)| matches!(c, Command::Fuel(_)))
+    }
+}
+
 /// Parses a script from wast source.
 ///
 /// # Errors
@@ -144,6 +161,15 @@ pub fn parse_script(name: &str, src: &str) -> Result<Script, WatError> {
             .ok_or_else(|| WatError::new("expected a script command", offset))?;
         let items = expr.as_list().expect("keyword implies list");
         let command = match kw {
+            "fuel" => {
+                let arg = items
+                    .get(1)
+                    .and_then(Sexpr::as_atom)
+                    .ok_or_else(|| WatError::new("fuel needs a budget literal", offset))?;
+                Command::Fuel(
+                    num::parse_int(arg, 64).map_err(|m| WatError::new(m, offset))? as u64,
+                )
+            }
             "module" => Command::Module(parse_module_form(expr)?),
             "invoke" => Command::Invoke(parse_action(expr)?),
             "assert_return" => {
@@ -334,6 +360,23 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn fuel_directive_parses() {
+        let script = parse_script(
+            "fueled",
+            r#"
+            (fuel 1000)
+            (module (func (export "f") (result i32) i32.const 1))
+            (assert_return (invoke "f") (i32.const 1))
+            "#,
+        )
+        .expect("parses");
+        assert!(script.uses_fuel());
+        assert!(matches!(script.commands[0].0, Command::Fuel(1000)));
+        let plain = parse_script("plain", r#"(module)"#).expect("parses");
+        assert!(!plain.uses_fuel());
     }
 
     #[test]

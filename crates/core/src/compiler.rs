@@ -39,6 +39,7 @@ use machine::lower::{classify, OpClass};
 use machine::masm::Masm;
 use machine::reg::AnyReg;
 use machine::values::{ValueTag, NULL_REF_BITS};
+use wasm::fuel::FuelPlan;
 use wasm::module::Module;
 use wasm::opcode::{OpSignature, Opcode};
 use wasm::reader::BytecodeReader;
@@ -140,12 +141,24 @@ impl std::error::Error for CompileError {}
 #[derive(Debug, Clone, Default)]
 pub struct SinglePassCompiler {
     options: CompilerOptions,
+    metering: bool,
 }
 
 impl SinglePassCompiler {
     /// Creates a compiler with the given options.
     pub fn new(options: CompilerOptions) -> SinglePassCompiler {
-        SinglePassCompiler { options }
+        SinglePassCompiler {
+            options,
+            metering: false,
+        }
+    }
+
+    /// Enables or disables fuel metering: when on, the compiler bakes
+    /// `fuel_check` / `epoch_check` sequences into the code at the offsets of
+    /// the function's [`FuelPlan`], mirroring the interpreter's schedule.
+    pub fn with_metering(mut self, metering: bool) -> SinglePassCompiler {
+        self.metering = metering;
+        self
     }
 
     /// The compiler's options.
@@ -225,10 +238,19 @@ impl SinglePassCompiler {
         let local_types = module
             .func_local_types(func_index)
             .expect("checked above: function has a body");
+        let fuel = if self.metering {
+            FuelPlan::build(&decl.code).map_err(|e| CompileError {
+                offset: 0,
+                message: format!("fuel plan: {e}"),
+            })?
+        } else {
+            FuelPlan::empty()
+        };
         let mut fc = FuncCompiler {
             module,
             options: &self.options,
             probes,
+            fuel,
             num_locals: local_types.len(),
             num_results: sig.results.len() as u32,
             results: sig.results.clone(),
@@ -289,6 +311,7 @@ struct FuncCompiler<'a, M: Masm> {
     module: &'a Module,
     options: &'a CompilerOptions,
     probes: &'a ProbeSites,
+    fuel: FuelPlan,
     num_locals: usize,
     num_results: u32,
     results: Vec<ValueType>,
@@ -339,6 +362,15 @@ impl<'a, M: Masm> FuncCompiler<'a, M> {
                 self.asm.mark_source(offset as u32);
             }
             if !self.unreachable_now() {
+                // Metering first, probes second: the same order every tier
+                // uses, so a fuel trap fires before a probe at the same site.
+                // One fused check per site: the loop-head epoch poll rides
+                // the region's fuel decrement (a zero-amount check at the
+                // rare loop head whose region charges nothing).
+                let charge = self.fuel.charge_at(offset as u32);
+                if charge.is_some() || self.fuel.epoch_check_at(offset as u32) {
+                    self.asm.fuel_check(charge.unwrap_or(0));
+                }
                 if let Some(site) = self.probes.get(offset as u32) {
                     self.emit_probe(*site, offset as u32);
                 }

@@ -49,6 +49,41 @@ impl TierPolicy {
     }
 }
 
+/// Per-tenant resource ceilings enforced by the engine regardless of what a
+/// module's own type section declares.
+///
+/// Limits compose with the module's declared limits by taking the minimum:
+/// a module asking for an unbounded memory under a 16-page tenant limit gets
+/// a memory that refuses to grow past 16 pages, and a module whose declared
+/// minimum already exceeds a ceiling fails instantiation. The call-depth
+/// ceiling caps [`EngineConfig::max_call_depth`] the same way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResourceLimits {
+    /// Maximum linear-memory size in 64 KiB pages (`None` = unlimited).
+    pub memory_pages: Option<u32>,
+    /// Maximum table size in elements (`None` = unlimited).
+    pub table_elements: Option<u32>,
+    /// Maximum call depth (`None` = use [`EngineConfig::max_call_depth`]).
+    pub call_depth: Option<usize>,
+}
+
+impl ResourceLimits {
+    /// No ceilings: modules get exactly what they declare.
+    pub fn unlimited() -> ResourceLimits {
+        ResourceLimits {
+            memory_pages: None,
+            table_elements: None,
+            call_depth: None,
+        }
+    }
+}
+
+impl Default for ResourceLimits {
+    fn default() -> ResourceLimits {
+        ResourceLimits::unlimited()
+    }
+}
+
 /// A complete engine configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EngineConfig {
@@ -87,6 +122,15 @@ pub struct EngineConfig {
     /// where instances started with an inert heap — so GC-sensitive callers
     /// opt in explicitly.
     pub gc_threshold: usize,
+    /// Thread deterministic fuel accounting and epoch-check sites through
+    /// every execution tier. Metering changes the code the compiling tiers
+    /// emit (fuel/epoch check sequences at block headers), so it is folded
+    /// into [`EngineConfig::compile_fingerprint`]; runs with metering
+    /// disabled pay nothing.
+    pub metering: bool,
+    /// Per-tenant resource ceilings (memory pages, table elements, call
+    /// depth) enforced at instantiation and at `memory.grow`.
+    pub limits: ResourceLimits,
 }
 
 impl Default for EngineConfig {
@@ -109,6 +153,8 @@ impl EngineConfig {
             backend: CodeBackend::VirtualIsa,
             compile_workers: 1,
             gc_threshold: 0,
+            metering: false,
+            limits: ResourceLimits::unlimited(),
         }
     }
 
@@ -125,6 +171,8 @@ impl EngineConfig {
             backend: CodeBackend::VirtualIsa,
             compile_workers: 1,
             gc_threshold: 0,
+            metering: false,
+            limits: ResourceLimits::unlimited(),
         }
     }
 
@@ -141,6 +189,8 @@ impl EngineConfig {
             backend: CodeBackend::VirtualIsa,
             compile_workers: 1,
             gc_threshold: 0,
+            metering: false,
+            limits: ResourceLimits::unlimited(),
         }
     }
 
@@ -161,6 +211,8 @@ impl EngineConfig {
             backend: CodeBackend::VirtualIsa,
             compile_workers: 1,
             gc_threshold: 0,
+            metering: false,
+            limits: ResourceLimits::unlimited(),
         }
     }
 
@@ -231,9 +283,22 @@ impl EngineConfig {
         self
     }
 
+    /// Enables deterministic fuel accounting and epoch-based preemption in
+    /// every tier (see [`EngineConfig::metering`]).
+    pub fn with_metering(mut self) -> EngineConfig {
+        self.metering = true;
+        self
+    }
+
+    /// Sets per-tenant resource ceilings (see [`EngineConfig::limits`]).
+    pub fn with_limits(mut self, limits: ResourceLimits) -> EngineConfig {
+        self.limits = limits;
+        self
+    }
+
     /// A stable fingerprint of the *compiler-options* axes that affect the
-    /// code the compiling tiers emit: the tier policy and each
-    /// [`CompilerOptions`] feature axis. Labels (the configuration and
+    /// code the compiling tiers emit: the tier policy, the metering flag and
+    /// each [`CompilerOptions`] feature axis. Labels (the configuration and
     /// options names) and execution-only knobs (cost model, call-depth
     /// limit, laziness, tier-up threshold, GC threshold, worker count) are
     /// deliberately excluded — configurations differing only in those
@@ -243,6 +308,9 @@ impl EngineConfig {
     /// fingerprint with the backend when keying anything by it.
     pub fn compile_fingerprint(&self) -> u64 {
         let mut h = Fnv64::new();
+        // Metering changes emitted code in every compiling tier (fuel/epoch
+        // check sequences at block headers), so it is a code-affecting axis.
+        h.write_bool(self.metering);
         match &self.tier {
             TierPolicy::InterpreterOnly => {
                 h.write_u8(0);
@@ -379,6 +447,19 @@ mod tests {
         // The backend is deliberately NOT part of this fingerprint — it is a
         // separate axis of the cache key.
         assert_eq!(fp, base.clone().with_backend(CodeBackend::X64).compile_fingerprint());
+        // Resource limits are execution-only: they never change emitted code.
+        assert_eq!(
+            fp,
+            base.clone()
+                .with_limits(ResourceLimits {
+                    memory_pages: Some(4),
+                    table_elements: Some(8),
+                    call_depth: Some(100),
+                })
+                .compile_fingerprint()
+        );
+        // Metering changes emitted code, so it changes the fingerprint.
+        assert_ne!(fp, base.clone().with_metering().compile_fingerprint());
         // Code-affecting differences change it.
         assert_ne!(fp, EngineConfig::baseline("a", CompilerOptions::nok()).compile_fingerprint());
         assert_ne!(fp, EngineConfig::interpreter("a").compile_fingerprint());
@@ -428,6 +509,21 @@ mod tests {
             .tier
             .uses_opt_tier());
         assert!(EngineConfig::optimizing("o").tier.uses_opt_tier());
+    }
+
+    #[test]
+    fn metering_and_limits_default_off() {
+        let d = EngineConfig::default();
+        assert!(!d.metering);
+        assert_eq!(d.limits, ResourceLimits::unlimited());
+        let m = EngineConfig::default().with_metering().with_limits(ResourceLimits {
+            memory_pages: Some(16),
+            table_elements: None,
+            call_depth: Some(64),
+        });
+        assert!(m.metering);
+        assert_eq!(m.limits.memory_pages, Some(16));
+        assert_eq!(m.limits.call_depth, Some(64));
     }
 
     #[test]

@@ -23,16 +23,37 @@ use crate::pipeline::{self, BackgroundCompiler, CompileTier, CompiledArtifact, C
 use interp::interp::{InterpExit, Interpreter};
 use interp::probe::{FrameAccessor, ProbeSink};
 use machine::cost::CycleCounter;
-use machine::cpu::{Cpu, CpuExit, CpuState, ExecContext, ProbeExit};
+use machine::cpu::{Cpu, CpuExit, CpuState, ExecContext, Meter, ProbeExit};
 use machine::inst::TrapCode;
 use machine::memory::{LinearMemory, Table};
 use machine::values::{GlobalSlot, ValueStack, ValueTag, WasmValue};
 use spc::CompiledFunction;
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use wasm::module::{ConstExpr, ImportKind, Module};
+use wasm::types::Limits;
+
+/// Clamps a module-declared limit against an optional tenant ceiling: a
+/// declared minimum above the ceiling fails instantiation, and the effective
+/// maximum becomes the smaller of the declared maximum and the ceiling.
+fn clamp_limits(declared: Limits, ceiling: Option<u32>, what: &str) -> Result<Limits, EngineError> {
+    let Some(cap) = ceiling else {
+        return Ok(declared);
+    };
+    if declared.min > cap {
+        return Err(EngineError::Instantiate(format!(
+            "declared {what} minimum ({}) exceeds the tenant limit ({cap})",
+            declared.min
+        )));
+    }
+    Ok(Limits {
+        min: declared.min,
+        max: Some(declared.max.map_or(cap, |m| m.min(cap))),
+    })
+}
 
 /// A host (imported) function.
 pub type HostFunc = Box<dyn FnMut(&mut Heap, &[WasmValue]) -> Result<Vec<WasmValue>, TrapCode>>;
@@ -195,6 +216,17 @@ pub struct Instance {
     /// Attached instrumentation (monitors and probe registry).
     pub instrumentation: Instrumentation,
     host_funcs: Vec<Option<HostFunc>>,
+    /// Remaining fuel, when fuel metering is armed via
+    /// [`Instance::set_fuel`]. `None` runs unmetered even under a metering
+    /// configuration (the compiled check sequences become no-ops).
+    fuel: Option<u64>,
+    /// The fuel budget [`Instance::set_fuel`] last armed, so
+    /// [`Instance::fuel_consumed`] can report spend without the caller
+    /// keeping the initial number around.
+    initial_fuel: u64,
+    /// Epoch deadline: execution traps with [`TrapCode::Interrupted`] once
+    /// the engine's shared epoch counter reaches this value.
+    epoch_deadline: Option<u64>,
     /// Accumulated metrics.
     pub metrics: RunMetrics,
 }
@@ -233,6 +265,44 @@ impl Instance {
     /// Read a global's current value by index.
     pub fn global_value(&self, index: u32) -> Option<WasmValue> {
         self.globals.get(index as usize).map(|g| g.value())
+    }
+
+    /// Arms deterministic fuel metering with a budget of `fuel` units.
+    ///
+    /// Requires an engine configuration built with
+    /// [`EngineConfig::with_metering`](crate::EngineConfig::with_metering):
+    /// without it no tier contains check sequences and the budget is never
+    /// consumed. When the budget runs out, execution traps with
+    /// [`TrapCode::OutOfFuel`] at the same instruction in every tier.
+    pub fn set_fuel(&mut self, fuel: u64) {
+        self.fuel = Some(fuel);
+        self.initial_fuel = fuel;
+    }
+
+    /// Remaining fuel, or `None` if fuel metering was never armed.
+    pub fn fuel_remaining(&self) -> Option<u64> {
+        self.fuel
+    }
+
+    /// Fuel consumed since the last [`Instance::set_fuel`], or `None` if
+    /// fuel metering was never armed.
+    pub fn fuel_consumed(&self) -> Option<u64> {
+        self.fuel.map(|remaining| self.initial_fuel - remaining)
+    }
+
+    /// Sets the epoch deadline: execution traps with
+    /// [`TrapCode::Interrupted`] at the next check site (loop back-edge or
+    /// call boundary) once the engine's shared epoch counter reaches
+    /// `deadline`. Requires a metering configuration for in-loop checks;
+    /// call-boundary checks work regardless.
+    pub fn set_epoch_deadline(&mut self, deadline: u64) {
+        self.epoch_deadline = Some(deadline);
+    }
+
+    /// Clears the epoch deadline so execution can resume after an
+    /// interruption.
+    pub fn clear_epoch_deadline(&mut self) {
+        self.epoch_deadline = None;
     }
 }
 
@@ -287,6 +357,11 @@ pub struct Engine {
     config: EngineConfig,
     cache: Option<Arc<CodeCache>>,
     background: Option<Arc<BackgroundCompiler>>,
+    /// The shared epoch counter for preemption. Engine clones (and engines
+    /// built by [`crate::multi::MultiEngine`]) share one counter, so a
+    /// supervisor thread bumping it preempts every instance with an armed
+    /// deadline at its next check site.
+    epoch: Arc<AtomicU64>,
 }
 
 impl Engine {
@@ -296,6 +371,7 @@ impl Engine {
             config,
             cache: None,
             background: None,
+            epoch: Arc::new(AtomicU64::new(0)),
         }
     }
 
@@ -329,6 +405,24 @@ impl Engine {
     /// The attached background compile pool, if any.
     pub fn background_compiler(&self) -> Option<&Arc<BackgroundCompiler>> {
         self.background.as_ref()
+    }
+
+    /// Shares an epoch counter with other engines (see [`Engine::epoch`]).
+    pub fn with_epoch(mut self, epoch: Arc<AtomicU64>) -> Engine {
+        self.epoch = epoch;
+        self
+    }
+
+    /// The engine's epoch counter. Clone the [`Arc`] to bump it from a
+    /// supervisor thread.
+    pub fn epoch(&self) -> &Arc<AtomicU64> {
+        &self.epoch
+    }
+
+    /// Advances the epoch by one, preempting every instance whose deadline
+    /// is now reached at its next check site.
+    pub fn increment_epoch(&self) {
+        self.epoch.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Instantiates a module: validates, prepares, optionally compiles
@@ -387,11 +481,22 @@ impl Engine {
             }
         }
 
-        // Memories, globals, tables.
-        let memory = (0..module.num_memories())
+        // Memories, globals, tables. Declared limits are clamped against
+        // the tenant's resource ceilings: a declared minimum above a ceiling
+        // fails instantiation, and the effective maximum is the smaller of
+        // the declared maximum and the ceiling, so `memory.grow` can never
+        // exceed the tenant budget.
+        let memory = match (0..module.num_memories())
             .next()
             .and_then(|i| module.memory_type(i))
-            .map(|m| LinearMemory::new(m.limits));
+        {
+            Some(m) => Some(LinearMemory::new(clamp_limits(
+                m.limits,
+                self.config.limits.memory_pages,
+                "memory pages",
+            )?)),
+            None => None,
+        };
         let globals: Vec<GlobalSlot> = {
             let mut out = Vec::new();
             for i in 0..module.num_globals() {
@@ -407,10 +512,14 @@ impl Engine {
             }
             out
         };
-        let mut tables: Vec<Table> = (0..module.num_tables())
-            .filter_map(|i| module.table_type(i))
-            .map(|t| Table::new(t.limits))
-            .collect();
+        let mut tables: Vec<Table> = Vec::new();
+        for t in (0..module.num_tables()).filter_map(|i| module.table_type(i)) {
+            tables.push(Table::new(clamp_limits(
+                t.limits,
+                self.config.limits.table_elements,
+                "table elements",
+            )?));
+        }
 
         let mut memory = memory;
         // Data segments.
@@ -446,6 +555,9 @@ impl Engine {
             heap: Heap::with_threshold(self.config.gc_threshold),
             instrumentation,
             host_funcs,
+            fuel: None,
+            initial_fuel: 0,
+            epoch_deadline: None,
             metrics: RunMetrics {
                 cache_hit,
                 ..RunMetrics::default()
@@ -702,8 +814,22 @@ impl Engine {
         let defined = func_index
             .checked_sub(instance.module().num_imported_funcs())
             .ok_or(TrapCode::HostError)?;
-        if depth >= self.config.max_call_depth {
+        let max_depth = self
+            .config
+            .limits
+            .call_depth
+            .map_or(self.config.max_call_depth, |d| {
+                d.min(self.config.max_call_depth)
+            });
+        if depth >= max_depth {
             return Err(TrapCode::StackOverflow);
+        }
+        // The call boundary is a preemption point in every tier: functions
+        // that recurse instead of looping still observe the epoch.
+        if let Some(deadline) = instance.epoch_deadline {
+            if self.epoch.load(Ordering::Relaxed) >= deadline {
+                return Err(TrapCode::Interrupted);
+            }
         }
         let jit_tier = self.choose_tier(instance, defined)?;
         // The artifact is immutable and behind an `Arc`, so a cheap handle
@@ -808,6 +934,8 @@ impl Engine {
                     tables,
                     values,
                     instrumentation,
+                    fuel,
+                    epoch_deadline,
                     ..
                 } = instance;
                 let mut ctx = ExecContext {
@@ -816,6 +944,10 @@ impl Engine {
                     memory: memory.as_mut(),
                     globals,
                     tables,
+                    meter: Meter {
+                        fuel: fuel.as_mut(),
+                        epoch: epoch_deadline.map(|d| (self.epoch.as_ref(), d)),
+                    },
                 };
                 match &mut act.tier {
                     FrameTier::Interp { ip } => {

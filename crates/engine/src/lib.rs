@@ -52,14 +52,16 @@ pub mod config;
 pub mod engine;
 pub mod gc;
 pub mod monitor;
+pub mod multi;
 pub mod pipeline;
 pub mod trap;
 
 pub use cache::{CacheKey, CodeCache};
-pub use config::{EngineConfig, TierPolicy};
+pub use config::{EngineConfig, ResourceLimits, TierPolicy};
 pub use machine::masm::CodeBackend;
 pub use engine::{Engine, EngineError, HostFunc, Imports, Instance, RunMetrics};
 pub use gc::{Heap, HostObject};
 pub use monitor::{BranchMonitor, BranchProfile, Instrumentation};
+pub use multi::MultiEngine;
 pub use pipeline::{BackgroundCompiler, CompiledArtifact, CompiledModule};
 pub use trap::TrapReason;

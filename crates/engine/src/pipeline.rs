@@ -242,10 +242,11 @@ impl CompiledModule {
 /// configuration's baseline tier does so instrumentation counts stay
 /// tier-independent.
 fn opt_compiler(config: &EngineConfig) -> optc::OptimizingCompiler {
-    match config.baseline_options() {
+    let compiler = match config.baseline_options() {
         Some(options) => optc::OptimizingCompiler::new(options.probe_mode),
         None => optc::OptimizingCompiler::default(),
-    }
+    };
+    compiler.with_metering(config.metering)
 }
 
 /// Compiles one defined function under `config` in `tier` — the single pure
@@ -273,7 +274,9 @@ pub fn compile_function(
         }
         CompileTier::Baseline => {
             let options = config.baseline_options().cloned().unwrap_or_default();
-            SinglePassCompiler::new(options).compile(module, func_index, info, probes)?
+            SinglePassCompiler::new(options)
+                .with_metering(config.metering)
+                .compile(module, func_index, info, probes)?
         }
     };
     // The compile-time metric covers exactly the work that produced the
@@ -288,13 +291,9 @@ pub fn compile_function(
     let (machine_bytes, x64_code) = match (config.backend, tier) {
         (CodeBackend::X64, CompileTier::Baseline) => {
             let options = config.baseline_options().cloned().unwrap_or_default();
-            let x64 = SinglePassCompiler::new(options).compile_with(
-                X64Masm::new(),
-                module,
-                func_index,
-                info,
-                probes,
-            )?;
+            let x64 = SinglePassCompiler::new(options)
+                .with_metering(config.metering)
+                .compile_with(X64Masm::new(), module, func_index, info, probes)?;
             (x64.code.code_size() as u64, Some(x64.code))
         }
         (CodeBackend::X64, CompileTier::Opt) => {

@@ -35,11 +35,15 @@ pub enum TrapReason {
     StackExhaustion,
     /// A host function or embedder API reported an error.
     Host,
+    /// Execution ran out of fuel (deterministic metering).
+    OutOfFuel,
+    /// Execution was interrupted by an epoch deadline (preemption).
+    Interrupted,
 }
 
 impl TrapReason {
     /// Every reason, in a stable order.
-    pub const ALL: [TrapReason; 10] = [
+    pub const ALL: [TrapReason; 12] = [
         TrapReason::Unreachable,
         TrapReason::OutOfBoundsMemory,
         TrapReason::DivisionByZero,
@@ -50,6 +54,8 @@ impl TrapReason {
         TrapReason::IndirectCallMismatch,
         TrapReason::StackExhaustion,
         TrapReason::Host,
+        TrapReason::OutOfFuel,
+        TrapReason::Interrupted,
     ];
 
     /// The canonical message the spec test suite's `assert_trap` uses for
@@ -66,6 +72,8 @@ impl TrapReason {
             TrapReason::IndirectCallMismatch => "indirect call type mismatch",
             TrapReason::StackExhaustion => "call stack exhausted",
             TrapReason::Host => "host error",
+            TrapReason::OutOfFuel => "all fuel consumed",
+            TrapReason::Interrupted => "interrupt",
         }
     }
 
@@ -93,6 +101,8 @@ impl From<TrapCode> for TrapReason {
             TrapCode::IndirectCallTypeMismatch => TrapReason::IndirectCallMismatch,
             TrapCode::StackOverflow => TrapReason::StackExhaustion,
             TrapCode::HostError => TrapReason::Host,
+            TrapCode::OutOfFuel => TrapReason::OutOfFuel,
+            TrapCode::Interrupted => TrapReason::Interrupted,
         }
     }
 }
@@ -120,6 +130,8 @@ mod tests {
             TrapCode::IndirectCallTypeMismatch,
             TrapCode::StackOverflow,
             TrapCode::HostError,
+            TrapCode::OutOfFuel,
+            TrapCode::Interrupted,
         ];
         let mut seen = std::collections::HashSet::new();
         for code in codes {

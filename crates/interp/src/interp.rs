@@ -20,6 +20,7 @@ use machine::cpu::ExecContext;
 use machine::inst::TrapCode;
 use machine::lower::classify;
 use machine::values::{ValueTag, WasmValue, NULL_REF_BITS};
+use wasm::fuel::FuelPlan;
 use wasm::module::Module;
 use wasm::opcode::Opcode;
 use wasm::reader::BytecodeReader;
@@ -44,6 +45,8 @@ pub struct PreparedFunction {
     pub sidetable: Sidetable,
     /// Length of the body in bytes.
     pub body_len: u32,
+    /// The static fuel-charging schedule shared with the compiled tiers.
+    pub fuel: FuelPlan,
 }
 
 impl PreparedFunction {
@@ -78,6 +81,14 @@ pub fn prepare(
         message: format!("function {func_index} has no body"),
     })?;
     let sidetable = build_sidetable(module, func_index)?;
+    let decl = module.func_decl(func_index).ok_or(SidetableError {
+        offset: 0,
+        message: format!("function {func_index} has no body"),
+    })?;
+    let fuel = FuelPlan::build(&decl.code).map_err(|e| SidetableError {
+        offset: 0,
+        message: format!("fuel plan: {e}"),
+    })?;
     Ok(PreparedFunction {
         func_index,
         num_params: sig.params.len() as u32,
@@ -86,6 +97,7 @@ pub fn prepare(
         max_stack: info.max_stack,
         sidetable,
         body_len: info.body_len,
+        fuel,
     })
 }
 
@@ -173,6 +185,24 @@ impl Interpreter {
                 return InterpExit::Return;
             }
             let ip = reader.pc();
+
+            // Metering runs before probes so a fuel trap fires at the same
+            // offset in every tier (compiled code emits the same fused
+            // check: fuel, then epoch, then probe). One check per site —
+            // loop-head epoch polls ride the region's fuel decrement, so a
+            // metered loop iteration pays `fuel_check` once, not twice.
+            if ctx.meter.fuel.is_some() || ctx.meter.epoch.is_some() {
+                let charge = func.fuel.charge_at(ip as u32);
+                if charge.is_some() || func.fuel.epoch_check_at(ip as u32) {
+                    cycles.charge(cost.fuel_check);
+                    if let Err(t) = ctx.meter.charge_fuel(charge.unwrap_or(0)) {
+                        trap!(t);
+                    }
+                    if let Err(t) = ctx.meter.check_epoch() {
+                        trap!(t);
+                    }
+                }
+            }
 
             if probes.has_probe(func.func_index, ip as u32) {
                 cycles.charge(cost.probe_runtime);
@@ -671,6 +701,7 @@ mod tests {
             memory: Some(&mut memory),
             globals: &mut globals,
             tables: &mut tables,
+            meter: machine::cpu::Meter::off(),
         };
         let exit = interp.run(module, &prepared, 0, &mut ctx, &mut NoProbes, &mut cycles);
         match exit {
@@ -1013,6 +1044,7 @@ mod tests {
             memory: None,
             globals: &mut globals,
             tables: &mut tables,
+            meter: machine::cpu::Meter::off(),
         };
         let exit = interp.run(&module, &prepared, 0, &mut ctx, &mut NoProbes, &mut cycles);
         assert_eq!(
@@ -1051,6 +1083,7 @@ mod tests {
                 memory: None,
                 globals: &mut globals,
                 tables: &mut tables,
+                meter: machine::cpu::Meter::off(),
             };
             interp.run(&module, &prepared, 0, &mut ctx, &mut NoProbes, &mut cycles);
             cycles.total()

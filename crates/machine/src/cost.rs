@@ -76,6 +76,18 @@ pub struct CostModel {
     pub probe_counter: u64,
     /// Optimized probe passing the top-of-stack value directly.
     pub probe_tos: u64,
+    /// Fused meter check (counter subtract + branch). Covers both fuel and
+    /// preemption: a real engine keeps one activation counter in a pinned
+    /// register and delivers epoch expiry by zeroing it, so the emitted
+    /// sequence stays a single decrement-and-branch — and since the exit
+    /// branch is never taken until exhaustion, it macro-fuses with the
+    /// decrement and predicts perfectly, costing one cycle, unlike the
+    /// data-dependent branches `branch` models.
+    pub fuel_check: u64,
+    /// Standalone epoch poll (memory compare + branch). Kept in the model
+    /// for tiers that poll without fuel accounting; the shipped compilers
+    /// emit only the fused check.
+    pub epoch_check: u64,
     /// Interpreter: dispatch (fetch opcode, indirect branch to handler).
     pub interp_dispatch: u64,
     /// Interpreter: decode one immediate operand (LEB or literal).
@@ -120,6 +132,8 @@ impl Default for CostModel {
             probe_direct: 14,
             probe_counter: 3,
             probe_tos: 6,
+            fuel_check: 1,
+            epoch_check: 2,
             interp_dispatch: 4,
             interp_imm: 1,
             interp_control: 3,
@@ -173,6 +187,8 @@ impl CostModel {
             ProbeDirect { .. } => self.probe_direct,
             ProbeCounter { .. } => self.probe_counter,
             ProbeTosValue { .. } => self.probe_tos,
+            FuelCheck { .. } => self.fuel_check,
+            EpochCheck => self.epoch_check,
             Trap { .. } => self.trap,
             Return => self.ret,
         }
@@ -226,6 +242,8 @@ mod tests {
         assert!(m.probe_runtime > m.probe_direct);
         assert!(m.probe_direct > m.probe_tos);
         assert!(m.probe_tos > m.probe_counter);
+        assert!(m.fuel_check > 0 && m.fuel_check < m.branch + m.alu + 1);
+        assert!(m.epoch_check > 0);
         assert!(m.interp_dispatch > 0);
     }
 

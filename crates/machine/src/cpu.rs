@@ -20,6 +20,7 @@ use crate::memory::{LinearMemory, Table};
 use crate::ops;
 use crate::reg::{AnyReg, NUM_FPRS, NUM_GPRS};
 use crate::values::{GlobalSlot, ValueStack};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// The register file of one JIT frame activation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -62,6 +63,54 @@ impl CpuState {
     }
 }
 
+/// Fuel and preemption state for one activation.
+///
+/// Both meters are optional so un-metered execution stays exactly the code
+/// path it was before metering existed: a `FuelCheck` or `EpochCheck`
+/// instruction executed against [`Meter::off`] is a no-op.
+#[derive(Debug, Default)]
+pub struct Meter<'a> {
+    /// Remaining fuel, decremented by `FuelCheck`. `None` disables metering.
+    pub fuel: Option<&'a mut u64>,
+    /// The shared engine epoch and this activation's deadline; execution is
+    /// interrupted once the epoch reaches the deadline. `None` disables
+    /// preemption.
+    pub epoch: Option<(&'a AtomicU64, u64)>,
+}
+
+impl<'a> Meter<'a> {
+    /// A meter that charges nothing and never interrupts.
+    pub fn off() -> Meter<'a> {
+        Meter::default()
+    }
+
+    /// Charges `amount` fuel. On exhaustion the remaining fuel is clamped to
+    /// zero (so consumed-at-trap equals the initial budget in every tier) and
+    /// [`TrapCode::OutOfFuel`] is returned.
+    pub fn charge_fuel(&mut self, amount: u64) -> Result<(), TrapCode> {
+        if let Some(fuel) = self.fuel.as_deref_mut() {
+            if *fuel >= amount {
+                *fuel -= amount;
+            } else {
+                *fuel = 0;
+                return Err(TrapCode::OutOfFuel);
+            }
+        }
+        Ok(())
+    }
+
+    /// Polls the epoch; returns [`TrapCode::Interrupted`] once it has reached
+    /// this activation's deadline.
+    pub fn check_epoch(&self) -> Result<(), TrapCode> {
+        if let Some((epoch, deadline)) = self.epoch {
+            if epoch.load(Ordering::Relaxed) >= deadline {
+                return Err(TrapCode::Interrupted);
+            }
+        }
+        Ok(())
+    }
+}
+
 /// The mutable runtime state a frame executes against.
 #[derive(Debug)]
 pub struct ExecContext<'a> {
@@ -75,6 +124,8 @@ pub struct ExecContext<'a> {
     pub globals: &'a mut [GlobalSlot],
     /// The instance's tables.
     pub tables: &'a mut [Table],
+    /// Fuel and preemption state.
+    pub meter: Meter<'a>,
 }
 
 impl<'a> ExecContext<'a> {
@@ -369,6 +420,26 @@ impl Cpu {
                         resume_pc: pc + 1,
                     };
                 }
+                MachInst::FuelCheck { amount } => {
+                    // The fused meter check: decrement fuel, then observe a
+                    // pending preemption request. A real engine implements
+                    // this as one register decrement-and-branch (the
+                    // supervisor delivers preemption by zeroing the
+                    // activation's counter); the simulator keeps the two
+                    // meters separate but preserves that single-sequence
+                    // cost, which is why no distinct epoch poll is emitted.
+                    if let Err(t) = ctx.meter.charge_fuel(*amount) {
+                        return CpuExit::Trap(t);
+                    }
+                    if let Err(t) = ctx.meter.check_epoch() {
+                        return CpuExit::Trap(t);
+                    }
+                }
+                MachInst::EpochCheck => {
+                    if let Err(t) = ctx.meter.check_epoch() {
+                        return CpuExit::Trap(t);
+                    }
+                }
                 MachInst::Trap { code } => return CpuExit::Trap(*code),
                 MachInst::Return => return CpuExit::Return,
             }
@@ -430,6 +501,7 @@ mod tests {
                 memory: Some(&mut self.memory),
                 globals: &mut self.globals,
                 tables: &mut self.tables,
+                meter: Meter::off(),
             };
             let exit = cpu.run(&mut state, code, 0, &mut ctx, &mut cycles);
             (exit, state, cycles.total())
@@ -633,6 +705,7 @@ mod tests {
             memory: Some(&mut w.memory),
             globals: &mut w.globals,
             tables: &mut w.tables,
+            meter: Meter::off(),
         };
         let exit = cpu.run(&mut state, &code, 1, &mut ctx, &mut cycles);
         assert_eq!(
@@ -680,6 +753,7 @@ mod tests {
                 memory: Some(&mut w.memory),
                 globals: &mut w.globals,
                 tables: &mut w.tables,
+                meter: Meter::off(),
             };
             let exit = cpu.run(&mut state, &code, 0, &mut ctx, &mut cycles);
             assert_eq!(exit, CpuExit::Return);
@@ -714,6 +788,7 @@ mod tests {
             memory: Some(&mut w.memory),
             globals: &mut w.globals,
             tables: &mut w.tables,
+            meter: Meter::off(),
         };
         cpu.run(&mut state, &code, 0, &mut ctx, &mut cycles);
         assert_eq!(w.values.read(12), 35);

@@ -288,6 +288,10 @@ pub enum TrapCode {
     StackOverflow,
     /// A host function reported an error.
     HostError,
+    /// The instance's fuel budget was exhausted by a metered instruction.
+    OutOfFuel,
+    /// Execution was preempted by an epoch advance (deadline passed).
+    Interrupted,
 }
 
 impl std::error::Error for TrapCode {}
@@ -305,6 +309,8 @@ impl fmt::Display for TrapCode {
             TrapCode::IndirectCallTypeMismatch => "indirect call type mismatch",
             TrapCode::StackOverflow => "stack overflow",
             TrapCode::HostError => "host error",
+            TrapCode::OutOfFuel => "all fuel consumed",
+            TrapCode::Interrupted => "interrupt",
         };
         f.write_str(s)
     }
@@ -628,6 +634,17 @@ pub enum MachInst {
         /// Register holding the value to pass.
         src: AnyReg,
     },
+    /// Deduct `amount` fuel from the executing instance's budget, trapping
+    /// with [`TrapCode::OutOfFuel`] when the budget runs dry. A no-op when the
+    /// instance has no fuel limit.
+    FuelCheck {
+        /// Fuel units charged by this check (one charge region's total cost).
+        amount: u64,
+    },
+    /// Poll the engine epoch and trap with [`TrapCode::Interrupted`] when it
+    /// has advanced past the instance's deadline. A no-op when the instance
+    /// has no deadline.
+    EpochCheck,
     /// Unconditional trap.
     Trap {
         /// The trap reason.
@@ -685,6 +702,10 @@ impl MachInst {
             ProbeDirect { .. } => 5,
             ProbeCounter { .. } => 7,
             ProbeTosValue { .. } => 6,
+            // sub [fuel], imm32 ; jb trap — comparable to a guarded store.
+            FuelCheck { .. } => 9,
+            // cmp [epoch], reg ; jae trap.
+            EpochCheck => 9,
             Trap { .. } => 2,
             Return => 3,
         }
@@ -782,6 +803,8 @@ impl fmt::Display for MachInst {
             ProbeDirect { probe_id } => write!(f, "probe_direct {probe_id}"),
             ProbeCounter { counter_id } => write!(f, "probe_counter {counter_id}"),
             ProbeTosValue { probe_id, src } => write!(f, "probe_tos {probe_id}, {src}"),
+            FuelCheck { amount } => write!(f, "fuel_check #{amount}"),
+            EpochCheck => write!(f, "epoch_check"),
             Trap { code } => write!(f, "trap {code}"),
             Return => write!(f, "ret"),
         }

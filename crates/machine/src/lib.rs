@@ -48,7 +48,7 @@ pub mod x64_masm;
 pub use asm::{Assembler, CodeBuffer};
 pub use masm::{CodeBackend, Masm};
 pub use cost::{CostModel, CycleCounter};
-pub use cpu::{Cpu, CpuExit, CpuState, ExecContext, ProbeExit};
+pub use cpu::{Cpu, CpuExit, CpuState, ExecContext, Meter, ProbeExit};
 pub use inst::{Label, MachInst, TrapCode, Width};
 pub use memory::{LinearMemory, Table};
 pub use reg::{AnyReg, FReg, Reg};

@@ -204,6 +204,16 @@ pub trait Masm {
     /// convention).
     fn ret(&mut self);
 
+    // ---- Metering ------------------------------------------------------
+
+    /// Deduct `amount` fuel from the instance budget, trapping with
+    /// [`TrapCode::OutOfFuel`] on exhaustion. A no-op when the executing
+    /// instance has no fuel limit.
+    fn fuel_check(&mut self, amount: u64);
+    /// Poll the engine epoch, trapping with [`TrapCode::Interrupted`] once it
+    /// passes the instance deadline. A no-op without a deadline.
+    fn epoch_check(&mut self);
+
     // ---- Probes --------------------------------------------------------
 
     /// Unoptimized probe (runtime lookup); returns the probe's site index.
@@ -383,6 +393,14 @@ impl Masm for Assembler {
         self.emit(MachInst::Return);
     }
 
+    fn fuel_check(&mut self, amount: u64) {
+        self.emit(MachInst::FuelCheck { amount });
+    }
+
+    fn epoch_check(&mut self) {
+        self.emit(MachInst::EpochCheck);
+    }
+
     fn probe_runtime(&mut self, probe_id: u32) -> usize {
         self.emit(MachInst::ProbeRuntime { probe_id })
     }
@@ -447,6 +465,8 @@ mod tests {
         m.probe_direct(1);
         m.probe_counter(2);
         m.probe_tos(3, AnyReg::Gpr(r1));
+        m.fuel_check(4);
+        m.epoch_check();
         m.jump(loop_top);
         m.bind(skip);
         let end = m.new_label();
@@ -464,7 +484,7 @@ mod tests {
         let asm = exercise(Assembler::new());
         // Virtual backend: macro ops map 1:1 onto MachInsts.
         let code = Masm::finish(asm);
-        assert_eq!(code.len(), 36);
+        assert_eq!(code.len(), 38);
         assert!(code.source_map().len() == 2);
     }
 

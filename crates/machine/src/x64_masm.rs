@@ -152,6 +152,13 @@ pub enum RuntimeOp {
         /// The conversion performed by the helper.
         op: ConvOp,
     },
+    /// Fuel decrement-and-check; traps out of line on exhaustion.
+    FuelCheck {
+        /// Fuel units deducted by this check.
+        amount: u64,
+    },
+    /// Epoch poll; traps out of line when the deadline has passed.
+    EpochCheck,
     /// A trap site (`ud2`).
     Trap {
         /// The trap reason.
@@ -886,6 +893,16 @@ impl Masm for X64Masm {
     fn ret(&mut self) {
         self.count();
         self.asm.ret();
+    }
+
+    fn fuel_check(&mut self, amount: u64) {
+        self.count();
+        self.runtime_call(RuntimeOp::FuelCheck { amount });
+    }
+
+    fn epoch_check(&mut self) {
+        self.count();
+        self.runtime_call(RuntimeOp::EpochCheck);
     }
 
     fn probe_runtime(&mut self, probe_id: u32) -> usize {

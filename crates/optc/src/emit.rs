@@ -422,6 +422,14 @@ impl<'a, M: Masm> Emitter<'a, M> {
                     },
                 );
             }
+            Inst::FuelCheck { offset, amount } => {
+                self.masm.mark_source(*offset);
+                self.masm.fuel_check(*amount);
+            }
+            Inst::EpochCheck { offset } => {
+                self.masm.mark_source(*offset);
+                self.masm.epoch_check();
+            }
         }
     }
 

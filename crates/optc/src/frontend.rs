@@ -21,6 +21,7 @@ use machine::inst::{CmpOp, TrapCode, Width};
 use machine::lower::{classify, OpClass};
 use machine::values::NULL_REF_BITS;
 use spc::{CompileError, ProbeKind, ProbeMode, ProbeSites};
+use wasm::fuel::FuelPlan;
 use wasm::module::Module;
 use wasm::opcode::{OpSignature, Opcode};
 use wasm::reader::BytecodeReader;
@@ -78,6 +79,7 @@ struct Builder<'a> {
     module: &'a Module,
     probes: &'a ProbeSites,
     probe_mode: ProbeMode,
+    fuel: Option<&'a FuelPlan>,
     ir: FuncIr,
     current: BlockId,
     locals: Vec<ValueId>,
@@ -97,6 +99,7 @@ pub fn build(
     info: &FuncInfo,
     probes: &ProbeSites,
     probe_mode: ProbeMode,
+    fuel: Option<&FuelPlan>,
 ) -> Result<FuncIr, CompileError> {
     let decl = module.func_decl(func_index).ok_or(CompileError {
         offset: 0,
@@ -134,6 +137,7 @@ pub fn build(
         module,
         probes,
         probe_mode,
+        fuel,
         ir,
         current: entry,
         locals,
@@ -354,6 +358,21 @@ impl<'a> Builder<'a> {
                 .read_opcode()
                 .map_err(|e| self.error(offset, e.to_string()))?;
             if !self.unreachable_now() {
+                // Metering first, probes second — the tier-uniform order.
+                // `self.current` is the merge/header block that branch
+                // targets land in, so back-edges re-execute these checks.
+                if let Some(plan) = self.fuel {
+                    // One fused check per site, exactly like the baseline
+                    // tier: the loop-head epoch poll rides the region's
+                    // fuel decrement.
+                    let charge = plan.charge_at(offset as u32);
+                    if charge.is_some() || plan.epoch_check_at(offset as u32) {
+                        self.push_inst(Inst::FuelCheck {
+                            offset: offset as u32,
+                            amount: charge.unwrap_or(0),
+                        });
+                    }
+                }
                 if let Some(site) = self.probes.get(offset as u32) {
                     self.emit_probe(*site, offset as u32);
                 }
@@ -885,6 +904,7 @@ mod tests {
             &info.funcs[0],
             &ProbeSites::none(),
             ProbeMode::Optimized,
+            None,
         )
         .unwrap()
     }

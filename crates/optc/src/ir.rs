@@ -270,6 +270,19 @@ pub enum Inst {
         /// `(frame slot, value)` pairs to store before the probe.
         flush: Vec<(u32, ValueId)>,
     },
+    /// A fuel decrement-and-check for one charge region. Placed at the
+    /// region's first bytecode offset; never moved or merged by passes.
+    FuelCheck {
+        /// Bytecode offset of the charge region's start.
+        offset: u32,
+        /// Fuel units deducted.
+        amount: u64,
+    },
+    /// An epoch poll at a loop-body start.
+    EpochCheck {
+        /// Bytecode offset of the loop body.
+        offset: u32,
+    },
 }
 
 impl Inst {
@@ -294,6 +307,7 @@ impl Inst {
                 }
             }
             Inst::ProbeFlush { flush, .. } => flush.iter().for_each(|&(_, v)| f(v)),
+            Inst::FuelCheck { .. } | Inst::EpochCheck { .. } => {}
         }
     }
 

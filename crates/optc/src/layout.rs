@@ -93,6 +93,7 @@ mod tests {
             &info.funcs[0],
             &ProbeSites::none(),
             ProbeMode::Optimized,
+            None,
         )
         .unwrap();
         // Bytecode layout: 0 local.get, 1 idx, 2 if.

@@ -43,6 +43,7 @@ pub mod regalloc;
 use interp::profile::FuncProfile;
 use machine::masm::Masm;
 use spc::{CompileError, CompiledCode, CompiledFunction, ProbeMode, ProbeSites};
+use wasm::fuel::FuelPlan;
 use wasm::hash::Fnv64;
 use wasm::module::Module;
 use wasm::validate::FuncInfo;
@@ -53,12 +54,16 @@ pub struct OptimizingCompiler {
     /// How probe sites are lowered (mirrors the baseline configuration so
     /// instrumentation counts stay tier-independent).
     probe_mode: ProbeMode,
+    /// Whether fuel/epoch checks are inserted (mirrors the engine's metering
+    /// configuration so fuel counts stay tier-independent).
+    metering: bool,
 }
 
 impl Default for OptimizingCompiler {
     fn default() -> OptimizingCompiler {
         OptimizingCompiler {
             probe_mode: ProbeMode::Optimized,
+            metering: false,
         }
     }
 }
@@ -66,7 +71,19 @@ impl Default for OptimizingCompiler {
 impl OptimizingCompiler {
     /// Creates an optimizing compiler lowering probes in `probe_mode`.
     pub fn new(probe_mode: ProbeMode) -> OptimizingCompiler {
-        OptimizingCompiler { probe_mode }
+        OptimizingCompiler {
+            probe_mode,
+            metering: false,
+        }
+    }
+
+    /// Enables or disables fuel metering: when on, the frontend inserts
+    /// `FuelCheck` / `EpochCheck` instructions at the offsets of the
+    /// function's [`wasm::fuel::FuelPlan`], and every optimization pass
+    /// treats them as immovable effects.
+    pub fn with_metering(mut self, metering: bool) -> OptimizingCompiler {
+        self.metering = metering;
+        self
     }
 
     /// A stable fingerprint of the optimizing pipeline (IR shape, pass list,
@@ -125,7 +142,26 @@ impl OptimizingCompiler {
             .func_decl(func_index)
             .map(|d| d.code.len() as u32)
             .unwrap_or(0);
-        let mut ir = frontend::build(module, func_index, info, probes, self.probe_mode)?;
+        let fuel = if self.metering {
+            let decl = module.func_decl(func_index).ok_or(CompileError {
+                offset: 0,
+                message: format!("function {func_index} has no body"),
+            })?;
+            Some(FuelPlan::build(&decl.code).map_err(|e| CompileError {
+                offset: 0,
+                message: format!("fuel plan: {e}"),
+            })?)
+        } else {
+            None
+        };
+        let mut ir = frontend::build(
+            module,
+            func_index,
+            info,
+            probes,
+            self.probe_mode,
+            fuel.as_ref(),
+        )?;
         opt::optimize(&mut ir);
         #[cfg(debug_assertions)]
         regalloc::check_edges(&ir);
@@ -185,6 +221,7 @@ mod tests {
             memory: Some(&mut memory),
             globals: &mut globals,
             tables: &mut tables,
+            meter: machine::cpu::Meter::off(),
         };
         let exit = cpu.run(&mut state, &cf.code, 0, &mut ctx, &mut cycles);
         (exit, values.read(0), cycles.total())

@@ -256,7 +256,11 @@ pub fn cse(ir: &mut FuncIr) {
                 Inst::Call { .. } | Inst::CallIndirect { .. } => {
                     invalidate(&mut available, true, Some(None))
                 }
-                Inst::ProbeCounter { .. } | Inst::ProbeTos { .. } | Inst::ProbeFlush { .. } => {}
+                Inst::ProbeCounter { .. }
+                | Inst::ProbeTos { .. }
+                | Inst::ProbeFlush { .. }
+                | Inst::FuelCheck { .. }
+                | Inst::EpochCheck { .. } => {}
             }
         }
     }
@@ -437,6 +441,7 @@ mod tests {
             &info.funcs[0],
             &ProbeSites::none(),
             ProbeMode::Optimized,
+            None,
         )
         .unwrap();
         optimize(&mut ir);

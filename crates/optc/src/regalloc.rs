@@ -412,6 +412,7 @@ mod tests {
             &info.funcs[0],
             &ProbeSites::none(),
             ProbeMode::Optimized,
+            None,
         )
         .unwrap();
         opt::optimize(&mut ir);

@@ -1,0 +1,311 @@
+//! Deterministic fuel accounting: the per-opcode cost table and the static
+//! per-function [`FuelPlan`].
+//!
+//! Fuel is the engine's unit of metered work. Every execution tier — the
+//! in-place interpreter, the single-pass baseline compiler, and the SSA
+//! optimizing tier — consumes fuel according to the *same* plan computed here,
+//! so a fuel-limited run traps at the identical bytecode offset with the
+//! identical fuel count no matter which tier (or mix of tiers) executed it.
+//!
+//! # The plan
+//!
+//! A function body is partitioned into *charge regions*: maximal straight-line
+//! runs of instructions that are always executed together. A region's total
+//! cost is charged up front at the region's first bytecode offset. Region
+//! boundaries are placed so that every possible entry point into the body —
+//! function entry, loop back-edge targets, `else` arms, `end` join points,
+//! fall-through past a conditional branch, and resumption after a call — is
+//! the start of a region. That makes the charge schedule independent of which
+//! paths execute: each tier simply charges the region cost whenever control
+//! reaches the region's start offset.
+//!
+//! Concretely, a region is flushed:
+//!
+//! * **before** `loop`, `else`, and `end` tokens (their offsets are branch
+//!   anchors), and
+//! * **after** `loop`, `if`, `else`, `end`, `br`, `br_if`, `br_table`,
+//!   `return`, `unreachable`, `call`, and `call_indirect` (control may enter
+//!   or resume right after them).
+//!
+//! Zero-cost regions are dropped from the plan.
+//!
+//! The plan also records *epoch check* offsets: the body-start offset of every
+//! `loop`, i.e. the target of its back-edges. Tiers do not emit a separate
+//! poll there — the epoch check is fused into the charge-site fuel check
+//! (a site that is an epoch offset but charges nothing gets a zero-amount
+//! check). Since every cycle through a program executes at least one branch,
+//! every cycle passes a charge region's start, so the fused checks (plus the
+//! engine's uniform check at call entry) observe preemption requests on every
+//! trip around any loop.
+
+use crate::opcode::Opcode;
+use crate::reader::{BytecodeReader, ReadError};
+use std::collections::{HashMap, HashSet};
+
+/// The fuel cost of one opcode.
+///
+/// Structural tokens that never do work at runtime cost zero; calls and
+/// `memory.grow` are weighted above ordinary instructions. The exact values
+/// are an engine-internal contract: what matters for conformance is that all
+/// tiers derive charges from this one table.
+pub fn fuel_cost(op: Opcode) -> u64 {
+    match op {
+        // Structural tokens: block shape only, no runtime work.
+        Opcode::Block | Opcode::Loop | Opcode::End | Opcode::Else | Opcode::Nop => 0,
+        // Calls pay for frame setup in addition to the callee's own fuel.
+        Opcode::Call => 5,
+        Opcode::CallIndirect => 6,
+        // Growing memory is by far the most expensive single instruction.
+        Opcode::MemoryGrow => 100,
+        _ => 1,
+    }
+}
+
+/// A static fuel-charging schedule for one function body.
+///
+/// Built once per function (see [`FuelPlan::build`]) and shared by all tiers:
+/// the interpreter consults it per instruction offset, while the baseline and
+/// optimizing compilers bake `fuel_check` / `epoch_check` sequences into the
+/// generated code at the recorded offsets.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FuelPlan {
+    charges: HashMap<u32, u64>,
+    epoch_checks: HashSet<u32>,
+}
+
+impl FuelPlan {
+    /// An empty plan that charges nothing (used for metering-off paths).
+    pub fn empty() -> FuelPlan {
+        FuelPlan::default()
+    }
+
+    /// Computes the charge schedule for `code` (a function body's bytecode,
+    /// after local declarations).
+    pub fn build(code: &[u8]) -> Result<FuelPlan, ReadError> {
+        let mut plan = FuelPlan::default();
+        let mut r = BytecodeReader::new(code);
+        let mut region_start = 0u32;
+        let mut pending = 0u64;
+        while !r.is_at_end() {
+            let offset = r.pc() as u32;
+            let op = r.read_opcode()?;
+            // These offsets are branch anchors: close the running region so a
+            // jump landing here never skips (or double-pays) a charge.
+            if matches!(op, Opcode::Loop | Opcode::Else | Opcode::End) {
+                plan.flush(&mut region_start, &mut pending, offset);
+            }
+            pending += fuel_cost(op);
+            r.skip_immediates(op)?;
+            let after = r.pc() as u32;
+            match op {
+                Opcode::Loop => {
+                    // Back-edges target the body start: poll the epoch there.
+                    plan.epoch_checks.insert(after);
+                    plan.flush(&mut region_start, &mut pending, after);
+                }
+                Opcode::If
+                | Opcode::Else
+                | Opcode::End
+                | Opcode::Br
+                | Opcode::BrIf
+                | Opcode::BrTable
+                | Opcode::Return
+                | Opcode::Unreachable
+                | Opcode::Call
+                | Opcode::CallIndirect => {
+                    plan.flush(&mut region_start, &mut pending, after);
+                }
+                _ => {}
+            }
+        }
+        let end = code.len() as u32;
+        plan.flush(&mut region_start, &mut pending, end);
+        Ok(plan)
+    }
+
+    fn flush(&mut self, region_start: &mut u32, pending: &mut u64, next: u32) {
+        if *pending > 0 {
+            *self.charges.entry(*region_start).or_insert(0) += *pending;
+        }
+        *pending = 0;
+        *region_start = next;
+    }
+
+    /// The fuel to charge when control reaches `offset`, if any.
+    pub fn charge_at(&self, offset: u32) -> Option<u64> {
+        self.charges.get(&offset).copied()
+    }
+
+    /// True when `offset` is a loop-body start where the epoch is polled.
+    pub fn epoch_check_at(&self, offset: u32) -> bool {
+        self.epoch_checks.contains(&offset)
+    }
+
+    /// Number of distinct charge regions.
+    pub fn num_charges(&self) -> usize {
+        self.charges.len()
+    }
+
+    /// Number of epoch poll sites.
+    pub fn num_epoch_checks(&self) -> usize {
+        self.epoch_checks.len()
+    }
+
+    /// Sum of all region charges: the fuel a straight-line execution of every
+    /// region exactly once would consume.
+    pub fn total_cost(&self) -> u64 {
+        self.charges.values().sum()
+    }
+
+    /// True when the plan charges nothing and polls nothing.
+    pub fn is_empty(&self) -> bool {
+        self.charges.is_empty() && self.epoch_checks.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::CodeBuilder;
+    use crate::types::ValueType;
+
+    #[test]
+    fn structural_opcodes_are_free() {
+        for op in [
+            Opcode::Block,
+            Opcode::Loop,
+            Opcode::End,
+            Opcode::Else,
+            Opcode::Nop,
+        ] {
+            assert_eq!(fuel_cost(op), 0, "{op:?} should be free");
+        }
+        assert!(fuel_cost(Opcode::Call) > fuel_cost(Opcode::I32Add));
+        assert!(fuel_cost(Opcode::MemoryGrow) > fuel_cost(Opcode::Call));
+    }
+
+    #[test]
+    fn straight_line_body_is_one_region_at_offset_zero() {
+        // i32.const 1 ; i32.const 2 ; i32.add ; end
+        let mut c = CodeBuilder::new();
+        c.i32_const(1).i32_const(2).op(Opcode::I32Add);
+        let code = c.finish();
+        let plan = FuelPlan::build(&code).unwrap();
+        assert_eq!(plan.num_charges(), 1);
+        // const + const + add = 3; the trailing `end` is free.
+        assert_eq!(plan.charge_at(0), Some(3));
+        assert_eq!(plan.num_epoch_checks(), 0);
+        assert_eq!(plan.total_cost(), 3);
+    }
+
+    #[test]
+    fn loop_body_start_is_a_charge_region_and_epoch_site() {
+        // loop ; br 0 ; end ; end
+        let code = vec![
+            Opcode::Loop.to_byte(),
+            0x40, // empty block type
+            Opcode::Br.to_byte(),
+            0x00,
+            Opcode::End.to_byte(),
+            Opcode::End.to_byte(),
+        ];
+        let plan = FuelPlan::build(&code).unwrap();
+        // Loop body starts at offset 2 (after the opcode and block type).
+        assert!(plan.epoch_check_at(2));
+        assert_eq!(plan.charge_at(2), Some(1), "br costs 1, charged at body start");
+        assert_eq!(plan.num_epoch_checks(), 1);
+    }
+
+    #[test]
+    fn if_arms_charge_independently() {
+        // local.get 0 ; if ; i32.const 1 ; drop ; else ; i32.const 2 ; drop ; end ; end
+        let mut c = CodeBuilder::new();
+        c.local_get(0)
+            .if_(crate::types::BlockType::Empty)
+            .i32_const(1)
+            .drop_()
+            .else_()
+            .i32_const(2)
+            .drop_()
+            .end();
+        let code = c.finish();
+        let plan = FuelPlan::build(&code).unwrap();
+        // Region 1: local.get + if (charged before the branch decides).
+        assert_eq!(plan.charge_at(0), Some(2));
+        // Then-arm and else-arm each form their own two-cost region.
+        let arms: Vec<u64> = plan
+            .charges
+            .iter()
+            .filter(|(o, _)| **o != 0)
+            .map(|(_, c)| *c)
+            .collect();
+        assert_eq!(arms.len(), 2);
+        assert!(arms.iter().all(|&c| c == 2));
+    }
+
+    #[test]
+    fn region_resumes_after_calls() {
+        // call 0 ; i32.const 7 ; drop ; end
+        let mut c = CodeBuilder::new();
+        c.call(0).i32_const(7).drop_();
+        let code = c.finish();
+        let plan = FuelPlan::build(&code).unwrap();
+        assert_eq!(plan.num_charges(), 2);
+        assert_eq!(plan.charge_at(0), Some(fuel_cost(Opcode::Call)));
+        // The post-call region starts right after the call's immediate.
+        assert_eq!(plan.total_cost(), fuel_cost(Opcode::Call) + 2);
+    }
+
+    #[test]
+    fn dead_code_after_br_gets_its_own_region() {
+        // block ; br 0 ; i32.const 9 ; drop ; end ; end
+        let mut c = CodeBuilder::new();
+        c.block(crate::types::BlockType::Empty);
+        c.br(0).i32_const(9).drop_().end();
+        let code = c.finish();
+        let plan = FuelPlan::build(&code).unwrap();
+        // The entry region ends right after the br (block 0 + br 1 = 1).
+        assert_eq!(plan.charge_at(0), Some(1));
+        // The dead region (const + drop, starting at offset 4) exists in the
+        // plan but no tier ever reaches its start offset, so it is never
+        // charged at runtime.
+        assert_eq!(plan.charge_at(4), Some(2));
+        assert_eq!(plan.total_cost(), 3);
+    }
+
+    #[test]
+    fn empty_and_trivial_bodies() {
+        let plan = FuelPlan::build(&[]).unwrap();
+        assert!(plan.is_empty());
+        let plan = FuelPlan::build(&[Opcode::End.to_byte()]).unwrap();
+        assert!(plan.is_empty());
+        assert_eq!(FuelPlan::empty(), FuelPlan::default());
+    }
+
+    #[test]
+    fn plan_offsets_align_with_reader_walk() {
+        // Every charge offset must be a valid instruction boundary.
+        let mut c = CodeBuilder::new();
+        c.local_get(0);
+        c.if_(crate::types::BlockType::Empty);
+        c.i32_const(1).drop_();
+        c.end();
+        c.block(crate::types::BlockType::Value(ValueType::I32));
+        c.i32_const(3);
+        c.end();
+        c.drop_();
+        let code = c.finish();
+        let plan = FuelPlan::build(&code).unwrap();
+        let mut boundaries = HashSet::new();
+        let mut r = BytecodeReader::new(&code);
+        while !r.is_at_end() {
+            boundaries.insert(r.pc() as u32);
+            let op = r.read_opcode().unwrap();
+            r.skip_immediates(op).unwrap();
+        }
+        boundaries.insert(code.len() as u32);
+        for offset in plan.charges.keys() {
+            assert!(boundaries.contains(offset), "charge at non-boundary {offset}");
+        }
+    }
+}

@@ -51,6 +51,7 @@
 pub mod builder;
 pub mod decode;
 pub mod encode;
+pub mod fuel;
 pub mod hash;
 pub mod leb;
 pub mod module;

@@ -57,6 +57,26 @@ pub fn run_export_checksum(
     run_export(config, module, name, args).map(|r| r[0])
 }
 
+/// Like [`run_export`] but under the metering variant of `config` with a
+/// fuel budget armed: returns the call result alongside the fuel consumed
+/// (the full budget when the call ran out of fuel — exhaustion clamps
+/// remaining fuel to zero, deterministically in every tier).
+pub fn run_export_fueled(
+    config: EngineConfig,
+    module: &Module,
+    name: &str,
+    args: &[WasmValue],
+    fuel: u64,
+) -> (Result<Vec<WasmValue>, TrapCode>, u64) {
+    let engine = Engine::new(config.with_metering());
+    let mut instance = engine
+        .instantiate(module, Imports::new(), Instrumentation::none())
+        .expect("module instantiates");
+    instance.set_fuel(fuel);
+    let result = engine.call_export(&mut instance, name, args);
+    (result, instance.fuel_consumed().unwrap_or(0))
+}
+
 /// fib(n) with recursive calls — the classic tier-up workload shared by the
 /// tiering, pipeline, and cache tests.
 pub fn fib_module() -> Module {

@@ -398,6 +398,42 @@ proptest! {
     }
 
     #[test]
+    fn generated_programs_agree_on_fuel_across_the_matrix(
+        steps in proptest::collection::vec(step_strategy(), 1..40),
+        a in any::<i32>(),
+        b in any::<i32>(),
+        budget in 1u64..400,
+    ) {
+        let module = build_program(&steps);
+        wasm::validate::validate(&module).expect("generated program validates");
+
+        // Under a randomized fuel budget every configuration agrees on the
+        // complete observable outcome: the result (or trap — out-of-fuel
+        // included) AND the exact fuel consumed at that point. Small budgets
+        // land mid-program, so this pins the charge sites themselves, not
+        // just the totals.
+        let args = [WasmValue::I32(a), WasmValue::I32(b)];
+        let reference = common::run_export_fueled(
+            EngineConfig::interpreter("int"),
+            &module,
+            "f",
+            &args,
+            budget,
+        );
+        if reference.0 == Err(TrapCode::OutOfFuel) {
+            prop_assert_eq!(reference.1, budget, "exhaustion consumes the whole budget");
+        }
+        for config in common::all_tier_backend_configs() {
+            let name = config.name.clone();
+            let got = common::run_export_fueled(config, &module, "f", &args, budget);
+            prop_assert_eq!(
+                &got, &reference,
+                "configuration {} diverges under a fuel budget of {}", name, budget
+            );
+        }
+    }
+
+    #[test]
     fn generated_programs_compile_identically_on_both_masm_backends(
         steps in proptest::collection::vec(step_strategy(), 1..40),
         a in any::<i32>(),
