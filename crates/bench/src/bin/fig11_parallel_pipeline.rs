@@ -113,6 +113,13 @@ fn main() {
                 warm.metrics.functions_compiled, 0,
                 "a warm instantiation compiles nothing"
             );
+            // The per-instance metrics carry the cache counters too, so a
+            // harness can report cache behavior without the cache handle.
+            assert!(warm.metrics.cache_hits > cold.metrics.cache_hits);
+            assert!(
+                warm.metrics.cache_entries > 0,
+                "cache size is visible through RunMetrics"
+            );
         }
         let cold = summarize(&cold_us);
         let warm = summarize(&warm_us);
@@ -126,15 +133,21 @@ fn main() {
         report.metric(&format!("{}.cold_instantiate_us", suite.name), cold.mean);
         report.metric(&format!("{}.warm_instantiate_us", suite.name), warm.mean);
     }
-    report.metric("cache.entries", cache.len() as f64);
-    report.metric("cache.hits", cache.hits() as f64);
-    report.metric("cache.misses", cache.misses() as f64);
+    let stats = cache.stats();
+    report.metric("cache.entries", stats.entries as f64);
+    report.metric("cache.hits", stats.hits as f64);
+    report.metric("cache.misses", stats.misses as f64);
+    report.metric(
+        "cache.resident_machine_bytes",
+        stats.resident_machine_bytes as f64,
+    );
     report.write();
     println!(
-        "\ncache: {} unique modules, {} hits, {} misses \
+        "\ncache: {} unique modules, {} hits, {} misses, {} KiB resident code \
          ({items_deduped} line items were byte-identical to an earlier one)",
-        cache.len(),
-        cache.hits(),
-        cache.misses()
+        stats.entries,
+        stats.hits,
+        stats.misses,
+        stats.resident_machine_bytes / 1024,
     );
 }

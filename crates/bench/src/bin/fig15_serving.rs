@@ -1,0 +1,229 @@
+//! FIG 15 (beyond the paper): the serving harness end to end.
+//!
+//! Two experiments over the three suites, driving the `serve` crate's
+//! worker/pool/deadline stack rather than bare engines:
+//!
+//! 1. **Cold vs. warm instantiation latency** — for every line item, time
+//!    the pool's cold path (full instantiation, code cache hot) against its
+//!    warm path (snapshot reset: memcpy memory/globals/tables, scrub the
+//!    value stack's high-water region) and report p50/p99 of both. The gate
+//!    requires warm p50 ≥ 5× faster than cold p50: the snapshot image must
+//!    actually buy something over re-running segment initialization.
+//!
+//! 2. **Throughput scaling across worker counts** — run the same request
+//!    batch through a [`serve::Server`] at 1, 2, and 4 workers. Wall-clock
+//!    req/s is reported, but the *gate* is on simulated-cycle makespan (the
+//!    busiest worker's summed execution cycles): this host is single-core,
+//!    so wall-clock parallel speedup is unavailable by construction — the
+//!    fig11 compile-scaling column documents the same limitation — while
+//!    the makespan ratio measures what the harness controls: how evenly the
+//!    dispatcher spreads work. The gate requires ≥ 2.5× at 4 workers.
+//!
+//! Run with `--full` for paper-sized workloads; the default is the smoke
+//! scale used by CI.
+
+use bench::{percentile, print_header, scale_from_args, BenchReport};
+use engine::{Engine, EngineConfig, InstancePool};
+use serve::{Request, RequestStatus, Server, ServerConfig};
+use spc::CompilerOptions;
+use std::time::Instant;
+use suites::BenchmarkItem;
+
+/// Warm checkouts sampled per line item in part 1.
+const WARM_SAMPLES: usize = 8;
+/// Cold instantiations sampled per line item in part 1.
+const COLD_SAMPLES: usize = 4;
+/// Requests per app per worker configuration in part 2.
+const REQUESTS_PER_APP: usize = 4;
+
+fn engine_config() -> EngineConfig {
+    EngineConfig::baseline("wizeng-spc", CompilerOptions::allopt())
+}
+
+fn main() {
+    let scale = scale_from_args();
+    print_header(
+        "FIG 15 (beyond the paper)",
+        "Concurrent serving: instance pooling, snapshot resets, worker scaling",
+    );
+    let suites = suites::all_suites(scale);
+    let mut report = BenchReport::new("fig15");
+    let mut failures = Vec::new();
+
+    // ---- Part 1: cold vs. warm instantiation through the pool ------------
+    println!("\n[1] instantiation latency, pool cold path vs. snapshot reset:");
+    let mut cold_us = Vec::new();
+    let mut warm_us = Vec::new();
+    for suite in &suites {
+        for item in &suite.items {
+            let engine = Engine::new(engine_config());
+            let pool = InstancePool::new(engine, item.module.clone(), 1)
+                .expect("suite modules instantiate");
+            // Cold path: the pool is drained (one instance checked out and
+            // held), so every further checkout is a full instantiation. The
+            // code cache is not attached here, matching what a miss costs;
+            // fig11 already characterizes the cache-hit discount.
+            let held = pool.checkout().expect("first checkout");
+            // Hold every cold instance until the end of the sampling loop —
+            // dropping one mid-loop would park it and turn the next
+            // checkout warm.
+            let mut held_cold = Vec::with_capacity(COLD_SAMPLES);
+            for _ in 0..COLD_SAMPLES {
+                let start = Instant::now();
+                let cold = pool.checkout().expect("cold checkout");
+                cold_us.push(start.elapsed().as_secs_f64() * 1e6);
+                assert!(!cold.was_warm(), "drained pool falls back to cold");
+                held_cold.push(cold);
+            }
+            // max_idle = 1: exactly one instance parks for the warm loop.
+            drop(held_cold);
+            drop(held);
+            // Warm path: one parked instance, checkout = reset. Dirty it
+            // each round so the reset always has real work to undo.
+            for _ in 0..WARM_SAMPLES {
+                let start = Instant::now();
+                let mut warm = pool.checkout().expect("warm checkout");
+                warm_us.push(start.elapsed().as_secs_f64() * 1e6);
+                assert!(warm.was_warm(), "parked instance resets warm");
+                pool.engine()
+                    .call_export(&mut warm, BenchmarkItem::ENTRY, &[])
+                    .expect("suite item runs");
+            }
+        }
+    }
+    let (cold_p50, cold_p99) = (percentile(&cold_us, 50.0), percentile(&cold_us, 99.0));
+    let (warm_p50, warm_p99) = (percentile(&warm_us, 50.0), percentile(&warm_us, 99.0));
+    let warm_speedup = cold_p50 / warm_p50.max(1e-9);
+    println!(
+        "{:<6} | {:>10} | {:>10}\n{:-<6}-+-{:-<10}-+-{:-<10}",
+        "path", "p50 (us)", "p99 (us)", "", "", ""
+    );
+    println!("{:<6} | {cold_p50:>10.1} | {cold_p99:>10.1}", "cold");
+    println!("{:<6} | {warm_p50:>10.1} | {warm_p99:>10.1}", "warm");
+    println!("warm p50 speedup: {warm_speedup:.1}x");
+    report.metric("instantiate.cold_p50_us", cold_p50);
+    report.metric("instantiate.cold_p99_us", cold_p99);
+    report.metric("instantiate.warm_p50_us", warm_p50);
+    report.metric("instantiate.warm_p99_us", warm_p99);
+    report.metric("instantiate.warm_speedup_p50", warm_speedup);
+    if warm_speedup < 5.0 {
+        failures.push(format!(
+            "warm p50 speedup {warm_speedup:.2}x < 5.0x over cold instantiation"
+        ));
+    }
+
+    // ---- Part 2: throughput scaling across worker counts -----------------
+    println!("\n[2] batch throughput across worker counts:");
+    println!(
+        "{:<8} | {:>10} | {:>14} | {:>12} | {:>10}",
+        "workers", "requests", "wall req/s", "sim makespan", "sim scale"
+    );
+    println!(
+        "{:-<8}-+-{:-<10}-+-{:-<14}-+-{:-<12}-+-{:-<10}",
+        "", "", "", "", ""
+    );
+    let mut makespan_at_1 = None;
+    let mut sim_scale_at_4 = 0.0;
+    for workers in [1usize, 2, 4] {
+        let mut server = Server::new(
+            ServerConfig {
+                workers,
+                ..ServerConfig::default()
+            },
+            engine_config(),
+        );
+        let mut apps = Vec::new();
+        for suite in &suites {
+            for item in &suite.items {
+                apps.push(
+                    server
+                        .register_app(&item.name, BenchmarkItem::ENTRY, item.module.clone())
+                        .expect("suite modules register"),
+                );
+            }
+        }
+        let requests: Vec<Request> = (0..apps.len() * REQUESTS_PER_APP)
+            .map(|i| Request::to_app(apps[i % apps.len()]))
+            .collect();
+        let total = requests.len();
+        let start = Instant::now();
+        let results = server.run(requests);
+        let wall = start.elapsed();
+        assert_eq!(results.len(), total);
+        let mut per_worker = vec![0u64; workers];
+        for r in &results {
+            assert!(
+                matches!(r.status, RequestStatus::Ok(_)),
+                "request {} failed: {:?}",
+                r.request_id,
+                r.status
+            );
+            per_worker[r.worker] += r.exec_cycles;
+        }
+        // The batch's simulated makespan: the busiest worker's summed
+        // service cycles. With perfect balance it shrinks linearly in the
+        // worker count even on a single-core host.
+        let makespan = *per_worker.iter().max().expect("at least one worker");
+        let baseline = *makespan_at_1.get_or_insert(makespan);
+        let sim_scale = baseline as f64 / makespan.max(1) as f64;
+        if workers == 4 {
+            sim_scale_at_4 = sim_scale;
+        }
+        let req_per_s = total as f64 / wall.as_secs_f64().max(1e-9);
+        println!(
+            "{workers:<8} | {total:>10} | {req_per_s:>14.0} | {makespan:>12} | {sim_scale:>9.2}x"
+        );
+        report.metric(&format!("workers{workers}.wall_req_per_s"), req_per_s);
+        report.metric(
+            &format!("workers{workers}.sim_makespan_cycles"),
+            makespan as f64,
+        );
+        report.metric(&format!("workers{workers}.sim_scaling"), sim_scale);
+        if workers == 4 {
+            // Serving-layer accounting, via the shared cache and pools.
+            let cache = server.cache_stats();
+            report.metric("cache.entries", cache.entries as f64);
+            report.metric("cache.hits", cache.hits as f64);
+            report.metric("cache.misses", cache.misses as f64);
+            report.metric(
+                "cache.resident_machine_bytes",
+                cache.resident_machine_bytes as f64,
+            );
+            let (mut warm, mut cold) = (0u64, 0u64);
+            for &app in &apps {
+                let stats = server.pool_stats(app).expect("registered app");
+                warm += stats.warm_checkouts;
+                cold += stats.cold_checkouts;
+            }
+            report.metric("pool.warm_checkouts", warm as f64);
+            report.metric("pool.cold_checkouts", cold as f64);
+            println!(
+                "\nserving accounting at 4 workers: {warm} warm / {cold} cold checkouts, \
+                 cache {} entries {} hits {} misses, {} KiB resident code",
+                cache.entries,
+                cache.hits,
+                cache.misses,
+                cache.resident_machine_bytes / 1024,
+            );
+            assert!(
+                warm + cold == total as u64,
+                "every request checked out exactly one instance"
+            );
+        }
+    }
+    if sim_scale_at_4 < 2.5 {
+        failures.push(format!(
+            "simulated makespan scaling at 4 workers {sim_scale_at_4:.2}x < 2.5x"
+        ));
+    }
+
+    report.write();
+    if failures.is_empty() {
+        println!("\nGATES PASS: warm p50 {warm_speedup:.1}x >= 5x, 4-worker sim scaling {sim_scale_at_4:.2}x >= 2.5x");
+    } else {
+        for f in &failures {
+            println!("GATE FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -174,6 +174,21 @@ pub struct SuiteSummary {
     pub max: f64,
 }
 
+/// The `p`-th percentile (0–100) of `values`, by nearest-rank on a sorted
+/// copy — the latency statistic fig15's serving tables report (p50/p99).
+///
+/// # Panics
+///
+/// Panics on an empty slice or a `p` outside 0–100.
+pub fn percentile(values: &[f64], p: f64) -> f64 {
+    assert!(!values.is_empty(), "cannot take a percentile of nothing");
+    assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.saturating_sub(1)]
+}
+
 /// Summarizes a per-item metric over one suite.
 pub fn summarize(values: &[f64]) -> SuiteSummary {
     assert!(!values.is_empty(), "cannot summarize an empty suite");
@@ -358,6 +373,16 @@ mod tests {
         assert!((s.mean - 2.0).abs() < 1e-9);
         assert_eq!(s.min, 1.0);
         assert_eq!(s.max, 3.0);
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let v = [5.0, 1.0, 4.0, 2.0, 3.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 50.0), 3.0);
+        assert_eq!(percentile(&v, 99.0), 5.0);
+        assert_eq!(percentile(&v, 100.0), 5.0);
+        assert_eq!(percentile(&[7.5], 50.0), 7.5);
     }
 
     #[test]

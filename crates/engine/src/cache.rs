@@ -75,6 +75,24 @@ impl CacheKey {
     }
 }
 
+/// A point-in-time snapshot of a [`CodeCache`]'s observable state, cheap to
+/// embed in per-instance metrics so serving harnesses can report cache
+/// behavior without holding a handle to the cache itself.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Cached artifacts.
+    pub entries: u64,
+    /// Lookups that found an entry.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Machine-code bytes resident across all entries, counting every
+    /// published tier. Grows as lazy/tier-up compilations publish into
+    /// cached artifacts, so two snapshots bracket the code produced between
+    /// them.
+    pub resident_machine_bytes: u64,
+}
+
 /// A thread-safe map from [`CacheKey`] to the shared compiled-module
 /// artifact, with hit/miss counters.
 ///
@@ -140,6 +158,29 @@ impl CodeCache {
     /// Drops every cached artifact (counters are preserved).
     pub fn clear(&self) {
         self.entries.lock().expect("code cache poisoned").clear();
+    }
+
+    /// Machine-code bytes resident across all cached artifacts (every
+    /// published tier of every entry). Computed on demand: artifacts gain
+    /// code as lazy and tier-up compilations publish, so a stored total
+    /// would go stale.
+    pub fn resident_machine_bytes(&self) -> u64 {
+        self.entries
+            .lock()
+            .expect("code cache poisoned")
+            .values()
+            .map(|artifact| artifact.machine_bytes())
+            .sum()
+    }
+
+    /// Snapshots entries, hit/miss counters, and resident code size at once.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            entries: self.len() as u64,
+            hits: self.hits(),
+            misses: self.misses(),
+            resident_machine_bytes: self.resident_machine_bytes(),
+        }
     }
 }
 

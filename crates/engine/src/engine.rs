@@ -18,6 +18,7 @@
 use crate::cache::{CacheKey, CodeCache};
 use crate::config::{EngineConfig, TierPolicy};
 use crate::gc::{scan_roots_via_stackmaps, scan_roots_via_tags, Heap, StackmapFrame};
+use crate::image::MemoryImage;
 use crate::monitor::Instrumentation;
 use crate::pipeline::{self, BackgroundCompiler, CompileTier, CompiledArtifact, CompiledModule};
 use interp::interp::{InterpExit, Interpreter};
@@ -33,30 +34,12 @@ use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use wasm::module::{ConstExpr, ImportKind, Module};
-use wasm::types::Limits;
+use wasm::module::{ImportKind, Module};
 
-/// Clamps a module-declared limit against an optional tenant ceiling: a
-/// declared minimum above the ceiling fails instantiation, and the effective
-/// maximum becomes the smaller of the declared maximum and the ceiling.
-fn clamp_limits(declared: Limits, ceiling: Option<u32>, what: &str) -> Result<Limits, EngineError> {
-    let Some(cap) = ceiling else {
-        return Ok(declared);
-    };
-    if declared.min > cap {
-        return Err(EngineError::Instantiate(format!(
-            "declared {what} minimum ({}) exceeds the tenant limit ({cap})",
-            declared.min
-        )));
-    }
-    Ok(Limits {
-        min: declared.min,
-        max: Some(declared.max.map_or(cap, |m| m.min(cap))),
-    })
-}
-
-/// A host (imported) function.
-pub type HostFunc = Box<dyn FnMut(&mut Heap, &[WasmValue]) -> Result<Vec<WasmValue>, TrapCode>>;
+/// A host (imported) function. `Send` so instances (and with them, instance
+/// pools) can move between serving workers.
+pub type HostFunc =
+    Box<dyn FnMut(&mut Heap, &[WasmValue]) -> Result<Vec<WasmValue>, TrapCode> + Send>;
 
 /// Host imports provided at instantiation, keyed by `(module, name)`.
 #[derive(Default)]
@@ -75,7 +58,7 @@ impl Imports {
         mut self,
         module: &str,
         name: &str,
-        f: impl FnMut(&mut Heap, &[WasmValue]) -> Result<Vec<WasmValue>, TrapCode> + 'static,
+        f: impl FnMut(&mut Heap, &[WasmValue]) -> Result<Vec<WasmValue>, TrapCode> + Send + 'static,
     ) -> Imports {
         self.funcs
             .insert((module.to_string(), name.to_string()), Box::new(f));
@@ -149,6 +132,22 @@ pub struct RunMetrics {
     /// [`CodeCache`] instead of validating, preparing, and compiling — the
     /// observable form of a warm instantiation.
     pub cache_hit: bool,
+    /// Cumulative hit counter of the attached [`CodeCache`], snapshotted
+    /// right after this instantiation's lookup (zero without a cache).
+    /// Together with [`RunMetrics::cache_misses`] and
+    /// [`RunMetrics::cache_entries`] this makes cache behavior under
+    /// concurrent serving observable per request, without a side channel to
+    /// the cache itself. Only the cheap counters are snapshotted here —
+    /// resident code size needs a walk over every cached artifact
+    /// ([`CodeCache::stats`]), which has no business on the instantiation
+    /// hot path; harnesses report it once per batch instead.
+    pub cache_hits: u64,
+    /// Cumulative miss counter of the attached [`CodeCache`], snapshotted
+    /// right after this instantiation's lookup (zero without a cache).
+    pub cache_misses: u64,
+    /// Entries resident in the attached [`CodeCache`], snapshotted right
+    /// after this instantiation's lookup (zero without a cache).
+    pub cache_entries: u64,
     /// Bytes of Wasm function bodies compiled.
     pub compiled_wasm_bytes: u64,
     /// Bytes of machine code produced by the configured
@@ -304,6 +303,39 @@ impl Instance {
     pub fn clear_epoch_deadline(&mut self) {
         self.epoch_deadline = None;
     }
+
+    /// Snapshots this instance's mutable state (memory contents, globals,
+    /// tables) as a [`MemoryImage`]. Captured immediately after
+    /// instantiation, the image is the pre-initialized state a pooled
+    /// instance resets to on a warm checkout.
+    pub fn capture_image(&self) -> MemoryImage {
+        MemoryImage::capture(self.memory.as_ref(), &self.globals, &self.tables)
+    }
+
+    /// Rewinds this instance to `image` plus a pristine execution state:
+    /// memory/globals/tables are restored by memcpy, the value stack's
+    /// dirtied region is scrubbed, the host heap is replaced, and
+    /// fuel/deadline arming is cleared. Metrics restart with
+    /// [`RunMetrics::cache_hit`] set — a reset *is* the warm-instantiation
+    /// path.
+    ///
+    /// Deliberately kept: call counts, accumulated instrumentation data,
+    /// and already-published compiled code, so a pooled instance stays in
+    /// its earned tier. Tier choice never changes results — that is the
+    /// conformance matrix's invariant, and the pool-reset differential
+    /// tests re-prove it against cold instantiation directly.
+    pub fn reset_from_image(&mut self, image: &MemoryImage, gc_threshold: usize) {
+        image.restore_into(&mut self.memory, &mut self.globals, &mut self.tables);
+        self.values.reset();
+        self.heap = Heap::with_threshold(gc_threshold);
+        self.fuel = None;
+        self.initial_fuel = 0;
+        self.epoch_deadline = None;
+        self.metrics = RunMetrics {
+            cache_hit: true,
+            ..RunMetrics::default()
+        };
+    }
 }
 
 enum FrameTier {
@@ -445,10 +477,11 @@ impl Engine {
         // hit skips validation, preparation, and all compilation), freshly
         // built otherwise.
         let mut cache_hit = false;
+        let mut cache_stats = None;
         let artifact: Arc<CompiledModule> = match &self.cache {
             Some(cache) => {
                 let key = CacheKey::for_instantiation(&self.config, module, &instrumentation);
-                match cache.lookup(&key) {
+                let found = match cache.lookup(&key) {
                     Some(shared) => {
                         cache_hit = true;
                         shared
@@ -458,7 +491,13 @@ impl Engine {
                         cache.insert(key, Arc::clone(&built));
                         built
                     }
-                }
+                };
+                // Snapshot only the atomic counters and the entry count:
+                // walking every artifact for resident code size is too
+                // expensive for the instantiation hot path (see
+                // [`CodeCache::stats`] for the full snapshot).
+                cache_stats = Some((cache.hits(), cache.misses(), cache.len() as u64));
+                found
             }
             None => Arc::new(CompiledModule::build(module.clone())?),
         };
@@ -481,67 +520,14 @@ impl Engine {
             }
         }
 
-        // Memories, globals, tables. Declared limits are clamped against
-        // the tenant's resource ceilings: a declared minimum above a ceiling
-        // fails instantiation, and the effective maximum is the smaller of
-        // the declared maximum and the ceiling, so `memory.grow` can never
-        // exceed the tenant budget.
-        let memory = match (0..module.num_memories())
-            .next()
-            .and_then(|i| module.memory_type(i))
-        {
-            Some(m) => Some(LinearMemory::new(clamp_limits(
-                m.limits,
-                self.config.limits.memory_pages,
-                "memory pages",
-            )?)),
-            None => None,
-        };
-        let globals: Vec<GlobalSlot> = {
-            let mut out = Vec::new();
-            for i in 0..module.num_globals() {
-                let ty = module
-                    .global_type(i)
-                    .ok_or_else(|| EngineError::Instantiate("unknown global".to_string()))?;
-                let defined = i.checked_sub(module.num_imported_globals());
-                let value = match defined.and_then(|d| module.globals.get(d as usize)) {
-                    Some(g) => eval_const(&g.init, &out),
-                    None => WasmValue::default_for(ty.value_type),
-                };
-                out.push(GlobalSlot::from_value(value));
-            }
-            out
-        };
-        let mut tables: Vec<Table> = Vec::new();
-        for t in (0..module.num_tables()).filter_map(|i| module.table_type(i)) {
-            tables.push(Table::new(clamp_limits(
-                t.limits,
-                self.config.limits.table_elements,
-                "table elements",
-            )?));
-        }
-
-        let mut memory = memory;
-        // Data segments.
-        for (i, d) in module.data.iter().enumerate() {
-            let offset = eval_const(&d.offset, &globals).unwrap_i32() as u32;
-            let mem = memory
-                .as_mut()
-                .ok_or_else(|| EngineError::Instantiate("data segment without memory".to_string()))?;
-            mem.init(offset, &d.bytes).map_err(|_| {
-                EngineError::Instantiate(format!("data segment {i} out of bounds"))
-            })?;
-        }
-        // Element segments.
-        for (i, e) in module.elems.iter().enumerate() {
-            let offset = eval_const(&e.offset, &globals).unwrap_i32() as u32;
-            let table = tables.get_mut(e.table_index as usize).ok_or_else(|| {
-                EngineError::Instantiate(format!("element segment {i} has no table"))
-            })?;
-            table.init(offset, &e.func_indices).map_err(|_| {
-                EngineError::Instantiate(format!("element segment {i} out of bounds"))
-            })?;
-        }
+        // Memories, globals, tables, and segment initialization — the whole
+        // state-initialization half of instantiation lives in
+        // [`MemoryImage::build`], shared with snapshot capture/restore.
+        // Declared limits are clamped against the tenant's resource
+        // ceilings there, so `memory.grow` can never exceed the tenant
+        // budget.
+        let (memory, globals, tables) =
+            MemoryImage::build(module, &self.config.limits)?.into_parts();
 
         let num_defined = module.funcs.len();
         let mut instance = Instance {
@@ -560,6 +546,9 @@ impl Engine {
             epoch_deadline: None,
             metrics: RunMetrics {
                 cache_hit,
+                cache_hits: cache_stats.map_or(0, |(hits, _, _)| hits),
+                cache_misses: cache_stats.map_or(0, |(_, misses, _)| misses),
+                cache_entries: cache_stats.map_or(0, |(_, _, entries)| entries),
                 ..RunMetrics::default()
             },
         };
@@ -1332,21 +1321,6 @@ fn global_roots(globals: &[GlobalSlot]) -> Vec<u32> {
         .filter(|g| g.tag == ValueTag::Ref && g.bits != machine::values::NULL_REF_BITS)
         .map(|g| g.bits as u32)
         .collect()
-}
-
-fn eval_const(expr: &ConstExpr, globals: &[GlobalSlot]) -> WasmValue {
-    match *expr {
-        ConstExpr::I32(v) => WasmValue::I32(v),
-        ConstExpr::I64(v) => WasmValue::I64(v),
-        ConstExpr::F32(v) => WasmValue::F32(v),
-        ConstExpr::F64(v) => WasmValue::F64(v),
-        ConstExpr::RefNull(t) => WasmValue::default_for(t),
-        ConstExpr::RefFunc(f) => WasmValue::FuncRef(Some(f)),
-        ConstExpr::GlobalGet(i) => globals
-            .get(i as usize)
-            .map(|g| g.value())
-            .unwrap_or(WasmValue::I32(0)),
-    }
 }
 
 /// A tier-independent view of why a frame stopped executing.

@@ -51,17 +51,21 @@ pub mod cache;
 pub mod config;
 pub mod engine;
 pub mod gc;
+pub mod image;
 pub mod monitor;
 pub mod multi;
 pub mod pipeline;
+pub mod pool;
 pub mod trap;
 
-pub use cache::{CacheKey, CodeCache};
+pub use cache::{CacheKey, CacheStats, CodeCache};
 pub use config::{EngineConfig, ResourceLimits, TierPolicy};
 pub use machine::masm::CodeBackend;
 pub use engine::{Engine, EngineError, HostFunc, Imports, Instance, RunMetrics};
 pub use gc::{Heap, HostObject};
+pub use image::MemoryImage;
 pub use monitor::{BranchMonitor, BranchProfile, Instrumentation};
 pub use multi::MultiEngine;
 pub use pipeline::{BackgroundCompiler, CompiledArtifact, CompiledModule};
+pub use pool::{InstancePool, PoolStats, PooledInstance};
 pub use trap::TrapReason;

@@ -236,6 +236,17 @@ impl CompiledModule {
             .map(|a| a.compile_wall)
             .sum()
     }
+
+    /// Machine-code bytes published into this artifact so far, across both
+    /// tiers (the per-entry term of a code cache's resident size).
+    pub fn machine_bytes(&self) -> u64 {
+        self.slots
+            .iter()
+            .chain(&self.opt_slots)
+            .filter_map(|s| s.get())
+            .map(|a| a.machine_bytes)
+            .sum()
+    }
 }
 
 /// The optimizing compiler for `config`, lowering probes the way the

@@ -1,0 +1,328 @@
+//! Instance pooling: recycle instances through snapshot resets.
+//!
+//! A serving workload instantiates the same module for every request. With a
+//! [`CodeCache`](crate::CodeCache) the *code* side of that is already free,
+//! but each instantiation still rebuilds the mutable state — re-evaluating
+//! global initializers and bounds-checking every data and element segment. An
+//! [`InstancePool`] removes that too: it instantiates once, captures the
+//! post-instantiation state as a [`MemoryImage`], and thereafter hands out
+//! recycled instances rewound to that image by `memcpy`
+//! ([`Instance::reset_from_image`]).
+//!
+//! The checkout path is deliberately *reset-on-checkout*, not
+//! reset-on-checkin: a finished request checks its instance back in as-is
+//! (dirty memory, half-consumed fuel, a trapped stack — whatever the request
+//! left behind), and the next checkout pays the memcpy. That keeps checkin
+//! O(1) on the request's critical path and means an instance abandoned
+//! mid-trap (say, [`OutOfFuel`](machine::inst::TrapCode::OutOfFuel) with
+//! scribbled-on memory) needs no special handling — the reset scrubs it like
+//! any other.
+//!
+//! What a reset deliberately *keeps* is tier warmth: call counts,
+//! instrumentation data, and published compiled code survive, so a pooled
+//! instance that tiered up stays tiered up. Tier choice never changes
+//! results — the conformance matrix's core invariant — and the pool-reset
+//! differential tests re-prove it by diffing recycled instances against cold
+//! ones across every configuration.
+//!
+//! The pool assumes instantiation is deterministic: the image captured from
+//! the first instantiation must equal what a fresh instantiation would
+//! produce. That holds for any module whose start function is deterministic
+//! (host imports that scribble request-specific state into memory during
+//! the start function would break it, and such a module should not be
+//! pooled).
+
+use crate::engine::{Engine, EngineError, Imports, Instance};
+use crate::image::MemoryImage;
+use crate::monitor::Instrumentation;
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use wasm::module::Module;
+
+/// Builds the imports for one instantiation. [`Imports`] itself is not
+/// `Clone` (host functions are boxed closures), so the pool re-invokes this
+/// factory whenever it has to fall back to a cold instantiation.
+pub type ImportsFactory = Box<dyn Fn() -> Imports + Send + Sync>;
+
+/// A point-in-time snapshot of an [`InstancePool`]'s counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Instances currently parked in the pool.
+    pub idle: u64,
+    /// Checkouts served by resetting a recycled instance (memcpy path).
+    pub warm_checkouts: u64,
+    /// Checkouts that had to instantiate from scratch (pool was empty).
+    pub cold_checkouts: u64,
+}
+
+/// A pool of recycled [`Instance`]s of one module under one [`Engine`],
+/// warm-instantiated by snapshot reset.
+///
+/// Construction performs the one cold instantiation, captures its
+/// [`MemoryImage`], and parks the instance. [`InstancePool::checkout`] then
+/// serves requests: pop + reset when an idle instance exists, cold
+/// instantiate when the pool is empty (concurrency above the idle count).
+/// Checked-out instances ride in a [`PooledInstance`] guard that returns
+/// them on drop; at most `max_idle` are retained.
+pub struct InstancePool {
+    engine: Engine,
+    module: Module,
+    imports: ImportsFactory,
+    image: MemoryImage,
+    idle: Mutex<Vec<Instance>>,
+    max_idle: usize,
+    warm_checkouts: AtomicU64,
+    cold_checkouts: AtomicU64,
+}
+
+impl fmt::Debug for InstancePool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("InstancePool")
+            .field("max_idle", &self.max_idle)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl InstancePool {
+    /// Creates a pool for a module with no imports, retaining at most
+    /// `max_idle` parked instances. Performs the first (cold) instantiation
+    /// eagerly so construction surfaces instantiation errors and the
+    /// snapshot image exists before the first checkout.
+    pub fn new(
+        engine: Engine,
+        module: Module,
+        max_idle: usize,
+    ) -> Result<Arc<InstancePool>, EngineError> {
+        InstancePool::with_imports(engine, module, Box::new(Imports::new), max_idle)
+    }
+
+    /// Like [`InstancePool::new`], but instantiating with imports built by
+    /// `imports` (re-invoked per cold instantiation).
+    pub fn with_imports(
+        engine: Engine,
+        module: Module,
+        imports: ImportsFactory,
+        max_idle: usize,
+    ) -> Result<Arc<InstancePool>, EngineError> {
+        let first = engine.instantiate(&module, imports(), Instrumentation::none())?;
+        let image = first.capture_image();
+        Ok(Arc::new(InstancePool {
+            engine,
+            module,
+            imports,
+            image,
+            idle: Mutex::new(vec![first]),
+            max_idle: max_idle.max(1),
+            warm_checkouts: AtomicU64::new(0),
+            cold_checkouts: AtomicU64::new(0),
+        }))
+    }
+
+    /// The engine instances in this pool execute under.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// The snapshot image warm checkouts reset to.
+    pub fn image(&self) -> &MemoryImage {
+        &self.image
+    }
+
+    /// Checks out an instance: warm (pop a recycled instance and rewind it
+    /// to the snapshot image) when one is parked, cold (full instantiation)
+    /// otherwise. The returned guard checks the instance back in on drop.
+    pub fn checkout(self: &Arc<Self>) -> Result<PooledInstance, EngineError> {
+        let recycled = self.idle.lock().expect("instance pool poisoned").pop();
+        let (instance, warm) = match recycled {
+            Some(mut instance) => {
+                instance.reset_from_image(&self.image, self.engine.config().gc_threshold);
+                self.warm_checkouts.fetch_add(1, Ordering::SeqCst);
+                (instance, true)
+            }
+            None => {
+                self.cold_checkouts.fetch_add(1, Ordering::SeqCst);
+                let instance = self.engine.instantiate(
+                    &self.module,
+                    (self.imports)(),
+                    Instrumentation::none(),
+                )?;
+                (instance, false)
+            }
+        };
+        Ok(PooledInstance {
+            instance: Some(instance),
+            pool: Arc::clone(self),
+            warm,
+        })
+    }
+
+    /// Parks an instance as-is (no reset — the next checkout pays it), or
+    /// drops it if `max_idle` are already parked.
+    fn checkin(&self, instance: Instance) {
+        let mut idle = self.idle.lock().expect("instance pool poisoned");
+        if idle.len() < self.max_idle {
+            idle.push(instance);
+        }
+    }
+
+    /// Snapshots the pool's counters.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            idle: self.idle.lock().expect("instance pool poisoned").len() as u64,
+            warm_checkouts: self.warm_checkouts.load(Ordering::SeqCst),
+            cold_checkouts: self.cold_checkouts.load(Ordering::SeqCst),
+        }
+    }
+}
+
+/// A checked-out instance that returns itself to the pool when dropped.
+/// Dereferences to [`Instance`], so callers arm fuel/deadlines and invoke
+/// exports exactly as on an owned instance.
+pub struct PooledInstance {
+    instance: Option<Instance>,
+    pool: Arc<InstancePool>,
+    warm: bool,
+}
+
+impl PooledInstance {
+    /// True if this checkout was served by snapshot reset rather than a
+    /// full instantiation.
+    pub fn was_warm(&self) -> bool {
+        self.warm
+    }
+
+    /// The engine this instance executes under (shorthand for keeping the
+    /// pool handle around just to call exports).
+    pub fn engine(&self) -> &Engine {
+        self.pool.engine()
+    }
+}
+
+impl fmt::Debug for PooledInstance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PooledInstance")
+            .field("warm", &self.warm)
+            .field("instance", &self.instance)
+            .finish()
+    }
+}
+
+impl Deref for PooledInstance {
+    type Target = Instance;
+    fn deref(&self) -> &Instance {
+        self.instance.as_ref().expect("instance present until drop")
+    }
+}
+
+impl DerefMut for PooledInstance {
+    fn deref_mut(&mut self) -> &mut Instance {
+        self.instance.as_mut().expect("instance present until drop")
+    }
+}
+
+impl Drop for PooledInstance {
+    fn drop(&mut self) {
+        if let Some(instance) = self.instance.take() {
+            self.pool.checkin(instance);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EngineConfig;
+    use machine::values::WasmValue;
+    use wasm::builder::{CodeBuilder, ModuleBuilder};
+    use wasm::module::ConstExpr;
+    use wasm::opcode::Opcode;
+    use wasm::types::{FuncType, GlobalType, Limits, ValueType};
+
+    /// A module whose `bump` export increments `mem[0]` and a mutable
+    /// global, returning the new memory counter — so recycled state is
+    /// observable if a reset ever fails to scrub it.
+    fn counter_module() -> Module {
+        let mut b = ModuleBuilder::new();
+        b.add_memory(Limits::bounded(1, 2));
+        b.add_global(GlobalType::mutable(ValueType::I32), ConstExpr::I32(100));
+        let mut c = CodeBuilder::new();
+        c.i32_const(0)
+            .i32_const(0)
+            .mem(Opcode::I32Load, 2, 0)
+            .i32_const(1)
+            .op(Opcode::I32Add)
+            .mem(Opcode::I32Store, 2, 0)
+            .global_get(0)
+            .i32_const(1)
+            .op(Opcode::I32Add)
+            .global_set(0)
+            .i32_const(0)
+            .mem(Opcode::I32Load, 2, 0);
+        let f = b.add_func(
+            FuncType::new(vec![], vec![ValueType::I32]),
+            vec![],
+            c.finish(),
+        );
+        b.export_func("bump", f);
+        b.finish()
+    }
+
+    fn bump(pool: &Arc<InstancePool>, instance: &mut PooledInstance) -> Vec<WasmValue> {
+        pool.engine()
+            .call_export(&mut *instance, "bump", &[])
+            .expect("bump runs")
+    }
+
+    #[test]
+    fn warm_checkout_rewinds_to_the_snapshot() {
+        let pool = InstancePool::new(Engine::new(EngineConfig::default()), counter_module(), 4)
+            .expect("pool builds");
+        // First checkout recycles the construction-time instance: warm.
+        let mut a = pool.checkout().unwrap();
+        assert!(a.was_warm());
+        assert_eq!(bump(&pool, &mut a), vec![WasmValue::I32(1)]);
+        assert_eq!(
+            bump(&pool, &mut a),
+            vec![WasmValue::I32(2)],
+            "state persists within a checkout"
+        );
+        assert_eq!(a.global_value(0), Some(WasmValue::I32(102)));
+        drop(a);
+        // The recycled instance comes back rewound: counter restarts at 1.
+        let mut b = pool.checkout().unwrap();
+        assert!(b.was_warm());
+        assert_eq!(b.global_value(0), Some(WasmValue::I32(100)), "global rewound");
+        assert_eq!(bump(&pool, &mut b), vec![WasmValue::I32(1)], "memory rewound");
+    }
+
+    #[test]
+    fn empty_pool_falls_back_to_cold_instantiation() {
+        let pool = InstancePool::new(Engine::new(EngineConfig::default()), counter_module(), 8)
+            .expect("pool builds");
+        let a = pool.checkout().unwrap();
+        let b = pool.checkout().unwrap();
+        assert!(a.was_warm(), "construction parks one instance");
+        assert!(!b.was_warm(), "second concurrent checkout is cold");
+        let stats = pool.stats();
+        assert_eq!((stats.warm_checkouts, stats.cold_checkouts, stats.idle), (1, 1, 0));
+        drop(a);
+        drop(b);
+        assert_eq!(pool.stats().idle, 2, "both instances parked on drop");
+        let c = pool.checkout().unwrap();
+        assert!(c.was_warm());
+    }
+
+    #[test]
+    fn max_idle_caps_retained_instances() {
+        let pool = InstancePool::new(Engine::new(EngineConfig::default()), counter_module(), 1)
+            .expect("pool builds");
+        let a = pool.checkout().unwrap();
+        let b = pool.checkout().unwrap();
+        drop(a);
+        drop(b);
+        assert_eq!(pool.stats().idle, 1, "overflow instance dropped, not parked");
+    }
+}

@@ -1,0 +1,242 @@
+//! Wall-clock deadlines lowered onto the engine's epoch mechanism.
+//!
+//! The engine's preemption story (PR 6) is *cooperative and cheap*: compiled
+//! code and the interpreter compare a shared epoch counter against a
+//! per-instance deadline at loop back-edges and call boundaries, trapping
+//! with `Interrupted` when it passes. Nothing in the engine ever advances
+//! the epoch on its own — that is the embedder's job, and this module is
+//! that embedder side:
+//!
+//! * an [`EpochTicker`] owns the background thread that bumps the shared
+//!   epoch every `granularity`;
+//! * a [`TimeoutList`] converts a request's wall-clock budget into an epoch
+//!   deadline (`now + ceil(budget / granularity)`, minimum one tick) and
+//!   keeps the outstanding deadlines in an ordered list — the
+//!   `timeout_list` idiom — so the server can observe the earliest pending
+//!   deadline and count expirations vs. in-time completions.
+//!
+//! The enforcement bound follows directly: a request is interrupted no
+//! earlier than its budget rounded down to a tick, and no later than one
+//! granularity after its deadline passes plus the time to reach the next
+//! check site. Tests assert exactly that window (with slack for scheduling).
+
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// The background thread advancing a shared epoch counter at a fixed
+/// granularity. Stops (and joins) on drop.
+pub struct EpochTicker {
+    epoch: Arc<AtomicU64>,
+    granularity: Duration,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl EpochTicker {
+    /// Starts a ticker bumping `epoch` every `granularity` (minimum 100µs —
+    /// below that the ticker thread becomes a spin loop).
+    pub fn start(epoch: Arc<AtomicU64>, granularity: Duration) -> EpochTicker {
+        let granularity = granularity.max(Duration::from_micros(100));
+        let stop = Arc::new(AtomicBool::new(false));
+        let handle = {
+            let epoch = Arc::clone(&epoch);
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("epoch-ticker".into())
+                .spawn(move || {
+                    while !stop.load(Ordering::Acquire) {
+                        std::thread::sleep(granularity);
+                        epoch.fetch_add(1, Ordering::SeqCst);
+                    }
+                })
+                .expect("spawn epoch ticker")
+        };
+        EpochTicker {
+            epoch,
+            granularity,
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// The shared epoch counter (the same `Arc` engines are built with).
+    pub fn epoch(&self) -> &Arc<AtomicU64> {
+        &self.epoch
+    }
+
+    /// The tick period.
+    pub fn granularity(&self) -> Duration {
+        self.granularity
+    }
+
+    /// The current epoch.
+    pub fn now(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+}
+
+impl Drop for EpochTicker {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// A deadline handed out by [`TimeoutList::arm`]. Pass
+/// [`TimeoutToken::deadline_epoch`] to
+/// [`Instance::set_epoch_deadline`](engine::Instance::set_epoch_deadline),
+/// then return the token via [`TimeoutList::complete`] when the request
+/// finishes (however it finishes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimeoutToken {
+    /// The absolute epoch at which the request becomes interruptible.
+    pub deadline_epoch: u64,
+    id: u64,
+}
+
+/// The outstanding wall-clock deadlines, ordered soonest-first.
+///
+/// Expiry itself needs no scanning: every armed deadline is already an
+/// epoch number the engine compares against on its own. The list exists for
+/// the server's bookkeeping — earliest pending deadline, expired vs.
+/// in-time counts — and to centralize the wall-clock → epoch conversion.
+pub struct TimeoutList {
+    epoch: Arc<AtomicU64>,
+    granularity: Duration,
+    next_id: AtomicU64,
+    /// `(deadline_epoch, id)` pairs; `BTreeSet` keeps them ordered so the
+    /// earliest deadline is `first()`.
+    pending: Mutex<BTreeSet<(u64, u64)>>,
+    expired: AtomicU64,
+    in_time: AtomicU64,
+}
+
+impl TimeoutList {
+    /// Creates a list converting budgets at `granularity` (one epoch tick).
+    pub fn new(epoch: Arc<AtomicU64>, granularity: Duration) -> TimeoutList {
+        TimeoutList {
+            epoch,
+            granularity,
+            next_id: AtomicU64::new(0),
+            pending: Mutex::new(BTreeSet::new()),
+            expired: AtomicU64::new(0),
+            in_time: AtomicU64::new(0),
+        }
+    }
+
+    /// The number of whole ticks a budget is worth, minimum 1 (a deadline
+    /// of `now` would trap before the request ran at all).
+    pub fn ticks_for(&self, budget: Duration) -> u64 {
+        let ticks = budget.as_nanos().div_ceil(self.granularity.as_nanos().max(1));
+        (ticks as u64).max(1)
+    }
+
+    /// Registers a deadline `budget` from now and returns its token.
+    pub fn arm(&self, budget: Duration) -> TimeoutToken {
+        let deadline_epoch = self.epoch.load(Ordering::SeqCst) + self.ticks_for(budget);
+        let id = self.next_id.fetch_add(1, Ordering::SeqCst);
+        self.pending
+            .lock()
+            .expect("timeout list lock")
+            .insert((deadline_epoch, id));
+        TimeoutToken { deadline_epoch, id }
+    }
+
+    /// Retires a deadline when its request finishes. Returns `true` if the
+    /// deadline had already passed (the request was — or was about to be —
+    /// interrupted), `false` if it completed in time.
+    pub fn complete(&self, token: TimeoutToken) -> bool {
+        self.pending
+            .lock()
+            .expect("timeout list lock")
+            .remove(&(token.deadline_epoch, token.id));
+        let expired = self.epoch.load(Ordering::SeqCst) >= token.deadline_epoch;
+        if expired {
+            self.expired.fetch_add(1, Ordering::SeqCst);
+        } else {
+            self.in_time.fetch_add(1, Ordering::SeqCst);
+        }
+        expired
+    }
+
+    /// Deadlines currently outstanding.
+    pub fn pending(&self) -> usize {
+        self.pending.lock().expect("timeout list lock").len()
+    }
+
+    /// The earliest outstanding deadline epoch, if any.
+    pub fn next_deadline(&self) -> Option<u64> {
+        self.pending
+            .lock()
+            .expect("timeout list lock")
+            .first()
+            .map(|&(deadline, _)| deadline)
+    }
+
+    /// Requests retired after their deadline passed.
+    pub fn expired_count(&self) -> u64 {
+        self.expired.load(Ordering::SeqCst)
+    }
+
+    /// Requests retired before their deadline.
+    pub fn in_time_count(&self) -> u64 {
+        self.in_time.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixed_epoch(at: u64) -> Arc<AtomicU64> {
+        Arc::new(AtomicU64::new(at))
+    }
+
+    #[test]
+    fn budgets_round_up_to_whole_ticks_minimum_one() {
+        let list = TimeoutList::new(fixed_epoch(0), Duration::from_millis(1));
+        assert_eq!(list.ticks_for(Duration::ZERO), 1);
+        assert_eq!(list.ticks_for(Duration::from_micros(1)), 1);
+        assert_eq!(list.ticks_for(Duration::from_millis(1)), 1);
+        assert_eq!(list.ticks_for(Duration::from_micros(1001)), 2);
+        assert_eq!(list.ticks_for(Duration::from_millis(25)), 25);
+    }
+
+    #[test]
+    fn arm_complete_orders_and_counts() {
+        let epoch = fixed_epoch(10);
+        let list = TimeoutList::new(Arc::clone(&epoch), Duration::from_millis(1));
+        let slow = list.arm(Duration::from_millis(50)); // deadline 60
+        let fast = list.arm(Duration::from_millis(5)); // deadline 15
+        assert_eq!(list.pending(), 2);
+        assert_eq!(list.next_deadline(), Some(15), "soonest first");
+        // `fast` retires before its deadline: in time.
+        assert!(!list.complete(fast));
+        assert_eq!(list.next_deadline(), Some(60));
+        // The clock blows past `slow`'s deadline: expired.
+        epoch.store(61, Ordering::SeqCst);
+        assert!(list.complete(slow));
+        assert_eq!(list.pending(), 0);
+        assert_eq!((list.in_time_count(), list.expired_count()), (1, 1));
+    }
+
+    #[test]
+    fn ticker_advances_and_stops_on_drop() {
+        let epoch = fixed_epoch(0);
+        let ticker = EpochTicker::start(Arc::clone(&epoch), Duration::from_millis(1));
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while ticker.now() < 3 {
+            assert!(std::time::Instant::now() < deadline, "ticker never ticked");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        drop(ticker);
+        let frozen = epoch.load(Ordering::SeqCst);
+        std::thread::sleep(Duration::from_millis(10));
+        assert_eq!(epoch.load(Ordering::SeqCst), frozen, "stopped on drop");
+    }
+}

@@ -1,0 +1,487 @@
+//! The concurrent serving harness: many requests, few engines, zero setup
+//! on the hot path.
+//!
+//! This crate is the embedder the engine crates have been building toward:
+//! a request driver in the shape of a multi-tenant function-as-a-service
+//! server. A [`Server`] hosts a set of *apps* (modules registered up
+//! front), and [`Server::run`] executes a batch of [`Request`]s against
+//! them across a pool of parked worker threads. The moving parts, each its
+//! own module, are the classic serving idioms:
+//!
+//! * [`spsc`] — one bounded single-producer/single-consumer mailbox per
+//!   worker; the dispatcher round-robins requests in, workers park when
+//!   their queue runs dry;
+//! * [`wait_group`] — the batch barrier: every worker holds a guard,
+//!   dropped even on panic, and the dispatcher waits for all of them;
+//! * [`deadline`] — wall-clock budgets lowered onto the engine's epoch
+//!   preemption: a ticker thread advances the shared epoch, a
+//!   `timeout_list` converts budgets to epoch deadlines, and the engine
+//!   interrupts itself at the next check site;
+//! * instance pooling lives in the engine crate
+//!   ([`engine::InstancePool`]): each app's instances are recycled through
+//!   snapshot resets, so a warm request pays a memcpy instead of a full
+//!   instantiation, and all apps share one [`engine::CodeCache`] so
+//!   repeated instantiations never recompile.
+//!
+//! Per-request isolation is the multi-tenant contract from PR 6: fuel
+//! budgets meter deterministic work, epoch deadlines bound wall-clock time,
+//! and every request observes a pristine snapshot regardless of what the
+//! previous occupant of its instance did — including trapping halfway
+//! through a memory write.
+
+#![warn(missing_docs)]
+
+pub mod deadline;
+pub mod spsc;
+pub mod wait_group;
+
+use deadline::{EpochTicker, TimeoutList};
+use engine::{
+    CacheStats, CodeCache, Engine, EngineConfig, EngineError, InstancePool, PoolStats, TrapReason,
+};
+use machine::values::WasmValue;
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+use wasm::module::Module;
+use wait_group::WaitGroup;
+
+/// Sizing and pacing knobs for a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads executing requests.
+    pub workers: usize,
+    /// Capacity of each worker's request mailbox; the dispatcher applies
+    /// backpressure (yields) when a mailbox is full.
+    pub queue_capacity: usize,
+    /// Instances each app's pool retains between requests.
+    pub max_idle_per_app: usize,
+    /// The epoch tick period — the granularity at which deadlines are
+    /// enforced.
+    pub epoch_granularity: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            workers: 2,
+            queue_capacity: 64,
+            max_idle_per_app: 8,
+            epoch_granularity: Duration::from_millis(1),
+        }
+    }
+}
+
+/// One unit of work: which app to invoke and under what limits.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Index returned by [`Server::register_app`].
+    pub app: usize,
+    /// Arguments for the app's entry point.
+    pub args: Vec<WasmValue>,
+    /// Deterministic work budget ([`engine::Instance::set_fuel`]); requires
+    /// a metering engine configuration to be enforced.
+    pub fuel: Option<u64>,
+    /// Wall-clock budget, enforced via epoch preemption.
+    pub deadline: Option<Duration>,
+}
+
+impl Request {
+    /// A request against `app` with no arguments and no limits.
+    pub fn to_app(app: usize) -> Request {
+        Request {
+            app,
+            args: Vec::new(),
+            fuel: None,
+            deadline: None,
+        }
+    }
+
+    /// Sets the fuel budget.
+    pub fn with_fuel(mut self, fuel: u64) -> Request {
+        self.fuel = Some(fuel);
+        self
+    }
+
+    /// Sets the wall-clock budget.
+    pub fn with_deadline(mut self, deadline: Duration) -> Request {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the entry-point arguments.
+    pub fn with_args(mut self, args: Vec<WasmValue>) -> Request {
+        self.args = args;
+        self
+    }
+}
+
+/// How a request ended.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RequestStatus {
+    /// The entry point returned normally.
+    Ok(Vec<WasmValue>),
+    /// Execution trapped — including [`TrapReason::OutOfFuel`] (budget
+    /// exhausted) and [`TrapReason::Interrupted`] (deadline passed).
+    Trapped(TrapReason),
+    /// The request never executed (unknown app, instantiation failure).
+    Rejected(String),
+}
+
+impl RequestStatus {
+    /// True for [`RequestStatus::Ok`].
+    pub fn is_ok(&self) -> bool {
+        matches!(self, RequestStatus::Ok(_))
+    }
+}
+
+/// The outcome and measurements of one served request.
+#[derive(Debug, Clone)]
+pub struct RequestResult {
+    /// Position of the request in the batch passed to [`Server::run`].
+    pub request_id: usize,
+    /// The app it targeted.
+    pub app: usize,
+    /// The worker thread that served it.
+    pub worker: usize,
+    /// How it ended.
+    pub status: RequestStatus,
+    /// True if the instance came from the pool's snapshot-reset path
+    /// rather than a cold instantiation.
+    pub warm: bool,
+    /// Time to obtain a ready instance (the reset memcpy when warm, a full
+    /// instantiation when cold).
+    pub instantiate_wall: Duration,
+    /// Total service time: checkout + execution.
+    pub service_wall: Duration,
+    /// Simulated execution cycles the request consumed — the repo's
+    /// deterministic "execution time" unit, comparable across runs and
+    /// immune to host scheduling noise.
+    pub exec_cycles: u64,
+    /// Fuel consumed, when a budget was armed.
+    pub fuel_consumed: Option<u64>,
+    /// True if the request's deadline passed before it retired (it was —
+    /// or was about to be — interrupted).
+    pub deadline_expired: bool,
+}
+
+struct App {
+    name: String,
+    entry: String,
+    pool: Arc<InstancePool>,
+}
+
+struct Work {
+    id: usize,
+    request: Request,
+}
+
+/// A multi-app serving harness over one engine configuration.
+pub struct Server {
+    server_config: ServerConfig,
+    engine_config: EngineConfig,
+    cache: Arc<CodeCache>,
+    ticker: EpochTicker,
+    timeouts: Arc<TimeoutList>,
+    apps: Vec<App>,
+}
+
+impl Server {
+    /// Creates a server with no apps. One [`CodeCache`] and one epoch
+    /// ticker are shared by every app registered later.
+    pub fn new(server_config: ServerConfig, engine_config: EngineConfig) -> Server {
+        let epoch = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let ticker = EpochTicker::start(Arc::clone(&epoch), server_config.epoch_granularity);
+        let timeouts = Arc::new(TimeoutList::new(epoch, server_config.epoch_granularity));
+        Server {
+            server_config,
+            engine_config,
+            cache: Arc::new(CodeCache::new()),
+            ticker,
+            timeouts,
+            apps: Vec::new(),
+        }
+    }
+
+    /// Registers an app and returns its index for [`Request::to_app`].
+    /// Instantiates once eagerly (building the pool's snapshot image), so
+    /// broken modules fail here, not mid-batch.
+    pub fn register_app(
+        &mut self,
+        name: &str,
+        entry: &str,
+        module: Module,
+    ) -> Result<usize, EngineError> {
+        let engine = Engine::new(self.engine_config.clone())
+            .with_code_cache(Arc::clone(&self.cache))
+            .with_epoch(Arc::clone(self.ticker.epoch()));
+        let pool = InstancePool::new(engine, module, self.server_config.max_idle_per_app)?;
+        self.apps.push(App {
+            name: name.to_string(),
+            entry: entry.to_string(),
+            pool,
+        });
+        Ok(self.apps.len() - 1)
+    }
+
+    /// The name an app was registered under.
+    pub fn app_name(&self, app: usize) -> Option<&str> {
+        self.apps.get(app).map(|a| a.name.as_str())
+    }
+
+    /// Registered apps.
+    pub fn num_apps(&self) -> usize {
+        self.apps.len()
+    }
+
+    /// The shared code cache's counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// An app's pool counters.
+    pub fn pool_stats(&self, app: usize) -> Option<PoolStats> {
+        self.apps.get(app).map(|a| a.pool.stats())
+    }
+
+    /// The deadline bookkeeping (expired vs. in-time counts).
+    pub fn timeouts(&self) -> &TimeoutList {
+        &self.timeouts
+    }
+
+    /// The deadline-enforcement granularity (one epoch tick).
+    pub fn epoch_granularity(&self) -> Duration {
+        self.ticker.granularity()
+    }
+
+    /// Executes a batch: requests are round-robined across the worker
+    /// mailboxes, workers drain them concurrently, and the batch joins on a
+    /// [`WaitGroup`]. Results come back in request order regardless of
+    /// completion order.
+    pub fn run(&self, requests: Vec<Request>) -> Vec<RequestResult> {
+        let workers = self.server_config.workers.max(1);
+        let total = requests.len();
+        let mut producers = Vec::with_capacity(workers);
+        let mut consumers = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let (tx, rx) = spsc::channel::<Work>(self.server_config.queue_capacity);
+            producers.push(tx);
+            consumers.push(rx);
+        }
+        let wg = WaitGroup::new();
+        let results = Mutex::new(Vec::with_capacity(total));
+        thread::scope(|scope| {
+            for (worker, rx) in consumers.into_iter().enumerate() {
+                let guard = wg.worker();
+                let results = &results;
+                scope.spawn(move || {
+                    let _done = guard;
+                    while let Some(work) = rx.recv() {
+                        let result = self.serve_one(worker, work);
+                        results.lock().expect("results lock").push(result);
+                    }
+                });
+            }
+            for (id, request) in requests.into_iter().enumerate() {
+                producers[id % workers].push(Work { id, request });
+            }
+            for tx in &producers {
+                tx.close();
+            }
+            wg.wait();
+        });
+        let mut out = results.into_inner().expect("results lock");
+        debug_assert_eq!(out.len(), total);
+        out.sort_by_key(|r| r.request_id);
+        out
+    }
+
+    fn serve_one(&self, worker: usize, work: Work) -> RequestResult {
+        let Work { id, request } = work;
+        let reject = |message: String| RequestResult {
+            request_id: id,
+            app: request.app,
+            worker,
+            status: RequestStatus::Rejected(message),
+            warm: false,
+            instantiate_wall: Duration::ZERO,
+            service_wall: Duration::ZERO,
+            exec_cycles: 0,
+            fuel_consumed: None,
+            deadline_expired: false,
+        };
+        let Some(app) = self.apps.get(request.app) else {
+            return reject(format!("unknown app index {}", request.app));
+        };
+        let start = Instant::now();
+        let mut instance = match app.pool.checkout() {
+            Ok(instance) => instance,
+            Err(e) => return reject(format!("instantiation failed: {e}")),
+        };
+        let instantiate_wall = start.elapsed();
+        if let Some(fuel) = request.fuel {
+            instance.set_fuel(fuel);
+        }
+        let token = request.deadline.map(|budget| self.timeouts.arm(budget));
+        if let Some(token) = &token {
+            instance.set_epoch_deadline(token.deadline_epoch);
+        }
+        let outcome = app
+            .pool
+            .engine()
+            .call_export(&mut instance, &app.entry, &request.args);
+        let service_wall = start.elapsed();
+        let deadline_expired = token.map(|t| self.timeouts.complete(t)).unwrap_or(false);
+        RequestResult {
+            request_id: id,
+            app: request.app,
+            worker,
+            status: match outcome {
+                Ok(values) => RequestStatus::Ok(values),
+                Err(code) => RequestStatus::Trapped(TrapReason::from(code)),
+            },
+            warm: instance.was_warm(),
+            instantiate_wall,
+            service_wall,
+            exec_cycles: instance.metrics.exec_cycles,
+            fuel_consumed: instance.fuel_consumed(),
+            deadline_expired,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wasm::builder::{CodeBuilder, ModuleBuilder};
+    use wasm::module::ConstExpr;
+    use wasm::opcode::Opcode;
+    use wasm::types::{FuncType, Limits, ValueType};
+
+    /// `main: [] -> [i32]` increments `mem[0]` and returns it — so any
+    /// cross-request state leak shows up as a result other than 1.
+    fn counter_module() -> Module {
+        let mut b = ModuleBuilder::new();
+        b.add_memory(Limits::bounded(1, 2));
+        b.add_data(0, ConstExpr::I32(8), vec![0x2A]);
+        let mut c = CodeBuilder::new();
+        c.i32_const(0)
+            .i32_const(0)
+            .mem(Opcode::I32Load, 2, 0)
+            .i32_const(1)
+            .op(Opcode::I32Add)
+            .mem(Opcode::I32Store, 2, 0)
+            .i32_const(0)
+            .mem(Opcode::I32Load, 2, 0);
+        let f = b.add_func(
+            FuncType::new(vec![], vec![ValueType::I32]),
+            vec![],
+            c.finish(),
+        );
+        b.export_func("main", f);
+        b.finish()
+    }
+
+    /// `main: [i32] -> [i32]` doubles its argument.
+    fn doubler_module() -> Module {
+        let mut b = ModuleBuilder::new();
+        let mut c = CodeBuilder::new();
+        c.local_get(0).local_get(0).op(Opcode::I32Add);
+        let f = b.add_func(
+            FuncType::new(vec![ValueType::I32], vec![ValueType::I32]),
+            vec![],
+            c.finish(),
+        );
+        b.export_func("main", f);
+        b.finish()
+    }
+
+    #[test]
+    fn instances_and_results_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<engine::Instance>();
+        assert_send::<RequestResult>();
+        assert_send::<Request>();
+    }
+
+    #[test]
+    fn a_batch_runs_isolated_across_workers() {
+        let mut server = Server::new(
+            ServerConfig {
+                workers: 3,
+                ..ServerConfig::default()
+            },
+            EngineConfig::default(),
+        );
+        let counter = server.register_app("counter", "main", counter_module()).unwrap();
+        let doubler = server.register_app("doubler", "main", doubler_module()).unwrap();
+        assert_eq!(server.num_apps(), 2);
+        assert_eq!(server.app_name(counter), Some("counter"));
+
+        let mut requests = Vec::new();
+        for i in 0..12 {
+            if i % 2 == 0 {
+                requests.push(Request::to_app(counter));
+            } else {
+                requests.push(
+                    Request::to_app(doubler).with_args(vec![WasmValue::I32(i)]),
+                );
+            }
+        }
+        let results = server.run(requests);
+        assert_eq!(results.len(), 12);
+        for (i, r) in results.iter().enumerate() {
+            assert_eq!(r.request_id, i, "results in request order");
+            if i % 2 == 0 {
+                assert_eq!(
+                    r.status,
+                    RequestStatus::Ok(vec![WasmValue::I32(1)]),
+                    "every counter request sees pristine memory (request {i})"
+                );
+            } else {
+                assert_eq!(
+                    r.status,
+                    RequestStatus::Ok(vec![WasmValue::I32(2 * i as i32)]),
+                    "doubler request {i}"
+                );
+            }
+            assert!(r.exec_cycles > 0, "simulated cycles recorded");
+            assert!(r.worker < 3);
+        }
+        // Pool accounting: every checkout was either warm or cold.
+        let stats = server.pool_stats(counter).unwrap();
+        assert_eq!(stats.warm_checkouts + stats.cold_checkouts, 6);
+        assert!(stats.warm_checkouts >= 1, "the parked first instance was reused");
+        // Cache accounting: one miss per app's first instantiation; every
+        // cold fallback checkout afterwards hit.
+        let cache = server.cache_stats();
+        assert_eq!(cache.entries, 2);
+        assert_eq!(cache.misses, 2);
+        let cold_fallbacks: u64 = (0..2)
+            .map(|a| server.pool_stats(a).unwrap().cold_checkouts)
+            .sum();
+        assert_eq!(cache.hits, cold_fallbacks);
+    }
+
+    #[test]
+    fn unknown_apps_are_rejected_not_panicked() {
+        let server = Server::new(ServerConfig::default(), EngineConfig::default());
+        let results = server.run(vec![Request::to_app(7)]);
+        assert_eq!(results.len(), 1);
+        assert!(
+            matches!(&results[0].status, RequestStatus::Rejected(m) if m.contains("unknown app")),
+            "got {:?}",
+            results[0].status
+        );
+        assert!(!results[0].status.is_ok());
+    }
+
+    #[test]
+    fn an_empty_batch_is_fine() {
+        let mut server = Server::new(ServerConfig::default(), EngineConfig::default());
+        server.register_app("counter", "main", counter_module()).unwrap();
+        assert!(server.run(Vec::new()).is_empty());
+        assert_eq!(server.epoch_granularity(), Duration::from_millis(1));
+        assert_eq!(server.timeouts().pending(), 0);
+    }
+}

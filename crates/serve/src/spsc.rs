@@ -1,0 +1,237 @@
+//! A bounded single-producer single-consumer queue with a parked consumer.
+//!
+//! This is the per-worker mailbox of the serving harness: the dispatcher
+//! owns the [`Producer`], one worker thread owns the [`Consumer`], and the
+//! worker parks itself when its queue runs dry instead of spinning. The
+//! implementation is deliberately `unsafe`-free — the whole workspace avoids
+//! `unsafe` — so instead of the classic raw-ring SPSC it uses a ring of
+//! per-slot `Mutex<Option<T>>` cells with atomic head/tail cursors. Each
+//! lock guards exactly one slot and is only ever contended when producer and
+//! consumer touch the *same* slot at the same instant, so the fast path is
+//! one uncontended lock plus two atomic ops per side.
+//!
+//! Wakeup protocol: the consumer publishes its thread handle, re-checks the
+//! queue, then parks; the producer unparks the published handle after every
+//! push and on close. The park uses a timeout as a belt-and-braces backstop
+//! so a lost wakeup can delay a worker, never deadlock it.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, Thread};
+use std::time::Duration;
+
+/// How long a consumer parks before re-checking regardless of wakeups.
+const PARK_BACKSTOP: Duration = Duration::from_millis(2);
+
+struct Shared<T> {
+    /// Ring of slots; `None` is empty. Capacity is `slots.len()`.
+    slots: Vec<Mutex<Option<T>>>,
+    /// Total items ever pushed; the producer's cursor.
+    tail: AtomicUsize,
+    /// Total items ever popped; the consumer's cursor.
+    head: AtomicUsize,
+    /// Set when the producer hangs up (explicitly or by drop).
+    closed: AtomicBool,
+    /// The consumer's thread handle, published before it parks.
+    parked: Mutex<Option<Thread>>,
+}
+
+impl<T> Shared<T> {
+    fn len(&self) -> usize {
+        // tail >= head always; both only ever increase.
+        self.tail.load(Ordering::Acquire) - self.head.load(Ordering::Acquire)
+    }
+
+    fn wake_consumer(&self) {
+        if let Some(t) = self.parked.lock().expect("spsc parked lock").take() {
+            t.unpark();
+        }
+    }
+}
+
+/// The sending half. Dropping it closes the queue.
+pub struct Producer<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// The receiving half, owned by exactly one worker thread.
+pub struct Consumer<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Creates a bounded SPSC queue of the given capacity (minimum 1).
+pub fn channel<T: Send>(capacity: usize) -> (Producer<T>, Consumer<T>) {
+    let capacity = capacity.max(1);
+    let shared = Arc::new(Shared {
+        slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
+        tail: AtomicUsize::new(0),
+        head: AtomicUsize::new(0),
+        closed: AtomicBool::new(false),
+        parked: Mutex::new(None),
+    });
+    (
+        Producer {
+            shared: Arc::clone(&shared),
+        },
+        Consumer { shared },
+    )
+}
+
+impl<T: Send> Producer<T> {
+    /// Attempts to enqueue without blocking. Returns the value back if the
+    /// queue is full.
+    pub fn try_push(&self, value: T) -> Result<(), T> {
+        let shared = &self.shared;
+        if shared.len() == shared.slots.len() {
+            return Err(value);
+        }
+        let tail = shared.tail.load(Ordering::Acquire);
+        let slot = &shared.slots[tail % shared.slots.len()];
+        *slot.lock().expect("spsc slot lock") = Some(value);
+        shared.tail.store(tail + 1, Ordering::Release);
+        shared.wake_consumer();
+        Ok(())
+    }
+
+    /// Enqueues, yielding until space frees up (backpressure).
+    pub fn push(&self, mut value: T) {
+        loop {
+            match self.try_push(value) {
+                Ok(()) => return,
+                Err(v) => {
+                    value = v;
+                    thread::yield_now();
+                }
+            }
+        }
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.shared.len()
+    }
+
+    /// True if nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Hangs up: the consumer drains what is queued, then sees end-of-queue.
+    pub fn close(&self) {
+        self.shared.closed.store(true, Ordering::Release);
+        self.shared.wake_consumer();
+    }
+}
+
+impl<T> Drop for Producer<T> {
+    fn drop(&mut self) {
+        self.shared.closed.store(true, Ordering::Release);
+        self.shared.wake_consumer();
+    }
+}
+
+impl<T: Send> Consumer<T> {
+    /// Attempts to dequeue without blocking.
+    pub fn try_pop(&self) -> Option<T> {
+        let shared = &self.shared;
+        if shared.len() == 0 {
+            return None;
+        }
+        let head = shared.head.load(Ordering::Acquire);
+        let slot = &shared.slots[head % shared.slots.len()];
+        let value = slot.lock().expect("spsc slot lock").take();
+        debug_assert!(value.is_some(), "non-empty queue has a filled head slot");
+        shared.head.store(head + 1, Ordering::Release);
+        value
+    }
+
+    /// Dequeues, parking this thread while the queue is empty. Returns
+    /// `None` once the queue is closed *and* drained.
+    pub fn recv(&self) -> Option<T> {
+        loop {
+            if let Some(value) = self.try_pop() {
+                return Some(value);
+            }
+            if self.shared.closed.load(Ordering::Acquire) {
+                // Drain anything that raced in between the checks.
+                return self.try_pop();
+            }
+            // Publish our handle, then re-check before parking so a push
+            // that happened in between cannot strand us.
+            *self.shared.parked.lock().expect("spsc parked lock") = Some(thread::current());
+            if self.shared.len() > 0 || self.shared.closed.load(Ordering::Acquire) {
+                self.shared.parked.lock().expect("spsc parked lock").take();
+                continue;
+            }
+            thread::park_timeout(PARK_BACKSTOP);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_within_one_thread() {
+        let (tx, rx) = channel::<u32>(4);
+        assert!(rx.try_pop().is_none());
+        for i in 0..4 {
+            tx.try_push(i).unwrap();
+        }
+        assert_eq!(tx.try_push(99), Err(99), "full queue rejects");
+        assert_eq!(tx.len(), 4);
+        for i in 0..4 {
+            assert_eq!(rx.try_pop(), Some(i));
+        }
+        assert!(rx.try_pop().is_none());
+        // The ring wraps: another lap works.
+        for i in 10..14 {
+            tx.try_push(i).unwrap();
+        }
+        for i in 10..14 {
+            assert_eq!(rx.try_pop(), Some(i));
+        }
+    }
+
+    #[test]
+    fn close_lets_the_consumer_drain_then_end() {
+        let (tx, rx) = channel::<u32>(8);
+        tx.try_push(1).unwrap();
+        tx.try_push(2).unwrap();
+        tx.close();
+        assert_eq!(rx.recv(), Some(1));
+        assert_eq!(rx.recv(), Some(2));
+        assert_eq!(rx.recv(), None);
+        assert_eq!(rx.recv(), None, "closed stays closed");
+    }
+
+    #[test]
+    fn cross_thread_transfer_preserves_order_with_backpressure() {
+        let (tx, rx) = channel::<u64>(2); // tiny capacity forces backpressure
+        const N: u64 = 10_000;
+        let consumer = thread::spawn(move || {
+            let mut got = Vec::new();
+            while let Some(v) = rx.recv() {
+                got.push(v);
+            }
+            got
+        });
+        for i in 0..N {
+            tx.push(i);
+        }
+        drop(tx); // closes
+        let got = consumer.join().expect("consumer thread");
+        assert_eq!(got.len() as u64, N);
+        assert!(got.windows(2).all(|w| w[0] < w[1]), "strictly in order");
+    }
+
+    #[test]
+    fn dropping_the_producer_closes() {
+        let (tx, rx) = channel::<u8>(1);
+        tx.try_push(7).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Some(7));
+        assert_eq!(rx.recv(), None);
+    }
+}

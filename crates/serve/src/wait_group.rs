@@ -1,0 +1,126 @@
+//! A `WaitGroup`: block until a set of tasks all report done.
+//!
+//! The serving driver hands each worker a [`WaitGuard`] and then
+//! [`WaitGroup::wait`]s; a worker's guard reports done when dropped — on the
+//! normal exit path *and* on a panic unwinding through the worker, so a
+//! crashed worker can never hang the barrier. This is the join primitive the
+//! harness uses instead of collecting `JoinHandle`s: the dispatcher can keep
+//! feeding queues while workers run and only synchronize once, at the end.
+
+use std::sync::{Arc, Condvar, Mutex};
+
+struct Inner {
+    count: Mutex<usize>,
+    zero: Condvar,
+}
+
+/// A counter of outstanding tasks that [`WaitGroup::wait`] blocks on.
+#[derive(Clone)]
+pub struct WaitGroup {
+    inner: Arc<Inner>,
+}
+
+impl WaitGroup {
+    /// Creates a group with no outstanding tasks (`wait` returns at once).
+    pub fn new() -> WaitGroup {
+        WaitGroup {
+            inner: Arc::new(Inner {
+                count: Mutex::new(0),
+                zero: Condvar::new(),
+            }),
+        }
+    }
+
+    /// Registers one outstanding task and returns the guard that marks it
+    /// done when dropped.
+    pub fn worker(&self) -> WaitGuard {
+        let mut count = self.inner.count.lock().expect("wait group lock");
+        *count += 1;
+        WaitGuard {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Outstanding tasks right now.
+    pub fn outstanding(&self) -> usize {
+        *self.inner.count.lock().expect("wait group lock")
+    }
+
+    /// Blocks until every registered guard has dropped.
+    pub fn wait(&self) {
+        let mut count = self.inner.count.lock().expect("wait group lock");
+        while *count != 0 {
+            count = self.inner.zero.wait(count).expect("wait group lock");
+        }
+    }
+}
+
+impl Default for WaitGroup {
+    fn default() -> WaitGroup {
+        WaitGroup::new()
+    }
+}
+
+/// Marks one task done when dropped (including on panic unwind).
+pub struct WaitGuard {
+    inner: Arc<Inner>,
+}
+
+impl Drop for WaitGuard {
+    fn drop(&mut self) {
+        let mut count = self.inner.count.lock().expect("wait group lock");
+        *count -= 1;
+        if *count == 0 {
+            self.inner.zero.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::thread;
+
+    #[test]
+    fn wait_returns_immediately_with_no_workers() {
+        let wg = WaitGroup::new();
+        wg.wait();
+        assert_eq!(wg.outstanding(), 0);
+    }
+
+    #[test]
+    fn wait_blocks_until_all_guards_drop() {
+        let wg = WaitGroup::new();
+        let done = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let guard = wg.worker();
+                let done = Arc::clone(&done);
+                thread::spawn(move || {
+                    done.fetch_add(1, Ordering::SeqCst);
+                    drop(guard);
+                })
+            })
+            .collect();
+        wg.wait();
+        assert_eq!(done.load(Ordering::SeqCst), 4, "wait saw all workers finish");
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(wg.outstanding(), 0);
+    }
+
+    #[test]
+    fn a_panicking_worker_still_reports_done() {
+        let wg = WaitGroup::new();
+        let guard = wg.worker();
+        let h = thread::spawn(move || {
+            let _guard = guard;
+            panic!("worker crash");
+        });
+        assert!(h.join().is_err());
+        wg.wait(); // must not hang
+        assert_eq!(wg.outstanding(), 0);
+    }
+}

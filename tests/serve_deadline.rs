@@ -1,0 +1,181 @@
+//! Deadline enforcement through the serving harness.
+//!
+//! A request with a wall-clock budget must come back `Interrupted` — not
+//! hang, not get killed externally — and it must do so promptly: within the
+//! epoch granularity (plus scheduling slack) of its deadline. The mechanism
+//! is cooperative (the engine checks the epoch at loop back-edges and call
+//! boundaries), so the test drives it across the tier×backend matrix to
+//! prove every code path carries the checks. Requests without deadlines, or
+//! with generous ones, must be unaffected.
+
+mod common;
+
+use machine::values::WasmValue;
+use serve::{Request, RequestStatus, Server, ServerConfig};
+use std::time::Duration;
+use wasm::builder::{CodeBuilder, ModuleBuilder};
+use wasm::types::{BlockType, FuncType, ValueType};
+use wasm::Module;
+
+/// `main: [] -> [i32]` loops forever (the runaway tenant).
+fn spin_module() -> Module {
+    let mut b = ModuleBuilder::new();
+    let mut c = CodeBuilder::new();
+    c.loop_(BlockType::Empty).br(0).end().i32_const(0);
+    let f = b.add_func(
+        FuncType::new(vec![], vec![ValueType::I32]),
+        vec![],
+        c.finish(),
+    );
+    b.export_func("main", f);
+    b.finish()
+}
+
+/// `main: [] -> [i32]` returns immediately (the well-behaved tenant).
+fn quick_module() -> Module {
+    let mut b = ModuleBuilder::new();
+    let mut c = CodeBuilder::new();
+    c.i32_const(11);
+    let f = b.add_func(
+        FuncType::new(vec![], vec![ValueType::I32]),
+        vec![],
+        c.finish(),
+    );
+    b.export_func("main", f);
+    b.finish()
+}
+
+/// A runaway loop is interrupted within an epoch-granularity bound, in
+/// every tier×backend configuration.
+#[test]
+fn runaway_requests_are_interrupted_within_the_granularity_bound() {
+    let granularity = Duration::from_millis(2);
+    let deadline = Duration::from_millis(20);
+    for config in common::all_tier_backend_configs() {
+        let name = config.name.clone();
+        let mut server = Server::new(
+            ServerConfig {
+                workers: 1,
+                epoch_granularity: granularity,
+                ..ServerConfig::default()
+            },
+            config.with_metering(),
+        );
+        let spin = server.register_app("spin", "main", spin_module()).unwrap();
+        let started = std::time::Instant::now();
+        let results = server.run(vec![Request::to_app(spin).with_deadline(deadline)]);
+        let elapsed = started.elapsed();
+        assert_eq!(results.len(), 1);
+        let r = &results[0];
+        assert_eq!(
+            r.status,
+            RequestStatus::Trapped(engine::TrapReason::Interrupted),
+            "[{name}] a runaway request must be preempted"
+        );
+        assert!(r.deadline_expired, "[{name}] the timeout list saw it expire");
+        // Lower bound: the interrupt cannot fire before the armed number of
+        // ticks has elapsed... minus one granularity, because the first tick
+        // may already be partially spent when the deadline is armed.
+        assert!(
+            r.service_wall + granularity >= deadline,
+            "[{name}] interrupted after {:?}, before the {deadline:?} budget",
+            r.service_wall
+        );
+        // Upper bound: enforcement is granular, not instant — one tick past
+        // the deadline plus generous scheduling slack for a loaded CI host.
+        // The point is "tens of milliseconds", not "whenever the batch
+        // happens to end".
+        let slack = Duration::from_millis(500);
+        assert!(
+            elapsed < deadline + granularity + slack,
+            "[{name}] interrupt took {elapsed:?}, way past deadline {deadline:?}"
+        );
+        assert_eq!(server.timeouts().expired_count(), 1, "[{name}]");
+        assert_eq!(server.timeouts().pending(), 0, "[{name}]");
+    }
+}
+
+/// Deadlines are per-request isolation, not collective punishment: in a
+/// mixed batch the runaway request is interrupted while well-behaved
+/// requests (with and without deadlines) complete normally — and the
+/// interrupted request's recycled instance serves later requests fine.
+#[test]
+fn mixed_batches_only_interrupt_the_runaway() {
+    let mut server = Server::new(
+        ServerConfig {
+            workers: 2,
+            epoch_granularity: Duration::from_millis(2),
+            ..ServerConfig::default()
+        },
+        engine::EngineConfig::baseline("spc", spc::CompilerOptions::allopt()).with_metering(),
+    );
+    let spin = server.register_app("spin", "main", spin_module()).unwrap();
+    let quick = server.register_app("quick", "main", quick_module()).unwrap();
+    let requests = vec![
+        Request::to_app(quick).with_deadline(Duration::from_secs(60)),
+        Request::to_app(spin).with_deadline(Duration::from_millis(15)),
+        Request::to_app(quick),
+        // Reuses the instance the interrupted spin checked back in (same
+        // app pool), proving an interrupt does not poison the pool.
+        Request::to_app(spin).with_deadline(Duration::from_millis(15)),
+        Request::to_app(quick).with_deadline(Duration::from_secs(60)),
+    ];
+    let results = server.run(requests);
+    assert_eq!(results.len(), 5);
+    for (i, expect_ok) in [(0usize, true), (1, false), (2, true), (3, false), (4, true)] {
+        let r = &results[i];
+        if expect_ok {
+            assert_eq!(
+                r.status,
+                RequestStatus::Ok(vec![WasmValue::I32(11)]),
+                "request {i}"
+            );
+            assert!(!r.deadline_expired, "request {i}");
+        } else {
+            assert_eq!(
+                r.status,
+                RequestStatus::Trapped(engine::TrapReason::Interrupted),
+                "request {i}"
+            );
+            assert!(r.deadline_expired, "request {i}");
+        }
+    }
+    assert_eq!(server.timeouts().expired_count(), 2);
+    assert_eq!(server.timeouts().in_time_count(), 2, "undeadlined requests are untracked");
+}
+
+/// Fuel budgets ride the same request path: a starved request traps
+/// `OutOfFuel` deterministically (same consumption in every tier), and the
+/// pool hands the next request a freshly-armed-free instance.
+#[test]
+fn fuel_budgets_bind_per_request_across_the_matrix() {
+    for config in common::all_tier_backend_configs() {
+        let name = config.name.clone();
+        let mut server = Server::new(
+            ServerConfig {
+                workers: 1,
+                ..ServerConfig::default()
+            },
+            config.with_metering(),
+        );
+        let spin = server.register_app("spin", "main", spin_module()).unwrap();
+        let results = server.run(vec![
+            Request::to_app(spin).with_fuel(1_000),
+            Request::to_app(spin).with_fuel(1_000),
+        ]);
+        for r in &results {
+            assert_eq!(
+                r.status,
+                RequestStatus::Trapped(engine::TrapReason::OutOfFuel),
+                "[{name}] request {}",
+                r.request_id
+            );
+            assert_eq!(
+                r.fuel_consumed,
+                Some(1_000),
+                "[{name}] exhaustion consumes exactly the budget"
+            );
+            assert!(!r.deadline_expired, "[{name}] no deadline was armed");
+        }
+    }
+}
