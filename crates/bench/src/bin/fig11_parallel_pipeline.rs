@@ -33,6 +33,7 @@ fn main() {
     );
     let suites = suites::all_suites(scale);
     let mut report = BenchReport::new("fig11");
+    report.config(bench::scale_label(scale));
 
     // ---- Part 1: compile-throughput scaling over worker counts ----------
     println!("\n[1] eager-compile scaling over all {} modules:",

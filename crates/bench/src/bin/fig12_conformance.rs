@@ -49,6 +49,20 @@ fn main() {
 
     let census = conform::coverage::opcode_census(&conform::coverage::exhaustive_module());
     let missing = conform::coverage::missing_opcodes(&census);
+
+    let mut report = bench::BenchReport::new("fig12");
+    report
+        .config("conformance-corpus")
+        .metric("scripts", corpus.len() as f64)
+        .metric("configurations", configs.len() as f64)
+        .metric("assertions_passed", total_passed as f64)
+        .metric("assertions_failed", all_failures.len() as f64)
+        .metric(
+            "opcodes_covered",
+            (wasm::Opcode::ALL.len() - missing.len()) as f64,
+        )
+        .metric("opcodes_total", wasm::Opcode::ALL.len() as f64);
+    report.write();
     println!(
         "\n{} scripts x {} configurations: {} assertions passed, {} failed",
         corpus.len(),

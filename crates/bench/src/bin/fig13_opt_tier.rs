@@ -33,6 +33,7 @@ fn main() {
         "The optimizing tier: cycles, compile time, and code size vs interpreter and baseline",
     );
     let mut report = BenchReport::new("fig13");
+    report.config(bench::scale_label(scale));
 
     let interp = measure_all(&EngineConfig::interpreter("int"), scale, Instrument::None);
     let baseline = measure_all(

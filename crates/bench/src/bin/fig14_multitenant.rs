@@ -42,6 +42,7 @@ fn main() {
         "Multi-tenant metering: fuel + epoch overhead per tier, artifact sharing",
     );
     let mut report = BenchReport::new("fig14");
+    report.config(bench::scale_label(scale));
 
     let tiers: [(&str, EngineConfig); 3] = [
         ("int", EngineConfig::interpreter("int")),

@@ -48,6 +48,7 @@ fn main() {
     );
     let suites = suites::all_suites(scale);
     let mut report = BenchReport::new("fig15");
+    report.config(bench::scale_label(scale));
     let mut failures = Vec::new();
 
     // ---- Part 1: cold vs. warm instantiation through the pool ------------
@@ -189,6 +190,11 @@ fn main() {
                 "cache.resident_machine_bytes",
                 cache.resident_machine_bytes as f64,
             );
+            let lookups = cache.hits + cache.misses;
+            report.metric(
+                "cache.hit_ratio",
+                cache.hits as f64 / lookups.max(1) as f64,
+            );
             let (mut warm, mut cold) = (0u64, 0u64);
             for &app in &apps {
                 let stats = server.pool_stats(app).expect("registered app");
@@ -197,6 +203,10 @@ fn main() {
             }
             report.metric("pool.warm_checkouts", warm as f64);
             report.metric("pool.cold_checkouts", cold as f64);
+            report.metric(
+                "pool.warm_ratio",
+                warm as f64 / (warm + cold).max(1) as f64,
+            );
             println!(
                 "\nserving accounting at 4 workers: {warm} warm / {cold} cold checkouts, \
                  cache {} entries {} hits {} misses, {} KiB resident code",

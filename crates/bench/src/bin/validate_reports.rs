@@ -1,0 +1,99 @@
+//! Validates every `BENCH_*.json` in the working directory (or the
+//! directories given as arguments) against the shared report schema, and
+//! every `TRACE_*.json` as well-formed Chrome trace JSON. CI runs this after
+//! the figure gates so a drifting emitter fails the build instead of
+//! silently corrupting the perf trajectory.
+//!
+//! Exits non-zero if any file fails, or if no report is found at all — an
+//! empty sweep almost always means the gates never ran.
+
+use bench::report::{parse_json, validate_report_json, JsonValue};
+use std::path::{Path, PathBuf};
+
+fn validate_trace_json(text: &str) -> Result<usize, String> {
+    let doc = parse_json(text)?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(JsonValue::as_array)
+        .ok_or("missing array field \"traceEvents\"")?;
+    for (i, event) in events.iter().enumerate() {
+        let phase = event
+            .get("ph")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| format!("event {i} missing string field \"ph\""))?;
+        if !matches!(phase, "M" | "X" | "i" | "B" | "E") {
+            return Err(format!("event {i} has unknown phase {phase:?}"));
+        }
+        if phase != "M" && event.get("ts").and_then(JsonValue::as_number).is_none() {
+            return Err(format!("event {i} missing numeric field \"ts\""));
+        }
+    }
+    Ok(events.len())
+}
+
+fn main() {
+    let dirs: Vec<PathBuf> = {
+        let args: Vec<PathBuf> = std::env::args().skip(1).map(PathBuf::from).collect();
+        if args.is_empty() {
+            vec![PathBuf::from(".")]
+        } else {
+            args
+        }
+    };
+
+    let mut checked = 0usize;
+    let mut failures = Vec::new();
+    for dir in &dirs {
+        let entries = match std::fs::read_dir(dir) {
+            Ok(entries) => entries,
+            Err(e) => {
+                failures.push(format!("{}: unreadable directory: {e}", dir.display()));
+                continue;
+            }
+        };
+        let mut paths: Vec<PathBuf> = entries
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| {
+                let name = p.file_name().and_then(|n| n.to_str()).unwrap_or("");
+                (name.starts_with("BENCH_") || name.starts_with("TRACE_"))
+                    && name.ends_with(".json")
+            })
+            .collect();
+        paths.sort();
+        for path in paths {
+            checked += 1;
+            match check_one(&path) {
+                Ok(summary) => println!("ok   {}: {summary}", path.display()),
+                Err(e) => {
+                    println!("FAIL {}: {e}", path.display());
+                    failures.push(format!("{}: {e}", path.display()));
+                }
+            }
+        }
+    }
+
+    if checked == 0 {
+        eprintln!("no BENCH_*.json or TRACE_*.json found in {dirs:?}");
+        std::process::exit(1);
+    }
+    println!("{checked} report(s) checked, {} failure(s)", failures.len());
+    if !failures.is_empty() {
+        std::process::exit(1);
+    }
+}
+
+fn check_one(path: &Path) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("unreadable: {e}"))?;
+    let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+    if name.starts_with("TRACE_") {
+        let events = validate_trace_json(&text)?;
+        Ok(format!("{events} trace events"))
+    } else {
+        validate_report_json(&text)?;
+        let metrics = parse_json(&text)
+            .ok()
+            .and_then(|doc| doc.get("metrics").and_then(|m| m.as_object().map(|o| o.len())))
+            .unwrap_or(0);
+        Ok(format!("{metrics} metrics"))
+    }
+}

@@ -9,6 +9,8 @@
 
 #![warn(missing_docs)]
 
+pub mod report;
+
 use engine::{Engine, EngineConfig, Imports, Instrumentation};
 use std::time::Duration;
 use suites::{BenchmarkItem, Scale};
@@ -239,6 +241,15 @@ pub fn scale_from_args() -> Scale {
     }
 }
 
+/// The configuration string the figure binaries record in their
+/// [`BenchReport`]s: the workload scale the numbers were taken at.
+pub fn scale_label(scale: Scale) -> &'static str {
+    match scale {
+        Scale::Test => "test-scale",
+        Scale::Default => "full-scale",
+    }
+}
+
 /// Formats a figure header the binaries print before their tables.
 pub fn print_header(figure: &str, description: &str) {
     println!("==========================================================");
@@ -281,6 +292,7 @@ pub fn print_suite_table(configs: &[String], rows: &[(&'static str, Vec<SuiteSum
 #[derive(Debug, Clone)]
 pub struct BenchReport {
     figure: String,
+    config: String,
     metrics: Vec<(String, f64)>,
 }
 
@@ -289,8 +301,17 @@ impl BenchReport {
     pub fn new(figure: &str) -> BenchReport {
         BenchReport {
             figure: figure.to_string(),
+            config: String::from("default"),
             metrics: Vec::new(),
         }
+    }
+
+    /// Names the configuration (scale, engine profile, worker count…) the
+    /// numbers were taken under, so a trend line never mixes apples with
+    /// oranges. Reports that never call this say `"default"`.
+    pub fn config(&mut self, config: &str) -> &mut BenchReport {
+        self.config = config.to_string();
+        self
     }
 
     /// Records one named metric. Names use `suite.metric` dot-paths so the
@@ -305,6 +326,7 @@ impl BenchReport {
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
         out.push_str(&format!("  \"figure\": \"{}\",\n", escape_json(&self.figure)));
+        out.push_str(&format!("  \"config\": \"{}\",\n", escape_json(&self.config)));
         out.push_str("  \"metrics\": {\n");
         for (i, (name, value)) in self.metrics.iter().enumerate() {
             let comma = if i + 1 < self.metrics.len() { "," } else { "" };
@@ -432,11 +454,14 @@ mod tests {
     fn bench_report_renders_and_writes_json() {
         let mut report = BenchReport::new("fig99_test");
         report
+            .config("test-scale")
             .metric("polybench.cycles", 12345.0)
             .metric("overhead_pct", 3.25)
             .metric("bad", f64::NAN);
         let json = report.to_json();
         assert!(json.contains("\"figure\": \"fig99_test\""));
+        assert!(json.contains("\"config\": \"test-scale\""));
+        report::validate_report_json(&json).expect("report validates against its own schema");
         assert!(json.contains("\"polybench.cycles\": 12345,"));
         assert!(json.contains("\"overhead_pct\": 3.250000,"));
         assert!(json.contains("\"bad\": null\n"));

@@ -1,0 +1,388 @@
+//! Validation for the machine-readable reports the figure binaries emit.
+//!
+//! Every `fig*` gate writes a `BENCH_<figure>.json` through
+//! [`crate::BenchReport`], and CI archives them as the repo's perf
+//! trajectory. A trajectory is only useful if every point on it has the same
+//! shape, so this module pins the schema: a JSON object with a non-empty
+//! `"figure"` string, a non-empty `"config"` string, and a `"metrics"`
+//! object holding at least one entry whose values are numbers (or `null`,
+//! the report's spelling for non-finite values).
+//!
+//! The workspace is offline — no serde — so validation rides on a small
+//! recursive-descent JSON parser. It handles the full JSON grammar (the
+//! `validate_reports` binary also parses Chrome trace files with it), not
+//! just the report subset, because a parser that only accepts what we
+//! currently emit would silently bless malformed output the moment an
+//! emitter drifts.
+
+use std::collections::BTreeMap;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Number(f64),
+    /// A string, with escapes decoded.
+    String(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object. Key order is not preserved (reports never rely on it);
+    /// duplicate keys keep the last value, as most JSON readers do.
+    Object(BTreeMap<String, JsonValue>),
+}
+
+impl JsonValue {
+    /// The object entry under `key`, if this is an object containing one.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_number(&self) -> Option<f64> {
+        match self {
+            JsonValue::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The entries, if this is an object.
+    pub fn as_object(&self) -> Option<&BTreeMap<String, JsonValue>> {
+        match self {
+            JsonValue::Object(map) => Some(map),
+            _ => None,
+        }
+    }
+}
+
+/// Parses a complete JSON document, rejecting trailing garbage.
+pub fn parse_json(text: &str) -> Result<JsonValue, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing garbage at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, byte: u8) -> Result<(), String> {
+    if bytes.get(*pos) == Some(&byte) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!(
+            "expected '{}' at byte {}, found {:?}",
+            byte as char,
+            *pos,
+            bytes.get(*pos).map(|b| *b as char)
+        ))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => Ok(JsonValue::String(parse_string(bytes, pos)?)),
+        Some(b't') => parse_literal(bytes, pos, "true", JsonValue::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", JsonValue::Bool(false)),
+        Some(b'n') => parse_literal(bytes, pos, "null", JsonValue::Null),
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_literal(
+    bytes: &[u8],
+    pos: &mut usize,
+    word: &str,
+    value: JsonValue,
+) -> Result<JsonValue, String> {
+    if bytes[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at byte {pos}", pos = *pos))
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    expect(bytes, pos, b'{')?;
+    let mut map = BTreeMap::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(JsonValue::Object(map));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        expect(bytes, pos, b':')?;
+        let value = parse_value(bytes, pos)?;
+        map.insert(key, value);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(JsonValue::Object(map));
+            }
+            other => {
+                return Err(format!(
+                    "expected ',' or '}}' at byte {}, found {:?}",
+                    *pos,
+                    other.map(|b| *b as char)
+                ))
+            }
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    expect(bytes, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(JsonValue::Array(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(JsonValue::Array(items));
+            }
+            other => {
+                return Err(format!(
+                    "expected ',' or ']' at byte {}, found {:?}",
+                    *pos,
+                    other.map(|b| *b as char)
+                ))
+            }
+        }
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or("truncated \\u escape")?;
+                        let hex = std::str::from_utf8(hex).map_err(|e| e.to_string())?;
+                        let code =
+                            u32::from_str_radix(hex, 16).map_err(|e| e.to_string())?;
+                        // Reports only escape control characters, so lone
+                        // surrogates are malformed rather than pair-decoded.
+                        out.push(
+                            char::from_u32(code)
+                                .ok_or_else(|| format!("invalid \\u{hex} escape"))?,
+                        );
+                        *pos += 4;
+                    }
+                    other => {
+                        return Err(format!(
+                            "invalid escape {:?} at byte {}",
+                            other.map(|b| *b as char),
+                            *pos
+                        ))
+                    }
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar; the input came from a &str so
+                // the byte stream is valid UTF-8.
+                let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|e| e.to_string())?;
+                let c = rest.chars().next().expect("non-empty by construction");
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+    text.parse::<f64>()
+        .map(JsonValue::Number)
+        .map_err(|_| format!("invalid number {text:?} at byte {start}"))
+}
+
+/// Checks `text` against the report schema every `fig*` binary emits:
+/// an object with a non-empty `"figure"` string, a non-empty `"config"`
+/// string, and a `"metrics"` object with at least one entry, each entry a
+/// number or `null`.
+pub fn validate_report_json(text: &str) -> Result<(), String> {
+    let doc = parse_json(text)?;
+    let figure = doc
+        .get("figure")
+        .and_then(JsonValue::as_str)
+        .ok_or("missing string field \"figure\"")?;
+    if figure.is_empty() {
+        return Err("\"figure\" must be non-empty".to_string());
+    }
+    let config = doc
+        .get("config")
+        .and_then(JsonValue::as_str)
+        .ok_or("missing string field \"config\"")?;
+    if config.is_empty() {
+        return Err("\"config\" must be non-empty".to_string());
+    }
+    let metrics = doc
+        .get("metrics")
+        .and_then(JsonValue::as_object)
+        .ok_or("missing object field \"metrics\"")?;
+    if metrics.is_empty() {
+        return Err("\"metrics\" must hold at least one entry".to_string());
+    }
+    for (name, value) in metrics {
+        match value {
+            JsonValue::Number(_) | JsonValue::Null => {}
+            other => {
+                return Err(format!(
+                    "metric \"{name}\" must be a number or null, found {other:?}"
+                ))
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_full_grammar() {
+        let doc = parse_json(
+            r#"{"a": [1, -2.5, 1e3, true, false, null], "s": "q\"\\\nA", "o": {}}"#,
+        )
+        .expect("parses");
+        assert_eq!(
+            doc.get("a").and_then(JsonValue::as_array).map(<[_]>::len),
+            Some(6)
+        );
+        assert_eq!(doc.get("s").and_then(JsonValue::as_str), Some("q\"\\\nA"));
+        assert_eq!(
+            doc.get("a").unwrap().as_array().unwrap()[2].as_number(),
+            Some(1000.0)
+        );
+        assert!(doc.get("o").unwrap().as_object().unwrap().is_empty());
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(parse_json("{").is_err());
+        assert!(parse_json("[1,]").is_err());
+        assert!(parse_json("{\"a\": 1} trailing").is_err());
+        assert!(parse_json("\"unterminated").is_err());
+        assert!(parse_json("nul").is_err());
+    }
+
+    #[test]
+    fn validates_the_report_schema() {
+        let good = "{\"figure\": \"fig14\", \"config\": \"test\", \"metrics\": {\"x\": 1, \"y\": null}}";
+        validate_report_json(good).expect("valid report");
+
+        let no_config = "{\"figure\": \"fig14\", \"metrics\": {\"x\": 1}}";
+        assert!(validate_report_json(no_config).is_err());
+
+        let empty_metrics = "{\"figure\": \"fig14\", \"config\": \"t\", \"metrics\": {}}";
+        assert!(validate_report_json(empty_metrics).is_err());
+
+        let bad_metric =
+            "{\"figure\": \"fig14\", \"config\": \"t\", \"metrics\": {\"x\": \"oops\"}}";
+        assert!(validate_report_json(bad_metric).is_err());
+
+        let empty_figure = "{\"figure\": \"\", \"config\": \"t\", \"metrics\": {\"x\": 1}}";
+        assert!(validate_report_json(empty_figure).is_err());
+    }
+
+    #[test]
+    fn parses_a_chrome_trace_document() {
+        let trace = telemetry::trace::chrome_trace(&[(
+            "worker-0".to_string(),
+            vec![telemetry::TraceEvent {
+                t_us: 40,
+                kind: telemetry::EventKind::CompileEnd {
+                    func: 3,
+                    tier: telemetry::Tier::Baseline,
+                    backend: telemetry::Backend::X64,
+                    wasm_bytes: 100,
+                    machine_bytes: 400,
+                    dur_us: 15,
+                },
+            }],
+        )]);
+        let doc = parse_json(&trace).expect("chrome trace parses");
+        let events = doc
+            .get("traceEvents")
+            .and_then(JsonValue::as_array)
+            .expect("traceEvents array");
+        assert_eq!(events.len(), 2, "thread-name metadata + one span");
+    }
+}

@@ -24,7 +24,7 @@ use crate::pipeline::{self, BackgroundCompiler, CompileTier, CompiledArtifact, C
 use interp::interp::{InterpExit, Interpreter};
 use interp::probe::{FrameAccessor, ProbeSink};
 use machine::cost::CycleCounter;
-use machine::cpu::{Cpu, CpuExit, CpuState, ExecContext, Meter, ProbeExit};
+use machine::cpu::{Cpu, CpuExit, CpuState, EpochSampler, ExecContext, Meter, ProbeExit};
 use machine::inst::TrapCode;
 use machine::memory::{LinearMemory, Table};
 use machine::values::{GlobalSlot, ValueStack, ValueTag, WasmValue};
@@ -34,6 +34,7 @@ use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+use telemetry::{EventKind, Telemetry};
 use wasm::module::{ImportKind, Module};
 
 /// A host (imported) function. `Send` so instances (and with them, instance
@@ -394,16 +395,29 @@ pub struct Engine {
     /// supervisor thread bumping it preempts every instance with an armed
     /// deadline at its next check site.
     epoch: Arc<AtomicU64>,
+    /// The engine's telemetry handle. Disabled by default (one never-taken
+    /// branch per site); clones share the sink, so a whole serving stack
+    /// reports into one coherent trace.
+    telemetry: Telemetry,
 }
 
 impl Engine {
-    /// Creates an engine with the given configuration.
+    /// Creates an engine with the given configuration. A fresh telemetry
+    /// sink is attached when the configuration says
+    /// [`EngineConfig::telemetry`]; use [`Engine::with_telemetry`] to share
+    /// an existing sink instead.
     pub fn new(config: EngineConfig) -> Engine {
+        let telemetry = if config.telemetry {
+            Telemetry::enabled()
+        } else {
+            Telemetry::disabled()
+        };
         Engine {
             config,
             cache: None,
             background: None,
             epoch: Arc::new(AtomicU64::new(0)),
+            telemetry,
         }
     }
 
@@ -443,6 +457,21 @@ impl Engine {
     pub fn with_epoch(mut self, epoch: Arc<AtomicU64>) -> Engine {
         self.epoch = epoch;
         self
+    }
+
+    /// Shares a telemetry handle (and with it, the sink behind it) with
+    /// other engines — the way a serving stack collects every worker's
+    /// events into one trace. Passing a disabled handle turns telemetry
+    /// off regardless of [`EngineConfig::telemetry`].
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Engine {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// The engine's telemetry handle (disabled unless configured or shared
+    /// in).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// The engine's epoch counter. Clone the [`Arc`] to bump it from a
@@ -492,6 +521,14 @@ impl Engine {
                         built
                     }
                 };
+                if self.telemetry.is_enabled() {
+                    self.telemetry.emit(EventKind::CacheLookup { hit: cache_hit });
+                    if let Some(metrics) = self.telemetry.metrics() {
+                        metrics
+                            .counter(if cache_hit { "cache.hits" } else { "cache.misses" })
+                            .inc();
+                    }
+                }
                 // Snapshot only the atomic counters and the entry count:
                 // walking every artifact for resident code size is too
                 // expensive for the instantiation hot path (see
@@ -564,6 +601,7 @@ impl Engine {
                 &self.config,
                 &instance.artifact,
                 &instance.instrumentation,
+                &self.telemetry,
             )
             .map_err(EngineError::Compile)?;
             let tier = pipeline::eager_tier(&self.config);
@@ -627,6 +665,17 @@ impl Engine {
         let mut cycles = CycleCounter::new();
         let exec_result = self.run_call(instance, func_index, args, frame_base, &mut cycles);
         instance.metrics.exec_cycles += cycles.total();
+        if self.telemetry.is_enabled() {
+            if let Err(code) = &exec_result {
+                self.telemetry.emit(match code {
+                    TrapCode::OutOfFuel => EventKind::FuelExhausted,
+                    TrapCode::Interrupted => EventKind::EpochInterrupt,
+                    code => EventKind::Trap {
+                        reason: crate::trap::TrapReason::from(*code).wast_message(),
+                    },
+                });
+            }
+        }
         exec_result?;
         // Read results from the frame base.
         let out = num_results
@@ -663,7 +712,8 @@ impl Engine {
             CompileTier::Opt => Some(instance.instrumentation.func_profile(func_index)),
             CompileTier::Baseline => None,
         };
-        let compiled = pipeline::compile_function(
+        let compiled = pipeline::compile_function_traced(
+            &self.telemetry,
             &self.config,
             tier,
             instance.artifact.module(),
@@ -678,6 +728,10 @@ impl Engine {
                 .artifact_for(defined, tier)
                 .expect("just published");
             account_compile(&mut instance.metrics, published, CompileTiming::Deferred, tier);
+            self.telemetry.emit(EventKind::TierUp {
+                func: func_index,
+                tier: pipeline::telemetry_tier(tier),
+            });
         } else {
             // A background worker (or another instance sharing the artifact)
             // won the publication race.
@@ -909,6 +963,12 @@ impl Engine {
         // module/code immutably while the instance's runtime state is
         // borrowed mutably.
         let artifact = Arc::clone(&instance.artifact);
+        // Sampling-profiler state for this call tree: execution loops poll
+        // the shared epoch at their existing check sites and report the
+        // current (function, tier) once per tick — `last_sample_epoch` is
+        // what makes a tick yield one sample, not one per site.
+        let telemetry = &self.telemetry;
+        let mut last_sample_epoch = self.epoch.load(Ordering::Relaxed);
 
         while let Some(act) = stack.last_mut() {
             let defined = act.defined_index;
@@ -916,6 +976,12 @@ impl Engine {
             // optimizing-tier frames to their own metrics bucket.
             let cycles_before = cycles.total();
             let frame_tier = act.tier.jit_tier();
+            let sample_func = act.func_index;
+            let sample_tier = match frame_tier {
+                None => telemetry::Tier::Interp,
+                Some(CompileTier::Baseline) => telemetry::Tier::Baseline,
+                Some(CompileTier::Opt) => telemetry::Tier::Opt,
+            };
             let exit = {
                 let Instance {
                     memory,
@@ -927,6 +993,13 @@ impl Engine {
                     epoch_deadline,
                     ..
                 } = instance;
+                let mut record_sample =
+                    |_offset: u32| telemetry.record_sample(sample_func, sample_tier);
+                let sampler = telemetry.is_enabled().then(|| EpochSampler {
+                    epoch: self.epoch.as_ref(),
+                    last: &mut last_sample_epoch,
+                    record: &mut record_sample,
+                });
                 let mut ctx = ExecContext {
                     values,
                     frame_base: act.frame_base,
@@ -936,6 +1009,7 @@ impl Engine {
                     meter: Meter {
                         fuel: fuel.as_mut(),
                         epoch: epoch_deadline.map(|d| (self.epoch.as_ref(), d)),
+                        sampler,
                     },
                 };
                 match &mut act.tier {
@@ -961,6 +1035,16 @@ impl Engine {
             };
             if frame_tier == Some(CompileTier::Opt) {
                 instance.metrics.opt_exec_cycles += cycles.total() - cycles_before;
+            }
+            // Frame exits (returns, calls, probes) are sample points too, so
+            // recursion-heavy code with no loop back-edges still attributes
+            // its time.
+            if telemetry.is_enabled() {
+                let now = self.epoch.load(Ordering::Relaxed);
+                if now != last_sample_epoch {
+                    last_sample_epoch = now;
+                    telemetry.record_sample(sample_func, sample_tier);
+                }
             }
 
             match exit {

@@ -68,4 +68,5 @@ pub use monitor::{BranchMonitor, BranchProfile, Instrumentation};
 pub use multi::MultiEngine;
 pub use pipeline::{BackgroundCompiler, CompiledArtifact, CompiledModule};
 pub use pool::{InstancePool, PoolStats, PooledInstance};
+pub use telemetry::Telemetry;
 pub use trap::TrapReason;

@@ -36,6 +36,7 @@ use machine::masm::CodeBackend;
 use machine::x64_masm::{X64Code, X64Masm};
 use spc::{CompileError, CompiledFunction, ProbeSites, SinglePassCompiler};
 use std::fmt;
+use telemetry::{EventKind, Telemetry};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -260,6 +261,77 @@ fn opt_compiler(config: &EngineConfig) -> optc::OptimizingCompiler {
     compiler.with_metering(config.metering)
 }
 
+/// The telemetry label for a compile tier.
+pub(crate) fn telemetry_tier(tier: CompileTier) -> telemetry::Tier {
+    match tier {
+        CompileTier::Baseline => telemetry::Tier::Baseline,
+        CompileTier::Opt => telemetry::Tier::Opt,
+    }
+}
+
+/// The telemetry label for a code backend.
+pub(crate) fn telemetry_backend(backend: CodeBackend) -> telemetry::Backend {
+    match backend {
+        CodeBackend::VirtualIsa => telemetry::Backend::VirtualIsa,
+        CodeBackend::X64 => telemetry::Backend::X64,
+    }
+}
+
+/// [`compile_function`] wrapped in telemetry: emits `CompileStart` /
+/// `CompileEnd` trace events and feeds the `compile.duration_us` histogram.
+/// With a disabled handle this is exactly `compile_function` plus one
+/// branch.
+///
+/// # Errors
+///
+/// Returns the compiler's error for invalid or unsupported input.
+#[allow(clippy::too_many_arguments)]
+pub fn compile_function_traced(
+    telemetry: &Telemetry,
+    config: &EngineConfig,
+    tier: CompileTier,
+    module: &Module,
+    func_index: u32,
+    info: &FuncInfo,
+    probes: &ProbeSites,
+    profile: Option<&FuncProfile>,
+) -> Result<CompiledArtifact, CompileError> {
+    if !telemetry.is_enabled() {
+        return compile_function(config, tier, module, func_index, info, probes, profile);
+    }
+    let t_tier = telemetry_tier(tier);
+    let t_backend = telemetry_backend(config.backend);
+    telemetry.emit(EventKind::CompileStart { func: func_index, tier: t_tier, backend: t_backend });
+    let result = compile_function(config, tier, module, func_index, info, probes, profile);
+    match &result {
+        Ok(compiled) => {
+            let dur_us = compiled.compile_wall.as_micros() as u64;
+            let wasm_bytes =
+                module.func_decl(func_index).map_or(0, |decl| decl.code.len()) as u32;
+            telemetry.emit(EventKind::CompileEnd {
+                func: func_index,
+                tier: t_tier,
+                backend: t_backend,
+                wasm_bytes,
+                machine_bytes: compiled.machine_bytes.min(u32::MAX as u64) as u32,
+                dur_us,
+            });
+            if let Some(metrics) = telemetry.metrics() {
+                metrics.histogram("compile.duration_us").record(dur_us);
+                metrics.counter("compile.functions").inc();
+                metrics.counter("compile.wasm_bytes").add(wasm_bytes as u64);
+                metrics.counter("compile.machine_bytes").add(compiled.machine_bytes);
+            }
+        }
+        Err(_) => {
+            if let Some(metrics) = telemetry.metrics() {
+                metrics.counter("compile.errors").inc();
+            }
+        }
+    }
+    result
+}
+
 /// Compiles one defined function under `config` in `tier` — the single pure
 /// step the whole pipeline is built from. Reads only immutable inputs, so it
 /// can run on any thread; the result is deterministic in (module, function,
@@ -334,6 +406,7 @@ fn compile_slot(
     config: &EngineConfig,
     artifact: &CompiledModule,
     instrumentation: &Instrumentation,
+    telemetry: &Telemetry,
     defined: u32,
     tier: CompileTier,
 ) -> Result<bool, CompileError> {
@@ -342,7 +415,8 @@ fn compile_slot(
     }
     let func_index = artifact.module().defined_to_func_index(defined);
     let probes = instrumentation.sites_for(func_index);
-    let compiled = compile_function(
+    let compiled = compile_function_traced(
+        telemetry,
         config,
         tier,
         artifact.module(),
@@ -374,6 +448,7 @@ pub fn compile_eager(
     config: &EngineConfig,
     artifact: &CompiledModule,
     instrumentation: &Instrumentation,
+    telemetry: &Telemetry,
 ) -> Result<Vec<u32>, CompileError> {
     let num_defined = artifact.num_defined();
     let tier = eager_tier(config);
@@ -384,7 +459,7 @@ pub fn compile_eager(
     if workers <= 1 {
         let mut published = Vec::new();
         for defined in 0..num_defined {
-            if compile_slot(config, artifact, instrumentation, defined, tier)? {
+            if compile_slot(config, artifact, instrumentation, telemetry, defined, tier)? {
                 published.push(defined);
             }
         }
@@ -397,7 +472,8 @@ pub fn compile_eager(
                     let mut published = Vec::new();
                     let mut defined = w as u32;
                     while defined < num_defined {
-                        match compile_slot(config, artifact, instrumentation, defined, tier) {
+                        match compile_slot(config, artifact, instrumentation, telemetry, defined, tier)
+                        {
                             Ok(true) => published.push(defined),
                             Ok(false) => {}
                             Err(e) => return Err((defined, e)),
@@ -479,14 +555,24 @@ impl fmt::Debug for BackgroundCompiler {
 impl BackgroundCompiler {
     /// Starts a pool with `workers` compile threads (at least one).
     pub fn new(workers: usize) -> BackgroundCompiler {
+        BackgroundCompiler::with_telemetry(workers, Telemetry::disabled())
+    }
+
+    /// Starts a pool whose workers report compile and tier-up events into
+    /// `telemetry` (each worker thread gets its own event ring).
+    pub fn with_telemetry(workers: usize, telemetry: Telemetry) -> BackgroundCompiler {
         let (sender, receiver) = channel::<CompileJob>();
         let receiver = Arc::new(Mutex::new(receiver));
         let counters = Arc::new(PoolCounters::default());
         let workers = (0..workers.max(1))
-            .map(|_| {
+            .map(|i| {
                 let receiver = Arc::clone(&receiver);
                 let counters = Arc::clone(&counters);
-                thread::spawn(move || worker_loop(&receiver, &counters))
+                let telemetry = telemetry.clone();
+                thread::Builder::new()
+                    .name(format!("bg-compile-{i}"))
+                    .spawn(move || worker_loop(&receiver, &counters, &telemetry))
+                    .expect("spawn background compile worker")
             })
             .collect();
         BackgroundCompiler {
@@ -575,7 +661,11 @@ impl Drop for BackgroundCompiler {
     }
 }
 
-fn worker_loop(receiver: &Mutex<Receiver<CompileJob>>, counters: &PoolCounters) {
+fn worker_loop(
+    receiver: &Mutex<Receiver<CompileJob>>,
+    counters: &PoolCounters,
+    telemetry: &Telemetry,
+) {
     loop {
         // Hold the lock only to receive; compilation runs unlocked so other
         // workers can pick up jobs concurrently.
@@ -586,7 +676,8 @@ fn worker_loop(receiver: &Mutex<Receiver<CompileJob>>, counters: &PoolCounters) 
         let Ok(job) = job else { return };
         if job.artifact.artifact_for(job.defined, job.tier).is_none() {
             let func_index = job.artifact.module().defined_to_func_index(job.defined);
-            let result = compile_function(
+            let result = compile_function_traced(
+                telemetry,
                 &job.config,
                 job.tier,
                 job.artifact.module(),
@@ -598,6 +689,10 @@ fn worker_loop(receiver: &Mutex<Receiver<CompileJob>>, counters: &PoolCounters) 
             if let Ok(compiled) = result {
                 if job.artifact.publish_for(job.defined, job.tier, compiled) {
                     counters.compiled.fetch_add(1, Ordering::SeqCst);
+                    telemetry.emit(EventKind::TierUp {
+                        func: func_index,
+                        tier: telemetry_tier(job.tier),
+                    });
                 }
             }
         }
@@ -660,9 +755,9 @@ mod tests {
         let config = EngineConfig::baseline("t", CompilerOptions::allopt());
         let artifact = CompiledModule::build(small_module(1)).unwrap();
         let instrumentation = Instrumentation::none();
-        assert!(compile_slot(&config, &artifact, &instrumentation, 0, CompileTier::Baseline).unwrap());
+        assert!(compile_slot(&config, &artifact, &instrumentation, &Telemetry::disabled(), 0, CompileTier::Baseline).unwrap());
         assert!(
-            !compile_slot(&config, &artifact, &instrumentation, 0, CompileTier::Baseline).unwrap(),
+            !compile_slot(&config, &artifact, &instrumentation, &Telemetry::disabled(), 0, CompileTier::Baseline).unwrap(),
             "second compile of the same slot publishes nothing"
         );
         assert_eq!(artifact.compiled_count(), 1);
@@ -675,13 +770,13 @@ mod tests {
         let config = EngineConfig::baseline("t", CompilerOptions::allopt());
         let serial = CompiledModule::build(module.clone()).unwrap();
         let published =
-            compile_eager(&config, &serial, &Instrumentation::none()).unwrap();
+            compile_eager(&config, &serial, &Instrumentation::none(), &Telemetry::disabled()).unwrap();
         assert_eq!(published, vec![0, 1, 2, 3, 4, 5, 6]);
         for workers in [2, 3, 8, 64] {
             let config = config.clone().with_compile_workers(workers);
             let parallel = CompiledModule::build(module.clone()).unwrap();
             let published =
-                compile_eager(&config, &parallel, &Instrumentation::none()).unwrap();
+                compile_eager(&config, &parallel, &Instrumentation::none(), &Telemetry::disabled()).unwrap();
             assert_eq!(published, vec![0, 1, 2, 3, 4, 5, 6], "{workers} workers");
             for defined in 0..7 {
                 assert_eq!(

@@ -37,8 +37,9 @@ use crate::image::MemoryImage;
 use crate::monitor::Instrumentation;
 use std::fmt;
 use std::ops::{Deref, DerefMut};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use telemetry::EventKind;
 use wasm::module::Module;
 
 /// Builds the imports for one instantiation. [`Imports`] itself is not
@@ -75,6 +76,9 @@ pub struct InstancePool {
     max_idle: usize,
     warm_checkouts: AtomicU64,
     cold_checkouts: AtomicU64,
+    /// Label carried on this pool's telemetry events (the serving layer
+    /// sets it to the app index).
+    label: AtomicU32,
 }
 
 impl fmt::Debug for InstancePool {
@@ -118,7 +122,14 @@ impl InstancePool {
             max_idle: max_idle.max(1),
             warm_checkouts: AtomicU64::new(0),
             cold_checkouts: AtomicU64::new(0),
+            label: AtomicU32::new(0),
         }))
+    }
+
+    /// Sets the label carried on this pool's telemetry events (serving
+    /// layers use the app index).
+    pub fn set_label(&self, label: u32) {
+        self.label.store(label, Ordering::Relaxed);
     }
 
     /// The engine instances in this pool execute under.
@@ -152,6 +163,16 @@ impl InstancePool {
                 (instance, false)
             }
         };
+        let telemetry = self.engine.telemetry();
+        if telemetry.is_enabled() {
+            let app = self.label.load(Ordering::Relaxed);
+            telemetry.emit(EventKind::PoolCheckout { app, warm });
+            if let Some(metrics) = telemetry.metrics() {
+                metrics
+                    .counter(if warm { "pool.warm_checkouts" } else { "pool.cold_checkouts" })
+                    .inc();
+            }
+        }
         Ok(PooledInstance {
             instance: Some(instance),
             pool: Arc::clone(self),

@@ -191,16 +191,23 @@ impl Interpreter {
             // check: fuel, then epoch, then probe). One check per site —
             // loop-head epoch polls ride the region's fuel decrement, so a
             // metered loop iteration pays `fuel_check` once, not twice.
-            if ctx.meter.fuel.is_some() || ctx.meter.epoch.is_some() {
+            let metered = ctx.meter.fuel.is_some() || ctx.meter.epoch.is_some();
+            if metered || ctx.meter.has_sampler() {
                 let charge = func.fuel.charge_at(ip as u32);
                 if charge.is_some() || func.fuel.epoch_check_at(ip as u32) {
-                    cycles.charge(cost.fuel_check);
-                    if let Err(t) = ctx.meter.charge_fuel(charge.unwrap_or(0)) {
-                        trap!(t);
+                    if metered {
+                        cycles.charge(cost.fuel_check);
+                        if let Err(t) = ctx.meter.charge_fuel(charge.unwrap_or(0)) {
+                            trap!(t);
+                        }
+                        if let Err(t) = ctx.meter.check_epoch() {
+                            trap!(t);
+                        }
                     }
-                    if let Err(t) = ctx.meter.check_epoch() {
-                        trap!(t);
-                    }
+                    // The sampler shares the metering sites but charges no
+                    // simulated cycles: enabling the profiler must not
+                    // perturb deterministic cycle counts.
+                    ctx.meter.poll_sampler(|| ip as u32);
                 }
             }
 

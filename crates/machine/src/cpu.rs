@@ -63,6 +63,47 @@ impl CpuState {
     }
 }
 
+/// The producer half of the epoch-driven sampling profiler.
+///
+/// Execution loops poll this at their metering sites (loop back-edges and
+/// function entries); whenever the shared epoch has advanced since the last
+/// sample, the current wasm byte offset is pushed through `record`. The
+/// sampler deliberately knows nothing about telemetry — the engine supplies
+/// a closure that attributes the sample to a (function, tier) — so this
+/// crate stays free of upward dependencies.
+pub struct EpochSampler<'a> {
+    /// The shared engine epoch (the same counter preemption deadlines watch).
+    pub epoch: &'a AtomicU64,
+    /// The epoch value the last sample was taken at; samples fire only when
+    /// the epoch moves past it, so sampling frequency is the ticker's, not
+    /// the back-edge rate's.
+    pub last: &'a mut u64,
+    /// Receives each sample's current wasm byte offset.
+    pub record: &'a mut dyn FnMut(u32),
+}
+
+impl std::fmt::Debug for EpochSampler<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EpochSampler")
+            .field("epoch", &self.epoch)
+            .field("last", &self.last)
+            .finish_non_exhaustive()
+    }
+}
+
+impl EpochSampler<'_> {
+    /// Takes a sample if the epoch has advanced since the last one. The
+    /// offset is computed lazily — only when a sample actually fires.
+    #[inline]
+    pub fn poll(&mut self, offset: impl FnOnce() -> u32) {
+        let now = self.epoch.load(Ordering::Relaxed);
+        if now != *self.last {
+            *self.last = now;
+            (self.record)(offset());
+        }
+    }
+}
+
 /// Fuel and preemption state for one activation.
 ///
 /// Both meters are optional so un-metered execution stays exactly the code
@@ -76,6 +117,10 @@ pub struct Meter<'a> {
     /// interrupted once the epoch reaches the deadline. `None` disables
     /// preemption.
     pub epoch: Option<(&'a AtomicU64, u64)>,
+    /// Sampling-profiler hook, polled at the same sites as the meters.
+    /// `None` (the overwhelmingly common case) costs one branch per site and
+    /// never charges simulated cycles.
+    pub sampler: Option<EpochSampler<'a>>,
 }
 
 impl<'a> Meter<'a> {
@@ -108,6 +153,19 @@ impl<'a> Meter<'a> {
             }
         }
         Ok(())
+    }
+
+    /// Polls the sampling profiler, if one is attached. Charges nothing.
+    #[inline]
+    pub fn poll_sampler(&mut self, offset: impl FnOnce() -> u32) {
+        if let Some(sampler) = self.sampler.as_mut() {
+            sampler.poll(offset);
+        }
+    }
+
+    /// True when a sampling profiler is attached.
+    pub fn has_sampler(&self) -> bool {
+        self.sampler.is_some()
     }
 }
 
@@ -434,11 +492,13 @@ impl Cpu {
                     if let Err(t) = ctx.meter.check_epoch() {
                         return CpuExit::Trap(t);
                     }
+                    ctx.meter.poll_sampler(|| code.source_offset(pc).unwrap_or(0));
                 }
                 MachInst::EpochCheck => {
                     if let Err(t) = ctx.meter.check_epoch() {
                         return CpuExit::Trap(t);
                     }
+                    ctx.meter.poll_sampler(|| code.source_offset(pc).unwrap_or(0));
                 }
                 MachInst::Trap { code } => return CpuExit::Trap(*code),
                 MachInst::Return => return CpuExit::Return,

@@ -43,6 +43,7 @@ use machine::values::WasmValue;
 use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
+use telemetry::{EventKind, Telemetry};
 use wasm::module::Module;
 use wait_group::WaitGroup;
 
@@ -59,6 +60,10 @@ pub struct ServerConfig {
     /// The epoch tick period — the granularity at which deadlines are
     /// enforced.
     pub epoch_granularity: Duration,
+    /// Telemetry handle shared by every app's engine and the serving layer
+    /// itself: compile, cache, pool, and request events all land in one
+    /// trace. Disabled by default.
+    pub telemetry: Telemetry,
 }
 
 impl Default for ServerConfig {
@@ -68,6 +73,7 @@ impl Default for ServerConfig {
             queue_capacity: 64,
             max_idle_per_app: 8,
             epoch_granularity: Duration::from_millis(1),
+            telemetry: Telemetry::disabled(),
         }
     }
 }
@@ -212,10 +218,16 @@ impl Server {
         entry: &str,
         module: Module,
     ) -> Result<usize, EngineError> {
-        let engine = Engine::new(self.engine_config.clone())
+        let mut engine = Engine::new(self.engine_config.clone())
             .with_code_cache(Arc::clone(&self.cache))
             .with_epoch(Arc::clone(self.ticker.epoch()));
+        // Share the server's sink when one is attached; otherwise leave the
+        // engine's own (config-driven) handle alone.
+        if self.server_config.telemetry.is_enabled() {
+            engine = engine.with_telemetry(self.server_config.telemetry.clone());
+        }
         let pool = InstancePool::new(engine, module, self.server_config.max_idle_per_app)?;
+        pool.set_label(self.apps.len() as u32);
         self.apps.push(App {
             name: name.to_string(),
             entry: entry.to_string(),
@@ -283,6 +295,10 @@ impl Server {
                 });
             }
             for (id, request) in requests.into_iter().enumerate() {
+                self.server_config.telemetry.emit(EventKind::ServeEnqueue {
+                    request: id as u32,
+                    app: request.app as u32,
+                });
                 producers[id % workers].push(Work { id, request });
             }
             for tx in &producers {
@@ -313,6 +329,11 @@ impl Server {
         let Some(app) = self.apps.get(request.app) else {
             return reject(format!("unknown app index {}", request.app));
         };
+        let telemetry = &self.server_config.telemetry;
+        telemetry.emit(EventKind::ServeStart {
+            request: id as u32,
+            app: request.app as u32,
+        });
         let start = Instant::now();
         let mut instance = match app.pool.checkout() {
             Ok(instance) => instance,
@@ -332,6 +353,28 @@ impl Server {
             .call_export(&mut instance, &app.entry, &request.args);
         let service_wall = start.elapsed();
         let deadline_expired = token.map(|t| self.timeouts.complete(t)).unwrap_or(false);
+        if telemetry.is_enabled() {
+            telemetry.emit(EventKind::ServeFinish {
+                request: id as u32,
+                app: request.app as u32,
+                ok: outcome.is_ok(),
+                dur_us: service_wall.as_micros() as u64,
+            });
+            if let Some(metrics) = telemetry.metrics() {
+                metrics.counter("serve.requests").inc();
+                if outcome.is_err() {
+                    metrics.counter("serve.trapped").inc();
+                }
+                metrics.histogram("serve.request_us").record(service_wall.as_micros() as u64);
+                metrics
+                    .histogram("serve.instantiate_us")
+                    .record(instantiate_wall.as_micros() as u64);
+                if let Some(fuel) = instance.fuel_consumed() {
+                    metrics.histogram("serve.fuel_per_request").record(fuel);
+                }
+                metrics.histogram("serve.exec_cycles").record(instance.metrics.exec_cycles);
+            }
+        }
         RequestResult {
             request_id: id,
             app: request.app,

@@ -1,0 +1,162 @@
+//! The sampling profiler's aggregation side: per-(function, tier) sample
+//! counts and a text flame report.
+//!
+//! Samples are *driven* by the epoch machinery in the engine — every time an
+//! execution loop notices the shared epoch advanced, it reports the function
+//! and tier it is currently in. This module only aggregates: a sample is one
+//! `HashMap` bump under a mutex, which is fine because samples arrive at
+//! epoch granularity (≥100µs), not per instruction.
+
+use crate::event::Tier;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Aggregated sampling profile over every activation a sink observed.
+#[derive(Debug, Default)]
+pub struct Profiler {
+    samples: Mutex<HashMap<(u32, Tier), u64>>,
+    total: AtomicU64,
+}
+
+/// One row of a profile: a (function, tier) bucket and its sample count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProfileEntry {
+    /// Function index (module function space).
+    pub func: u32,
+    /// Tier the samples were taken in.
+    pub tier: Tier,
+    /// Samples attributed to this bucket.
+    pub samples: u64,
+}
+
+impl Profiler {
+    /// An empty profile.
+    pub fn new() -> Profiler {
+        Profiler::default()
+    }
+
+    /// Records one sample of `func` executing in `tier`.
+    pub fn record(&self, func: u32, tier: Tier) {
+        *self
+            .samples
+            .lock()
+            .expect("profiler poisoned")
+            .entry((func, tier))
+            .or_insert(0) += 1;
+        self.total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Samples recorded so far, across all buckets.
+    pub fn total_samples(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// Every bucket, hottest first (ties broken by function then tier for
+    /// deterministic reports).
+    pub fn snapshot(&self) -> Vec<ProfileEntry> {
+        let mut rows: Vec<ProfileEntry> = self
+            .samples
+            .lock()
+            .expect("profiler poisoned")
+            .iter()
+            .map(|(&(func, tier), &samples)| ProfileEntry { func, tier, samples })
+            .collect();
+        rows.sort_by(|a, b| {
+            b.samples
+                .cmp(&a.samples)
+                .then(a.func.cmp(&b.func))
+                .then(a.tier.cmp(&b.tier))
+        });
+        rows
+    }
+
+    /// Fraction of all samples attributed to `func` (any tier), in `[0, 1]`.
+    pub fn share(&self, func: u32) -> f64 {
+        let total = self.total_samples();
+        if total == 0 {
+            return 0.0;
+        }
+        let hits: u64 = self
+            .samples
+            .lock()
+            .expect("profiler poisoned")
+            .iter()
+            .filter(|&(&(f, _), _)| f == func)
+            .map(|(_, &n)| n)
+            .sum();
+        hits as f64 / total as f64
+    }
+
+    /// A text flame report, hottest bucket first, with a proportional bar.
+    /// `name` resolves a function index to a display name (return the index
+    /// as a string when no name section exists).
+    pub fn flame_report(&self, name: &dyn Fn(u32) -> String) -> String {
+        let rows = self.snapshot();
+        let total = self.total_samples();
+        let mut out = String::new();
+        out.push_str(&format!("sampling profile — {total} samples\n"));
+        if total == 0 {
+            return out;
+        }
+        let widest = rows
+            .iter()
+            .map(|r| name(r.func).len() + r.tier.label().len() + 1)
+            .max()
+            .unwrap_or(0);
+        for row in rows {
+            let pct = row.samples as f64 * 100.0 / total as f64;
+            let bar_len = ((pct / 100.0) * 40.0).round() as usize;
+            let label = format!("{}/{}", name(row.func), row.tier.label());
+            out.push_str(&format!(
+                "  {label:<widest$}  {samples:>8}  {pct:>6.2}%  {bar}\n",
+                samples = row.samples,
+                bar = "#".repeat(bar_len.max(1)),
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates_by_function_and_tier() {
+        let p = Profiler::new();
+        for _ in 0..9 {
+            p.record(3, Tier::Opt);
+        }
+        p.record(3, Tier::Baseline);
+        p.record(7, Tier::Interp);
+        assert_eq!(p.total_samples(), 11);
+        let rows = p.snapshot();
+        assert_eq!(rows[0], ProfileEntry { func: 3, tier: Tier::Opt, samples: 9 });
+        assert_eq!(rows.len(), 3);
+        assert!((p.share(3) - 10.0 / 11.0).abs() < 1e-12);
+        assert_eq!(p.share(99), 0.0);
+    }
+
+    #[test]
+    fn flame_report_is_ranked_and_labelled() {
+        let p = Profiler::new();
+        for _ in 0..30 {
+            p.record(0, Tier::Opt);
+        }
+        p.record(1, Tier::Interp);
+        let report = p.flame_report(&|f| format!("f{f}"));
+        let hot_line = report.lines().nth(1).unwrap();
+        assert!(hot_line.contains("f0/opt"), "hottest first: {report}");
+        assert!(hot_line.contains("30"));
+        assert!(report.contains("f1/interp"));
+        assert!(report.starts_with("sampling profile — 31 samples"));
+    }
+
+    #[test]
+    fn empty_profile_reports_gracefully() {
+        let p = Profiler::new();
+        assert_eq!(p.snapshot(), vec![]);
+        assert_eq!(p.flame_report(&|f| f.to_string()), "sampling profile — 0 samples\n");
+    }
+}

@@ -1,0 +1,191 @@
+//! Bounded, lock-free, single-producer event rings — one per
+//! (thread, sink) pair.
+//!
+//! The producer side is the hot path: an `emit` from execution or a compile
+//! worker must never take a lock or allocate. Each thread therefore owns its
+//! ring exclusively for writes, and the ring is a classic SPSC circular
+//! buffer: monotonically increasing `head` (writes) and `tail` (reads)
+//! counters over a fixed slot array. The single consumer is the drain path
+//! (trace export / inspection), serialized by the sink's registry mutex, so
+//! both ends of the protocol have exactly one owner.
+//!
+//! When the ring is full the *newest* event is dropped and counted — bounded
+//! memory beats complete history for an always-on tracing layer, and the
+//! `dropped` counter keeps the loss observable.
+
+use crate::event::TraceEvent;
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// One thread's bounded event buffer.
+///
+/// Safety protocol: exactly one thread calls [`EventRing::push`] (the thread
+/// the ring was created for) and at most one thread at a time calls
+/// [`EventRing::drain_into`] (the sink serializes drains behind its registry
+/// lock). `head`/`tail` are monotonic counters; a slot is written only while
+/// `head - tail < capacity` and read only while `tail < head`, so the two
+/// sides never touch the same slot concurrently.
+pub struct EventRing {
+    label: String,
+    slots: Box<[UnsafeCell<TraceEvent>]>,
+    /// Next write position (monotonic; slot index is `head % capacity`).
+    head: AtomicUsize,
+    /// Next read position (monotonic).
+    tail: AtomicUsize,
+    /// Events discarded because the ring was full.
+    dropped: AtomicU64,
+}
+
+// SAFETY: the slot array is only accessed under the SPSC protocol described
+// on the type — disjoint slots for concurrent producer/consumer, with
+// release/acquire ordering on head/tail publishing the slot contents.
+unsafe impl Send for EventRing {}
+unsafe impl Sync for EventRing {}
+
+impl EventRing {
+    /// Creates a ring holding at most `capacity` events (minimum 8).
+    pub fn new(label: String, capacity: usize) -> EventRing {
+        let capacity = capacity.max(8);
+        let slots = (0..capacity)
+            .map(|_| UnsafeCell::new(TraceEvent::FILLER))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        EventRing {
+            label,
+            slots,
+            head: AtomicUsize::new(0),
+            tail: AtomicUsize::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// The thread label the ring was registered under.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Appends an event. Producer side: must only be called from the ring's
+    /// owning thread. On a full ring the event is dropped (and counted), not
+    /// blocked on — tracing must never stall execution.
+    pub fn push(&self, event: TraceEvent) {
+        let head = self.head.load(Ordering::Relaxed);
+        let tail = self.tail.load(Ordering::Acquire);
+        if head.wrapping_sub(tail) >= self.slots.len() {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let slot = &self.slots[head % self.slots.len()];
+        // SAFETY: `head - tail < capacity`, so the consumer cannot be
+        // reading this slot; this thread is the only producer.
+        unsafe { *slot.get() = event };
+        self.head.store(head.wrapping_add(1), Ordering::Release);
+    }
+
+    /// Moves every buffered event into `out`, oldest first. Consumer side:
+    /// callers must serialize (the sink drains under its registry lock).
+    pub fn drain_into(&self, out: &mut Vec<TraceEvent>) {
+        let head = self.head.load(Ordering::Acquire);
+        let mut tail = self.tail.load(Ordering::Relaxed);
+        while tail != head {
+            let slot = &self.slots[tail % self.slots.len()];
+            // SAFETY: `tail < head`, so the producer has finished writing
+            // this slot (release store on head) and cannot overwrite it
+            // until tail advances past it.
+            out.push(unsafe { *slot.get() });
+            tail = tail.wrapping_add(1);
+            self.tail.store(tail, Ordering::Release);
+        }
+    }
+
+    /// Events currently buffered.
+    pub fn len(&self) -> usize {
+        self.head
+            .load(Ordering::Acquire)
+            .wrapping_sub(self.tail.load(Ordering::Acquire))
+    }
+
+    /// True if nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events discarded because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    fn ev(t: u64) -> TraceEvent {
+        TraceEvent {
+            t_us: t,
+            kind: EventKind::CacheLookup { hit: t.is_multiple_of(2) },
+        }
+    }
+
+    #[test]
+    fn push_and_drain_preserve_order() {
+        let ring = EventRing::new("t".into(), 16);
+        for i in 0..10 {
+            ring.push(ev(i));
+        }
+        assert_eq!(ring.len(), 10);
+        let mut out = Vec::new();
+        ring.drain_into(&mut out);
+        assert!(ring.is_empty());
+        assert_eq!(out.len(), 10);
+        for (i, e) in out.iter().enumerate() {
+            assert_eq!(e.t_us, i as u64);
+        }
+        // Post-drain pushes wrap the slot array transparently.
+        for i in 10..20 {
+            ring.push(ev(i));
+        }
+        out.clear();
+        ring.drain_into(&mut out);
+        assert_eq!(out.first().map(|e| e.t_us), Some(10));
+        assert_eq!(out.last().map(|e| e.t_us), Some(19));
+        assert_eq!(ring.dropped(), 0);
+    }
+
+    #[test]
+    fn a_full_ring_drops_newest_and_counts() {
+        let ring = EventRing::new("t".into(), 8);
+        for i in 0..12 {
+            ring.push(ev(i));
+        }
+        assert_eq!(ring.len(), 8);
+        assert_eq!(ring.dropped(), 4);
+        let mut out = Vec::new();
+        ring.drain_into(&mut out);
+        // The oldest 8 survive; the overflow was dropped at the tail end.
+        assert_eq!(out.iter().map(|e| e.t_us).collect::<Vec<_>>(), (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn concurrent_producer_and_consumer_lose_nothing_when_not_full() {
+        let ring = std::sync::Arc::new(EventRing::new("spsc".into(), 1 << 14));
+        let producer = {
+            let ring = std::sync::Arc::clone(&ring);
+            std::thread::spawn(move || {
+                for i in 0..10_000u64 {
+                    ring.push(ev(i));
+                }
+            })
+        };
+        let mut seen: Vec<TraceEvent> = Vec::new();
+        while seen.len() < 10_000 {
+            ring.drain_into(&mut seen);
+            std::thread::yield_now();
+        }
+        producer.join().unwrap();
+        assert_eq!(ring.dropped(), 0);
+        for (i, e) in seen.iter().enumerate() {
+            assert_eq!(e.t_us, i as u64, "in-order, no tearing");
+        }
+    }
+}

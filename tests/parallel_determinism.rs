@@ -11,7 +11,7 @@
 //! is harmless.
 
 use engine::pipeline::{compile_eager, CompiledModule};
-use engine::{CodeBackend, EngineConfig, Instrumentation};
+use engine::{CodeBackend, EngineConfig, Instrumentation, Telemetry};
 use spc::CompilerOptions;
 use suites::Scale;
 
@@ -19,7 +19,8 @@ use suites::Scale;
 /// artifact.
 fn compile_all(config: &EngineConfig, module: &wasm::Module) -> CompiledModule {
     let artifact = CompiledModule::build(module.clone()).expect("suite modules validate");
-    compile_eager(config, &artifact, &Instrumentation::none()).expect("suite modules compile");
+    compile_eager(config, &artifact, &Instrumentation::none(), &Telemetry::disabled())
+        .expect("suite modules compile");
     assert_eq!(
         artifact.compiled_count(),
         artifact.num_defined() as usize,

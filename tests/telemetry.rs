@@ -1,0 +1,291 @@
+//! End-to-end tests for the telemetry layer: concurrent cache-counter
+//! accuracy, sampling-profiler attribution across tiers and backends, trace
+//! coverage of the serving request lifecycle, and the zero-cost contract of
+//! a disabled handle.
+
+mod common;
+
+use common::fib_module;
+use engine::{CodeBackend, CodeCache, Engine, EngineConfig, Imports, Instrumentation, Telemetry};
+use machine::values::WasmValue;
+use serve::deadline::EpochTicker;
+use serve::{Request, RequestStatus, Server, ServerConfig};
+use spc::CompilerOptions;
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+use std::time::Duration;
+use telemetry::{EventKind, Tier};
+use wasm::builder::{CodeBuilder, ModuleBuilder};
+use wasm::opcode::Opcode;
+use wasm::types::{BlockType, FuncType, ValueType};
+use wasm::Module;
+
+/// A module whose exported `main` returns `seed` — distinct seeds produce
+/// distinct module bodies, hence distinct cache keys.
+fn const_module(seed: i32) -> Module {
+    let mut b = ModuleBuilder::new();
+    let mut c = CodeBuilder::new();
+    c.i32_const(seed);
+    let f = b.add_func(FuncType::new(vec![], vec![ValueType::I32]), vec![], c.finish());
+    b.export_func("main", f);
+    b.finish()
+}
+
+/// `hot(n)` spins an LCG countdown loop; `main` calls a cold helper once and
+/// then `hot`. Function indices are (cold, hot, main) = (0, 1, 2).
+fn hot_loop_module(iters: i32) -> Module {
+    let mut b = ModuleBuilder::new();
+    let cold = {
+        let mut c = CodeBuilder::new();
+        c.local_get(0).i32_const(3).op(Opcode::I32Mul);
+        b.add_func(
+            FuncType::new(vec![ValueType::I32], vec![ValueType::I32]),
+            vec![],
+            c.finish(),
+        )
+    };
+    let hot = {
+        let mut c = CodeBuilder::new();
+        c.block(BlockType::Empty)
+            .loop_(BlockType::Empty)
+            .local_get(0)
+            .op(Opcode::I32Eqz)
+            .br_if(1)
+            .local_get(1)
+            .i32_const(1103515245)
+            .op(Opcode::I32Mul)
+            .i32_const(12345)
+            .op(Opcode::I32Add)
+            .local_set(1)
+            .local_get(0)
+            .i32_const(1)
+            .op(Opcode::I32Sub)
+            .local_set(0)
+            .br(0)
+            .end()
+            .end()
+            .local_get(1);
+        b.add_func(
+            FuncType::new(vec![ValueType::I32], vec![ValueType::I32]),
+            vec![ValueType::I32],
+            c.finish(),
+        )
+    };
+    let main = {
+        let mut c = CodeBuilder::new();
+        c.i32_const(7)
+            .call(cold)
+            .i32_const(iters)
+            .call(hot)
+            .op(Opcode::I32Add);
+        b.add_func(FuncType::new(vec![], vec![ValueType::I32]), vec![], c.finish())
+    };
+    b.export_func("main", main);
+    b.finish()
+}
+
+#[test]
+fn concurrent_cache_counters_stay_exact() {
+    const THREADS: usize = 4;
+    const ROUNDS: usize = 8;
+    let modules: Vec<Module> = (0..3).map(|i| const_module(100 + i)).collect();
+    let cache = Arc::new(CodeCache::new());
+
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let cache = Arc::clone(&cache);
+            let modules = &modules;
+            scope.spawn(move || {
+                let engine =
+                    Engine::new(EngineConfig::baseline("cached", CompilerOptions::allopt()))
+                        .with_code_cache(cache);
+                for round in 0..ROUNDS {
+                    // Walk the modules in a thread-dependent order so hits
+                    // and misses interleave across threads.
+                    let module = &modules[(t + round) % modules.len()];
+                    let mut instance = engine
+                        .instantiate(module, Imports::new(), Instrumentation::none())
+                        .expect("instantiates");
+                    engine
+                        .call_export(&mut instance, "main", &[])
+                        .expect("runs");
+                }
+            });
+        }
+    });
+
+    let stats = cache.stats();
+    assert_eq!(
+        stats.hits + stats.misses,
+        (THREADS * ROUNDS) as u64,
+        "every instantiation is exactly one lookup"
+    );
+    assert_eq!(
+        stats.entries,
+        modules.len() as u64,
+        "one entry per distinct module under one configuration"
+    );
+    // Each distinct module misses at least once (first compile), and the
+    // remaining lookups can only be hits or racing first-compile misses.
+    assert!(stats.misses >= modules.len() as u64);
+    assert!(stats.hits > 0, "warm instantiations actually hit");
+}
+
+#[test]
+fn profiler_attributes_the_hot_loop_across_tiers_and_backends() {
+    const HOT_FUNC: u32 = 1;
+    const MIN_SAMPLES: u64 = 8;
+    let module = hot_loop_module(120_000);
+    let tiers: [(EngineConfig, Tier); 3] = [
+        (EngineConfig::interpreter("int"), Tier::Interp),
+        (
+            EngineConfig::baseline("spc", CompilerOptions::allopt()),
+            Tier::Baseline,
+        ),
+        (EngineConfig::optimizing("opt"), Tier::Opt),
+    ];
+    let matrix = tiers.into_iter().flat_map(|(config, tier)| {
+        [CodeBackend::VirtualIsa, CodeBackend::X64]
+            .map(|backend| (config.clone().with_backend(backend), tier, backend))
+    });
+    for (config, expected_tier, backend) in matrix {
+        let name = format!("{}/{backend:?}", config.name);
+        let engine = Engine::new(config.with_metering().with_telemetry())
+            .with_epoch(Arc::new(AtomicU64::new(0)));
+        let ticker = EpochTicker::start(Arc::clone(engine.epoch()), Duration::from_micros(150));
+        let mut instance = engine
+            .instantiate(&module, Imports::new(), Instrumentation::none())
+            .expect("instantiates");
+        let profiler = engine.telemetry().profiler().expect("telemetry is enabled");
+        let mut calls = 0usize;
+        while profiler.total_samples() < MIN_SAMPLES && calls < 400 {
+            instance.set_fuel(u64::MAX / 2);
+            engine
+                .call_export(&mut instance, "main", &[])
+                .expect("hot module runs");
+            calls += 1;
+        }
+        drop(ticker);
+        let total = profiler.total_samples();
+        assert!(
+            total >= MIN_SAMPLES,
+            "{name}: only {total} samples after {calls} calls"
+        );
+        let share = profiler.share(HOT_FUNC);
+        assert!(
+            share >= 0.9,
+            "{name}: hot-loop share {:.1}% < 90% over {total} samples",
+            share * 100.0
+        );
+        let top = profiler.snapshot().into_iter().next().expect("has samples");
+        assert_eq!(top.func, HOT_FUNC, "{name}: top function is the hot loop");
+        assert_eq!(top.tier, expected_tier, "{name}: samples land in the executing tier");
+    }
+}
+
+#[test]
+fn serving_batch_traces_the_request_lifecycle() {
+    let telemetry = Telemetry::enabled();
+    let mut server = Server::new(
+        ServerConfig {
+            workers: 2,
+            telemetry: telemetry.clone(),
+            ..ServerConfig::default()
+        },
+        EngineConfig::baseline("spc", CompilerOptions::allopt()),
+    );
+    let apps = [
+        server
+            .register_app("a", "main", const_module(11))
+            .expect("registers"),
+        server
+            .register_app("b", "main", const_module(22))
+            .expect("registers"),
+    ];
+    let requests: Vec<Request> = (0..8).map(|i| Request::to_app(apps[i % 2])).collect();
+    let results = server.run(requests);
+    assert!(results.iter().all(|r| matches!(r.status, RequestStatus::Ok(_))));
+
+    let rings = telemetry.drain();
+    let mut compile_ends = 0;
+    let mut checkouts = 0;
+    let (mut enqueued, mut started, mut finished, mut finished_ok) = (0, 0, 0, 0);
+    for (_, events) in &rings {
+        for event in events {
+            match event.kind {
+                EventKind::CompileEnd { .. } => compile_ends += 1,
+                EventKind::PoolCheckout { .. } => checkouts += 1,
+                EventKind::ServeEnqueue { .. } => enqueued += 1,
+                EventKind::ServeStart { .. } => started += 1,
+                EventKind::ServeFinish { ok, .. } => {
+                    finished += 1;
+                    finished_ok += ok as u32;
+                }
+                _ => {}
+            }
+        }
+    }
+    assert!(compile_ends >= 1, "the apps' compiles are traced");
+    assert_eq!(checkouts, 8, "one pool checkout per request");
+    assert_eq!((enqueued, started, finished), (8, 8, 8));
+    assert_eq!(finished_ok, 8);
+    assert_eq!(telemetry.dropped_events(), 0);
+
+    let metrics = telemetry.metrics().expect("enabled").snapshot();
+    let counter = |name: &str| {
+        metrics
+            .counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    };
+    assert_eq!(counter("serve.requests"), 8);
+    assert_eq!(counter("serve.trapped"), 0);
+    assert_eq!(
+        counter("pool.warm_checkouts") + counter("pool.cold_checkouts"),
+        8
+    );
+    let request_us = metrics
+        .histograms
+        .iter()
+        .find(|(n, _)| n == "serve.request_us")
+        .map(|(_, h)| h.clone())
+        .expect("request latency histogram exists");
+    assert_eq!(request_us.count, 8);
+
+    // The drained events render into Chrome trace JSON with the serve spans.
+    let trace = telemetry::trace::chrome_trace(&rings);
+    assert!(trace.contains("\"traceEvents\""));
+    assert!(trace.contains("serve r0"));
+    assert!(trace.contains("pool checkout"));
+}
+
+#[test]
+fn disabled_telemetry_leaves_execution_cycles_untouched() {
+    let module = fib_module();
+    for (name, config) in [
+        ("int", EngineConfig::interpreter("int")),
+        ("spc", EngineConfig::baseline("spc", CompilerOptions::allopt())),
+    ] {
+        // Metering exercises the same check sites the sampler piggybacks on.
+        let run = |config: EngineConfig| {
+            let engine = Engine::new(config).with_epoch(Arc::new(AtomicU64::new(0)));
+            let mut instance = engine
+                .instantiate(&module, Imports::new(), Instrumentation::none())
+                .expect("instantiates");
+            instance.set_fuel(u64::MAX / 2);
+            let result = engine
+                .call_export(&mut instance, "fib", &[WasmValue::I32(15)])
+                .expect("runs");
+            (result, instance.metrics.exec_cycles)
+        };
+        let (plain_result, plain_cycles) = run(config.clone().with_metering());
+        let (traced_result, traced_cycles) = run(config.with_metering().with_telemetry());
+        assert_eq!(plain_result, traced_result, "{name}: same answer");
+        assert_eq!(
+            plain_cycles, traced_cycles,
+            "{name}: telemetry charges zero simulated cycles"
+        );
+    }
+}
