@@ -92,6 +92,14 @@ fn main() {
             }
         }
     }
+    // Nearest-rank p99 of fewer than 100 samples degenerates to the max —
+    // fail loudly if the sampling loops ever shrink below that.
+    assert!(
+        cold_us.len() >= 100 && warm_us.len() >= 100,
+        "p99 gate needs >= 100 samples, got {} cold / {} warm",
+        cold_us.len(),
+        warm_us.len()
+    );
     let (cold_p50, cold_p99) = (percentile(&cold_us, 50.0), percentile(&cold_us, 99.0));
     let (warm_p50, warm_p99) = (percentile(&warm_us, 50.0), percentile(&warm_us, 99.0));
     let warm_speedup = cold_p50 / warm_p50.max(1e-9);

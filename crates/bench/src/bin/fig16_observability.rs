@@ -221,7 +221,7 @@ fn main() {
     let mut cache_lookups = 0u64;
     let mut pool_checkouts = 0u64;
     let (mut enq, mut started, mut finished) = (0u64, 0u64, 0u64);
-    for (_, events) in &rings {
+    for (_, events, _) in &rings {
         for event in events {
             match event.kind {
                 EventKind::CompileEnd { .. } => compile_ends += 1,
@@ -260,6 +260,14 @@ fn main() {
     report.metric("trace.pool_checkouts", pool_checkouts as f64);
     report.metric("trace.serve_finishes", finished as f64);
     report.metric("trace.dropped_events", telemetry.dropped_events() as f64);
+    // Per-ring drop counts: a lossy ring means the end of that thread's
+    // burst is missing from TRACE_fig16.json, so name the offender.
+    for (label, _, dropped) in &rings {
+        report.metric(&format!("trace.ring.{label}.dropped"), *dropped as f64);
+        if *dropped > 0 {
+            println!("  ring '{label}' dropped {dropped} events (trace is lossy)");
+        }
+    }
     if let Some(metrics) = telemetry.metrics() {
         let snapshot = metrics.snapshot();
         for (name, value) in &snapshot.counters {

@@ -21,7 +21,9 @@ fn validate_trace_json(text: &str) -> Result<usize, String> {
             .get("ph")
             .and_then(JsonValue::as_str)
             .ok_or_else(|| format!("event {i} missing string field \"ph\""))?;
-        if !matches!(phase, "M" | "X" | "i" | "B" | "E") {
+        // "C" is the counter phase an overflowed ring reports its dropped
+        // events with.
+        if !matches!(phase, "M" | "X" | "i" | "B" | "E" | "C") {
             return Err(format!("event {i} has unknown phase {phase:?}"));
         }
         if phase != "M" && event.get("ts").and_then(JsonValue::as_number).is_none() {

@@ -377,6 +377,7 @@ mod tests {
                     dur_us: 15,
                 },
             }],
+            0,
         )]);
         let doc = parse_json(&trace).expect("chrome trace parses");
         let events = doc

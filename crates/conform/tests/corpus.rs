@@ -54,6 +54,44 @@ fn corpus_passes_on_every_tier_and_backend() {
     assert!(total > 300, "suspiciously few assertions ran: {total}");
 }
 
+/// Forcing on-stack replacement at every loop back edge must be invisible:
+/// every script still passes under every configuration, with exactly the
+/// same assertion count and — for fueled scripts — exactly the same
+/// per-action fuel consumption as the plain run. A frame that jumps from
+/// the interpreter (or baseline code) into the optimizing tier mid-loop may
+/// not change a single observable.
+#[test]
+fn corpus_is_bit_identical_with_osr_forced_at_every_back_edge() {
+    let corpus = conform::load_corpus();
+    let mut failures: Vec<String> = Vec::new();
+    for config in all_configs() {
+        let osr_config = config.clone().with_osr(0);
+        for script in &corpus {
+            let base = run_script(script, &config);
+            let osr = run_script(script, &osr_config);
+            failures.extend(osr.failures.iter().cloned());
+            if base.passed != osr.passed {
+                failures.push(format!(
+                    "{}[{}]: {} assertions passed without OSR, {} with",
+                    script.name, config.name, base.passed, osr.passed
+                ));
+            }
+            if base.fuel != osr.fuel {
+                failures.push(format!(
+                    "{}[{}]: fuel diverged under OSR: {:?} vs {:?}",
+                    script.name, config.name, base.fuel, osr.fuel
+                ));
+            }
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} OSR conformance failures:\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}
+
 /// The corpus must be able to *catch* a miscompile: rewrite `i32.div_s` into
 /// `i32.div_u` (the shape of a classic signedness bug) in every module and
 /// require that the corpus reports failures under a JIT configuration.

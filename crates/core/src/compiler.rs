@@ -106,6 +106,10 @@ pub struct CompiledCode<T> {
     pub call_sites: HashMap<usize, CallSiteInfo>,
     /// Metadata for every probe instruction, keyed by site index.
     pub probe_sites: HashMap<usize, JitProbeSite>,
+    /// OSR entry stubs, keyed by *wasm loop-body-start offset* → the code
+    /// position (site-index units) where the stub begins. Only the optimizing
+    /// tier emits entries; baseline code leaves this empty.
+    pub osr_entries: HashMap<u32, usize>,
     /// Number of results.
     pub num_results: u32,
     /// Number of local slots (params + declared locals).
@@ -142,6 +146,7 @@ impl std::error::Error for CompileError {}
 pub struct SinglePassCompiler {
     options: CompilerOptions,
     metering: bool,
+    osr: bool,
 }
 
 impl SinglePassCompiler {
@@ -150,6 +155,7 @@ impl SinglePassCompiler {
         SinglePassCompiler {
             options,
             metering: false,
+            osr: false,
         }
     }
 
@@ -158,6 +164,16 @@ impl SinglePassCompiler {
     /// the function's [`FuelPlan`], mirroring the interpreter's schedule.
     pub fn with_metering(mut self, metering: bool) -> SinglePassCompiler {
         self.metering = metering;
+        self
+    }
+
+    /// Enables or disables OSR poll sites: when on, every loop-body start
+    /// carries a source mark and (when metering is off) an `epoch_check`, so
+    /// the executing CPU can poll the back-edge hotness counter there. Under
+    /// metering the existing fused fuel check already polls at those sites,
+    /// so only the source mark is added.
+    pub fn with_osr(mut self, osr: bool) -> SinglePassCompiler {
+        self.osr = osr;
         self
     }
 
@@ -238,7 +254,7 @@ impl SinglePassCompiler {
         let local_types = module
             .func_local_types(func_index)
             .expect("checked above: function has a body");
-        let fuel = if self.metering {
+        let fuel = if self.metering || self.osr {
             FuelPlan::build(&decl.code).map_err(|e| CompileError {
                 offset: 0,
                 message: format!("fuel plan: {e}"),
@@ -251,6 +267,8 @@ impl SinglePassCompiler {
             options: &self.options,
             probes,
             fuel,
+            metering: self.metering,
+            osr: self.osr,
             num_locals: local_types.len(),
             num_results: sig.results.len() as u32,
             results: sig.results.clone(),
@@ -278,6 +296,7 @@ impl SinglePassCompiler {
             stackmaps: fc.stackmaps,
             call_sites: fc.call_sites,
             probe_sites: fc.probe_sites,
+            osr_entries: HashMap::new(),
             num_results: sig.results.len() as u32,
             num_locals: local_types.len() as u32,
             frame_slots: local_types.len() as u32 + info.max_stack,
@@ -312,6 +331,8 @@ struct FuncCompiler<'a, M: Masm> {
     options: &'a CompilerOptions,
     probes: &'a ProbeSites,
     fuel: FuelPlan,
+    metering: bool,
+    osr: bool,
     num_locals: usize,
     num_results: u32,
     results: Vec<ValueType>,
@@ -368,8 +389,21 @@ impl<'a, M: Masm> FuncCompiler<'a, M> {
                 // the region's fuel decrement (a zero-amount check at the
                 // rare loop head whose region charges nothing).
                 let charge = self.fuel.charge_at(offset as u32);
-                if charge.is_some() || self.fuel.epoch_check_at(offset as u32) {
+                let epoch_site = self.fuel.epoch_check_at(offset as u32);
+                if self.osr && epoch_site && !self.options.debug_metadata {
+                    // The OSR poll resolves its wasm offset through the
+                    // source map, so loop-body starts need an exact mark even
+                    // without debug metadata.
+                    self.asm.mark_source(offset as u32);
+                }
+                if self.metering && (charge.is_some() || epoch_site) {
                     self.asm.fuel_check(charge.unwrap_or(0));
+                } else if self.osr && epoch_site {
+                    // Metering off: the loop head still needs a poll site for
+                    // the back-edge hotness counter. An `epoch_check` against
+                    // a meter without a deadline is a no-op apart from the
+                    // OSR poll.
+                    self.asm.epoch_check();
                 }
                 if let Some(site) = self.probes.get(offset as u32) {
                     self.emit_probe(*site, offset as u32);

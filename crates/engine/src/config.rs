@@ -138,6 +138,19 @@ pub struct EngineConfig {
     /// Per-tenant resource ceilings (memory pages, table elements, call
     /// depth) enforced at instantiation and at `memory.grow`.
     pub limits: ResourceLimits,
+    /// Loop back-edge count after which a running activation is transferred
+    /// mid-loop into optimizing-tier code (on-stack replacement). `None`
+    /// disables OSR; `Some(0)` requests the transition at the very first
+    /// back edge. The counter piggybacks on the fused fuel/epoch meter-check
+    /// sites, so interpreter and baseline hot loops pay no extra cold-path
+    /// branch. Independent of the call-count promotion in
+    /// [`TierPolicy::Tiered`]: OSR rescues hot *loops* the call counter is
+    /// blind to. Enabling OSR changes the code both compiling tiers emit
+    /// (loop-head poll sites in baseline code, entry stubs in optimized
+    /// code), so the *enablement bit* — never the threshold value — is
+    /// folded into [`EngineConfig::compile_fingerprint`] and
+    /// [`EngineConfig::opt_fingerprint`].
+    pub osr_threshold: Option<u32>,
 }
 
 impl Default for EngineConfig {
@@ -163,6 +176,7 @@ impl EngineConfig {
             metering: false,
             telemetry: false,
             limits: ResourceLimits::unlimited(),
+            osr_threshold: None,
         }
     }
 
@@ -182,6 +196,7 @@ impl EngineConfig {
             metering: false,
             telemetry: false,
             limits: ResourceLimits::unlimited(),
+            osr_threshold: None,
         }
     }
 
@@ -201,6 +216,7 @@ impl EngineConfig {
             metering: false,
             telemetry: false,
             limits: ResourceLimits::unlimited(),
+            osr_threshold: None,
         }
     }
 
@@ -224,6 +240,7 @@ impl EngineConfig {
             metering: false,
             telemetry: false,
             limits: ResourceLimits::unlimited(),
+            osr_threshold: None,
         }
     }
 
@@ -314,6 +331,17 @@ impl EngineConfig {
         self
     }
 
+    /// Enables on-stack replacement: after `threshold` back edges of any one
+    /// loop, the running activation is transferred mid-loop into
+    /// optimizing-tier code (see [`EngineConfig::osr_threshold`]). `0` means
+    /// the first back edge already requests the transition. Has no effect on
+    /// [`TierPolicy::OptimizingOnly`] configurations, which never run a
+    /// lower tier.
+    pub fn with_osr(mut self, threshold: u32) -> EngineConfig {
+        self.osr_threshold = Some(threshold);
+        self
+    }
+
     /// A stable fingerprint of the *compiler-options* axes that affect the
     /// code the compiling tiers emit: the tier policy, the metering flag and
     /// each [`CompilerOptions`] feature axis. Labels (the configuration and
@@ -329,6 +357,9 @@ impl EngineConfig {
         // Metering changes emitted code in every compiling tier (fuel/epoch
         // check sequences at block headers), so it is a code-affecting axis.
         h.write_bool(self.metering);
+        // So does enabling OSR (loop-head poll sites in baseline code); the
+        // threshold value itself only decides *when* a transition happens.
+        h.write_bool(self.osr_threshold.is_some());
         match &self.tier {
             TierPolicy::InterpreterOnly => {
                 h.write_u8(0);
@@ -356,8 +387,14 @@ impl EngineConfig {
     /// deliberately excluded: it decides when code is produced, not what
     /// code.
     pub fn opt_fingerprint(&self) -> u64 {
-        if self.tier.uses_opt_tier() {
-            optc::OptimizingCompiler::pipeline_fingerprint()
+        // OSR reaches the optimizing tier without a call-count promotion
+        // policy, and OSR-enabled opt code differs (entry stubs, reserved
+        // interpreter operand region), so both axes fold in here.
+        if self.tier.uses_opt_tier() || self.osr_threshold.is_some() {
+            let mut h = Fnv64::new();
+            h.write_u64(optc::OptimizingCompiler::pipeline_fingerprint())
+                .write_bool(self.osr_threshold.is_some());
+            h.finish()
         } else {
             0
         }

@@ -24,7 +24,7 @@ use crate::pipeline::{self, BackgroundCompiler, CompileTier, CompiledArtifact, C
 use interp::interp::{InterpExit, Interpreter};
 use interp::probe::{FrameAccessor, ProbeSink};
 use machine::cost::CycleCounter;
-use machine::cpu::{Cpu, CpuExit, CpuState, EpochSampler, ExecContext, Meter, ProbeExit};
+use machine::cpu::{Cpu, CpuExit, CpuState, EpochSampler, ExecContext, Meter, OsrHook, ProbeExit};
 use machine::inst::TrapCode;
 use machine::memory::{LinearMemory, Table};
 use machine::values::{GlobalSlot, ValueStack, ValueTag, WasmValue};
@@ -202,6 +202,10 @@ enum CompileTiming {
 pub struct Instance {
     artifact: Arc<CompiledModule>,
     call_counts: Vec<u32>,
+    /// Per-function loop back-edge counts, incremented by the OSR hook at
+    /// the fused meter-check sites. Like [`Instance::call_counts`], this is
+    /// earned tier state: a pool reset keeps it.
+    osr_counts: Vec<u32>,
     /// Functions this instance has handed to the background compiler and
     /// not yet observed published, per tier (`[baseline, opt]`; used to
     /// attribute the off-thread compile time to this instance's metrics
@@ -376,6 +380,13 @@ struct Activation {
     num_results: u32,
     frame_slots: u32,
     tier: FrameTier,
+    /// One declined OSR poll is absorbed before the next can fire, so a
+    /// loop whose transition is pending (or was refused) always makes a
+    /// full iteration of progress between polls.
+    osr_skip: bool,
+    /// OSR permanently disabled for this activation (no entry for the loop,
+    /// compile failure, or a frame that cannot grow to the optimized size).
+    osr_off: bool,
 }
 
 /// The engine: a configuration plus the machinery to instantiate and run
@@ -570,6 +581,7 @@ impl Engine {
         let mut instance = Instance {
             artifact,
             call_counts: vec![0; num_defined],
+            osr_counts: vec![0; num_defined],
             background_pending: vec![[false; 2]; num_defined],
             memory,
             globals,
@@ -943,6 +955,8 @@ impl Engine {
             num_results,
             frame_slots,
             tier,
+            osr_skip: false,
+            osr_off: false,
         })
     }
 
@@ -991,6 +1005,7 @@ impl Engine {
                     instrumentation,
                     fuel,
                     epoch_deadline,
+                    osr_counts,
                     ..
                 } = instance;
                 let mut record_sample =
@@ -1000,6 +1015,22 @@ impl Engine {
                     last: &mut last_sample_epoch,
                     record: &mut record_sample,
                 });
+                // The OSR hook rides the same fused meter-check sites.
+                // Optimizing-tier frames never poll — they are already where
+                // OSR would take them.
+                let osr = match self.config.osr_threshold {
+                    Some(threshold)
+                        if !act.osr_off && frame_tier != Some(CompileTier::Opt) =>
+                    {
+                        Some(OsrHook {
+                            plan: &artifact.prepared(defined).fuel,
+                            count: &mut osr_counts[defined as usize],
+                            threshold,
+                            skip_once: &mut act.osr_skip,
+                        })
+                    }
+                    _ => None,
+                };
                 let mut ctx = ExecContext {
                     values,
                     frame_base: act.frame_base,
@@ -1010,6 +1041,7 @@ impl Engine {
                         fuel: fuel.as_mut(),
                         epoch: epoch_deadline.map(|d| (self.epoch.as_ref(), d)),
                         sampler,
+                        osr,
                     },
                 };
                 match &mut act.tier {
@@ -1202,10 +1234,89 @@ impl Engine {
                 UnifiedExit::Probe { exit, resume } => {
                     self.handle_jit_probe(instance, act, exit, resume)?;
                 }
+                UnifiedExit::Osr { offset, resume } => {
+                    self.handle_osr(instance, act, offset, resume);
+                }
                 UnifiedExit::Trap(code) => return Err(code),
             }
         }
         Ok(())
+    }
+
+    /// Handles an OSR poll from a hot loop in an interpreter or baseline
+    /// frame: when optimizing-tier code for the function is published and
+    /// has an entry stub for this loop, the running activation is
+    /// transferred to it mid-loop; otherwise the compilation is requested
+    /// and the current tier resumes at the check site (which consumed
+    /// nothing, so re-executing it is correct — and the loop-head check of
+    /// the optimized code runs instead after a transfer, keeping fuel and
+    /// epoch accounting bit-identical to a never-OSR run).
+    fn handle_osr(&self, instance: &mut Instance, act: &mut Activation, offset: u32, resume: usize) {
+        let defined = act.defined_index;
+        // Default: resume the current tier at the declined poll site.
+        match &mut act.tier {
+            FrameTier::Interp { ip } => *ip = resume,
+            FrameTier::Jit { pc, .. } => *pc = resume,
+        }
+        if instance.artifact.artifact_for(defined, CompileTier::Opt).is_none() {
+            // Not compiled yet: request it and guarantee a full loop
+            // iteration of progress before the next poll.
+            act.osr_skip = true;
+            if let Some(pool) = &self.background {
+                let pool = Arc::clone(pool);
+                self.enqueue_background(&pool, instance, defined, CompileTier::Opt);
+            } else if self.ensure_compiled(instance, defined, CompileTier::Opt).is_err() {
+                // The optimizing compiler rejected the function; the
+                // current tier is always correct, so just stop polling.
+                act.osr_off = true;
+            }
+            return;
+        }
+        self.observe_published(instance, defined, CompileTier::Opt);
+        let (entry, frame_slots) = {
+            let code = instance
+                .artifact
+                .code_for(defined, CompileTier::Opt)
+                .expect("artifact published");
+            match code.osr_entries.get(&offset) {
+                Some(&entry) => (entry, code.frame_slots),
+                None => {
+                    // No stub for this loop (its header was optimized away,
+                    // or the code predates OSR in a shared artifact).
+                    act.osr_off = true;
+                    return;
+                }
+            }
+        };
+        let frame_end = act.frame_base + frame_slots as usize;
+        if instance.values.capacity() < frame_end {
+            // The optimized frame does not fit where this activation sits;
+            // keep running the current tier rather than overflowing.
+            act.osr_off = true;
+            return;
+        }
+        // The frame only grows (the allocator reserves the interpreter
+        // operand region whenever OSR entries exist). Clear the newly
+        // exposed slots so the GC's tag scan never reads stale tags, then
+        // hand the frame to the entry stub, which rebuilds the loop
+        // header's state from the interpreter-layout slots below.
+        let sp_before = instance.values.sp();
+        if frame_end > sp_before {
+            instance.values.clear_range(sp_before, frame_end);
+        }
+        instance.values.set_sp(frame_end);
+        act.frame_slots = frame_slots;
+        act.tier = FrameTier::Jit {
+            pc: entry,
+            cpu: Box::new(CpuState::new()),
+            tier: CompileTier::Opt,
+        };
+        if self.telemetry.is_enabled() {
+            self.telemetry.emit(EventKind::OsrEnter { func: act.func_index, offset });
+            if let Some(metrics) = self.telemetry.metrics() {
+                metrics.counter("engine.osr_entries").inc();
+            }
+        }
     }
 
     fn handle_jit_probe(
@@ -1429,6 +1540,13 @@ enum UnifiedExit {
         exit: ProbeExit,
         resume: usize,
     },
+    /// A hot-loop OSR poll fired at the loop-body start `offset`; `resume`
+    /// re-enters the current tier at the poll site if the transition is
+    /// declined (nothing was consumed, so the site re-executes).
+    Osr {
+        offset: u32,
+        resume: usize,
+    },
     Trap(TrapCode),
 }
 
@@ -1455,6 +1573,10 @@ impl UnifiedExit {
                 entry_index,
                 resume: resume_ip,
                 jit_caller: false,
+            },
+            InterpExit::Osr { offset } => UnifiedExit::Osr {
+                offset,
+                resume: offset as usize,
             },
             InterpExit::Trap(code) => UnifiedExit::Trap(code),
         }
@@ -1485,6 +1607,10 @@ impl UnifiedExit {
             },
             CpuExit::Probe { exit, resume_pc } => UnifiedExit::Probe {
                 exit,
+                resume: resume_pc,
+            },
+            CpuExit::Osr { offset, resume_pc } => UnifiedExit::Osr {
+                offset,
                 resume: resume_pc,
             },
             CpuExit::Trap(code) => UnifiedExit::Trap(code),

@@ -66,7 +66,7 @@ pub use gc::{Heap, HostObject};
 pub use image::MemoryImage;
 pub use monitor::{BranchMonitor, BranchProfile, Instrumentation};
 pub use multi::MultiEngine;
-pub use pipeline::{BackgroundCompiler, CompiledArtifact, CompiledModule};
+pub use pipeline::{BackgroundCompiler, CompileTier, CompiledArtifact, CompiledModule};
 pub use pool::{InstancePool, PoolStats, PooledInstance};
 pub use telemetry::Telemetry;
 pub use trap::TrapReason;

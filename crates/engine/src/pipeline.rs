@@ -258,7 +258,9 @@ fn opt_compiler(config: &EngineConfig) -> optc::OptimizingCompiler {
         Some(options) => optc::OptimizingCompiler::new(options.probe_mode),
         None => optc::OptimizingCompiler::default(),
     };
-    compiler.with_metering(config.metering)
+    compiler
+        .with_metering(config.metering)
+        .with_osr(config.osr_threshold.is_some())
 }
 
 /// The telemetry label for a compile tier.
@@ -359,6 +361,7 @@ pub fn compile_function(
             let options = config.baseline_options().cloned().unwrap_or_default();
             SinglePassCompiler::new(options)
                 .with_metering(config.metering)
+                .with_osr(config.osr_threshold.is_some())
                 .compile(module, func_index, info, probes)?
         }
     };
@@ -376,6 +379,7 @@ pub fn compile_function(
             let options = config.baseline_options().cloned().unwrap_or_default();
             let x64 = SinglePassCompiler::new(options)
                 .with_metering(config.metering)
+                .with_osr(config.osr_threshold.is_some())
                 .compile_with(X64Masm::new(), module, func_index, info, probes)?;
             (x64.code.code_size() as u64, Some(x64.code))
         }

@@ -125,6 +125,13 @@ pub enum InterpExit {
         /// Bytecode offset to resume at after the call.
         resume_ip: usize,
     },
+    /// The OSR hook fired at a hot loop-body start: the engine should try to
+    /// transfer this frame into the optimizing tier, or resume interpreting
+    /// at `offset` (whose meter work has not yet run) to continue in place.
+    Osr {
+        /// The wasm bytecode offset of the loop-body start.
+        offset: u32,
+    },
     /// Execution trapped.
     Trap(TrapCode),
 }
@@ -192,9 +199,17 @@ impl Interpreter {
             // loop-head epoch polls ride the region's fuel decrement, so a
             // metered loop iteration pays `fuel_check` once, not twice.
             let metered = ctx.meter.fuel.is_some() || ctx.meter.epoch.is_some();
-            if metered || ctx.meter.has_sampler() {
+            if metered || ctx.meter.has_sampler() || ctx.meter.has_osr() {
                 let charge = func.fuel.charge_at(ip as u32);
                 if charge.is_some() || func.fuel.epoch_check_at(ip as u32) {
+                    // OSR is polled before any fuel is charged: when the hook
+                    // fires, this site's meter work has not run, and the
+                    // opt-tier OSR entry jumps to the loop header whose first
+                    // instruction re-executes the same check — so the charge
+                    // happens exactly once regardless of the transition.
+                    if let Some(offset) = ctx.meter.poll_osr(|| ip as u32) {
+                        return InterpExit::Osr { offset };
+                    }
                     if metered {
                         cycles.charge(cost.fuel_check);
                         if let Err(t) = ctx.meter.charge_fuel(charge.unwrap_or(0)) {

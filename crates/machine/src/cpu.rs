@@ -21,6 +21,7 @@ use crate::ops;
 use crate::reg::{AnyReg, NUM_FPRS, NUM_GPRS};
 use crate::values::{GlobalSlot, ValueStack};
 use std::sync::atomic::{AtomicU64, Ordering};
+use wasm::fuel::FuelPlan;
 
 /// The register file of one JIT frame activation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -104,6 +105,38 @@ impl EpochSampler<'_> {
     }
 }
 
+/// The hot-loop detection hook for on-stack replacement.
+///
+/// Execution loops poll this at the fused meter-check sites. The hook fires
+/// only at *loop-body starts* — offsets the function's [`FuelPlan`] records
+/// as epoch-check sites — because those are the back-edge targets where the
+/// frame is in canonical interpreter layout and the optimizing tier emits an
+/// OSR entry stub. Each firing site increments one shared per-function
+/// counter; once it passes `threshold` the execution loop exits with an OSR
+/// request and the engine attempts the tier transition.
+pub struct OsrHook<'a> {
+    /// The function's fuel plan; its epoch-check offsets are exactly the
+    /// loop-body starts eligible for OSR entry.
+    pub plan: &'a FuelPlan,
+    /// The per-function back-edge counter (persists across exits).
+    pub count: &'a mut u32,
+    /// Fire once `count` exceeds this. Zero forces OSR at every back edge.
+    pub threshold: u32,
+    /// Skip exactly one firing (set after a failed or still-pending
+    /// transition so the activation makes loop progress between attempts).
+    pub skip_once: &'a mut bool,
+}
+
+impl std::fmt::Debug for OsrHook<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OsrHook")
+            .field("count", &self.count)
+            .field("threshold", &self.threshold)
+            .field("skip_once", &self.skip_once)
+            .finish_non_exhaustive()
+    }
+}
+
 /// Fuel and preemption state for one activation.
 ///
 /// Both meters are optional so un-metered execution stays exactly the code
@@ -121,6 +154,10 @@ pub struct Meter<'a> {
     /// `None` (the overwhelmingly common case) costs one branch per site and
     /// never charges simulated cycles.
     pub sampler: Option<EpochSampler<'a>>,
+    /// On-stack-replacement hook, polled at the same sites as the meters
+    /// *before* any fuel is charged (so a completed transition re-executes
+    /// the site's check in the new tier exactly once). `None` disables OSR.
+    pub osr: Option<OsrHook<'a>>,
 }
 
 impl<'a> Meter<'a> {
@@ -166,6 +203,33 @@ impl<'a> Meter<'a> {
     /// True when a sampling profiler is attached.
     pub fn has_sampler(&self) -> bool {
         self.sampler.is_some()
+    }
+
+    /// Polls the OSR hook at a meter-check site. Returns `Some(offset)` when
+    /// the site is a loop-body start whose back-edge counter has passed the
+    /// threshold — the execution loop must then exit with an OSR request.
+    /// Charges nothing. The offset is computed lazily, like the sampler's.
+    #[inline]
+    pub fn poll_osr(&mut self, offset: impl FnOnce() -> u32) -> Option<u32> {
+        let hook = self.osr.as_mut()?;
+        let off = offset();
+        if !hook.plan.epoch_check_at(off) {
+            return None;
+        }
+        *hook.count = hook.count.saturating_add(1);
+        if *hook.count <= hook.threshold {
+            return None;
+        }
+        if *hook.skip_once {
+            *hook.skip_once = false;
+            return None;
+        }
+        Some(off)
+    }
+
+    /// True when an OSR hook is attached.
+    pub fn has_osr(&self) -> bool {
+        self.osr.is_some()
     }
 }
 
@@ -248,6 +312,16 @@ pub enum CpuExit {
         /// What kind of probe and its payload.
         exit: ProbeExit,
         /// Program counter to resume at.
+        resume_pc: usize,
+    },
+    /// The OSR hook fired at a hot loop-body start; the engine should try to
+    /// transfer this activation into the optimizing tier, or resume at
+    /// `resume_pc` (the check instruction itself, whose meter work has not
+    /// yet run) to continue in place.
+    Osr {
+        /// The wasm bytecode offset of the loop-body start.
+        offset: u32,
+        /// Program counter to resume at if the transition is not taken.
         resume_pc: usize,
     },
     /// Execution trapped.
@@ -479,6 +553,16 @@ impl Cpu {
                     };
                 }
                 MachInst::FuelCheck { amount } => {
+                    // OSR is polled before any metering runs: when the hook
+                    // fires, the site's fuel has not been charged, and the
+                    // opt-tier entry stub jumps to the loop header whose
+                    // first instruction is this same check — so the charge
+                    // happens exactly once regardless of the transition.
+                    if let Some(offset) =
+                        ctx.meter.poll_osr(|| code.source_offset(pc).unwrap_or(0))
+                    {
+                        return CpuExit::Osr { offset, resume_pc: pc };
+                    }
                     // The fused meter check: decrement fuel, then observe a
                     // pending preemption request. A real engine implements
                     // this as one register decrement-and-branch (the
@@ -495,6 +579,11 @@ impl Cpu {
                     ctx.meter.poll_sampler(|| code.source_offset(pc).unwrap_or(0));
                 }
                 MachInst::EpochCheck => {
+                    if let Some(offset) =
+                        ctx.meter.poll_osr(|| code.source_offset(pc).unwrap_or(0))
+                    {
+                        return CpuExit::Osr { offset, resume_pc: pc };
+                    }
                     if let Err(t) = ctx.meter.check_epoch() {
                         return CpuExit::Trap(t);
                     }

@@ -105,6 +105,12 @@ pub trait Masm {
     /// instruction count for compile statistics).
     fn num_insts(&self) -> usize;
 
+    /// The current emission position, in the same units as the site indices
+    /// this backend returns from calls and probes (instruction index for the
+    /// virtual ISA, byte offset for byte-level backends). Code emitted next
+    /// starts here; OSR entry stubs record this as their entry point.
+    fn position(&self) -> usize;
+
     /// The size of the code emitted so far, in bytes (estimated for the
     /// virtual ISA, exact for byte-level backends).
     fn code_size(&self) -> usize;
@@ -246,6 +252,10 @@ impl Masm for Assembler {
     }
 
     fn num_insts(&self) -> usize {
+        self.len()
+    }
+
+    fn position(&self) -> usize {
         self.len()
     }
 

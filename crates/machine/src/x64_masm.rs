@@ -421,6 +421,10 @@ impl Masm for X64Masm {
         self.num_insts
     }
 
+    fn position(&self) -> usize {
+        self.asm.offset()
+    }
+
     fn code_size(&self) -> usize {
         self.asm.offset()
     }

@@ -105,8 +105,17 @@ pub fn emit<M: Masm>(
         e.labels.insert(b, label);
     }
     e.masm.mark_source(0);
+    let osr_blocks: HashMap<BlockId, u32> = ir
+        .osr_sites
+        .iter()
+        .map(|site| (site.entry, site.offset))
+        .collect();
+    let mut osr_entries = HashMap::new();
     for (i, &b) in order.iter().enumerate() {
         let next = order.get(i + 1).copied();
+        if let Some(&offset) = osr_blocks.get(&b) {
+            osr_entries.insert(offset, e.masm.position());
+        }
         e.emit_block(b, next);
     }
 
@@ -124,6 +133,7 @@ pub fn emit<M: Masm>(
         stackmaps: StackmapTable::default(),
         call_sites: e.call_sites,
         probe_sites: e.probe_sites,
+        osr_entries,
         num_results,
         num_locals: ir.num_locals() as u32,
         frame_slots,
@@ -258,7 +268,7 @@ impl<'a, M: Masm> Emitter<'a, M> {
         let label = self.labels[&b];
         self.masm.bind(label);
         if b == self.ir.entry() {
-            self.emit_prologue();
+            self.emit_prologue(b);
         }
         for ii in 0..self.ir.blocks[b.index()].insts.len() {
             let inst = self.ir.blocks[b.index()].insts[ii].clone();
@@ -268,11 +278,11 @@ impl<'a, M: Masm> Emitter<'a, M> {
         self.emit_terminator(&term, next);
     }
 
-    /// Loads live function parameters from their frame slots into their
-    /// allocated locations. Parameters spilled to their own home slot cost
-    /// nothing.
-    fn emit_prologue(&mut self) {
-        let params = self.ir.blocks[self.ir.entry().index()].params.clone();
+    /// Loads live frame-defined parameters (function entry or OSR entry)
+    /// from their frame slots into their allocated locations. Parameters
+    /// spilled to their own home slot cost nothing.
+    fn emit_prologue(&mut self, block: BlockId) {
+        let params = self.ir.blocks[block.index()].params.clone();
         for (i, p) in params.into_iter().enumerate() {
             if self.ir.resolve(p) != p {
                 continue;
@@ -486,6 +496,15 @@ impl<'a, M: Masm> Emitter<'a, M> {
             Node::GlobalGet { index } => {
                 let (dst, spill) = self.def_any(v);
                 self.masm.global_get(dst, index);
+                self.finish_def(v, dst, spill);
+            }
+            Node::OsrSlot { index } => {
+                // A dead slot read has no location and loads nothing.
+                if self.loc(v).is_none() {
+                    return;
+                }
+                let (dst, spill) = self.def_any(v);
+                self.masm.load_slot(dst, index);
                 self.finish_def(v, dst, spill);
             }
         }

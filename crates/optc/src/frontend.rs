@@ -16,7 +16,7 @@
 //! (same kinds, same flush discipline at runtime/direct probes), so
 //! instrumentation observes identical firings from optimized code.
 
-use crate::ir::{Edge, FuncIr, Inst, Node, Terminator, ValueId};
+use crate::ir::{Edge, FuncIr, Inst, Node, OsrSite, Terminator, ValueId};
 use machine::inst::{CmpOp, TrapCode, Width};
 use machine::lower::{classify, OpClass};
 use machine::values::NULL_REF_BITS;
@@ -80,6 +80,7 @@ struct Builder<'a> {
     probes: &'a ProbeSites,
     probe_mode: ProbeMode,
     fuel: Option<&'a FuelPlan>,
+    osr: bool,
     ir: FuncIr,
     current: BlockId,
     locals: Vec<ValueId>,
@@ -100,6 +101,7 @@ pub fn build(
     probes: &ProbeSites,
     probe_mode: ProbeMode,
     fuel: Option<&FuelPlan>,
+    osr: bool,
 ) -> Result<FuncIr, CompileError> {
     let decl = module.func_decl(func_index).ok_or(CompileError {
         offset: 0,
@@ -138,6 +140,7 @@ pub fn build(
         probes,
         probe_mode,
         fuel,
+        osr,
         ir,
         current: entry,
         locals,
@@ -478,6 +481,43 @@ impl<'a> Builder<'a> {
                         }));
                         self.adopt_merge_state(header);
                         frame.header = Some(header);
+                        if self.osr {
+                            // `reader` sits right past the blocktype, i.e. at
+                            // the body start the fuel plan records as this
+                            // loop's epoch-check site. The header params were
+                            // created in interpreter frame-slot order (locals,
+                            // then operand stack below and at the loop
+                            // params), so the OSR entry declares one
+                            // parameter per frame slot and hands them to the
+                            // header unchanged.
+                            let header_params =
+                                self.ir.blocks[header.index()].params.clone();
+                            let entry = self.ir.add_block();
+                            let args: Vec<ValueId> = header_params
+                                .iter()
+                                .enumerate()
+                                .map(|(k, &p)| {
+                                    let ty = self.ir.ty(p);
+                                    let v = self.ir.add_value(
+                                        Node::OsrSlot { index: k as u32 },
+                                        ty,
+                                    );
+                                    self.ir.blocks[entry.index()]
+                                        .insts
+                                        .push(Inst::Def(v));
+                                    v
+                                })
+                                .collect();
+                            self.ir.blocks[entry.index()].term =
+                                Terminator::Jump(Edge {
+                                    target: header,
+                                    args,
+                                });
+                            self.ir.osr_sites.push(OsrSite {
+                                offset: reader.pc() as u32,
+                                entry,
+                            });
+                        }
                     }
                     Opcode::If => {
                         frame.snapshot = Some((self.locals.clone(), self.stack.clone()));
@@ -905,6 +945,7 @@ mod tests {
             &ProbeSites::none(),
             ProbeMode::Optimized,
             None,
+            false,
         )
         .unwrap()
     }

@@ -116,6 +116,14 @@ pub enum Node {
     },
     /// A result of a call instruction (opaque; defined by the [`Inst`]).
     CallResult,
+    /// The value of interpreter-layout frame slot `index` at an OSR entry
+    /// (see [`OsrSite`]). Defined only in OSR entry blocks, where the frame
+    /// still holds the replaced lower-tier frame's state; the slot index is
+    /// part of the node so parameter pruning can never lose the mapping.
+    OsrSlot {
+        /// Interpreter frame-slot index (locals, then operand stack).
+        index: u32,
+    },
 }
 
 /// How a node interacts with the effect order of its block.
@@ -146,9 +154,11 @@ impl Node {
             // Reads of mutable state: removable when unused (a dead read has
             // no observable effect), but CSE must respect intervening writes.
             Node::MemorySize | Node::GlobalGet { .. } => Effect::Pure,
-            Node::Param { .. } | Node::Const(_) | Node::Select { .. } | Node::CallResult => {
-                Effect::Pure
-            }
+            Node::Param { .. }
+            | Node::Const(_)
+            | Node::Select { .. }
+            | Node::CallResult
+            | Node::OsrSlot { .. } => Effect::Pure,
         }
     }
 
@@ -176,7 +186,8 @@ impl Node {
             | Node::Const(_)
             | Node::MemorySize
             | Node::GlobalGet { .. }
-            | Node::CallResult => {}
+            | Node::CallResult
+            | Node::OsrSlot { .. } => {}
         }
     }
 }
@@ -447,6 +458,31 @@ impl Block {
     }
 }
 
+/// One on-stack-replacement entry point: a loop whose body start can be
+/// entered mid-activation from an interpreter-layout frame.
+///
+/// The frame-state mapping is the [`Inst::ProbeFlush`] interp-layout
+/// contract run in reverse: the loop header's parameters were created in
+/// exactly interpreter frame-slot order (locals, then operand stack), so
+/// parameter `k` is reconstructed from frame slot `k`. The emitter turns
+/// each site into an entry stub of parallel moves followed by a jump to the
+/// header.
+#[derive(Debug, Clone)]
+pub struct OsrSite {
+    /// Bytecode offset of the loop-body start (the back-edge target, and the
+    /// offset the shared fuel plan records as an epoch-check site).
+    pub offset: u32,
+    /// The OSR entry block: a real block whose parameters are defined by
+    /// the interpreter-layout frame (parameter `k` holds frame slot `k` at
+    /// the body start — the emitter loads them exactly like the function
+    /// entry's prologue) and whose terminator jumps to the loop header with
+    /// those parameters as edge arguments. Making the entry a true second
+    /// predecessor of the header keeps every downstream pass honest:
+    /// parameter simplification cannot alias a loop-invariant local to its
+    /// pre-loop definition, and the register allocator sees the edge moves.
+    pub entry: BlockId,
+}
+
 /// The SSA form of one function, plus the frame facts emission needs.
 #[derive(Debug, Clone)]
 pub struct FuncIr {
@@ -473,6 +509,9 @@ pub struct FuncIr {
     /// True if any probe site requires the interpreter frame layout to be
     /// materialized (see [`Inst::ProbeFlush`]).
     pub has_flush_probes: bool,
+    /// On-stack-replacement entry points, one per reachable `loop` (only
+    /// populated when the compiler has OSR enabled).
+    pub osr_sites: Vec<OsrSite>,
 }
 
 impl FuncIr {
@@ -493,6 +532,7 @@ impl FuncIr {
             result_types,
             max_stack,
             has_flush_probes: false,
+            osr_sites: Vec::new(),
         }
     }
 
@@ -570,6 +610,15 @@ impl FuncIr {
         let mut seen = vec![false; self.blocks.len()];
         let mut stack = vec![self.entry()];
         seen[self.entry().index()] = true;
+        // OSR entry blocks are entered from outside the graph (a running
+        // lower-tier frame jumps in), so they are roots alongside the
+        // function entry.
+        for site in &self.osr_sites {
+            if !seen[site.entry.index()] {
+                seen[site.entry.index()] = true;
+                stack.push(site.entry);
+            }
+        }
         while let Some(b) = stack.pop() {
             self.blocks[b.index()].term.for_each_edge(|e| {
                 if !seen[e.target.index()] {

@@ -58,6 +58,15 @@ pub fn layout(ir: &FuncIr, profile: &FuncProfile) -> Vec<BlockId> {
             Terminator::Return(_) | Terminator::Trap(_) => {}
         }
     }
+    // OSR entry blocks have no in-graph predecessors — the walk above never
+    // reaches them. Place them out of line at the end: they run once per
+    // tier transfer, so they should never interrupt a fall-through path.
+    for site in &ir.osr_sites {
+        if !placed[site.entry.index()] {
+            placed[site.entry.index()] = true;
+            order.push(site.entry);
+        }
+    }
     order
 }
 
@@ -94,6 +103,7 @@ mod tests {
             &ProbeSites::none(),
             ProbeMode::Optimized,
             None,
+            false,
         )
         .unwrap();
         // Bytecode layout: 0 local.get, 1 idx, 2 if.

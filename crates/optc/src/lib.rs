@@ -57,6 +57,10 @@ pub struct OptimizingCompiler {
     /// Whether fuel/epoch checks are inserted (mirrors the engine's metering
     /// configuration so fuel counts stay tier-independent).
     metering: bool,
+    /// Whether on-stack-replacement entry stubs are emitted for loops. This
+    /// also reserves the interpreter operand region in the frame so an OSR
+    /// transition never shrinks an activation's frame.
+    osr: bool,
 }
 
 impl Default for OptimizingCompiler {
@@ -64,6 +68,7 @@ impl Default for OptimizingCompiler {
         OptimizingCompiler {
             probe_mode: ProbeMode::Optimized,
             metering: false,
+            osr: false,
         }
     }
 }
@@ -74,6 +79,7 @@ impl OptimizingCompiler {
         OptimizingCompiler {
             probe_mode,
             metering: false,
+            osr: false,
         }
     }
 
@@ -83,6 +89,16 @@ impl OptimizingCompiler {
     /// treats them as immovable effects.
     pub fn with_metering(mut self, metering: bool) -> OptimizingCompiler {
         self.metering = metering;
+        self
+    }
+
+    /// Enables or disables on-stack-replacement entry stubs: when on, every
+    /// reachable `loop` gets an entry block that reconstructs the header's
+    /// SSA state from an interpreter-layout frame (the reverse of the
+    /// `ProbeFlush` mapping) and the published artifact records its position
+    /// in [`CompiledCode::osr_entries`], keyed by the loop-body-start offset.
+    pub fn with_osr(mut self, osr: bool) -> OptimizingCompiler {
+        self.osr = osr;
         self
     }
 
@@ -161,6 +177,7 @@ impl OptimizingCompiler {
             probes,
             self.probe_mode,
             fuel.as_ref(),
+            self.osr,
         )?;
         opt::optimize(&mut ir);
         #[cfg(debug_assertions)]

@@ -442,6 +442,7 @@ mod tests {
             &ProbeSites::none(),
             ProbeMode::Optimized,
             None,
+            false,
         )
         .unwrap();
         optimize(&mut ir);

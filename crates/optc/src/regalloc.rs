@@ -241,8 +241,16 @@ pub fn allocate(ir: &FuncIr, order: &[BlockId]) -> Allocation {
     // (end, value, reg) of currently live register-resident intervals.
     let mut active: Vec<(u32, ValueId, AnyReg)> = Vec::new();
     // Spill slots: last position each slot is occupied to, for reuse.
+    // OSR entry stubs read the interpreter operand region as their move
+    // sources, and the engine requires the optimized frame to cover the
+    // interpreter frame it replaces, so reserve that region as well when any
+    // OSR site exists.
     let spill_base = ir.num_locals() as u32
-        + if ir.has_flush_probes { ir.max_stack } else { 0 };
+        + if ir.has_flush_probes || !ir.osr_sites.is_empty() {
+            ir.max_stack
+        } else {
+            0
+        };
     let mut slot_ends: Vec<u32> = Vec::new();
     let spill = |iv: &Interval, slot_ends: &mut Vec<u32>, locs: &mut HashMap<ValueId, Loc>| {
         // Function parameters already live in their home slots; reuse them
@@ -413,6 +421,7 @@ mod tests {
             &ProbeSites::none(),
             ProbeMode::Optimized,
             None,
+            false,
         )
         .unwrap();
         opt::optimize(&mut ir);

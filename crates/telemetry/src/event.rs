@@ -136,6 +136,14 @@ pub enum EventKind {
         /// Service wall time in microseconds.
         dur_us: u64,
     },
+    /// A running activation was transferred mid-loop into optimizing-tier
+    /// code (on-stack replacement).
+    OsrEnter {
+        /// Function index (module function space).
+        func: u32,
+        /// Bytecode offset of the loop-body start the frame entered at.
+        offset: u32,
+    },
     /// The sampling profiler observed an activation (also aggregated in
     /// [`crate::Profiler`]; the ring copy keeps samples on the timeline).
     Sample {

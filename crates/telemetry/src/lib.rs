@@ -148,14 +148,14 @@ impl TelemetrySink {
         });
     }
 
-    fn drain(&self) -> Vec<(String, Vec<TraceEvent>)> {
+    fn drain(&self) -> Vec<(String, Vec<TraceEvent>, u64)> {
         let rings = self.rings.lock().expect("telemetry ring registry poisoned");
         rings
             .iter()
             .map(|ring| {
                 let mut events = Vec::with_capacity(ring.len());
                 ring.drain_into(&mut events);
-                (ring.label().to_string(), events)
+                (ring.label().to_string(), events, ring.dropped())
             })
             .collect()
     }
@@ -243,9 +243,11 @@ impl Telemetry {
     }
 
     /// Moves every buffered event out of every ring, as
-    /// `(thread label, events)` pairs ordered by ring registration. Empty
-    /// when disabled. Rings stay registered and keep collecting.
-    pub fn drain(&self) -> Vec<(String, Vec<TraceEvent>)> {
+    /// `(thread label, events, dropped)` triples ordered by ring
+    /// registration; `dropped` is that ring's cumulative overflow count, so
+    /// consumers can tell a quiet ring from a saturated one. Empty when
+    /// disabled. Rings stay registered and keep collecting.
+    pub fn drain(&self) -> Vec<(String, Vec<TraceEvent>, u64)> {
         self.sink.as_deref().map(TelemetrySink::drain).unwrap_or_default()
     }
 
@@ -301,7 +303,7 @@ mod tests {
         assert_eq!(drained.len(), 1);
         assert_eq!(drained[0].1.len(), 2);
         assert_eq!(drained[0].1[0].kind, EventKind::CacheLookup { hit: true });
-        assert!(u.drain().iter().all(|(_, events)| events.is_empty()), "drain moved them out");
+        assert!(u.drain().iter().all(|(_, events, _)| events.is_empty()), "drain moved them out");
     }
 
     #[test]
@@ -322,9 +324,9 @@ mod tests {
         worker.join().unwrap();
         let drained = t.drain();
         assert_eq!(drained.len(), 2);
-        let named: Vec<&str> = drained.iter().map(|(label, _)| label.as_str()).collect();
+        let named: Vec<&str> = drained.iter().map(|(label, _, _)| label.as_str()).collect();
         assert!(named.contains(&"emitter"), "rings carry thread names: {named:?}");
-        let by_worker = drained.iter().find(|(label, _)| label == "emitter").unwrap();
+        let by_worker = drained.iter().find(|(label, _, _)| label == "emitter").unwrap();
         assert_eq!(by_worker.1.len(), 5);
     }
 
@@ -337,8 +339,8 @@ mod tests {
         b.emit(EventKind::FuelExhausted);
         let da = a.drain();
         let db = b.drain();
-        assert_eq!(da.iter().map(|(_, e)| e.len()).sum::<usize>(), 1);
-        assert_eq!(db.iter().map(|(_, e)| e.len()).sum::<usize>(), 2);
+        assert_eq!(da.iter().map(|(_, e, _)| e.len()).sum::<usize>(), 1);
+        assert_eq!(db.iter().map(|(_, e, _)| e.len()).sum::<usize>(), 2);
         assert_eq!(da[0].1[0].kind, EventKind::CacheLookup { hit: true });
     }
 

@@ -90,6 +90,11 @@ fn render(kind: &EventKind) -> (String, String, Option<u64>) {
             format!("{{\"request\":{request},\"app\":{app},\"ok\":{ok}}}"),
             Some(*dur_us),
         ),
+        EventKind::OsrEnter { func, offset } => (
+            format!("osr f{func} @{offset}"),
+            format!("{{\"func\":{func},\"offset\":{offset}}}"),
+            None,
+        ),
         EventKind::Sample { func, tier } => (
             format!("sample f{func}"),
             format!("{{\"func\":{func},\"tier\":\"{}\"}}", tier.label()),
@@ -100,17 +105,27 @@ fn render(kind: &EventKind) -> (String, String, Option<u64>) {
 
 /// Renders drained rings as a Chrome trace-event JSON document.
 ///
-/// `rings` is `(thread label, events)` per ring, as produced by
+/// `rings` is `(thread label, events, dropped)` per ring, as produced by
 /// [`crate::Telemetry::drain`]. All rings share `pid` 1; each ring becomes
 /// one `tid` with an `"M"` thread-name record so viewers show the label.
-pub fn chrome_trace(rings: &[(String, Vec<TraceEvent>)]) -> String {
+///
+/// A ring that overflowed (nonzero `dropped`) gets a `"C"` counter record
+/// named `events dropped`, so a lossy trace declares its loss on the ring's
+/// own timeline instead of silently truncating the end of a burst.
+pub fn chrome_trace(rings: &[(String, Vec<TraceEvent>, u64)]) -> String {
     let mut records = Vec::new();
-    for (tid0, (label, events)) in rings.iter().enumerate() {
+    for (tid0, (label, events, dropped)) in rings.iter().enumerate() {
         let tid = tid0 + 1;
         records.push(format!(
             "{{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":1,\"tid\":{tid},\"args\":{{\"name\":\"{}\"}}}}",
             escape(label)
         ));
+        if *dropped > 0 {
+            let ts = events.last().map(|e| e.t_us).unwrap_or(0);
+            records.push(format!(
+                "{{\"ph\":\"C\",\"name\":\"events dropped\",\"cat\":\"engine\",\"pid\":1,\"tid\":{tid},\"ts\":{ts},\"args\":{{\"dropped\":{dropped}}}}}",
+            ));
+        }
         for event in events {
             let (name, args, dur) = render(&event.kind);
             let record = match dur {
@@ -160,6 +175,7 @@ mod tests {
                     },
                     TraceEvent { t_us: 50, kind: EventKind::CacheLookup { hit: true } },
                 ],
+                0,
             ),
             (
                 "worker-1".to_string(),
@@ -167,6 +183,7 @@ mod tests {
                     t_us: 90,
                     kind: EventKind::ServeFinish { request: 3, app: 1, ok: true, dur_us: 30 },
                 }],
+                0,
             ),
         ];
         let json = chrome_trace(&rings);
@@ -202,14 +219,30 @@ mod tests {
             EventKind::ServeEnqueue { request: 0, app: 0 },
             EventKind::ServeStart { request: 0, app: 0 },
             EventKind::ServeFinish { request: 0, app: 0, ok: false, dur_us: 9 },
+            EventKind::OsrEnter { func: 3, offset: 17 },
             EventKind::Sample { func: 2, tier: Tier::Interp },
         ];
         let events: Vec<TraceEvent> =
             kinds.iter().map(|&kind| TraceEvent { t_us: 100, kind }).collect();
-        let json = chrome_trace(&[("main".to_string(), events)]);
+        let json = chrome_trace(&[("main".to_string(), events, 0)]);
         // One record per event plus the thread-name metadata record.
         assert_eq!(json.matches("\"ph\":").count(), kinds.len() + 1);
         assert!(json.contains("integer divide by zero"));
+    }
+
+    #[test]
+    fn an_overflowed_ring_declares_its_loss_in_the_trace() {
+        let events = vec![TraceEvent { t_us: 75, kind: EventKind::FuelExhausted }];
+        let json = chrome_trace(&[
+            ("quiet".to_string(), events.clone(), 0),
+            ("lossy".to_string(), events, 41),
+        ]);
+        // Only the lossy ring gets a counter record, stamped at its last
+        // event's timestamp and carrying the overflow count.
+        assert_eq!(json.matches("\"ph\":\"C\"").count(), 1);
+        assert!(json.contains(
+            "\"ph\":\"C\",\"name\":\"events dropped\",\"cat\":\"engine\",\"pid\":1,\"tid\":2,\"ts\":75,\"args\":{\"dropped\":41}"
+        ));
     }
 
     #[test]

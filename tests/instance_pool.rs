@@ -14,6 +14,8 @@ mod common;
 use engine::{Engine, Imports, InstancePool, Instrumentation, TrapReason};
 use machine::inst::TrapCode;
 use machine::values::WasmValue;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
 use wasm::builder::{CodeBuilder, ModuleBuilder};
 use wasm::module::ConstExpr;
 use wasm::opcode::Opcode;
@@ -131,7 +133,8 @@ fn stateful_module() -> Module {
 
 /// The differential itself, per configuration: cold results and trap
 /// reasons versus a pooled instance recycled through progressively dirtier
-/// checkins, including a mid-loop `OutOfFuel` trap.
+/// checkins, including mid-loop `OutOfFuel` and epoch-deadline
+/// `Interrupted` traps.
 #[test]
 fn pooled_reset_matches_cold_instantiation_in_every_config() {
     let module = stateful_module();
@@ -223,8 +226,53 @@ fn pooled_reset_matches_cold_instantiation_in_every_config() {
             );
         }
 
+        // Round 5: an epoch-deadline interrupt also leaves memory
+        // mid-scribble — the same dirty-checkin shape as OutOfFuel, but the
+        // trap arrives from the shared epoch, not the instance's budget.
+        {
+            let mut inst = pool.checkout().unwrap();
+            assert!(inst.was_warm(), "[{name}]");
+            inst.set_epoch_deadline(pool.engine().epoch().load(Ordering::Relaxed) + 1);
+            let epoch = Arc::clone(pool.engine().epoch());
+            let supervisor = std::thread::spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                epoch.fetch_add(1, Ordering::Relaxed);
+            });
+            let trap = pool
+                .engine()
+                .call_export(&mut inst, "burn", &[])
+                .expect_err("burn must be preempted");
+            supervisor.join().expect("supervisor thread");
+            assert_eq!(trap, TrapCode::Interrupted, "[{name}]");
+            assert_eq!(TrapReason::from(trap), TrapReason::Interrupted, "[{name}]");
+            let dirty = inst.capture_image();
+            assert_ne!(
+                dirty.memory().expect("has memory").load(0, 0, 4).unwrap(),
+                0x0403_0201,
+                "[{name}] burn must dirty memory before the interrupt"
+            );
+        }
+
+        // Round 6: the interrupted, dirty checkin resets bit-identically,
+        // and the deadline arming did not leak — the epoch is still past
+        // the old deadline, so a leak would re-trap `main` immediately.
+        {
+            let mut inst = pool.checkout().unwrap();
+            assert!(inst.was_warm(), "[{name}]");
+            let got = pool
+                .engine()
+                .call_export(&mut inst, "main", &[])
+                .unwrap_or_else(|e| {
+                    panic!("[{name}] deadline arming leaked into the next occupant: {e}")
+                });
+            assert_eq!(
+                got, cold_first,
+                "[{name}] reset after Interrupted diverges from cold"
+            );
+        }
+
         let stats = pool.stats();
-        assert_eq!(stats.warm_checkouts, 4, "[{name}]");
+        assert_eq!(stats.warm_checkouts, 6, "[{name}]");
         assert_eq!(stats.cold_checkouts, 0, "[{name}]");
     }
 }

@@ -179,34 +179,50 @@ fn generator_registry() -> Vec<Opcode> {
     ops
 }
 
+/// Adds the trap-free helper `Step::Call` targets: h(x) = (x * 3) xor
+/// 0x5A5A5A5A, via an early return on zero so `return` stays in the
+/// generated opcode set.
+fn add_helper(b: &mut ModuleBuilder) -> u32 {
+    let mut c = CodeBuilder::new();
+    c.local_get(0)
+        .if_(BlockType::Empty)
+        .else_()
+        .i32_const(0)
+        .return_()
+        .end()
+        .local_get(0)
+        .i32_const(3)
+        .op(Opcode::I32Mul)
+        .i32_const(0x5A5A5A5A)
+        .op(Opcode::I32Xor);
+    b.add_func(
+        FuncType::new(vec![ValueType::I32], vec![ValueType::I32]),
+        vec![],
+        c.finish(),
+    )
+}
+
 /// Builds a module whose exported `f(i32, i32) -> i32` applies the steps to a
 /// running accumulator (local 2 is scratch). The module always validates.
 fn build_program(steps: &[Step]) -> wasm::Module {
     let mut b = ModuleBuilder::new();
     b.add_memory(Limits::at_least(1));
-    // A trap-free helper for Step::Call: h(x) = (x * 3) xor 0x5A5A5A5A, via
-    // an early return on zero so `return` stays in the generated opcode set.
-    let helper = {
-        let mut c = CodeBuilder::new();
-        c.local_get(0)
-            .if_(BlockType::Empty)
-            .else_()
-            .i32_const(0)
-            .return_()
-            .end()
-            .local_get(0)
-            .i32_const(3)
-            .op(Opcode::I32Mul)
-            .i32_const(0x5A5A5A5A)
-            .op(Opcode::I32Xor);
-        b.add_func(
-            FuncType::new(vec![ValueType::I32], vec![ValueType::I32]),
-            vec![],
-            c.finish(),
-        )
-    };
+    let helper = add_helper(&mut b);
     let mut c = CodeBuilder::new();
     c.local_get(0);
+    emit_steps(&mut c, steps, helper);
+    let f = b.add_func(
+        FuncType::new(vec![ValueType::I32, ValueType::I32], vec![ValueType::I32]),
+        vec![ValueType::I32],
+        c.finish(),
+    );
+    b.export_func("f", f);
+    b.finish()
+}
+
+/// Emits the step sequence: consumes the single i32 on the stack, leaves
+/// exactly one i32.
+fn emit_steps(c: &mut CodeBuilder, steps: &[Step], helper: u32) {
     for step in steps {
         match step {
             Step::Const(v) => {
@@ -313,13 +329,6 @@ fn build_program(steps: &[Step]) -> wasm::Module {
             }
         }
     }
-    let f = b.add_func(
-        FuncType::new(vec![ValueType::I32, ValueType::I32], vec![ValueType::I32]),
-        vec![ValueType::I32],
-        c.finish(),
-    );
-    b.export_func("f", f);
-    b.finish()
 }
 
 fn run(
@@ -329,6 +338,48 @@ fn run(
     b: i32,
 ) -> Result<WasmValue, TrapCode> {
     common::run_export_checksum(config, module, "f", &[WasmValue::I32(a), WasmValue::I32(b)])
+}
+
+/// Like [`build_program`] but the step sequence becomes a *loop body*: the
+/// accumulator is carried around a real wasm back edge `iters` times. Every
+/// iteration crosses the loop-head meter-check site, so under a forced OSR
+/// threshold the frame is replaced mid-loop — steps that trap, touch memory,
+/// or open their own nested blocks all run partly interpreted (or baseline)
+/// and partly in optimizing-tier code.
+fn build_looped_program(steps: &[Step], iters: i32) -> wasm::Module {
+    let mut b = ModuleBuilder::new();
+    b.add_memory(Limits::at_least(1));
+    let helper = add_helper(&mut b);
+    // Locals: 2 params, scratch (2) for the steps, counter (3), acc (4).
+    let mut c = CodeBuilder::new();
+    c.i32_const(iters)
+        .local_set(3)
+        .local_get(0)
+        .local_set(4)
+        .block(BlockType::Empty)
+        .loop_(BlockType::Empty)
+        .local_get(4);
+    // Each step is depth-self-contained (it opens and closes its own
+    // blocks), so the body nests inside the loop unchanged.
+    emit_steps(&mut c, steps, helper);
+    c.local_set(4)
+        .local_get(3)
+        .i32_const(1)
+        .op(Opcode::I32Sub)
+        .local_tee(3)
+        .op(Opcode::I32Eqz)
+        .br_if(1)
+        .br(0)
+        .end()
+        .end()
+        .local_get(4);
+    let f = b.add_func(
+        FuncType::new(vec![ValueType::I32, ValueType::I32], vec![ValueType::I32]),
+        vec![ValueType::I32, ValueType::I32, ValueType::I32],
+        c.finish(),
+    );
+    b.export_func("f", f);
+    b.finish()
 }
 
 proptest! {
@@ -472,6 +523,36 @@ proptest! {
         let reference = run(EngineConfig::interpreter("int"), &module, a, b);
         let jit = run(EngineConfig::baseline("allopt", CompilerOptions::allopt()), &module, a, b);
         prop_assert_eq!(jit, reference);
+    }
+}
+
+proptest! {
+    // Forcing OSR compiles the optimizing tier for every case×config pair,
+    // so this arm runs fewer cases than the plain differential tests.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// On-stack replacement must be semantically invisible: generated loop
+    /// kernels — whose bodies trap, touch memory, and open nested control —
+    /// produce identical results and traps whether the whole run stays in
+    /// one tier or the frame is replaced at the first back edge.
+    #[test]
+    fn generated_hot_loops_agree_under_forced_osr(
+        steps in proptest::collection::vec(step_strategy(), 1..16),
+        a in any::<i32>(),
+        b in any::<i32>(),
+        iters in 1i32..24,
+    ) {
+        let module = build_looped_program(&steps, iters);
+        wasm::validate::validate(&module).expect("generated loop validates");
+        let reference = run(EngineConfig::interpreter("int"), &module, a, b);
+        for config in common::all_tier_backend_configs() {
+            let name = config.name.clone();
+            let got = run(config.with_osr(0), &module, a, b);
+            prop_assert_eq!(
+                &got, &reference,
+                "configuration {} diverges under forced OSR", name
+            );
+        }
     }
 }
 

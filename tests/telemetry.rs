@@ -183,6 +183,114 @@ fn profiler_attributes_the_hot_loop_across_tiers_and_backends() {
     }
 }
 
+/// `rec` burns all its time in branchy recursion — no loops anywhere, so
+/// the in-loop meter-check sampling sites never fire. Function indices are
+/// (cold, rec, main) = (0, 1, 2).
+fn deep_recursion_module(depth: i32) -> Module {
+    let mut b = ModuleBuilder::new();
+    let cold = {
+        let mut c = CodeBuilder::new();
+        c.local_get(0).i32_const(3).op(Opcode::I32Mul);
+        b.add_func(
+            FuncType::new(vec![ValueType::I32], vec![ValueType::I32]),
+            vec![],
+            c.finish(),
+        )
+    };
+    // rec(n) = n < 2 ? n : rec(n-1) + rec(n-2)  (Fibonacci call tree)
+    let rec = 1;
+    let rec = {
+        let mut c = CodeBuilder::new();
+        c.local_get(0)
+            .i32_const(2)
+            .op(Opcode::I32LtS)
+            .if_(BlockType::Value(ValueType::I32))
+            .local_get(0)
+            .else_()
+            .local_get(0)
+            .i32_const(1)
+            .op(Opcode::I32Sub)
+            .call(rec)
+            .local_get(0)
+            .i32_const(2)
+            .op(Opcode::I32Sub)
+            .call(rec)
+            .op(Opcode::I32Add)
+            .end();
+        b.add_func(
+            FuncType::new(vec![ValueType::I32], vec![ValueType::I32]),
+            vec![],
+            c.finish(),
+        )
+    };
+    let main = {
+        let mut c = CodeBuilder::new();
+        c.i32_const(7)
+            .call(cold)
+            .i32_const(depth)
+            .call(rec)
+            .op(Opcode::I32Add);
+        b.add_func(FuncType::new(vec![], vec![ValueType::I32]), vec![], c.finish())
+    };
+    b.export_func("main", main);
+    b.finish()
+}
+
+/// Regression for the frame-exit sampling path: a kernel with *no* loop
+/// back-edges must still attribute its time to the recursive hot function,
+/// because returns and call boundaries are sample points too.
+#[test]
+fn profiler_attributes_deep_recursion_without_back_edges() {
+    const REC_FUNC: u32 = 1;
+    const MIN_SAMPLES: u64 = 8;
+    let module = deep_recursion_module(21);
+    let tiers: [(EngineConfig, Tier); 3] = [
+        (EngineConfig::interpreter("int"), Tier::Interp),
+        (
+            EngineConfig::baseline("spc", CompilerOptions::allopt()),
+            Tier::Baseline,
+        ),
+        (EngineConfig::optimizing("opt"), Tier::Opt),
+    ];
+    let matrix = tiers.into_iter().flat_map(|(config, tier)| {
+        [CodeBackend::VirtualIsa, CodeBackend::X64]
+            .map(|backend| (config.clone().with_backend(backend), tier, backend))
+    });
+    for (config, expected_tier, backend) in matrix {
+        let name = format!("{}/{backend:?}", config.name);
+        let engine = Engine::new(config.with_metering().with_telemetry())
+            .with_epoch(Arc::new(AtomicU64::new(0)));
+        let ticker = EpochTicker::start(Arc::clone(engine.epoch()), Duration::from_micros(150));
+        let mut instance = engine
+            .instantiate(&module, Imports::new(), Instrumentation::none())
+            .expect("instantiates");
+        let profiler = engine.telemetry().profiler().expect("telemetry is enabled");
+        let mut calls = 0usize;
+        while profiler.total_samples() < MIN_SAMPLES && calls < 400 {
+            instance.set_fuel(u64::MAX / 2);
+            engine
+                .call_export(&mut instance, "main", &[])
+                .expect("recursion kernel runs");
+            calls += 1;
+        }
+        drop(ticker);
+        let total = profiler.total_samples();
+        assert!(
+            total >= MIN_SAMPLES,
+            "{name}: only {total} samples after {calls} calls"
+        );
+        let share = profiler.share(REC_FUNC);
+        assert!(
+            share >= 0.9,
+            "{name}: recursive-kernel share {:.1}% < 90% over {total} samples",
+            share * 100.0
+        );
+        let top = profiler.snapshot().into_iter().next().expect("has samples");
+        assert_eq!(top.func, REC_FUNC, "{name}: top function is the recursive kernel");
+        assert_eq!(top.tier, expected_tier, "{name}: samples land in the executing tier");
+    }
+}
+
 #[test]
 fn serving_batch_traces_the_request_lifecycle() {
     let telemetry = Telemetry::enabled();
@@ -210,7 +318,7 @@ fn serving_batch_traces_the_request_lifecycle() {
     let mut compile_ends = 0;
     let mut checkouts = 0;
     let (mut enqueued, mut started, mut finished, mut finished_ok) = (0, 0, 0, 0);
-    for (_, events) in &rings {
+    for (_, events, _) in &rings {
         for event in events {
             match event.kind {
                 EventKind::CompileEnd { .. } => compile_ends += 1,
