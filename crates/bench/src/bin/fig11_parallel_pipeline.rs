@@ -88,6 +88,7 @@ fn main() {
     let engine = Engine::new(EngineConfig::baseline("wizeng-spc", CompilerOptions::allopt()))
         .with_code_cache(Arc::clone(&cache));
     let mut items_deduped = 0u32;
+    let mut traps_total = 0u64;
     for suite in &suites {
         let mut cold_us = Vec::new();
         let mut warm_us = Vec::new();
@@ -105,7 +106,7 @@ fn main() {
             }
 
             let start = Instant::now();
-            let warm = engine
+            let mut warm = engine
                 .instantiate(&item.module, Imports::new(), Instrumentation::none())
                 .expect("warm instantiation");
             warm_us.push(start.elapsed().as_secs_f64() * 1e6);
@@ -121,6 +122,14 @@ fn main() {
                 warm.metrics.cache_entries > 0,
                 "cache size is visible through RunMetrics"
             );
+            // Execute the warm instance once: cache-served code must run the
+            // suite cleanly, and RunMetrics' trap accounting proves it — a
+            // suite item that starts trapping shows up in the report as a
+            // nonzero `exec.traps_total`, not as a silently wrong checksum.
+            engine
+                .call_export(&mut warm, suites::BenchmarkItem::ENTRY, &[])
+                .expect("cache-served instance executes");
+            traps_total += warm.metrics.traps;
         }
         let cold = summarize(&cold_us);
         let warm = summarize(&warm_us);
@@ -135,6 +144,8 @@ fn main() {
         report.metric(&format!("{}.warm_instantiate_us", suite.name), warm.mean);
     }
     let stats = cache.stats();
+    report.metric("exec.traps_total", traps_total as f64);
+    assert_eq!(traps_total, 0, "suite execution must be trap-free");
     report.metric("cache.entries", stats.entries as f64);
     report.metric("cache.hits", stats.hits as f64);
     report.metric("cache.misses", stats.misses as f64);

@@ -1,6 +1,8 @@
 //! Validates every `BENCH_*.json` in the working directory (or the
-//! directories given as arguments) against the shared report schema, and
-//! every `TRACE_*.json` as well-formed Chrome trace JSON. CI runs this after
+//! directories given as arguments) against the shared report schema, every
+//! `TRACE_*.json` as well-formed Chrome trace JSON, and every
+//! `ACCESS_LOG_*.jsonl` as a serving access log (one self-contained JSON
+//! record per line, in the `serve::access_log` schema). CI runs this after
 //! the figure gates so a drifting emitter fails the build instead of
 //! silently corrupting the perf trajectory.
 //!
@@ -9,6 +11,94 @@
 
 use bench::report::{parse_json, validate_report_json, JsonValue};
 use std::path::{Path, PathBuf};
+
+/// Metrics the diagnostics figure must always report, whatever its gate
+/// says: the equivalence sweep's size and failure count, the symbolication
+/// fraction, and the measured overhead.
+const FIG18_REQUIRED_METRICS: [&str; 5] = [
+    "equivalence_runs",
+    "equivalence_mismatches",
+    "symbolication_coverage",
+    "diagnostics_overhead_pct",
+    "pass",
+];
+
+/// Validates one access-log line against the `serve::access_log` schema.
+fn validate_access_log_line(line: &str) -> Result<(), String> {
+    let doc = parse_json(line)?;
+    for field in ["request", "app", "worker", "latency_us", "instantiate_us", "exec_cycles"] {
+        if doc.get(field).and_then(JsonValue::as_number).is_none() {
+            return Err(format!("missing numeric field {field:?}"));
+        }
+    }
+    for field in ["warm", "deadline_expired"] {
+        if !matches!(doc.get(field), Some(JsonValue::Bool(_))) {
+            return Err(format!("missing boolean field {field:?}"));
+        }
+    }
+    for field in ["fuel_consumed", "deadline_overshoot_epochs"] {
+        match doc.get(field) {
+            Some(JsonValue::Null | JsonValue::Number(_)) => {}
+            _ => return Err(format!("field {field:?} must be a number or null")),
+        }
+    }
+    let status = doc
+        .get("status")
+        .and_then(JsonValue::as_str)
+        .ok_or("missing string field \"status\"")?;
+    match status {
+        "ok" => Ok(()),
+        "rejected" => doc
+            .get("reject_reason")
+            .and_then(JsonValue::as_str)
+            .map(|_| ())
+            .ok_or_else(|| "rejected record missing string \"reject_reason\"".to_string()),
+        "trap" => {
+            let trap = doc
+                .get("trap")
+                .filter(|t| t.as_object().is_some())
+                .ok_or("trap record missing object field \"trap\"")?;
+            trap.get("reason")
+                .and_then(JsonValue::as_str)
+                .ok_or("trap missing string field \"reason\"")?;
+            let frames = trap
+                .get("frames")
+                .and_then(JsonValue::as_array)
+                .ok_or("trap missing array field \"frames\"")?;
+            for (i, frame) in frames.iter().enumerate() {
+                for field in ["func", "offset"] {
+                    if frame.get(field).and_then(JsonValue::as_number).is_none() {
+                        return Err(format!("frame {i} missing numeric field {field:?}"));
+                    }
+                }
+                if frame.get("tier").and_then(JsonValue::as_str).is_none() {
+                    return Err(format!("frame {i} missing string field \"tier\""));
+                }
+                match frame.get("name") {
+                    Some(JsonValue::Null | JsonValue::String(_)) => {}
+                    _ => return Err(format!("frame {i}: \"name\" must be a string or null")),
+                }
+            }
+            Ok(())
+        }
+        other => Err(format!("unknown status {other:?}")),
+    }
+}
+
+fn validate_access_log(text: &str) -> Result<usize, String> {
+    let mut lines = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        validate_access_log_line(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        lines += 1;
+    }
+    if lines == 0 {
+        return Err("access log holds no records".to_string());
+    }
+    Ok(lines)
+}
 
 fn validate_trace_json(text: &str) -> Result<usize, String> {
     let doc = parse_json(text)?;
@@ -57,8 +147,9 @@ fn main() {
             .filter_map(|e| e.ok().map(|e| e.path()))
             .filter(|p| {
                 let name = p.file_name().and_then(|n| n.to_str()).unwrap_or("");
-                (name.starts_with("BENCH_") || name.starts_with("TRACE_"))
-                    && name.ends_with(".json")
+                ((name.starts_with("BENCH_") || name.starts_with("TRACE_"))
+                    && name.ends_with(".json"))
+                    || (name.starts_with("ACCESS_LOG_") && name.ends_with(".jsonl"))
             })
             .collect();
         paths.sort();
@@ -75,7 +166,7 @@ fn main() {
     }
 
     if checked == 0 {
-        eprintln!("no BENCH_*.json or TRACE_*.json found in {dirs:?}");
+        eprintln!("no BENCH_*.json, TRACE_*.json, or ACCESS_LOG_*.jsonl found in {dirs:?}");
         std::process::exit(1);
     }
     println!("{checked} report(s) checked, {} failure(s)", failures.len());
@@ -90,12 +181,29 @@ fn check_one(path: &Path) -> Result<String, String> {
     if name.starts_with("TRACE_") {
         let events = validate_trace_json(&text)?;
         Ok(format!("{events} trace events"))
+    } else if name.starts_with("ACCESS_LOG_") {
+        let lines = validate_access_log(&text)?;
+        Ok(format!("{lines} access-log records"))
     } else {
         validate_report_json(&text)?;
-        let metrics = parse_json(&text)
-            .ok()
-            .and_then(|doc| doc.get("metrics").and_then(|m| m.as_object().map(|o| o.len())))
-            .unwrap_or(0);
-        Ok(format!("{metrics} metrics"))
+        let doc = parse_json(&text)?;
+        let metrics = doc.get("metrics").and_then(JsonValue::as_object);
+        if name == "BENCH_fig18.json" {
+            let metrics = metrics.ok_or("missing metrics object")?;
+            for required in FIG18_REQUIRED_METRICS {
+                if !metrics.contains_key(required) {
+                    return Err(format!("fig18 report missing metric {required:?}"));
+                }
+            }
+            let coverage = doc
+                .get("metrics")
+                .and_then(|m| m.get("symbolication_coverage"))
+                .and_then(JsonValue::as_number)
+                .ok_or("symbolication_coverage must be a number")?;
+            if !(0.0..=1.0).contains(&coverage) {
+                return Err(format!("symbolication_coverage {coverage} outside [0, 1]"));
+            }
+        }
+        Ok(format!("{} metrics", metrics.map_or(0, |m| m.len())))
     }
 }

@@ -16,7 +16,7 @@
 //! baseline-compiled, then optimized, and must agree each time.
 
 use crate::script::{Action, Command, ModuleForm, Script};
-use engine::{Engine, EngineConfig, Imports, Instance, Instrumentation, TrapReason};
+use engine::{Engine, EngineConfig, Imports, Instance, Instrumentation, TrapInfo, TrapReason};
 use machine::inst::TrapCode;
 use machine::masm::CodeBackend;
 use machine::values::WasmValue;
@@ -55,6 +55,12 @@ pub struct Outcome {
     /// identical across every configuration in [`all_configs`] — the
     /// conformance tests assert exactly that.
     pub fuel: Vec<u64>,
+    /// The diagnostics of every `assert_trap` that trapped as expected, in
+    /// script order. Backtrace equality ignores the executing tier, so —
+    /// like [`Outcome::fuel`] — this vector is identical across every
+    /// configuration in [`all_configs`], and the conformance tests assert
+    /// exactly that.
+    pub traps: Vec<TrapInfo>,
 }
 
 impl Outcome {
@@ -183,6 +189,11 @@ pub fn run_script_mutated(
                         let reason = TrapReason::from(code);
                         if reason.matches_wast(message) {
                             outcome.passed += 1;
+                            if let Some(info) =
+                                current.as_ref().and_then(Instance::last_trap)
+                            {
+                                outcome.traps.push(info.clone());
+                            }
                         } else {
                             outcome.failures.push(format!(
                                 "{}: {} trapped with \"{reason}\", expected \"{message}\"",

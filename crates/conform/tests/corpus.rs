@@ -92,6 +92,37 @@ fn corpus_is_bit_identical_with_osr_forced_at_every_back_edge() {
     );
 }
 
+/// Every `assert_trap` in the corpus produces a symbolicated backtrace, and
+/// that backtrace is identical under every tier×backend configuration (the
+/// executing tier is recorded per frame but excluded from equality). This is
+/// the corpus-wide form of the targeted differentials in
+/// `tests/backtrace.rs`: whatever trap shapes the corpus exercises —
+/// arithmetic, memory, `call_indirect` dispatch, fuel exhaustion — the
+/// diagnostics may not depend on how the code executed.
+#[test]
+fn corpus_trap_backtraces_agree_across_the_matrix() {
+    let corpus = conform::load_corpus();
+    let configs = all_configs();
+    let reference = &configs[0];
+    let mut traps_seen = 0usize;
+    for script in &corpus {
+        let expected = run_script(script, reference).traps;
+        traps_seen += expected.len();
+        for config in &configs[1..] {
+            let got = run_script(script, config).traps;
+            assert_eq!(
+                expected, got,
+                "{}[{}]: trap backtraces diverged from [{}]",
+                script.name, config.name, reference.name
+            );
+        }
+    }
+    assert!(
+        traps_seen >= 10,
+        "suspiciously few assert_traps produced diagnostics: {traps_seen}"
+    );
+}
+
 /// The corpus must be able to *catch* a miscompile: rewrite `i32.div_s` into
 /// `i32.div_u` (the shape of a classic signedness bug) in every module and
 /// require that the corpus reports failures under a JIT configuration.

@@ -21,6 +21,7 @@ use crate::gc::{scan_roots_via_stackmaps, scan_roots_via_tags, Heap, StackmapFra
 use crate::image::MemoryImage;
 use crate::monitor::Instrumentation;
 use crate::pipeline::{self, BackgroundCompiler, CompileTier, CompiledArtifact, CompiledModule};
+use crate::trap::{Backtrace, Frame, FrameTierTag, TrapInfo, TrapReason};
 use interp::interp::{InterpExit, Interpreter};
 use interp::probe::{FrameAccessor, ProbeSink};
 use machine::cost::CycleCounter;
@@ -172,6 +173,12 @@ pub struct RunMetrics {
     pub gc_count: u64,
     /// Value-tag store instructions emitted by the compiler.
     pub tag_stores_emitted: u64,
+    /// Calls that ended in a trap (any [`TrapReason`], including fuel
+    /// exhaustion and epoch interruption).
+    pub traps: u64,
+    /// Per-reason trap counts, indexed by [`TrapReason::index`]. A fixed
+    /// array (not a map) keeps [`RunMetrics`] `Copy`.
+    pub trap_counts: [u64; 12],
 }
 
 impl RunMetrics {
@@ -179,6 +186,11 @@ impl RunMetrics {
     /// deferred (lazy / tier-up / background) plus the optimizing tier.
     pub fn total_compile_wall(&self) -> Duration {
         self.compile_wall + self.lazy_compile_wall + self.opt_compile_wall
+    }
+
+    /// How many calls trapped with `reason`.
+    pub fn trap_count(&self, reason: TrapReason) -> u64 {
+        self.trap_counts[reason.index()]
     }
 }
 
@@ -231,6 +243,9 @@ pub struct Instance {
     /// Epoch deadline: execution traps with [`TrapCode::Interrupted`] once
     /// the engine's shared epoch counter reaches this value.
     epoch_deadline: Option<u64>,
+    /// Diagnostics for the most recent trap: the classified reason plus the
+    /// symbolicated cross-tier backtrace captured when it fired.
+    last_trap: Option<TrapInfo>,
     /// Accumulated metrics.
     pub metrics: RunMetrics,
 }
@@ -309,6 +324,15 @@ impl Instance {
         self.epoch_deadline = None;
     }
 
+    /// Diagnostics for the most recent trap on this instance, if any call
+    /// has trapped since instantiation (or the last pool reset). The engine
+    /// captures these for *every* trapping call — including fuel exhaustion
+    /// and epoch interruption — at the moment the trap fires, so the
+    /// backtrace reflects the live activation stack.
+    pub fn last_trap(&self) -> Option<&TrapInfo> {
+        self.last_trap.as_ref()
+    }
+
     /// Snapshots this instance's mutable state (memory contents, globals,
     /// tables) as a [`MemoryImage`]. Captured immediately after
     /// instantiation, the image is the pre-initialized state a pooled
@@ -336,6 +360,7 @@ impl Instance {
         self.fuel = None;
         self.initial_fuel = 0;
         self.epoch_deadline = None;
+        self.last_trap = None;
         self.metrics = RunMetrics {
             cache_hit: true,
             ..RunMetrics::default()
@@ -364,6 +389,15 @@ impl FrameTier {
             FrameTier::Jit { tier, .. } => Some(*tier),
         }
     }
+
+    /// The backtrace tag for this frame's tier.
+    fn tag(&self) -> FrameTierTag {
+        match self.jit_tier() {
+            None => FrameTierTag::Interp,
+            Some(CompileTier::Baseline) => FrameTierTag::Baseline,
+            Some(CompileTier::Opt) => FrameTierTag::Opt,
+        }
+    }
 }
 
 fn tier_index(tier: CompileTier) -> usize {
@@ -387,6 +421,12 @@ struct Activation {
     /// OSR permanently disabled for this activation (no entry for the loop,
     /// compile failure, or a frame that cannot grow to the optimized size).
     osr_off: bool,
+    /// Bytecode offset of the call instruction this frame last suspended
+    /// at. This is the frame's position in a backtrace while a callee runs —
+    /// and where traps raised *at the call boundary itself* (stack
+    /// exhaustion, epoch interruption in `push_frame`, indirect-call
+    /// dispatch failures, host errors) are attributed.
+    site_offset: u32,
 }
 
 /// The engine: a configuration plus the machinery to instantiate and run
@@ -593,6 +633,7 @@ impl Engine {
             fuel: None,
             initial_fuel: 0,
             epoch_deadline: None,
+            last_trap: None,
             metrics: RunMetrics {
                 cache_hit,
                 cache_hits: cache_stats.map_or(0, |(hits, _, _)| hits),
@@ -682,9 +723,23 @@ impl Engine {
                 self.telemetry.emit(match code {
                     TrapCode::OutOfFuel => EventKind::FuelExhausted,
                     TrapCode::Interrupted => EventKind::EpochInterrupt,
-                    code => EventKind::Trap {
-                        reason: crate::trap::TrapReason::from(*code).wast_message(),
-                    },
+                    code => {
+                        // `run_call` captured the diagnostics as the stack
+                        // unwound; the event carries the innermost frame.
+                        let top = instance
+                            .last_trap
+                            .as_ref()
+                            .and_then(|t| t.backtrace.frames().first());
+                        EventKind::Trap {
+                            reason: TrapReason::from(*code).wast_message(),
+                            func: top.map_or(0, |f| f.func_index),
+                            offset: top.map_or(0, |f| f.offset),
+                            depth: instance
+                                .last_trap
+                                .as_ref()
+                                .map_or(0, |t| t.backtrace.depth() as u32),
+                        }
+                    }
                 });
             }
         }
@@ -957,6 +1012,7 @@ impl Engine {
             tier,
             osr_skip: false,
             osr_off: false,
+            site_offset: 0,
         })
     }
 
@@ -968,9 +1024,84 @@ impl Engine {
         frame_base: usize,
         cycles: &mut CycleCounter,
     ) -> Result<(), TrapCode> {
+        let mut stack: Vec<Activation> = Vec::new();
+        let mut trap_offset: Option<u32> = None;
+        let result = self.run_frames(
+            instance,
+            func_index,
+            args,
+            frame_base,
+            cycles,
+            &mut stack,
+            &mut trap_offset,
+        );
+        if let Err(code) = result {
+            // The stack is still live here — the frame walk sees exactly the
+            // activations that existed when the trap fired.
+            self.record_trap(instance, &stack, code, trap_offset);
+        }
+        result
+    }
+
+    /// Captures diagnostics for a trap that unwound [`Engine::run_frames`]:
+    /// walks the (still-live) activation stack into a symbolicated
+    /// [`Backtrace`], stores the [`TrapInfo`] on the instance, and bumps the
+    /// per-reason metrics and telemetry counters.
+    ///
+    /// The top frame's offset is `trap_offset` when the trap came from
+    /// *executing* an instruction; traps raised at a call boundary (stack
+    /// exhaustion, `push_frame` epoch interruption, indirect-call dispatch
+    /// failures, host errors) have no executing instruction, so the top
+    /// frame reports the call site it was suspended at.
+    fn record_trap(
+        &self,
+        instance: &mut Instance,
+        stack: &[Activation],
+        code: TrapCode,
+        trap_offset: Option<u32>,
+    ) {
+        let reason = TrapReason::from(code);
+        instance.metrics.traps += 1;
+        instance.metrics.trap_counts[reason.index()] += 1;
+        let names = instance.module().name_section();
+        let mut frames = Vec::with_capacity(stack.len());
+        for (depth, act) in stack.iter().rev().enumerate() {
+            let offset = if depth == 0 {
+                trap_offset.unwrap_or(act.site_offset)
+            } else {
+                act.site_offset
+            };
+            frames.push(Frame {
+                func_index: act.func_index,
+                name: names.func_name(act.func_index).map(str::to_string),
+                offset,
+                tier: act.tier.tag(),
+            });
+        }
+        if self.telemetry.is_enabled() {
+            if let Some(metrics) = self.telemetry.metrics() {
+                metrics.counter(&format!("engine.traps.{}", reason.slug())).inc();
+            }
+        }
+        instance.last_trap = Some(TrapInfo {
+            reason,
+            backtrace: Backtrace::from_frames(frames),
+        });
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_frames(
+        &self,
+        instance: &mut Instance,
+        func_index: u32,
+        args: &[WasmValue],
+        frame_base: usize,
+        cycles: &mut CycleCounter,
+        stack: &mut Vec<Activation>,
+        trap_offset: &mut Option<u32>,
+    ) -> Result<(), TrapCode> {
         let interp = Interpreter::new(self.config.cost.clone());
         let cpu = Cpu::new(self.config.cost.clone());
-        let mut stack: Vec<Activation> = Vec::new();
         let root = self.push_frame(instance, func_index, frame_base, Some(args), 0)?;
         stack.push(root);
         // An owned handle to the shared artifact lets the executor borrow
@@ -1061,7 +1192,7 @@ impl Engine {
                             .code_for(defined, *tier)
                             .expect("JIT frame has compiled code");
                         let exit = cpu.run(cpu_state, &code.code, *pc, &mut ctx, cycles);
-                        UnifiedExit::from_cpu(exit)
+                        UnifiedExit::from_cpu(exit, code)
                     }
                 }
             };
@@ -1109,8 +1240,11 @@ impl Engine {
                     callee,
                     resume,
                     jit_caller,
+                    site_offset,
                 } => {
-                    // Record where to resume the caller.
+                    // Record where to resume the caller, and where it stands
+                    // in a backtrace while the callee runs.
+                    act.site_offset = site_offset;
                     let caller_tier = act.tier.jit_tier();
                     let (caller_base, caller_defined, nargs_from_sig) = {
                         let sig = artifact
@@ -1135,7 +1269,7 @@ impl Engine {
                         instance.values.sp() - nargs_from_sig
                     };
                     cycles.charge(self.config.cost.call);
-                    self.maybe_collect(instance, &stack);
+                    self.maybe_collect(instance, stack);
 
                     if artifact.module().is_imported_func(callee) {
                         self.call_host(instance, callee, callee_base, cycles)?;
@@ -1169,7 +1303,12 @@ impl Engine {
                     entry_index,
                     resume,
                     jit_caller,
+                    site_offset,
                 } => {
+                    // Set the backtrace position before the dispatch checks:
+                    // table-bounds, null-entry, and signature traps below all
+                    // belong to this `call_indirect` instruction.
+                    act.site_offset = site_offset;
                     match &mut act.tier {
                         FrameTier::Interp { ip } => *ip = resume,
                         FrameTier::Jit { pc, .. } => *pc = resume,
@@ -1210,7 +1349,7 @@ impl Engine {
                         instance.values.sp() - nargs
                     };
                     cycles.charge(self.config.cost.call_indirect);
-                    self.maybe_collect(instance, &stack);
+                    self.maybe_collect(instance, stack);
                     if artifact.module().is_imported_func(callee) {
                         self.call_host(instance, callee, callee_base, cycles)?;
                         let parent = stack.last().expect("caller");
@@ -1237,7 +1376,10 @@ impl Engine {
                 UnifiedExit::Osr { offset, resume } => {
                     self.handle_osr(instance, act, offset, resume);
                 }
-                UnifiedExit::Trap(code) => return Err(code),
+                UnifiedExit::Trap { code, offset } => {
+                    *trap_offset = Some(offset);
+                    return Err(code);
+                }
             }
         }
         Ok(())
@@ -1519,6 +1661,13 @@ fn global_roots(globals: &[GlobalSlot]) -> Vec<u32> {
 }
 
 /// A tier-independent view of why a frame stopped executing.
+///
+/// Wasm bytecode offsets are resolved here, once, at the tier boundary: the
+/// interpreter reports them directly, while compiled exits map their machine
+/// program counter back through the code's source map
+/// ([`spc::CompiledFunction`]'s `code.source_offset`). Past this point the
+/// engine never needs to know which tier produced an exit to attribute it in
+/// a backtrace — that is what makes backtraces bit-identical across tiers.
 enum UnifiedExit {
     Return,
     Call {
@@ -1528,6 +1677,9 @@ enum UnifiedExit {
         /// found in the compiled call-site metadata; interpreter callers use
         /// the dynamic stack pointer instead.
         jit_caller: bool,
+        /// Bytecode offset of the `call` instruction itself — the caller's
+        /// backtrace position while the callee runs.
+        site_offset: u32,
     },
     CallIndirect {
         type_index: u32,
@@ -1535,6 +1687,8 @@ enum UnifiedExit {
         entry_index: u32,
         resume: usize,
         jit_caller: bool,
+        /// Bytecode offset of the `call_indirect` instruction itself.
+        site_offset: u32,
     },
     Probe {
         exit: ProbeExit,
@@ -1547,7 +1701,12 @@ enum UnifiedExit {
         offset: u32,
         resume: usize,
     },
-    Trap(TrapCode),
+    Trap {
+        code: TrapCode,
+        /// Bytecode offset of the trapping instruction (0 when the code was
+        /// compiled without debug metadata and the source map is empty).
+        offset: u32,
+    },
 }
 
 impl UnifiedExit {
@@ -1557,32 +1716,40 @@ impl UnifiedExit {
             InterpExit::Call {
                 func_index,
                 resume_ip,
+                site_offset,
             } => UnifiedExit::Call {
                 callee: func_index,
                 resume: resume_ip,
                 jit_caller: false,
+                site_offset,
             },
             InterpExit::CallIndirect {
                 type_index,
                 table_index,
                 entry_index,
                 resume_ip,
+                site_offset,
             } => UnifiedExit::CallIndirect {
                 type_index,
                 table_index,
                 entry_index,
                 resume: resume_ip,
                 jit_caller: false,
+                site_offset,
             },
             InterpExit::Osr { offset } => UnifiedExit::Osr {
                 offset,
                 resume: offset as usize,
             },
-            InterpExit::Trap(code) => UnifiedExit::Trap(code),
+            InterpExit::Trap { code, offset } => UnifiedExit::Trap { code, offset },
         }
     }
 
-    fn from_cpu(exit: CpuExit) -> UnifiedExit {
+    /// `code` is the compiled function the exit came from; its source map
+    /// translates the machine program counters in the exit back to wasm
+    /// bytecode offsets. Call exits resume at `call instruction + 1`, so the
+    /// call site itself is the preceding instruction.
+    fn from_cpu(exit: CpuExit, code: &CompiledFunction) -> UnifiedExit {
         match exit {
             CpuExit::Return => UnifiedExit::Return,
             CpuExit::Call {
@@ -1592,6 +1759,7 @@ impl UnifiedExit {
                 callee: func_index,
                 resume: resume_pc,
                 jit_caller: true,
+                site_offset: code.code.source_offset(resume_pc - 1).unwrap_or(0),
             },
             CpuExit::CallIndirect {
                 type_index,
@@ -1604,6 +1772,7 @@ impl UnifiedExit {
                 entry_index,
                 resume: resume_pc,
                 jit_caller: true,
+                site_offset: code.code.source_offset(resume_pc - 1).unwrap_or(0),
             },
             CpuExit::Probe { exit, resume_pc } => UnifiedExit::Probe {
                 exit,
@@ -1613,7 +1782,10 @@ impl UnifiedExit {
                 offset,
                 resume: resume_pc,
             },
-            CpuExit::Trap(code) => UnifiedExit::Trap(code),
+            CpuExit::Trap { code: trap, pc } => UnifiedExit::Trap {
+                code: trap,
+                offset: code.code.source_offset(pc).unwrap_or(0),
+            },
         }
     }
 }

@@ -69,4 +69,4 @@ pub use multi::MultiEngine;
 pub use pipeline::{BackgroundCompiler, CompileTier, CompiledArtifact, CompiledModule};
 pub use pool::{InstancePool, PoolStats, PooledInstance};
 pub use telemetry::Telemetry;
-pub use trap::TrapReason;
+pub use trap::{Backtrace, Frame, FrameTierTag, TrapInfo, TrapReason};

@@ -112,6 +112,9 @@ pub enum InterpExit {
         func_index: u32,
         /// Bytecode offset to resume at after the call.
         resume_ip: usize,
+        /// Bytecode offset of the `call` instruction itself — the caller's
+        /// position in a backtrace while the callee runs.
+        site_offset: u32,
     },
     /// An indirect call. Arguments are on the operand stack; the table
     /// element index has already been popped.
@@ -124,6 +127,8 @@ pub enum InterpExit {
         entry_index: u32,
         /// Bytecode offset to resume at after the call.
         resume_ip: usize,
+        /// Bytecode offset of the `call_indirect` instruction itself.
+        site_offset: u32,
     },
     /// The OSR hook fired at a hot loop-body start: the engine should try to
     /// transfer this frame into the optimizing tier, or resume interpreting
@@ -133,7 +138,12 @@ pub enum InterpExit {
         offset: u32,
     },
     /// Execution trapped.
-    Trap(TrapCode),
+    Trap {
+        /// The trap reason.
+        code: TrapCode,
+        /// Bytecode offset of the trapping instruction.
+        offset: u32,
+    },
 }
 
 /// The in-place interpreter.
@@ -170,7 +180,7 @@ impl Interpreter {
     ) -> InterpExit {
         let decl = match module.func_decl(func.func_index) {
             Some(d) => d,
-            None => return InterpExit::Trap(TrapCode::HostError),
+            None => return InterpExit::Trap { code: TrapCode::HostError, offset: 0 },
         };
         let code: &[u8] = &decl.code;
         let frame_base = ctx.frame_base;
@@ -179,9 +189,13 @@ impl Interpreter {
         let mut reader = BytecodeReader::new(code);
         reader.set_pc(start_ip);
 
+        // Traps report the offset of the instruction being executed; `ip` is
+        // declared before the macro so the macro body (hygienically) resolves
+        // to this binding, updated at the top of the dispatch loop.
+        let mut ip: usize;
         macro_rules! trap {
             ($code:expr) => {
-                return InterpExit::Trap($code)
+                return InterpExit::Trap { code: $code, offset: ip as u32 }
             };
         }
 
@@ -191,7 +205,7 @@ impl Interpreter {
                 self.finish_return(func, ctx, cycles);
                 return InterpExit::Return;
             }
-            let ip = reader.pc();
+            ip = reader.pc();
 
             // Metering runs before probes so a fuel trap fires at the same
             // offset in every tier (compiled code emits the same fused
@@ -357,6 +371,7 @@ impl Interpreter {
                     return InterpExit::Call {
                         func_index: callee,
                         resume_ip: reader.pc(),
+                        site_offset: ip as u32,
                     };
                 }
                 Opcode::CallIndirect => {
@@ -373,6 +388,7 @@ impl Interpreter {
                         table_index,
                         entry_index,
                         resume_ip: reader.pc(),
+                        site_offset: ip as u32,
                     };
                 }
                 Opcode::Drop => {
@@ -734,7 +750,7 @@ mod tests {
                     WasmValue::from_bits(values.read(i), ValueTag::for_type(*ty))
                 })
                 .collect()),
-            InterpExit::Trap(code) => Err(code),
+            InterpExit::Trap { code, .. } => Err(code),
             other => panic!("unexpected exit {other:?}"),
         }
     }
@@ -1073,7 +1089,8 @@ mod tests {
             exit,
             InterpExit::Call {
                 func_index: callee,
-                resume_ip: 2
+                resume_ip: 2,
+                site_offset: 0,
             }
         );
     }

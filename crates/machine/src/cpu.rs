@@ -325,7 +325,14 @@ pub enum CpuExit {
         resume_pc: usize,
     },
     /// Execution trapped.
-    Trap(TrapCode),
+    Trap {
+        /// The trap reason.
+        code: TrapCode,
+        /// Program counter of the trapping instruction — the engine maps it
+        /// back to a wasm bytecode offset through the code's source map when
+        /// building a backtrace.
+        pc: usize,
+    },
 }
 
 /// Executes compiled code until it exits.
@@ -387,7 +394,7 @@ impl Cpu {
                     let b = state.gprs[b.index()];
                     match ops::eval_alu(*op, *width, a, b) {
                         Ok(v) => state.gprs[dst.index()] = v,
-                        Err(t) => return CpuExit::Trap(t),
+                        Err(t) => return CpuExit::Trap { code: t, pc },
                     }
                 }
                 MachInst::AluImm { op, width, dst, a, imm } => {
@@ -398,7 +405,7 @@ impl Cpu {
                     };
                     match ops::eval_alu(*op, *width, a, b) {
                         Ok(v) => state.gprs[dst.index()] = v,
-                        Err(t) => return CpuExit::Trap(t),
+                        Err(t) => return CpuExit::Trap { code: t, pc },
                     }
                 }
                 MachInst::Unop { op, width, dst, src } => {
@@ -431,7 +438,7 @@ impl Cpu {
                     let v = state.read(*src);
                     match ops::eval_convert(*op, v) {
                         Ok(bits) => state.write(*dst, bits),
-                        Err(t) => return CpuExit::Trap(t),
+                        Err(t) => return CpuExit::Trap { code: t, pc },
                     }
                 }
                 MachInst::Select { dst, cond, if_true, if_false } => {
@@ -453,12 +460,12 @@ impl Cpu {
                 MachInst::MemLoad { dst, addr, offset, width, signed, dst_width } => {
                     let memory = match ctx.memory.as_deref() {
                         Some(m) => m,
-                        None => return CpuExit::Trap(TrapCode::MemoryOutOfBounds),
+                        None => return CpuExit::Trap { code: TrapCode::MemoryOutOfBounds, pc },
                     };
                     let addr = state.gprs[addr.index()] as u32;
                     let raw = match memory.load(addr, *offset, *width) {
                         Ok(v) => v,
-                        Err(t) => return CpuExit::Trap(t),
+                        Err(t) => return CpuExit::Trap { code: t, pc },
                     };
                     let bits = extend_loaded(raw, *width, *signed, *dst_width);
                     state.write(*dst, bits);
@@ -468,10 +475,10 @@ impl Cpu {
                     let bits = state.read(*src);
                     let memory = match ctx.memory.as_deref_mut() {
                         Some(m) => m,
-                        None => return CpuExit::Trap(TrapCode::MemoryOutOfBounds),
+                        None => return CpuExit::Trap { code: TrapCode::MemoryOutOfBounds, pc },
                     };
                     if let Err(t) = memory.store(addr_v, *offset, *width, bits) {
-                        return CpuExit::Trap(t);
+                        return CpuExit::Trap { code: t, pc };
                     }
                 }
                 MachInst::MemorySize { dst } => {
@@ -571,10 +578,10 @@ impl Cpu {
                     // meters separate but preserves that single-sequence
                     // cost, which is why no distinct epoch poll is emitted.
                     if let Err(t) = ctx.meter.charge_fuel(*amount) {
-                        return CpuExit::Trap(t);
+                        return CpuExit::Trap { code: t, pc };
                     }
                     if let Err(t) = ctx.meter.check_epoch() {
-                        return CpuExit::Trap(t);
+                        return CpuExit::Trap { code: t, pc };
                     }
                     ctx.meter.poll_sampler(|| code.source_offset(pc).unwrap_or(0));
                 }
@@ -585,11 +592,11 @@ impl Cpu {
                         return CpuExit::Osr { offset, resume_pc: pc };
                     }
                     if let Err(t) = ctx.meter.check_epoch() {
-                        return CpuExit::Trap(t);
+                        return CpuExit::Trap { code: t, pc };
                     }
                     ctx.meter.poll_sampler(|| code.source_offset(pc).unwrap_or(0));
                 }
-                MachInst::Trap { code } => return CpuExit::Trap(*code),
+                MachInst::Trap { code } => return CpuExit::Trap { code: *code, pc },
                 MachInst::Return => return CpuExit::Return,
             }
             pc += 1;
@@ -775,7 +782,7 @@ mod tests {
         asm.emit(MachInst::Return);
         let code = asm.finish();
         let (exit, _, _) = w.run(&code);
-        assert_eq!(exit, CpuExit::Trap(TrapCode::MemoryOutOfBounds));
+        assert_eq!(exit, CpuExit::Trap { code: TrapCode::MemoryOutOfBounds, pc: 1 });
     }
 
     #[test]
@@ -829,7 +836,7 @@ mod tests {
         let code = asm.finish();
         let mut w = World::new();
         let (exit, _, _) = w.run(&code);
-        assert_eq!(exit, CpuExit::Trap(TrapCode::DivisionByZero));
+        assert_eq!(exit, CpuExit::Trap { code: TrapCode::DivisionByZero, pc: 2 });
     }
 
     #[test]

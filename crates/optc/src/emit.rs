@@ -25,7 +25,7 @@
 //! the slot's value tag, which is the optimizing tier's entire GC contract
 //! (references never live in registers).
 
-use crate::ir::{Edge, FuncIr, Inst, Node, Terminator, ValueId};
+use crate::ir::{Edge, Effect, FuncIr, Inst, Node, Terminator, ValueId};
 use crate::regalloc::{
     Allocation, Loc, SCRATCH2_FPR, SCRATCH2_GPR, SCRATCH3_GPR, SCRATCH_FPR, SCRATCH_GPR,
 };
@@ -316,9 +316,11 @@ impl<'a, M: Masm> Emitter<'a, M> {
                 addr,
                 offset,
                 width,
+                src_offset,
             } => {
                 let rv = self.use_any(*value, 0);
                 let ra = self.use_gpr(*addr, 1);
+                self.masm.mark_source(*src_offset);
                 self.masm.mem_store(rv, ra, *offset, *width);
             }
             Inst::GlobalSet { index, value } => {
@@ -445,6 +447,15 @@ impl<'a, M: Masm> Emitter<'a, M> {
 
     fn emit_def(&mut self, v: ValueId) {
         let node = self.ir.nodes[v.index()].clone();
+        // Anchor trapping defs in the source map *before* their operand
+        // loads: only the trapping instruction itself can exit here, so the
+        // pending mark resolves to it, and a trap's pc maps back to the wasm
+        // offset the frontend recorded.
+        if node.effect() == Effect::Trapping {
+            if let Some(offset) = self.ir.src_offset(v) {
+                self.masm.mark_source(offset);
+            }
+        }
         match node {
             // Constants rematerialize at uses; params and call results are
             // defined elsewhere.
@@ -847,7 +858,10 @@ impl<'a, M: Masm> Emitter<'a, M> {
                 }
                 self.masm.ret();
             }
-            Terminator::Trap(code) => self.masm.trap(*code),
+            Terminator::Trap { code, offset } => {
+                self.masm.mark_source(*offset);
+                self.masm.trap(*code);
+            }
         }
     }
 }

@@ -16,7 +16,7 @@
 //! (same kinds, same flush discipline at runtime/direct probes), so
 //! instrumentation observes identical firings from optimized code.
 
-use crate::ir::{Edge, FuncIr, Inst, Node, OsrSite, Terminator, ValueId};
+use crate::ir::{Edge, Effect, FuncIr, Inst, Node, OsrSite, Terminator, ValueId};
 use machine::inst::{CmpOp, TrapCode, Width};
 use machine::lower::{classify, OpClass};
 use machine::values::NULL_REF_BITS;
@@ -86,6 +86,10 @@ struct Builder<'a> {
     locals: Vec<ValueId>,
     stack: Vec<ValueId>,
     ctrl: Vec<Frame>,
+    /// Bytecode offset of the instruction being lowered; [`Builder::def`]
+    /// records it for trapping nodes so the emitter can anchor them in the
+    /// source map.
+    cur_offset: u32,
 }
 
 /// Builds the SSA form of one validated function.
@@ -146,6 +150,7 @@ pub fn build(
         locals,
         stack: Vec::new(),
         ctrl: Vec::new(),
+        cur_offset: 0,
     };
     b.ctrl.push(Frame {
         kind: CtrlKind::Func,
@@ -203,7 +208,11 @@ impl<'a> Builder<'a> {
     }
 
     fn def(&mut self, node: Node, ty: ValueType) -> ValueId {
+        let trapping = node.effect() == Effect::Trapping;
         let v = self.ir.add_value(node, ty);
+        if trapping {
+            self.ir.set_src_offset(v, self.cur_offset);
+        }
         self.push_inst(Inst::Def(v));
         v
     }
@@ -415,11 +424,15 @@ impl<'a> Builder<'a> {
                 .map_err(|e| self.error(offset, e.to_string()))?;
             return Ok(());
         }
+        self.cur_offset = offset as u32;
 
         match op {
             Opcode::Nop => {}
             Opcode::Unreachable => {
-                self.set_term(Terminator::Trap(TrapCode::Unreachable));
+                self.set_term(Terminator::Trap {
+                    code: TrapCode::Unreachable,
+                    offset: offset as u32,
+                });
                 self.mark_unreachable();
             }
             Opcode::Block | Opcode::Loop | Opcode::If => {
@@ -897,6 +910,7 @@ impl<'a> Builder<'a> {
                             addr,
                             offset: memarg.offset,
                             width,
+                            src_offset: offset as u32,
                         });
                     }
                     _ => unreachable!("memory access opcodes have load/store signatures"),
@@ -1003,7 +1017,11 @@ mod tests {
         let reach = ir.reachable();
         for (i, block) in ir.blocks.iter().enumerate() {
             if reach[i] {
-                if let Terminator::Trap(TrapCode::Unreachable) = &block.term {
+                if let Terminator::Trap {
+                    code: TrapCode::Unreachable,
+                    ..
+                } = &block.term
+                {
                     panic!("unterminated reachable block b{i}:\n{}", ir.display())
                 }
             }

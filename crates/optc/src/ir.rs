@@ -23,6 +23,7 @@
 
 use machine::inst::{TrapCode, Width};
 use machine::lower::OpClass;
+use std::collections::HashMap;
 use std::fmt;
 use wasm::types::ValueType;
 
@@ -209,6 +210,9 @@ pub enum Inst {
         offset: u32,
         /// Access width in bytes.
         width: u32,
+        /// Bytecode offset of the store (source-map anchor: a bounds trap
+        /// here must symbolicate to the store instruction).
+        src_offset: u32,
     },
     /// A global write.
     GlobalSet {
@@ -375,7 +379,12 @@ pub enum Terminator {
     /// Return from the function with the given results.
     Return(Vec<ValueId>),
     /// Unconditional trap.
-    Trap(TrapCode),
+    Trap {
+        /// The trap reason.
+        code: TrapCode,
+        /// Bytecode offset of the trapping instruction (source-map anchor).
+        offset: u32,
+    },
 }
 
 impl Terminator {
@@ -397,7 +406,7 @@ impl Terminator {
                 targets.iter().for_each(&mut f);
                 f(default);
             }
-            Terminator::Return(_) | Terminator::Trap(_) => {}
+            Terminator::Return(_) | Terminator::Trap { .. } => {}
         }
     }
 
@@ -419,7 +428,7 @@ impl Terminator {
                 targets.iter_mut().for_each(&mut f);
                 f(default);
             }
-            Terminator::Return(_) | Terminator::Trap(_) => {}
+            Terminator::Return(_) | Terminator::Trap { .. } => {}
         }
     }
 
@@ -427,7 +436,7 @@ impl Terminator {
     /// indices, return values, and edge arguments).
     pub fn for_each_use(&self, mut f: impl FnMut(ValueId)) {
         match self {
-            Terminator::Jump(_) | Terminator::Trap(_) => {}
+            Terminator::Jump(_) | Terminator::Trap { .. } => {}
             Terminator::Branch { cond, .. } => f(*cond),
             Terminator::BrTable { index, .. } => f(*index),
             Terminator::Return(values) => values.iter().for_each(|&v| f(v)),
@@ -453,7 +462,10 @@ impl Block {
             params: Vec::new(),
             insts: Vec::new(),
             // Placeholder until the frontend seals the block.
-            term: Terminator::Trap(TrapCode::Unreachable),
+            term: Terminator::Trap {
+                code: TrapCode::Unreachable,
+                offset: 0,
+            },
         }
     }
 }
@@ -512,6 +524,13 @@ pub struct FuncIr {
     /// On-stack-replacement entry points, one per reachable `loop` (only
     /// populated when the compiler has OSR enabled).
     pub osr_sites: Vec<OsrSite>,
+    /// Bytecode offset of each *trapping* value, keyed by the defining
+    /// [`ValueId`]. Kept out of [`Node`] so CSE equality is untouched:
+    /// two identical trapping nodes still unify, and the survivor (the
+    /// first in program order, which is the one that traps in every tier)
+    /// keeps its own entry. Value ids are stable across every pass, so the
+    /// table never needs rewriting.
+    src_offsets: HashMap<u32, u32>,
 }
 
 impl FuncIr {
@@ -533,7 +552,18 @@ impl FuncIr {
             max_stack,
             has_flush_probes: false,
             osr_sites: Vec::new(),
+            src_offsets: HashMap::new(),
         }
+    }
+
+    /// Records the bytecode offset of a trapping value (see `src_offsets`).
+    pub fn set_src_offset(&mut self, v: ValueId, offset: u32) {
+        self.src_offsets.insert(v.0, offset);
+    }
+
+    /// The bytecode offset of a trapping value, if one was recorded.
+    pub fn src_offset(&self, v: ValueId) -> Option<u32> {
+        self.src_offsets.get(&v.0).copied()
     }
 
     /// The entry block.

@@ -55,7 +55,7 @@ pub fn layout(ir: &FuncIr, profile: &FuncProfile) -> Vec<BlockId> {
                     stack.push(e.target);
                 }
             }
-            Terminator::Return(_) | Terminator::Trap(_) => {}
+            Terminator::Return(_) | Terminator::Trap { .. } => {}
         }
     }
     // OSR entry blocks have no in-graph predecessors — the walk above never

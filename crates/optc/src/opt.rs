@@ -318,7 +318,7 @@ pub fn dce(ir: &mut FuncIr) -> bool {
                     mark(&mut live, &mut worklist, ir.resolve(v));
                 }
             }
-            Terminator::Jump(_) | Terminator::Trap(_) => {}
+            Terminator::Jump(_) | Terminator::Trap { .. } => {}
         }
     }
     while let Some(v) = worklist.pop() {

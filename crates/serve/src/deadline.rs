@@ -151,17 +151,29 @@ impl TimeoutList {
     /// deadline had already passed (the request was — or was about to be —
     /// interrupted), `false` if it completed in time.
     pub fn complete(&self, token: TimeoutToken) -> bool {
+        self.retire(token).is_some()
+    }
+
+    /// Like [`TimeoutList::complete`], but measures *how late* an expired
+    /// request retired: `Some(overshoot)` is the number of whole epochs the
+    /// clock had advanced past the deadline when the request came back
+    /// (zero when it retired in the very tick the deadline landed on),
+    /// `None` means it completed in time. Cooperative preemption bounds the
+    /// overshoot by one granularity plus the time to the next check site,
+    /// which the serving tests assert.
+    pub fn retire(&self, token: TimeoutToken) -> Option<u64> {
         self.pending
             .lock()
             .expect("timeout list lock")
             .remove(&(token.deadline_epoch, token.id));
-        let expired = self.epoch.load(Ordering::SeqCst) >= token.deadline_epoch;
-        if expired {
+        let now = self.epoch.load(Ordering::SeqCst);
+        if now >= token.deadline_epoch {
             self.expired.fetch_add(1, Ordering::SeqCst);
+            Some(now - token.deadline_epoch)
         } else {
             self.in_time.fetch_add(1, Ordering::SeqCst);
+            None
         }
-        expired
     }
 
     /// Deadlines currently outstanding.
@@ -223,6 +235,21 @@ mod tests {
         assert!(list.complete(slow));
         assert_eq!(list.pending(), 0);
         assert_eq!((list.in_time_count(), list.expired_count()), (1, 1));
+    }
+
+    #[test]
+    fn retire_measures_the_overshoot_in_epochs() {
+        let epoch = fixed_epoch(100);
+        let list = TimeoutList::new(Arc::clone(&epoch), Duration::from_millis(1));
+        let in_time = list.arm(Duration::from_millis(10)); // deadline 110
+        let on_the_dot = list.arm(Duration::from_millis(10));
+        let late = list.arm(Duration::from_millis(10));
+        assert_eq!(list.retire(in_time), None, "before the deadline");
+        epoch.store(110, Ordering::SeqCst);
+        assert_eq!(list.retire(on_the_dot), Some(0), "in the deadline tick");
+        epoch.store(113, Ordering::SeqCst);
+        assert_eq!(list.retire(late), Some(3), "three ticks past");
+        assert_eq!((list.in_time_count(), list.expired_count()), (1, 2));
     }
 
     #[test]

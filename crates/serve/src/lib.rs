@@ -17,6 +17,11 @@
 //!   preemption: a ticker thread advances the shared epoch, a
 //!   `timeout_list` converts budgets to epoch deadlines, and the engine
 //!   interrupts itself at the next check site;
+//! * [`access_log`] — every retired request becomes one structured JSON
+//!   line (latency, fuel, pool/cache behaviour, deadline overshoot for
+//!   interrupted requests, symbolicated trap diagnostics on failure), and
+//!   a bounded [`access_log::FlightRecorder`] ring retains the most recent
+//!   lines for dumping on demand;
 //! * instance pooling lives in the engine crate
 //!   ([`engine::InstancePool`]): each app's instances are recycled through
 //!   snapshot resets, so a warm request pays a memcpy instead of a full
@@ -31,13 +36,16 @@
 
 #![warn(missing_docs)]
 
+pub mod access_log;
 pub mod deadline;
 pub mod spsc;
 pub mod wait_group;
 
+use access_log::FlightRecorder;
 use deadline::{EpochTicker, TimeoutList};
 use engine::{
-    CacheStats, CodeCache, Engine, EngineConfig, EngineError, InstancePool, PoolStats, TrapReason,
+    CacheStats, CodeCache, Engine, EngineConfig, EngineError, InstancePool, PoolStats, TrapInfo,
+    TrapReason,
 };
 use machine::values::WasmValue;
 use std::sync::{Arc, Mutex};
@@ -64,6 +72,10 @@ pub struct ServerConfig {
     /// itself: compile, cache, pool, and request events all land in one
     /// trace. Disabled by default.
     pub telemetry: Telemetry,
+    /// Access-log lines the flight recorder retains
+    /// ([`Server::flight_recorder`]); the oldest are overwritten beyond
+    /// this.
+    pub flight_recorder_capacity: usize,
 }
 
 impl Default for ServerConfig {
@@ -74,6 +86,7 @@ impl Default for ServerConfig {
             max_idle_per_app: 8,
             epoch_granularity: Duration::from_millis(1),
             telemetry: Telemetry::disabled(),
+            flight_recorder_capacity: 256,
         }
     }
 }
@@ -169,6 +182,15 @@ pub struct RequestResult {
     /// True if the request's deadline passed before it retired (it was —
     /// or was about to be — interrupted).
     pub deadline_expired: bool,
+    /// How many whole epochs past its deadline the request retired
+    /// (`Some(0)` = in the deadline tick itself); `None` when no deadline
+    /// was armed or it completed in time. Cooperative preemption bounds
+    /// this at roughly one epoch plus the time to the next check site.
+    pub deadline_overshoot_epochs: Option<u64>,
+    /// The symbolicated trap diagnostics when the request trapped: reason
+    /// plus a cross-tier backtrace of `(function, name, bytecode offset)`
+    /// frames.
+    pub trap: Option<TrapInfo>,
 }
 
 struct App {
@@ -189,6 +211,7 @@ pub struct Server {
     cache: Arc<CodeCache>,
     ticker: EpochTicker,
     timeouts: Arc<TimeoutList>,
+    recorder: FlightRecorder,
     apps: Vec<App>,
 }
 
@@ -199,12 +222,14 @@ impl Server {
         let epoch = Arc::new(std::sync::atomic::AtomicU64::new(0));
         let ticker = EpochTicker::start(Arc::clone(&epoch), server_config.epoch_granularity);
         let timeouts = Arc::new(TimeoutList::new(epoch, server_config.epoch_granularity));
+        let recorder = FlightRecorder::new(server_config.flight_recorder_capacity);
         Server {
             server_config,
             engine_config,
             cache: Arc::new(CodeCache::new()),
             ticker,
             timeouts,
+            recorder,
             apps: Vec::new(),
         }
     }
@@ -266,6 +291,12 @@ impl Server {
         self.ticker.granularity()
     }
 
+    /// The flight recorder: the most recent requests' access-log lines,
+    /// dumpable on demand via [`access_log::FlightRecorder::dump`].
+    pub fn flight_recorder(&self) -> &FlightRecorder {
+        &self.recorder
+    }
+
     /// Executes a batch: requests are round-robined across the worker
     /// mailboxes, workers drain them concurrently, and the batch joins on a
     /// [`WaitGroup`]. Results come back in request order regardless of
@@ -312,7 +343,16 @@ impl Server {
         out
     }
 
+    /// Serves one request and appends its access-log line to the flight
+    /// recorder.
     fn serve_one(&self, worker: usize, work: Work) -> RequestResult {
+        let result = self.execute(worker, work);
+        let app_name = self.app_name(result.app);
+        self.recorder.record(access_log::render_line(&result, app_name));
+        result
+    }
+
+    fn execute(&self, worker: usize, work: Work) -> RequestResult {
         let Work { id, request } = work;
         let reject = |message: String| RequestResult {
             request_id: id,
@@ -325,6 +365,8 @@ impl Server {
             exec_cycles: 0,
             fuel_consumed: None,
             deadline_expired: false,
+            deadline_overshoot_epochs: None,
+            trap: None,
         };
         let Some(app) = self.apps.get(request.app) else {
             return reject(format!("unknown app index {}", request.app));
@@ -352,7 +394,13 @@ impl Server {
             .engine()
             .call_export(&mut instance, &app.entry, &request.args);
         let service_wall = start.elapsed();
-        let deadline_expired = token.map(|t| self.timeouts.complete(t)).unwrap_or(false);
+        let deadline_overshoot_epochs = token.and_then(|t| self.timeouts.retire(t));
+        let deadline_expired = deadline_overshoot_epochs.is_some();
+        let trap = if outcome.is_err() {
+            instance.last_trap().cloned()
+        } else {
+            None
+        };
         if telemetry.is_enabled() {
             telemetry.emit(EventKind::ServeFinish {
                 request: id as u32,
@@ -373,6 +421,9 @@ impl Server {
                     metrics.histogram("serve.fuel_per_request").record(fuel);
                 }
                 metrics.histogram("serve.exec_cycles").record(instance.metrics.exec_cycles);
+                if let Some(overshoot) = deadline_overshoot_epochs {
+                    metrics.histogram("serve.deadline_overshoot").record(overshoot);
+                }
             }
         }
         RequestResult {
@@ -389,6 +440,8 @@ impl Server {
             exec_cycles: instance.metrics.exec_cycles,
             fuel_consumed: instance.fuel_consumed(),
             deadline_expired,
+            deadline_overshoot_epochs,
+            trap,
         }
     }
 }

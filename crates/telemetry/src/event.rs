@@ -94,10 +94,19 @@ pub enum EventKind {
         /// The tier the published code belongs to.
         tier: Tier,
     },
-    /// Execution trapped.
+    /// Execution trapped. Carries the innermost backtrace frame so the
+    /// timeline pinpoints the fault without a side channel to the full
+    /// diagnostics (which live on the instance); payloads stay `Copy`.
     Trap {
         /// The spec-style trap message (`TrapReason::wast_message`).
         reason: &'static str,
+        /// Function index of the innermost (faulting) frame.
+        func: u32,
+        /// Wasm bytecode offset of the faulting instruction within it.
+        offset: u32,
+        /// True activation-stack depth at trap time (counting frames a
+        /// truncated backtrace dropped).
+        depth: u32,
     },
     /// A fuel budget ran out (`OutOfFuel`).
     FuelExhausted,

@@ -63,9 +63,12 @@ fn render(kind: &EventKind) -> (String, String, Option<u64>) {
             format!("{{\"func\":{func},\"tier\":\"{}\"}}", tier.label()),
             None,
         ),
-        EventKind::Trap { reason } => (
-            "trap".to_string(),
-            format!("{{\"reason\":\"{}\"}}", escape(reason)),
+        EventKind::Trap { reason, func, offset, depth } => (
+            format!("trap f{func}"),
+            format!(
+                "{{\"reason\":\"{}\",\"func\":{func},\"offset\":{offset},\"depth\":{depth}}}",
+                escape(reason)
+            ),
             None,
         ),
         EventKind::FuelExhausted => ("fuel exhausted".to_string(), "{}".to_string(), None),
@@ -212,7 +215,7 @@ mod tests {
             },
             EventKind::CacheLookup { hit: false },
             EventKind::TierUp { func: 4, tier: Tier::Baseline },
-            EventKind::Trap { reason: "integer divide by zero" },
+            EventKind::Trap { reason: "integer divide by zero", func: 2, offset: 9, depth: 3 },
             EventKind::FuelExhausted,
             EventKind::EpochInterrupt,
             EventKind::PoolCheckout { app: 0, warm: false },

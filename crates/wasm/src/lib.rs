@@ -10,6 +10,8 @@
 //!   as raw bytecode so execution tiers can work *in place*;
 //! * [`builder`] — programmatic construction of modules and bodies;
 //! * [`decode`] / [`encode`] — the `.wasm` binary format;
+//! * [`names`] — the `name` custom section, parsed (tolerantly) into typed
+//!   function/local name maps the engine symbolicates trap backtraces with;
 //! * [`hash`] — stable FNV-1a content hashing behind
 //!   [`module::Module::content_hash`], the engine's code-cache key primitive;
 //! * [`validate`] — the forward abstract-interpretation validator whose
@@ -55,6 +57,7 @@ pub mod fuel;
 pub mod hash;
 pub mod leb;
 pub mod module;
+pub mod names;
 pub mod opcode;
 pub mod reader;
 pub mod types;

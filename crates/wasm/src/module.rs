@@ -211,6 +211,32 @@ impl Module {
         crate::hash::fnv1a_64(&crate::encode::encode(self))
     }
 
+    /// Parses the module's `name` custom section into its typed form (an
+    /// empty [`crate::names::NameSection`] when the module has none).
+    ///
+    /// Parsing is tolerant — a malformed section yields whatever prefix
+    /// decoded cleanly — and runs on demand: the raw bytes stay preserved
+    /// verbatim in [`Module::custom`], so this never perturbs round trips.
+    pub fn name_section(&self) -> crate::names::NameSection {
+        self.custom
+            .iter()
+            .find(|c| c.name == "name")
+            .map(|c| crate::names::NameSection::parse(&c.bytes))
+            .unwrap_or_default()
+    }
+
+    /// Replaces the module's `name` custom section with the canonical
+    /// encoding of `names` (removing it entirely when `names` is empty).
+    pub fn set_name_section(&mut self, names: &crate::names::NameSection) {
+        self.custom.retain(|c| c.name != "name");
+        if !names.is_empty() {
+            self.custom.push(CustomSection {
+                name: "name".to_string(),
+                bytes: names.encode(),
+            });
+        }
+    }
+
     /// The number of imported functions (they occupy the first indices of the
     /// function index space).
     pub fn num_imported_funcs(&self) -> u32 {

@@ -36,8 +36,14 @@ pub fn module_from_sexpr(expr: &Sexpr) -> Result<Module, WatError> {
         .filter(|items| items.first().and_then(Sexpr::as_atom) == Some("module"))
         .ok_or_else(|| WatError::new("expected (module ...)", expr.offset()))?;
     let mut fields = &items[1..];
-    // Optional module identifier.
-    if fields.first().and_then(Sexpr::as_atom).is_some_and(|a| a.starts_with('$')) {
+    // Optional module identifier (recorded in the name section).
+    let mut module_name = None;
+    if let Some(id) = fields
+        .first()
+        .and_then(Sexpr::as_atom)
+        .and_then(|a| a.strip_prefix('$'))
+    {
+        module_name = Some(id.to_string());
         fields = &fields[1..];
     }
 
@@ -105,12 +111,27 @@ pub fn module_from_sexpr(expr: &Sexpr) -> Result<Module, WatError> {
             _ => unreachable!("stashed fields are export/start/elem/data"),
         }
     }
+    let num_imported = lw.module.num_imported_funcs();
+    let mut names = crate::names::NameSection::new();
+    names.module = module_name;
     for body in deferred_bodies {
         let code = lw.lower_body(&body)?;
+        let func_index = num_imported + body.defined_index as u32;
+        for (name, &local_index) in &code.local_names {
+            names.set_local_name(func_index, local_index, name.clone());
+        }
         let func = &mut lw.module.funcs[body.defined_index];
         func.locals = code.locals;
         func.code = code.bytes;
     }
+    // Symbolic `$names` become the standard `name` custom section, so debug
+    // names survive encoding and the engine can symbolicate backtraces. The
+    // printer reads the same section back out, keeping the round trip
+    // byte-identical.
+    for (name, &func_index) in &lw.func_names {
+        names.set_func_name(func_index, name.clone());
+    }
+    lw.module.set_name_section(&names);
     Ok(lw.module)
 }
 
@@ -129,6 +150,9 @@ struct DeferredBody<'a> {
 struct LoweredBody {
     locals: Vec<(u32, ValueType)>,
     bytes: Vec<u8>,
+    /// Symbolic `$names` of parameters and locals, by local index (feeds the
+    /// name section).
+    local_names: HashMap<String, u32>,
 }
 
 #[derive(Default)]
@@ -706,11 +730,13 @@ impl Lowerer {
         if !bl.labels.is_empty() {
             return Err(WatError::new("unclosed block in function body", body.offset));
         }
+        let local_names = std::mem::take(&mut bl.local_names);
         let mut bytes = bl.w.into_bytes();
         bytes.push(Opcode::End.to_byte());
         Ok(LoweredBody {
             locals: groups,
             bytes,
+            local_names,
         })
     }
 }

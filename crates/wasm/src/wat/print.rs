@@ -6,26 +6,47 @@
 //! field, float constants use the exact hex-float / `nan:0x…` literals from
 //! [`super::num`], and memory arguments print their alignment only when it
 //! differs from the natural one (mirroring the parser's defaults). Custom
-//! sections have no text representation and are skipped.
+//! sections have no text representation and are skipped — except the `name`
+//! section, which prints back as the `$identifiers` it was lowered from
+//! (function, parameter, and local names), so named modules round-trip
+//! byte-identically too. A name section the text format cannot express
+//! (names that are not valid WAT ids, duplicates, or names attached to
+//! multi-local groups of a binary-built module) is left out wholesale rather
+//! than printed partially, keeping the printer's output deterministic.
 
 use super::lexer::escape_string;
 use super::num;
 use crate::module::{ConstExpr, Module};
+use crate::names::NameSection;
 use crate::opcode::{ImmediateKind, Opcode};
 use crate::reader::BytecodeReader;
 use crate::types::{BlockType, ExternalKind, FuncType, GlobalType, Limits, ValueType};
+use std::collections::HashSet;
 use std::fmt::Write as _;
 
 /// Prints a module as WAT text.
 pub fn print_module(m: &Module) -> String {
+    let names = expressible_names(m);
     let mut out = String::new();
-    out.push_str("(module\n");
+    match names.as_ref().and_then(|n| n.module.as_deref()) {
+        Some(id) => out.push_str(&format!("(module ${id}\n")),
+        None => out.push_str("(module\n"),
+    }
     for ty in &m.types {
         let _ = writeln!(out, "  (type (func{}))", signature(ty));
     }
+    let mut func_imports = 0u32;
     for import in &m.imports {
         let desc = match &import.kind {
-            crate::module::ImportKind::Func(t) => format!("(func (type {t}))"),
+            crate::module::ImportKind::Func(t) => {
+                let id = names
+                    .as_ref()
+                    .and_then(|n| n.func_name(func_imports))
+                    .map(|n| format!("${n} "))
+                    .unwrap_or_default();
+                func_imports += 1;
+                format!("(func {id}(type {t}))")
+            }
             crate::module::ImportKind::Table(t) => {
                 format!("(table {} {})", limits(&t.limits), ref_type(t.element))
             }
@@ -53,11 +74,46 @@ pub fn print_module(m: &Module) -> String {
             const_expr(&global.init)
         );
     }
-    for func in &m.funcs {
-        let _ = writeln!(out, "  (func (type {})", func.type_index);
+    let num_imported = m.num_imported_funcs();
+    for (defined, func) in m.funcs.iter().enumerate() {
+        let func_index = num_imported + defined as u32;
+        let id = names
+            .as_ref()
+            .and_then(|n| n.func_name(func_index))
+            .map(|n| format!("${n} "))
+            .unwrap_or_default();
+        let sig = m.types.get(func.type_index as usize);
+        let num_params = sig.map(|s| s.params.len() as u32).unwrap_or(0);
+        // A named parameter forces the full inline signature (the text format
+        // has nowhere else to put the name); the parser checks it against the
+        // `(type N)` reference, which holds since it is printed *from* it.
+        let any_param_named = names.as_ref().is_some_and(|n| {
+            (0..num_params).any(|i| n.local_name(func_index, i).is_some())
+        });
+        let inline = match (any_param_named, sig) {
+            (true, Some(sig)) => {
+                named_signature(sig, |i| {
+                    names.as_ref().and_then(|n| n.local_name(func_index, i))
+                })
+            }
+            _ => String::new(),
+        };
+        let _ = writeln!(out, "  (func {id}(type {}){inline}", func.type_index);
+        let mut next_local = num_params;
         for &(count, ty) in &func.locals {
-            let types = vec![ty.mnemonic(); count as usize].join(" ");
-            let _ = writeln!(out, "    (local {types})");
+            let name = (count == 1)
+                .then(|| names.as_ref().and_then(|n| n.local_name(func_index, next_local)))
+                .flatten();
+            match name {
+                Some(n) => {
+                    let _ = writeln!(out, "    (local ${n} {})", ty.mnemonic());
+                }
+                None => {
+                    let types = vec![ty.mnemonic(); count as usize].join(" ");
+                    let _ = writeln!(out, "    (local {types})");
+                }
+            }
+            next_local += count;
         }
         print_body(&mut out, &func.code);
         out.push_str("  )\n");
@@ -230,6 +286,118 @@ fn print_instruction(out: &mut String, op: Opcode, r: &mut BytecodeReader<'_>) {
         }
         ImmediateKind::SelectTyped => unreachable!("handled above"),
     }
+}
+
+/// Returns the module's name section iff the WAT text format can express
+/// *all* of it (see the module docs). `None` prints a bare, nameless module.
+fn expressible_names(m: &Module) -> Option<NameSection> {
+    let names = m.name_section();
+    if names.is_empty() {
+        return None;
+    }
+    if names.module.as_deref().is_some_and(|n| !valid_id(n)) {
+        return None;
+    }
+    let mut seen = HashSet::new();
+    for (index, name) in names.func_names() {
+        if index >= m.num_funcs() || !valid_id(name) || !seen.insert(name) {
+            return None;
+        }
+    }
+    let num_imported = m.num_imported_funcs();
+    for func_index in 0..m.num_funcs() {
+        let mut local_seen = HashSet::new();
+        for (local_index, name) in names.local_names(func_index) {
+            if !valid_id(name) || !local_seen.insert(name) {
+                return None;
+            }
+            // Imported functions have no body to hang local names on.
+            let defined = func_index.checked_sub(num_imported)?;
+            let func = m.funcs.get(defined as usize)?;
+            let sig = m.types.get(func.type_index as usize)?;
+            let num_params = sig.params.len() as u32;
+            if local_index < num_params {
+                continue;
+            }
+            // A named local must sit in its own singleton `(local …)` group;
+            // names inside wider groups (only binary-built modules produce
+            // those) are not expressible.
+            let mut at = num_params;
+            let mut singleton = false;
+            for &(count, _) in &func.locals {
+                if local_index < at + count {
+                    singleton = count == 1;
+                    break;
+                }
+                at += count;
+            }
+            if !singleton {
+                return None;
+            }
+        }
+    }
+    Some(names)
+}
+
+/// True when `name` is a non-empty sequence of WAT `idchar`s, i.e. printable
+/// as `$name` without quoting (which this printer does not emit).
+fn valid_id(name: &str) -> bool {
+    !name.is_empty()
+        && name.bytes().all(|b| {
+            b.is_ascii_alphanumeric()
+                || matches!(
+                    b,
+                    b'!' | b'#'
+                        | b'$'
+                        | b'%'
+                        | b'&'
+                        | b'\''
+                        | b'*'
+                        | b'+'
+                        | b'-'
+                        | b'.'
+                        | b'/'
+                        | b':'
+                        | b'<'
+                        | b'='
+                        | b'>'
+                        | b'?'
+                        | b'@'
+                        | b'\\'
+                        | b'^'
+                        | b'_'
+                        | b'`'
+                        | b'|'
+                        | b'~'
+                )
+        })
+}
+
+/// Prints a full inline signature with `$names` on the named parameters.
+/// Runs of unnamed parameters share one `(param …)` group, named ones get
+/// singleton groups — exactly the grouping the lowerer reads back.
+fn named_signature<'a>(ty: &FuncType, name_of: impl Fn(u32) -> Option<&'a str>) -> String {
+    let mut s = String::new();
+    let mut i = 0usize;
+    while i < ty.params.len() {
+        if let Some(name) = name_of(i as u32) {
+            let _ = write!(s, " (param ${name} {})", ty.params[i].mnemonic());
+            i += 1;
+        } else {
+            let start = i;
+            while i < ty.params.len() && name_of(i as u32).is_none() {
+                i += 1;
+            }
+            let params =
+                ty.params[start..i].iter().map(|t| t.mnemonic()).collect::<Vec<_>>().join(" ");
+            let _ = write!(s, " (param {params})");
+        }
+    }
+    if !ty.results.is_empty() {
+        let results = ty.results.iter().map(|t| t.mnemonic()).collect::<Vec<_>>().join(" ");
+        let _ = write!(s, " (result {results})");
+    }
+    s
 }
 
 fn signature(ty: &FuncType) -> String {

@@ -334,3 +334,109 @@ fn typed_select_roundtrips() {
     let reparsed = parse_module(&text).expect("reparses");
     assert_eq!(encode(&m), encode(&reparsed));
 }
+
+#[test]
+fn names_lower_into_a_name_section() {
+    let m = parse_module(
+        r#"(module $demo
+             (type $sig (func (param i32 i32) (result i32)))
+             (import "env" "log" (func $log (type $sig)))
+             (func $add (type $sig) (param $x i32) (param $y i32) (result i32)
+               (local $tmp i32)
+               local.get $x
+               local.get $y
+               i32.add
+               local.set $tmp
+               local.get $tmp)
+             (func $main (result i32)
+               i32.const 1
+               i32.const 2
+               call $add)
+             (export "main" (func $main)))"#,
+    )
+    .expect("parses");
+    wasm::validate::validate(&m).expect("validates");
+    let names = m.name_section();
+    assert_eq!(names.module.as_deref(), Some("demo"));
+    assert_eq!(names.func_name(0), Some("log"));
+    assert_eq!(names.func_name(1), Some("add"));
+    assert_eq!(names.func_name(2), Some("main"));
+    assert_eq!(names.local_name(1, 0), Some("x"));
+    assert_eq!(names.local_name(1, 1), Some("y"));
+    assert_eq!(names.local_name(1, 2), Some("tmp"));
+    // Decoding the encoded bytes yields the same name section.
+    let decoded = wasm::decode::decode(&encode(&m)).expect("decodes");
+    assert_eq!(decoded.name_section(), names);
+}
+
+#[test]
+fn names_roundtrip_byte_identically() {
+    let m = parse_module(
+        r#"(module $demo
+             (type $sig (func (param i32 i32) (result i32)))
+             (import "env" "log" (func $log (type $sig)))
+             (func $add (type $sig) (param $x i32) (param $y i32) (result i32)
+               (local $tmp i32)
+               local.get $x
+               local.get $y
+               i32.add
+               local.set $tmp
+               local.get $tmp)
+             (func $mix (param i32) (param $n i32) (param i32 i32) (local i64 i64) (local $acc i64)
+               local.get $n
+               drop)
+             (func $main (result i32)
+               i32.const 1
+               i32.const 2
+               call $add)
+             (export "main" (func $main)))"#,
+    )
+    .expect("parses");
+    wasm::validate::validate(&m).expect("validates");
+    let text = print_module(&m);
+    assert!(text.contains("(module $demo"), "{text}");
+    assert!(text.contains("$add"), "{text}");
+    assert!(text.contains("(param $x i32)"), "{text}");
+    assert!(text.contains("(local $tmp i32)"), "{text}");
+    let reparsed = parse_module(&text).unwrap_or_else(|e| panic!("{}\n{text}", e.describe(&text)));
+    assert_eq!(
+        encode(&m),
+        encode(&reparsed),
+        "named round trip must be byte-identical; text was:\n{text}"
+    );
+    assert_eq!(text, print_module(&reparsed), "printing is a fixpoint");
+}
+
+#[test]
+fn unprintable_name_sections_fall_back_to_indices() {
+    // Names the text format cannot express (spaces, names inside multi-local
+    // groups) only arise in binary-built modules; the printer then omits the
+    // whole section rather than print a partial or invalid one.
+    let mut b = ModuleBuilder::new();
+    let mut c = CodeBuilder::new();
+    c.i32_const(0);
+    let f = b.add_func(
+        FuncType::new(vec![], vec![ValueType::I32]),
+        vec![ValueType::I64, ValueType::I64],
+        c.finish(),
+    );
+    b.export_func("f", f);
+    let mut m = b.finish();
+    let mut names = wasm::names::NameSection::new();
+    names.set_func_name(0, "has a space");
+    m.set_name_section(&names);
+    let text = print_module(&m);
+    assert!(!text.contains('$'), "invalid ids must not print: {text}");
+    let reparsed = parse_module(&text).expect("parses");
+    assert!(reparsed.name_section().is_empty());
+
+    // A name inside a two-wide local group has no `(local $x ty)` home.
+    let mut names = wasm::names::NameSection::new();
+    if m.funcs[0].locals == vec![(2, ValueType::I64)] {
+        names.set_func_name(0, "f");
+        names.set_local_name(0, 1, "hidden");
+        m.set_name_section(&names);
+        let text = print_module(&m);
+        assert!(!text.contains('$'), "partial sections must not print: {text}");
+    }
+}

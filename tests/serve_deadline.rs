@@ -73,6 +73,20 @@ fn runaway_requests_are_interrupted_within_the_granularity_bound() {
             "[{name}] a runaway request must be preempted"
         );
         assert!(r.deadline_expired, "[{name}] the timeout list saw it expire");
+        // The overshoot is measured in whole epochs past the deadline and
+        // bounded by the enforcement mechanism itself: the engine traps at
+        // the first check site after the deadline epoch, so the request
+        // retires within one granularity of its deadline plus scheduling
+        // slack — never "whenever the loop felt like stopping".
+        let overshoot = r
+            .deadline_overshoot_epochs
+            .unwrap_or_else(|| panic!("[{name}] an interrupted request must record its overshoot"));
+        let slack_epochs = (Duration::from_millis(500).as_nanos()
+            / granularity.as_nanos().max(1)) as u64;
+        assert!(
+            overshoot <= 1 + slack_epochs,
+            "[{name}] retired {overshoot} epochs past its deadline"
+        );
         // Lower bound: the interrupt cannot fire before the armed number of
         // ticks has elapsed... minus one granularity, because the first tick
         // may already be partially spent when the deadline is armed.
@@ -131,6 +145,7 @@ fn mixed_batches_only_interrupt_the_runaway() {
                 "request {i}"
             );
             assert!(!r.deadline_expired, "request {i}");
+            assert_eq!(r.deadline_overshoot_epochs, None, "request {i}");
         } else {
             assert_eq!(
                 r.status,
@@ -138,10 +153,105 @@ fn mixed_batches_only_interrupt_the_runaway() {
                 "request {i}"
             );
             assert!(r.deadline_expired, "request {i}");
+            assert!(r.deadline_overshoot_epochs.is_some(), "request {i}");
         }
     }
     assert_eq!(server.timeouts().expired_count(), 2);
     assert_eq!(server.timeouts().in_time_count(), 2, "undeadlined requests are untracked");
+}
+
+/// Every retired request lands in the flight recorder as one JSON
+/// access-log line: successes with latency and warmth, fuel-starved
+/// requests with their consumption, interrupted requests with their
+/// deadline overshoot, and traps with the symbolicated backtrace. The ring
+/// is bounded, and the `serve.deadline_overshoot` histogram records every
+/// expiry.
+#[test]
+fn the_flight_recorder_captures_structured_access_log_lines() {
+    let telemetry = telemetry::Telemetry::enabled();
+    let mut server = Server::new(
+        ServerConfig {
+            workers: 1,
+            epoch_granularity: Duration::from_millis(2),
+            telemetry: telemetry.clone(),
+            flight_recorder_capacity: 3,
+            ..ServerConfig::default()
+        },
+        engine::EngineConfig::baseline("spc", spc::CompilerOptions::allopt()).with_metering(),
+    );
+    let boom_text = r#"
+        (module $app
+          (func $inner (result i32)
+            i32.const 1
+            i32.const 0
+            i32.div_s)
+          (func $boom (export "main") (result i32)
+            call $inner))
+    "#;
+    let boom = wasm::wat::parse_module(boom_text).expect("boom module parses");
+    let quick = server.register_app("quick", "main", quick_module()).unwrap();
+    let spin = server.register_app("spin", "main", spin_module()).unwrap();
+    let boom = server.register_app("boom", "main", boom).unwrap();
+    let results = server.run(vec![
+        Request::to_app(quick),
+        Request::to_app(quick),
+        Request::to_app(boom),
+        Request::to_app(spin).with_fuel(1_000),
+        Request::to_app(spin).with_deadline(Duration::from_millis(10)),
+    ]);
+    assert_eq!(results.len(), 5);
+
+    // The trapped request's result carries the symbolicated diagnostics.
+    let trap = results[2].trap.as_ref().expect("trap diagnostics captured");
+    assert_eq!(trap.reason, engine::TrapReason::DivisionByZero);
+    let names: Vec<Option<&str>> = trap
+        .backtrace
+        .frames()
+        .iter()
+        .map(|f| f.name.as_deref())
+        .collect();
+    assert_eq!(names, [Some("inner"), Some("boom")]);
+
+    // The ring retained only the 3 most recent of the 5 lines.
+    let recorder = server.flight_recorder();
+    assert_eq!(recorder.recorded(), 5);
+    assert_eq!(recorder.len(), 3);
+    let dump = recorder.dump();
+    let lines: Vec<&str> = dump.lines().collect();
+    assert_eq!(lines.len(), 3);
+    // Line 0: the div-by-zero trap, backtrace symbolicated from the name
+    // section, app resolved to its registered name.
+    assert!(lines[0].contains("\"request\":2,\"app\":2,\"app_name\":\"boom\""), "{}", lines[0]);
+    assert!(lines[0].contains("\"status\":\"trap\""), "{}", lines[0]);
+    assert!(
+        lines[0].contains("\"reason\":\"integer divide by zero\""),
+        "{}",
+        lines[0]
+    );
+    assert!(lines[0].contains("\"name\":\"inner\""), "{}", lines[0]);
+    // Line 1: fuel exhaustion with the exact consumption.
+    assert!(lines[1].contains("\"request\":3"), "{}", lines[1]);
+    assert!(lines[1].contains("\"reason\":\"all fuel consumed\""), "{}", lines[1]);
+    assert!(lines[1].contains("\"fuel_consumed\":1000"), "{}", lines[1]);
+    // Line 2: the interrupted request records a concrete overshoot.
+    assert!(lines[2].contains("\"request\":4"), "{}", lines[2]);
+    assert!(lines[2].contains("\"reason\":\"interrupt\""), "{}", lines[2]);
+    assert!(lines[2].contains("\"deadline_expired\":true"), "{}", lines[2]);
+    assert!(
+        !lines[2].contains("\"deadline_overshoot_epochs\":null"),
+        "{}",
+        lines[2]
+    );
+
+    // The overshoot histogram saw exactly the one expired deadline.
+    let snapshot = telemetry.metrics().expect("metrics registry").snapshot();
+    let overshoot = snapshot
+        .histograms
+        .iter()
+        .find(|(name, _)| name.as_str() == "serve.deadline_overshoot")
+        .map(|(_, h)| h.clone())
+        .expect("serve.deadline_overshoot histogram recorded");
+    assert_eq!(overshoot.count, 1);
 }
 
 /// Fuel budgets ride the same request path: a starved request traps
